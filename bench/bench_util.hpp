@@ -1,0 +1,22 @@
+// Shared table-printing helpers for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace flexsfp::bench {
+
+inline void title(const std::string& text) {
+  std::printf("\n=== %s ===\n\n", text.c_str());
+}
+
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace flexsfp::bench

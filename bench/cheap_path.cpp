@@ -1,0 +1,104 @@
+// Ablation for §2's "acceleration gap": the same lightweight micro-task
+// (ACL filtering) executed on the three tiers — host CPU (slow path),
+// SmartNIC (fast path) and FlexSFP (cheap path) — compared on latency,
+// jitter, power and cost.
+#include <cstdio>
+
+#include "apps/acl.hpp"
+#include "bench_util.hpp"
+#include "fabric/baselines.hpp"
+#include "fabric/testbed.hpp"
+
+namespace {
+
+using namespace flexsfp;
+using namespace flexsfp::sim;
+
+struct TierResult {
+  double p50_us;
+  double p99_us;
+  double watts;
+  std::string cost;
+};
+
+TierResult run_flexsfp() {
+  fabric::TestbedConfig config;
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::gbps(5);
+  spec.fixed_size = 256;
+  spec.duration = 500'000'000;  // 500 us
+  config.edge_traffic = spec;
+  auto acl = std::make_unique<apps::AclFirewall>();
+  apps::AclRuleSpec rule;
+  rule.src = net::Ipv4Prefix::parse("10.99.0.0/16");
+  rule.action = apps::AclAction::deny;
+  acl->add_rule(rule);
+  fabric::ModuleTestbed testbed(std::move(config), std::move(acl));
+  const auto result = testbed.run();
+  return {result.edge_to_optical.latency_p50_ns / 1000.0,
+          result.edge_to_optical.latency_p99_ns / 1000.0,
+          result.power.total(), hw::flexsfp_unit_cost().to_string()};
+}
+
+template <typename Server>
+TierResult run_server(Server& server, double watts, const std::string& cost,
+                      Simulation& sim) {
+  fabric::Sink sink(sim);
+  server.set_output(
+      [&sink](net::PacketPtr p) { sink.handle_packet(std::move(p)); });
+  sim::LambdaHandler into([&server](net::PacketPtr p) {
+    server.handle_packet(std::move(p));
+  });
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::gbps(5);
+  spec.fixed_size = 256;
+  spec.duration = 500'000'000;
+  fabric::TrafficGen gen(sim, spec, into);
+  gen.start();
+  sim.run();
+  return {to_nanos(sink.latency().percentile(50)) / 1000.0,
+          to_nanos(sink.latency().percentile(99)) / 1000.0, watts, cost};
+}
+
+}  // namespace
+
+int main() {
+  bench::title(
+      "Section 2 — the cheap path: ACL micro-task on three tiers (5 Gb/s "
+      "of 256 B frames)");
+
+  std::printf("%-22s %10s %10s %9s %14s\n", "tier", "p50 lat", "p99 lat",
+              "power", "unit cost");
+  bench::rule(70);
+
+  {
+    Simulation sim;
+    fabric::CpuPath cpu(sim);
+    const auto result = run_server(cpu, cpu.watts(), "$0 (sunk)", sim);
+    std::printf("%-22s %7.1f us %7.1f us %7.1f W %14s\n",
+                "host CPU (slow path)", result.p50_us, result.p99_us,
+                result.watts, result.cost.c_str());
+  }
+  {
+    Simulation sim;
+    fabric::SmartNic nic(sim);
+    const auto result =
+        run_server(nic, nic.watts(), nic.cost_usd().to_string(), sim);
+    std::printf("%-22s %7.1f us %7.1f us %7.1f W %14s\n",
+                "SmartNIC (fast path)", result.p50_us, result.p99_us,
+                result.watts, result.cost.c_str());
+  }
+  {
+    const auto result = run_flexsfp();
+    std::printf("%-22s %7.2f us %7.2f us %7.2f W %14s\n",
+                "FlexSFP (cheap path)", result.p50_us, result.p99_us,
+                result.watts, result.cost.c_str());
+  }
+  bench::rule(70);
+  bench::note(
+      "the FlexSFP executes the micro-task with sub-microsecond, "
+      "hardware-paced latency at ~1.5 W — the CPU path pays tens of "
+      "microseconds and scheduler jitter, the SmartNIC pays 25+ W and "
+      "$800-2000 for capability this task never uses.");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// §5.3 "Failure Recovery" as a measured study: VCSEL wear-out across a
+// module population (lognormal TTF, the paper's cited reliability model),
+// degradation telemetry, and the targeted-diagnosis argument — the internal
+// visibility that distinguishes laser wear from driver faults.
+#include <cstdio>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sfp/vcsel.hpp"
+#include "sim/random.hpp"
+
+int main() {
+  using namespace flexsfp;
+
+  bench::title("Section 5.3 — VCSEL wear-out across a 10,000-module fleet");
+
+  std::vector<double> ttf_hours;
+  sfp::VcselParams params;
+  for (std::uint64_t seed = 0; seed < 10'000; ++seed) {
+    sim::Rng rng(seed);
+    const sfp::VcselModel laser(params, rng);
+    ttf_hours.push_back(laser.time_to_failure_hours());
+  }
+  std::sort(ttf_hours.begin(), ttf_hours.end());
+  auto percentile = [&ttf_hours](double p) {
+    return ttf_hours[static_cast<std::size_t>(p / 100.0 *
+                                              (ttf_hours.size() - 1))];
+  };
+  const double hours_per_year = 24 * 365.25;
+  std::printf("time-to-failure distribution (lognormal, mu=%.2f, "
+              "sigma=%.2f):\n",
+              params.ttf_mu_log_hours, params.ttf_sigma);
+  std::printf("  %-12s %14s %10s\n", "percentile", "hours", "years");
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 99.0}) {
+    std::printf("  p%-11.0f %14.0f %10.1f\n", p, percentile(p),
+                percentile(p) / hours_per_year);
+  }
+  std::printf("  fleet failed within 5 years: %.2f%%\n",
+              100.0 *
+                  double(std::lower_bound(ttf_hours.begin(), ttf_hours.end(),
+                                          5 * hours_per_year) -
+                         ttf_hours.begin()) /
+                  double(ttf_hours.size()));
+
+  bench::title("Degradation telemetry over one laser's life");
+  sim::Rng rng(42);
+  const sfp::VcselModel laser(params, rng);
+  const double ttf = laser.time_to_failure_hours();
+  std::printf("%-12s %12s %12s %14s\n", "life", "power (mW)", "health",
+              "diagnosis");
+  bench::rule(54);
+  for (const double x : {0.0, 0.25, 0.5, 0.632, 0.8, 0.95, 1.0}) {
+    const double age = ttf * x;
+    const auto health = laser.health(age);
+    const char* health_name =
+        health == sfp::LaserHealth::nominal
+            ? "nominal"
+            : health == sfp::LaserHealth::degrading ? "degrading" : "failed";
+    const auto fault = laser.diagnose(age);
+    const char* fault_name =
+        fault == sfp::OpticalFault::none
+            ? "-"
+            : fault == sfp::OpticalFault::laser_degradation
+                  ? "replace laser"
+                  : "repair driver";
+    std::printf("%9.0f%% %12.3f %12s %14s\n", x * 100, laser.power_mw(age),
+                health_name, fault_name);
+  }
+
+  bench::title("Targeted diagnosis (laser vs driver) across the fleet");
+  int correct = 0;
+  const int trials = 1000;
+  for (int i = 0; i < trials; ++i) {
+    sim::Rng trial_rng(static_cast<std::uint64_t>(i) + 777);
+    sfp::VcselModel unit(params, trial_rng);
+    const bool inject_driver_fault = i % 2 == 0;
+    if (inject_driver_fault) unit.inject_driver_fault();
+    // Observe mid-degradation (or healthy, if driver-faulted young).
+    const double age = unit.time_to_failure_hours() * (i % 2 == 0 ? 0.1 : 0.9);
+    const auto fault = unit.diagnose(age);
+    const bool said_driver = fault == sfp::OpticalFault::driver_fault;
+    if (said_driver == inject_driver_fault) ++correct;
+  }
+  std::printf("diagnosis accuracy over %d mixed faults: %.1f%%\n", trials,
+              100.0 * correct / trials);
+  bench::note(
+      "the paper's argument: standard SFPs are discarded whole when lasers "
+      "fail; a FlexSFP's internal telemetry justifies component-level repair "
+      "by telling laser wear-out apart from driver malfunction.");
+  return 0;
+}

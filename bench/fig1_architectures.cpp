@@ -1,0 +1,162 @@
+// Reproduces Figure 1's architectural comparison as measured behaviour:
+//  (a) One-Way-Filter — line rate on the processed direction, pure wire on
+//      the reverse path;
+//  (b) Two-Way-Core — both directions share the PPE, which therefore needs
+//      ~2x the clock for bidirectional line rate;
+//  (c) Active-CP — the control plane terminates/originates traffic, and
+//      the §4.1 assumption that control traffic is negligible at the
+//      egress aggregation point is verified by measurement.
+#include <cstdio>
+
+#include "apps/nat.hpp"
+#include "bench_util.hpp"
+#include "fabric/testbed.hpp"
+#include "sfp/mgmt_protocol.hpp"
+
+namespace {
+
+using namespace flexsfp;
+using namespace flexsfp::sim;
+
+struct RunOutcome {
+  double loss_pct;
+  double p99_ns;
+  double util_pct;
+};
+
+RunOutcome run_shell(sfp::ShellKind kind, double clock_mhz,
+                     bool bidirectional) {
+  fabric::TestbedConfig config;
+  config.module.shell.kind = kind;
+  config.module.shell.datapath.clock = hw::ClockDomain::mhz(clock_mhz);
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::gbps(10);
+  spec.fixed_size = 64;
+  spec.duration = 300_us;
+  config.edge_traffic = spec;
+  if (bidirectional) {
+    fabric::TrafficSpec rx = spec;
+    rx.seed = 2;
+    config.optical_traffic = rx;
+  }
+  fabric::ModuleTestbed testbed(std::move(config),
+                                std::make_unique<apps::StaticNat>());
+  const auto result = testbed.run();
+  double loss = result.edge_to_optical.loss_rate;
+  double p99 = result.edge_to_optical.latency_p99_ns;
+  if (bidirectional) {
+    loss = (loss + result.optical_to_edge.loss_rate) / 2.0;
+    p99 = std::max(p99, result.optical_to_edge.latency_p99_ns);
+  }
+  return {loss * 100.0, p99, result.ppe_utilization * 100.0};
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Figure 1 — architecture shells under 10G min-frame load");
+
+  std::printf("%-18s %10s %10s %8s %10s %9s\n", "shell", "PPE clock",
+              "traffic", "loss", "p99 lat", "PPE util");
+  bench::rule(72);
+
+  struct Case {
+    const char* label;
+    sfp::ShellKind kind;
+    double mhz;
+    bool bidir;
+  };
+  const Case cases[] = {
+      {"One-Way-Filter", sfp::ShellKind::one_way_filter, 156.25, false},
+      {"One-Way-Filter", sfp::ShellKind::one_way_filter, 156.25, true},
+      {"Two-Way-Core", sfp::ShellKind::two_way_core, 156.25, true},
+      {"Two-Way-Core", sfp::ShellKind::two_way_core, 200.00, true},
+      {"Two-Way-Core", sfp::ShellKind::two_way_core, 312.50, true},
+      {"Active-CP", sfp::ShellKind::active_cp, 312.50, true},
+  };
+  for (const auto& c : cases) {
+    const auto outcome = run_shell(c.kind, c.mhz, c.bidir);
+    std::printf("%-18s %7.2fMHz %10s %7.2f%% %7.0f ns %8.1f%%\n", c.label,
+                c.mhz, c.bidir ? "bidir 2x10G" : "uni 10G", outcome.loss_pct,
+                outcome.p99_ns, outcome.util_pct);
+  }
+  bench::rule(72);
+  bench::note(
+      "One-Way-Filter is clean at the base clock (reverse path bypasses the "
+      "PPE). Two-Way-Core aggregates both directions: lossy at 156.25 MHz, "
+      "clean at ~2x — the paper's 'increase the operating frequency' "
+      "remedy.");
+
+  // Shell hardware overhead (the "not linear" growth of §4.1).
+  bench::title("Shell glue-logic overhead (Figure 1 hardware consideration)");
+  std::printf("%-18s %10s %10s %8s\n", "shell", "glue LUT", "glue FF",
+              "uSRAM");
+  bench::rule(50);
+  for (const auto kind :
+       {sfp::ShellKind::one_way_filter, sfp::ShellKind::two_way_core}) {
+    Simulation sim;
+    sfp::ShellConfig config;
+    config.kind = kind;
+    sfp::ArchitectureShell shell(sim, std::make_unique<apps::StaticNat>(),
+                                 config);
+    const auto glue = shell.shell_overhead_resources();
+    std::printf("%-18s %10llu %10llu %8llu\n",
+                sfp::to_string(kind).c_str(),
+                static_cast<unsigned long long>(glue.luts),
+                static_cast<unsigned long long>(glue.ffs),
+                static_cast<unsigned long long>(glue.usram_blocks));
+  }
+
+  // Control-plane traffic share at the egress merge (the §4.1 assumption).
+  bench::title("Control-traffic share at the egress aggregation point");
+  {
+    fabric::TestbedConfig config;
+    config.module.shell.module_mac = net::MacAddress::from_u64(0xee);
+    fabric::TrafficSpec spec;
+    spec.rate = DataRate::gbps(9);
+    spec.fixed_size = 512;
+    spec.duration = 1'000'000'000;  // 1 ms
+    config.optical_traffic = spec;  // data plane: optical -> edge
+
+    fabric::ModuleTestbed testbed(std::move(config),
+                                  std::make_unique<apps::StaticNat>());
+    // A steady stream of management pings (100 req/ms is already generous
+    // for a control plane).
+    auto& module = testbed.module();
+    for (int i = 0; i < 100; ++i) {
+      sfp::MgmtRequest request;
+      request.seq = static_cast<std::uint32_t>(i);
+      request.op = sfp::MgmtOp::ping;
+      auto frame = std::make_shared<net::Packet>(sfp::make_mgmt_frame(
+          net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
+          request.serialize(sfp::FlexSfpConfig{}.auth_key)));
+      testbed.sim().schedule_at(i * 10'000'000, [&module, frame]() {
+        module.inject(sfp::FlexSfpModule::edge_port,
+                      std::make_shared<net::Packet>(*frame));
+      });
+    }
+    const auto result = testbed.run();
+    // The edge sink sees data-plane packets AND management responses; split
+    // them out by the control plane's own transmit counter.
+    const std::uint64_t responses = module.control_plane().responses_sent();
+    const std::uint64_t edge_rx = testbed.edge_sink().received().packets();
+    const std::uint64_t data_rx = edge_rx - responses;
+    const double duration_s = 1e-3;
+    const double data_gbps =
+        double(data_rx) * (512 + 24) * 8 / duration_s * 1e-9;
+    const double mgmt_gbps =
+        double(responses) * (60 + 24) * 8 / duration_s * 1e-9;
+    std::printf("data-plane egress: %.3f Gb/s, mgmt responses: %.6f Gb/s "
+                "(%.4f%% of egress)\n",
+                data_gbps, mgmt_gbps, 100.0 * mgmt_gbps / data_gbps);
+    const double loss =
+        1.0 - double(data_rx) / double(result.optical_to_edge.sent_packets);
+    std::printf("data-plane loss with control traffic merged: %.4f%%\n",
+                loss * 100.0);
+    bench::note(
+        "the aggregation step does not become a bottleneck: control traffic "
+        "is orders of magnitude below line rate, confirming the Figure 1a "
+        "assumption.");
+  }
+  return 0;
+}

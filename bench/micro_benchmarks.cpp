@@ -1,0 +1,144 @@
+// google-benchmark microbenchmarks over the library's hot paths: the
+// per-packet primitives a PPE application is composed of. These measure the
+// *simulator's* software speed (useful for keeping experiments fast), not
+// the modeled hardware throughput.
+#include <benchmark/benchmark.h>
+
+#include "apps/acl.hpp"
+#include "apps/load_balancer.hpp"
+#include "apps/nat.hpp"
+#include "net/builder.hpp"
+#include "net/checksum.hpp"
+#include "net/parser.hpp"
+#include "ppe/tables.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace flexsfp;
+
+net::Bytes sample_frame(std::size_t payload) {
+  return net::PacketBuilder()
+      .ethernet(net::MacAddress::from_u64(2), net::MacAddress::from_u64(1))
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+            net::Ipv4Address::from_octets(192, 168, 0, 1), net::IpProto::tcp)
+      .tcp(12345, 443)
+      .payload_size(payload)
+      .build();
+}
+
+void BM_ParsePacket(benchmark::State& state) {
+  const auto frame = sample_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_packet(frame));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(frame.size()));
+}
+BENCHMARK(BM_ParsePacket)->Arg(10)->Arg(512)->Arg(1460);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  const net::Bytes data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1500);
+
+void BM_IncrementalChecksumUpdate(benchmark::State& state) {
+  std::uint16_t checksum = 0x1234;
+  for (auto _ : state) {
+    checksum = net::checksum_incremental_update(checksum, 0xaaaa, 0xbbbb);
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_IncrementalChecksumUpdate);
+
+void BM_NatProcess(benchmark::State& state) {
+  apps::StaticNat nat;
+  nat.add_mapping(net::Ipv4Address::from_octets(10, 0, 0, 1),
+                  net::Ipv4Address::from_octets(99, 0, 0, 1));
+  net::Packet packet{sample_frame(64)};
+  for (auto _ : state) {
+    ppe::PacketContext ctx(packet);
+    benchmark::DoNotOptimize(nat.process(ctx));
+  }
+}
+BENCHMARK(BM_NatProcess);
+
+void BM_ExactMatchLookup(benchmark::State& state) {
+  ppe::ExactMatchTable table("t", 32768, 32, 64);
+  sim::Rng rng(1);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 30000; ++i) {
+    const auto key = rng.next_u64();
+    if (table.insert(key, key)) keys.push_back(key);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_ExactMatchLookup);
+
+void BM_TernaryMatch(benchmark::State& state) {
+  apps::AclFirewall acl;
+  for (int i = 0; i < state.range(0); ++i) {
+    apps::AclRuleSpec rule;
+    rule.src = net::Ipv4Prefix{
+        net::Ipv4Address{std::uint32_t(i) << 16}, 16};
+    rule.action = apps::AclAction::deny;
+    acl.add_rule(rule);
+  }
+  net::Packet packet{sample_frame(64)};
+  for (auto _ : state) {
+    ppe::PacketContext ctx(packet);
+    benchmark::DoNotOptimize(acl.process(ctx));
+  }
+}
+BENCHMARK(BM_TernaryMatch)->Arg(16)->Arg(128);
+
+void BM_MaglevRebuild(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::LoadBalancer lb;
+    for (int i = 0; i < state.range(0); ++i) {
+      lb.add_backend(apps::Backend{
+          static_cast<std::uint32_t>(i),
+          net::MacAddress::from_u64(0x100 + std::uint64_t(i)), true});
+    }
+    benchmark::DoNotOptimize(lb.lookup_table().data());
+  }
+}
+BENCHMARK(BM_MaglevRebuild)->Arg(4)->Arg(16);
+
+void BM_ToeplitzHash(benchmark::State& state) {
+  const auto hash = net::ToeplitzHash::symmetric();
+  const net::FiveTuple tuple{net::Ipv4Address{0x0a000001},
+                             net::Ipv4Address{0xc0a80001}, 1234, 80, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.hash_tuple(tuple));
+  }
+}
+BENCHMARK(BM_ToeplitzHash);
+
+void BM_BuildFrame(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_frame(512));
+  }
+}
+BENCHMARK(BM_BuildFrame);
+
+void BM_GreEncapDecap(benchmark::State& state) {
+  const auto original = sample_frame(256);
+  for (auto _ : state) {
+    net::Bytes frame = original;
+    net::encapsulate_gre(frame, net::Ipv4Address{1}, net::Ipv4Address{2});
+    net::decapsulate(frame);
+    benchmark::DoNotOptimize(frame.data());
+  }
+}
+BENCHMARK(BM_GreEncapDecap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Reproduces the §5.1 end-to-end test: "a simple end-to-end test ...
+// confirmed line-rate performance" — static NAT at 10 Gb/s across frame
+// sizes, reporting throughput, loss and latency per size.
+#include <cstdio>
+
+#include "apps/nat.hpp"
+#include "bench_util.hpp"
+#include "fabric/testbed.hpp"
+
+int main() {
+  using namespace flexsfp;
+  using namespace flexsfp::sim;
+
+  bench::title(
+      "Section 5.1 — static NAT line-rate test (One-Way-Filter, 64b @ "
+      "156.25 MHz)");
+
+  std::printf("%-10s %12s %12s %8s %10s %10s %10s\n", "frame", "offered",
+              "delivered", "loss", "p50 lat", "p99 lat", "PPE util");
+  bench::rule(80);
+
+  for (const std::size_t frame : {64, 128, 256, 512, 1024, 1280, 1518}) {
+    fabric::TestbedConfig config;
+    fabric::TrafficSpec spec;
+    spec.rate = DataRate::gbps(10);
+    spec.fixed_size = frame;
+    spec.duration = 500_us;
+    config.edge_traffic = spec;
+
+    auto nat = std::make_unique<apps::StaticNat>();
+    // Populate a realistic share of the 32k table.
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      nat->add_mapping(net::Ipv4Address{0x0a000000u + i},
+                       net::Ipv4Address{0xcb007100u + i});
+    }
+    fabric::ModuleTestbed testbed(std::move(config), std::move(nat));
+    const auto result = testbed.run();
+    const auto& direction = result.edge_to_optical;
+    std::printf("%7zu B %9.3f G %9.3f G %7.3f%% %8.1f ns %8.1f ns %9.1f%%\n",
+                frame, direction.offered_gbps, direction.delivered_gbps,
+                direction.loss_rate * 100.0, direction.latency_p50_ns,
+                direction.latency_p99_ns, result.ppe_utilization * 100.0);
+  }
+  bench::rule(80);
+  bench::note(
+      "paper reports line rate at 10 Gb/s; zero loss at every frame size "
+      "reproduces it. The 64b x 156.25 MHz bus is exactly 10 Gb/s, so PPE "
+      "utilization approaches 100% at small frames.");
+  return 0;
+}

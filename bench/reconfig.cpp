@@ -1,0 +1,113 @@
+// Mechanism bench for §4.2's over-the-network reprogramming: transfer an
+// authenticated bitstream in-band while traffic flows, measure the transfer
+// time, flash-programming time and the datapath outage window.
+#include <cstdio>
+
+#include "apps/acl.hpp"
+#include "apps/nat.hpp"
+#include "bench_util.hpp"
+#include "fabric/testbed.hpp"
+#include "hw/spi_flash.hpp"
+#include "sfp/mgmt_protocol.hpp"
+
+int main() {
+  using namespace flexsfp;
+  using namespace flexsfp::sim;
+
+  bench::title("Section 4.2 — in-band reconfiguration under traffic");
+
+  // Build the replacement bitstream (ACL app) up front so the traffic
+  // window can be positioned around the computed outage.
+  const auto key = sfp::FlexSfpConfig{}.auth_key;
+  apps::AclConfig acl_config;
+  const auto bitstream =
+      hw::Bitstream::create("acl", acl_config.serialize(), key);
+  const auto image = bitstream.serialize();
+  const auto flash_time =
+      hw::SpiFlash::program_time(bitstream.flash_size_bytes());
+
+  fabric::TestbedConfig config;
+  config.module.shell.module_mac = net::MacAddress::from_u64(0xee);
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::gbps(5);
+  spec.fixed_size = 512;
+  // Straddle the expected dark window: flash programming overlaps with
+  // forwarding, so traffic only needs to cover the FPGA reload.
+  spec.start = flash_time - 75'000'000'000;  // 75 ms before the reboot
+  spec.duration = 300'000'000'000;           // 300 ms window
+  config.edge_traffic = spec;
+
+  fabric::ModuleTestbed testbed(std::move(config),
+                                std::make_unique<apps::StaticNat>());
+  auto& module = testbed.module();
+
+  // Drive the chunked transfer over the management protocol.
+  const std::size_t chunk_size = 64;
+  const std::size_t chunks = (image.size() + chunk_size - 1) / chunk_size;
+  std::uint32_t seq = 0;
+  TimePs when = 1'000'000;  // start 1 us in
+  auto send = [&](sfp::MgmtRequest request) {
+    request.seq = seq++;
+    auto frame = std::make_shared<net::Packet>(sfp::make_mgmt_frame(
+        net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
+        request.serialize(key)));
+    testbed.sim().schedule_at(when, [&module, frame]() {
+      module.inject(sfp::FlexSfpModule::edge_port,
+                    std::make_shared<net::Packet>(*frame));
+    });
+    when += 5'000'000;  // 5 us between requests
+  };
+
+  sfp::MgmtRequest begin;
+  begin.op = sfp::MgmtOp::reconfig_begin;
+  begin.payload.resize(2);
+  net::write_be16(begin.payload, 0, static_cast<std::uint16_t>(chunks));
+  send(begin);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    sfp::MgmtRequest chunk;
+    chunk.op = sfp::MgmtOp::reconfig_chunk;
+    chunk.payload.resize(2);
+    net::write_be16(chunk.payload, 0, static_cast<std::uint16_t>(i));
+    const std::size_t offset = i * chunk_size;
+    const std::size_t len = std::min(chunk_size, image.size() - offset);
+    chunk.payload.insert(chunk.payload.end(), image.begin() + offset,
+                         image.begin() + offset + len);
+    send(chunk);
+  }
+  sfp::MgmtRequest commit;
+  commit.op = sfp::MgmtOp::reconfig_commit;
+  send(commit);
+
+  const auto result = testbed.run();
+
+  std::printf("bitstream container size:        %zu bytes (%zu chunks of "
+              "%zu B)\n",
+              image.size(), chunks, chunk_size);
+  std::printf("flash image size (shell + app):  %zu bytes\n",
+              bitstream.flash_size_bytes());
+  std::printf("in-band transfer time:           %s\n",
+              format_time(static_cast<TimePs>(chunks + 2) * 5'000'000)
+                  .c_str());
+  std::printf("flash erase+program time:        %s (old app keeps "
+              "forwarding)\n",
+              format_time(flash_time).c_str());
+  std::printf("FPGA reload (datapath outage):   %s\n",
+              format_time(module.last_outage_ps()).c_str());
+  std::printf("running app after reconfig:      %s\n",
+              module.app().name().c_str());
+  std::printf("reconfigurations completed:      %llu\n",
+              static_cast<unsigned long long>(module.reconfigurations()));
+  std::printf("packets lost while dark:         %llu of %llu (%.3f%%)\n",
+              static_cast<unsigned long long>(module.packets_lost_while_dark()),
+              static_cast<unsigned long long>(
+                  result.edge_to_optical.sent_packets),
+              100.0 * double(module.packets_lost_while_dark()) /
+                  double(result.edge_to_optical.sent_packets));
+  bench::note(
+      "the outage is bounded by the FPGA configuration reload, not by the "
+      "transfer or flash programming (both overlap with forwarding). The "
+      "in-band transfer carries the signed application image; the shell "
+      "bitstream is already resident in another flash slot — the modular, "
+      "drop-in upgrade path of Section 2.1.");
+  return 0;
+}

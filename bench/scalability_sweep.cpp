@@ -1,0 +1,94 @@
+// Ablation for §5.3 "Scalability": how datapath width and clock frequency
+// take the architecture from the 10G prototype toward 100G, and what that
+// costs in fabric and power.
+#include <cstdio>
+
+#include "apps/nat.hpp"
+#include "bench_util.hpp"
+#include "hw/device.hpp"
+#include "hw/power_model.hpp"
+#include "hw/form_factor.hpp"
+#include "hw/resource_model.hpp"
+
+int main() {
+  using namespace flexsfp;
+
+  bench::title("Section 5.3 — datapath width x clock scalability sweep");
+
+  std::printf("%-8s %-10s %12s %10s %12s %12s %10s\n", "width", "clock",
+              "bus BW", "64B @10G", "64B @25G", "64B @100G", "NAT LUTs");
+  bench::rule(82);
+
+  const apps::StaticNat nat;
+  struct Point {
+    std::uint32_t width;
+    double mhz;
+  };
+  const Point points[] = {{64, 156.25},  {128, 156.25}, {128, 322.265625},
+                          {256, 322.265625}, {512, 200},    {512, 322.265625}};
+  for (const auto& point : points) {
+    const hw::DatapathConfig dp{point.width, hw::ClockDomain::mhz(point.mhz)};
+    const auto usage = nat.resource_usage(dp);
+    auto yes_no = [&dp](double gbps) {
+      return dp.sustains_line_rate(
+                 static_cast<std::uint64_t>(gbps * 1e9), 64)
+                 ? "yes"
+                 : "no";
+    };
+    std::printf("%5u b %7.2fM %9.1f Gb/s %10s %12s %12s %10llu\n",
+                point.width, point.mhz, double(dp.bandwidth_bps()) * 1e-9,
+                yes_no(10), yes_no(25), yes_no(100),
+                static_cast<unsigned long long>(usage.luts));
+  }
+  bench::rule(82);
+
+  bench::title(
+      "Full-module design points per target line rate (MACs scale with "
+      "rate)");
+  std::printf("%-8s %-8s %-10s %-10s %10s %10s %12s %-10s\n", "target",
+              "width", "clock", "device", "worst util", "module W",
+              "SFP+ envl?", "cage");
+  bench::rule(88);
+  struct Target {
+    double gbps;
+    std::uint32_t width;
+    double mhz;
+  };
+  const Target targets[] = {{10, 64, 156.25},
+                            {25, 128, 200},
+                            {40, 256, 161.1328125},
+                            {100, 512, 200}};
+  for (const auto& target : targets) {
+    const hw::DatapathConfig dp{target.width,
+                                hw::ClockDomain::mhz(target.mhz)};
+    const auto iface = hw::ResourceModel::ethernet_iface_scaled(target.gbps);
+    const auto usage = hw::ResourceModel::miv_rv32() + iface + iface +
+                       nat.resource_usage(dp);
+    // Pick the smallest PolarFire that fits.
+    std::string chosen = "none";
+    double util = 0;
+    double watts = 0;
+    for (const auto& device : hw::FpgaDevice::polarfire_family()) {
+      if (device.fits(usage)) {
+        chosen = device.name();
+        util = device.utilization(usage).worst();
+        watts =
+            hw::PowerModel::flexsfp(device, usage, dp.clock, 1.0).total();
+        break;
+      }
+    }
+    const auto cage = hw::smallest_form_factor(watts, target.gbps);
+    std::printf("%5.0f G %6u b %7.2fM %-10s %9.1f%% %10.2f W %12s %-10s\n",
+                target.gbps, target.width, target.mhz, chosen.c_str(), util,
+                watts, watts > 0 && watts <= 3.0 ? "yes" : "NO",
+                cage ? cage->name.c_str() : "none");
+  }
+  bench::rule(88);
+  bench::note(
+      "the 10G design point is comfortable on the MPF200T; 512-bit datapaths "
+      "for 100G demand bigger parts and push power toward (and past) the "
+      "SFP+ thermal envelope — exactly the §5.3 constraint triangle "
+      "(size/power/thermals), motivating QSFP/OSFP form factors for higher "
+      "rates.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Table 1: "Resource usage for the simple NAT case study, broken
+// down by design component" — Mi-V, electrical and optical 10G interfaces,
+// and the NAT application on the MPF200T, with Used/Avail/Perc rows.
+#include <cstdio>
+
+#include "apps/nat.hpp"
+#include "bench_util.hpp"
+#include "hw/device.hpp"
+#include "hw/resource_model.hpp"
+
+namespace {
+
+using namespace flexsfp;
+
+void print_row(const char* name, const hw::ResourceUsage& u) {
+  std::printf("%-12s %10llu %10llu %8llu %8llu\n", name,
+              static_cast<unsigned long long>(u.luts),
+              static_cast<unsigned long long>(u.ffs),
+              static_cast<unsigned long long>(u.usram_blocks),
+              static_cast<unsigned long long>(u.lsram_blocks));
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Table 1 — NAT case study resource usage (MPF200T)");
+
+  const hw::DatapathConfig datapath{};  // 64 bit @ 156.25 MHz, the paper's
+  const apps::StaticNat nat;            // 32,768-flow build
+
+  std::printf("%-12s %10s %10s %8s %8s\n", "", "4LUT", "FF", "uSRAM",
+              "LSRAM");
+  bench::rule(54);
+  const auto miv = hw::ResourceModel::miv_rv32();
+  const auto elec = hw::ResourceModel::ethernet_iface_electrical();
+  const auto opt = hw::ResourceModel::ethernet_iface_optical();
+  const auto app = nat.resource_usage(datapath);
+  print_row("Mi-V", miv);
+  print_row("Elec. I/F", elec);
+  print_row("Opt. I/F", opt);
+  print_row("NAT app", app);
+  bench::rule(54);
+  const auto used = miv + elec + opt + app;
+  print_row("Used", used);
+
+  const auto device = hw::FpgaDevice::mpf200t();
+  print_row("Avail.", hw::ResourceUsage{device.capacity().luts,
+                                        device.capacity().ffs,
+                                        device.capacity().usram_blocks,
+                                        device.capacity().lsram_blocks});
+  const auto util = device.utilization(used);
+  std::printf("%-12s %9.0f%% %9.0f%% %7.0f%% %7.0f%%\n", "Perc.",
+              util.luts_pct, util.ffs_pct, util.usram_pct, util.lsram_pct);
+
+  bench::rule(54);
+  std::printf("paper:       %10s %10s %8s %8s\n", "31455", "25518", "278",
+              "164");
+  std::printf("paper Perc.: %9s%% %9s%% %7s%% %7s%%\n", "16", "13", "15",
+              "26");
+  std::printf("fits on MPF200T: %s\n", device.fits(used) ? "yes" : "NO");
+
+  // Per-component NAT breakdown (what the analytical model is made of).
+  bench::title("NAT app component breakdown (calibrated model)");
+  const auto breakdown = nat.resource_breakdown(datapath);
+  for (const auto& component : breakdown.components()) {
+    print_row(component.name.c_str(), component.usage);
+  }
+
+  bench::note(
+      "fixed IP blocks are catalog constants from the paper's synthesis "
+      "report; NAT logic is the calibrated analytical model (Table 1 memory "
+      "blocks are exact, logic within 0.1%).");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table 2: "FPGA resource usage of key designs; logic normalized
+// to 4-input LE equivalents, BRAM in kbit" — and the fit-or-not verdicts the
+// paper draws from it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hw/design_catalog.hpp"
+
+int main() {
+  using namespace flexsfp;
+  bench::title("Table 2 — FPGA resource usage of key designs vs FlexSFP");
+
+  const auto device = hw::FpgaDevice::mpf200t();
+
+  std::printf("%-22s %14s %14s %12s %8s\n", "Use case", "raw logic",
+              "logic (~LE)", "BRAM (kbit)", "fits?");
+  bench::rule(76);
+  for (const auto& design : hw::table2_designs()) {
+    const char* unit = design.unit == hw::LogicUnit::lut6  ? "LUT6"
+                       : design.unit == hw::LogicUnit::alm ? "ALM"
+                                                           : "LE";
+    const auto verdict = hw::check_fit(design, device);
+    char raw[32];
+    std::snprintf(raw, sizeof raw, "%llu %s",
+                  static_cast<unsigned long long>(design.logic_count), unit);
+    std::printf("%-22s %14s %11lluk %12llu %8s\n", design.name.c_str(), raw,
+                static_cast<unsigned long long>(
+                    (design.logic_le_equivalent() + 500) / 1000),
+                static_cast<unsigned long long>(design.bram_kbits),
+                verdict.fits() ? "yes"
+                : verdict.logic_fits
+                    ? "no (BRAM)"
+                    : (verdict.bram_fits ? "no (logic)" : "no"));
+  }
+  bench::rule(76);
+  std::printf("%-22s %14s %11lluk %12llu %8s\n", "FlexSFP (MPF200T)",
+              "capacity",
+              static_cast<unsigned long long>(
+                  (device.capacity().luts + 500) / 1000),
+              static_cast<unsigned long long>(
+                  device.capacity().total_sram_kbits()),
+              "-");
+  std::printf("\npaper: FlowBlaze ~115k LE / 14,148 kbit; Pigasus ~416k / "
+              "64,400;\n       hXDP ~109k / 1,799; ClickNP ~388k / 39,161; "
+              "MPF200T 192k LE / 13,300 kbit\n");
+  bench::note(
+      "conversions per the paper's footnotes: 1 LUT6 ~ 1.6 LE, 1 ALM ~ 2 LE. "
+      "hXDP (single core) is the only design that fits the MPF200T, matching "
+      "the paper's order-of-magnitude viability argument.");
+  return 0;
+}

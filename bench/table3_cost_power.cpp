@@ -1,0 +1,55 @@
+// Reproduces Table 3: "Raw and ideal-scaled cost/power (per 10 Gb/s)" plus
+// the §5.2 bill-of-materials breakdown behind the FlexSFP row.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "hw/cost_model.hpp"
+
+int main() {
+  using namespace flexsfp;
+
+  bench::title("FlexSFP prototype bill of materials (Section 5.2)");
+  std::printf("%-44s %12s\n", "Component", "unit cost");
+  bench::rule(58);
+  for (const auto& item : hw::flexsfp_bom()) {
+    std::printf("%-44s %12s\n", item.name.c_str(),
+                item.unit_cost.to_string().c_str());
+  }
+  bench::rule(58);
+  std::printf("%-44s %12s\n", "Direct production cost",
+              hw::flexsfp_unit_cost().to_string().c_str());
+  std::printf("paper: \"around $300 per unit, with potential reductions "
+              "toward $250\"\n");
+
+  bench::title("Table 3 — raw and ideal-scaled cost/power per 10 Gb/s");
+  std::printf("%-22s %12s %8s %12s %8s\n", "Solution", "Raw $", "Raw W",
+              "$/10G", "W/10G");
+  bench::rule(70);
+  for (const auto& platform : hw::table3_platforms()) {
+    char watts[24];
+    if (platform.raw_power_lo_w == platform.raw_power_hi_w) {
+      std::snprintf(watts, sizeof watts, "%.1f", platform.raw_power_lo_w);
+    } else {
+      std::snprintf(watts, sizeof watts, "%.0f-%.0f", platform.raw_power_lo_w,
+                    platform.raw_power_hi_w);
+    }
+    char w10[24];
+    if (platform.power_per_10g_lo() == platform.power_per_10g_hi()) {
+      std::snprintf(w10, sizeof w10, "%.1f", platform.power_per_10g_lo());
+    } else {
+      std::snprintf(w10, sizeof w10, "%.0f-%.0f", platform.power_per_10g_lo(),
+                    platform.power_per_10g_hi());
+    }
+    std::printf("%-22s %12s %8s %12s %8s\n", platform.name.c_str(),
+                platform.raw_cost.to_string().c_str(), watts,
+                platform.cost_per_10g().to_string().c_str(), w10);
+  }
+  bench::rule(70);
+  std::printf("paper: DPU 300-400 / 15; many-core 100-150 / 5; FPGA 200-400 "
+              "/ 7-10; FlexSFP 250-300 / 1.5\n");
+  bench::note(
+      "ideal scaling divides raw cost/power by the cited card's aggregate "
+      "throughput (HotNets'23 fair-comparison rule). FlexSFP: ~2/3 CAPEX "
+      "saving vs the DPU and an order-of-magnitude power reduction.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation for §5.1's closing remark — the 32,768-flow NAT table "still
+// showing promising potential for larger tables": sweep the table size and
+// report LSRAM consumption, fit, and the largest table each PolarFire part
+// can host alongside the fixed blocks.
+#include <cstdio>
+
+#include "apps/nat.hpp"
+#include "bench_util.hpp"
+#include "hw/device.hpp"
+#include "hw/resource_model.hpp"
+
+int main() {
+  using namespace flexsfp;
+
+  bench::title("NAT table scaling on the MPF200T (paper build: 32,768 flows)");
+
+  const auto device = hw::FpgaDevice::mpf200t();
+  const auto fixed = hw::ResourceModel::miv_rv32() +
+                     hw::ResourceModel::ethernet_iface_electrical() +
+                     hw::ResourceModel::ethernet_iface_optical();
+  const hw::DatapathConfig dp{};
+
+  std::printf("%-12s %10s %12s %12s %8s\n", "flows", "LSRAM", "LSRAM util",
+              "total LUT", "fits?");
+  bench::rule(60);
+  for (const std::uint32_t flows :
+       {4096u, 16384u, 32768u, 65536u, 98304u, 131072u}) {
+    apps::NatConfig config;
+    config.table_capacity = flows;
+    const apps::StaticNat nat(config);
+    const auto usage = nat.resource_usage(dp);
+    const auto total = usage + fixed;
+    const auto util = device.utilization(total);
+    std::printf("%-12u %10llu %11.1f%% %12llu %8s\n", flows,
+                static_cast<unsigned long long>(usage.lsram_blocks),
+                util.lsram_pct,
+                static_cast<unsigned long long>(total.luts),
+                device.fits(total) ? "yes" : "NO");
+  }
+  bench::rule(60);
+
+  bench::title("Largest NAT table per PolarFire part (with fixed blocks)");
+  std::printf("%-10s %14s %14s\n", "device", "max flows", "LSRAM util");
+  bench::rule(42);
+  for (const auto& part : hw::FpgaDevice::polarfire_family()) {
+    // Binary-search the largest power-of-two-ish table that fits.
+    std::uint32_t best = 0;
+    for (std::uint32_t flows = 4096; flows <= 1u << 21; flows += 4096) {
+      apps::NatConfig config;
+      config.table_capacity = flows;
+      const apps::StaticNat nat(config);
+      if (part.fits(nat.resource_usage(dp) + fixed)) best = flows;
+    }
+    apps::NatConfig config;
+    config.table_capacity = best;
+    const apps::StaticNat nat(config);
+    const auto util = part.utilization(nat.resource_usage(dp) + fixed);
+    std::printf("%-10s %14u %13.1f%%\n", part.name().c_str(), best,
+                util.lsram_pct);
+  }
+  bench::rule(42);
+  bench::note(
+      "LSRAM is the binding constraint (100 bits/flow); the MPF200T hosts "
+      "~2.8x the paper's table before exhausting its 616 blocks, and the "
+      "MPF500T reaches several hundred thousand flows — the 'promising "
+      "potential for larger tables' quantified.");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Centralized orchestration across a fleet of FlexSFPs (§4.1: the control
+// interface "is essential for centralized orchestration across a fleet of
+// FlexSFPs, while preserving the independence of per-port behavior").
+//
+// A 4-port legacy switch carries a FlexSFP in every cage; one controller
+// behind port 3 health-checks the fleet, pushes per-port policy, deploys a
+// new application to every module over the wire, and reads back counters.
+#include <cstdio>
+
+#include "apps/bpf_filter.hpp"
+#include "apps/nat.hpp"
+#include "fabric/legacy_switch.hpp"
+#include "fabric/orchestrator.hpp"
+
+int main() {
+  using namespace flexsfp;
+  using namespace flexsfp::sim;
+
+  Simulation sim;
+  fabric::LegacySwitch sw(sim, 4);
+
+  // Three FlexSFP-equipped subscriber ports. Management frames arrive on
+  // the fiber side, so each module polices optical->edge and punts mgmt.
+  fabric::FleetOrchestrator orchestrator(
+      sim, fabric::OrchestratorConfig{.key = sfp::FlexSfpConfig{}.auth_key});
+
+  std::vector<std::shared_ptr<sfp::FlexSfpModule>> fleet;
+  for (std::size_t port = 0; port < 3; ++port) {
+    sfp::FlexSfpConfig config;
+    config.boot_at_start = false;
+    config.shell.module_mac = net::MacAddress::from_u64(0x02ee00 + port);
+    auto module = std::make_shared<sfp::FlexSfpModule>(
+        sim, std::make_unique<apps::StaticNat>(), config);
+    sw.plug_flexsfp(port, module);
+    sw.set_fiber_tx(port, [](net::PacketPtr) {});
+    const std::string name = "port-" + std::to_string(port);
+    auto* raw = module.get();
+    orchestrator.add_module(name, config.shell.module_mac,
+                            [raw](net::PacketPtr p) {
+                              raw->inject(sfp::FlexSfpModule::edge_port,
+                                          std::move(p));
+                            });
+    // Responses leave on the module's edge (toward the ASIC); intercept
+    // them before the switch floods them by feeding the orchestrator first.
+    module->set_egress_handler(
+        sfp::FlexSfpModule::edge_port,
+        [&orchestrator](net::PacketPtr p) { orchestrator.deliver(*p); });
+    fleet.push_back(std::move(module));
+  }
+  sw.plug_standard(3, std::make_shared<sfp::StandardSfp>(sim));
+  sw.set_fiber_tx(3, [](net::PacketPtr) {});
+
+  // 1. Health-check the fleet.
+  int alive = 0;
+  for (int i = 0; i < 3; ++i) {
+    orchestrator.ping("port-" + std::to_string(i), 0xbeef,
+                      [&alive](std::optional<sfp::MgmtResponse> r) {
+                        if (r && r->status == sfp::MgmtStatus::ok) ++alive;
+                      });
+  }
+  sim.run();
+  std::printf("fleet health check: %d/3 modules answered\n", alive);
+
+  // 2. Per-port policy: different NAT mappings on each module.
+  int installs = 0;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    orchestrator.table_insert(
+        "port-" + std::to_string(i), "nat", 0x0a000000u + i,
+        0x63000000u + i, [&installs](std::optional<sfp::MgmtResponse> r) {
+          if (r && r->status == sfp::MgmtStatus::ok) ++installs;
+        });
+  }
+  sim.run();
+  std::printf("per-port NAT entries installed: %d/3\n", installs);
+
+  // 3. Fleet-wide application rollout: deploy a telnet-blocking BPF filter
+  //    to every port, over the wire, with the full chunked protocol.
+  const auto bitstream = hw::Bitstream::create(
+      "bpf", apps::bpf_programs::drop_tcp_dport(23).serialize(),
+      sfp::FlexSfpConfig{}.auth_key, /*version=*/2);
+  int deployed = 0;
+  for (int i = 0; i < 3; ++i) {
+    orchestrator.deploy_bitstream(
+        "port-" + std::to_string(i), bitstream,
+        [&deployed](std::optional<sfp::MgmtResponse> r) {
+          if (r && r->status == sfp::MgmtStatus::ok) ++deployed;
+        },
+        /*chunk_size=*/32);
+  }
+  sim.run();
+  std::printf("bitstream rollouts committed: %d/3\n", deployed);
+  std::printf("fleet state after reboot:    ");
+  for (const auto& module : fleet) {
+    std::printf("%s(%s) ", module->app().name().c_str(),
+                sfp::to_string(module->state()).c_str());
+  }
+  std::printf("\n");
+
+  std::printf("orchestrator wire stats: %llu requests, %llu retransmits, "
+              "%llu timeouts\n",
+              static_cast<unsigned long long>(orchestrator.requests_sent()),
+              static_cast<unsigned long long>(
+                  orchestrator.retransmissions()),
+              static_cast<unsigned long long>(orchestrator.timeouts()));
+  std::printf("\nevery port now runs the new filter; per-port behavior "
+              "stayed independent throughout (no switch involvement).\n");
+  return 0;
+}

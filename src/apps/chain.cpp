@@ -1,0 +1,121 @@
+#include "apps/chain.hpp"
+
+#include <algorithm>
+
+#include "hw/resource_model.hpp"
+
+namespace flexsfp::apps {
+
+AppChain::AppChain(std::vector<ppe::PpeAppPtr> stages)
+    : stages_(std::move(stages)) {}
+
+void AppChain::append(ppe::PpeAppPtr stage) {
+  stages_.push_back(std::move(stage));
+}
+
+std::string AppChain::name() const {
+  std::string out = "chain(";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i != 0) out += ",";
+    out += stages_[i]->name();
+  }
+  return out + ")";
+}
+
+ppe::Verdict AppChain::process(ppe::PacketContext& ctx) {
+  for (const auto& stage : stages_) {
+    const ppe::Verdict verdict = stage->process(ctx);
+    if (verdict != ppe::Verdict::forward) return verdict;
+  }
+  return ppe::Verdict::forward;
+}
+
+hw::ResourceUsage AppChain::resource_usage(
+    const hw::DatapathConfig& datapath) const {
+  hw::ResourceUsage usage;
+  for (const auto& stage : stages_) {
+    usage += stage->resource_usage(datapath);
+  }
+  // Inter-stage glue: one elastic FIFO per joint.
+  if (stages_.size() > 1) {
+    for (std::size_t i = 0; i + 1 < stages_.size(); ++i) {
+      usage += hw::ResourceModel::stream_fifo(64, 72);
+    }
+  }
+  return usage;
+}
+
+std::uint64_t AppChain::pipeline_latency_cycles() const {
+  std::uint64_t total = 0;
+  for (const auto& stage : stages_) {
+    total += stage->pipeline_latency_cycles();
+  }
+  return std::max<std::uint64_t>(total, 1);
+}
+
+std::vector<std::string> AppChain::table_names() const {
+  std::vector<std::string> out;
+  for (const auto& stage : stages_) {
+    for (const auto& table : stage->table_names()) {
+      out.push_back(stage->name() + "." + table);
+    }
+  }
+  return out;
+}
+
+std::pair<ppe::PpeApp*, std::string_view> AppChain::resolve(
+    std::string_view table) const {
+  const auto dot = table.find('.');
+  if (dot != std::string_view::npos) {
+    const std::string_view stage_name = table.substr(0, dot);
+    const std::string_view local = table.substr(dot + 1);
+    for (const auto& stage : stages_) {
+      if (stage->name() == stage_name) return {stage.get(), local};
+    }
+    return {nullptr, local};
+  }
+  for (const auto& stage : stages_) {
+    const auto names = stage->table_names();
+    if (std::find(names.begin(), names.end(), std::string(table)) !=
+        names.end()) {
+      return {stage.get(), table};
+    }
+  }
+  return {nullptr, table};
+}
+
+bool AppChain::table_insert(std::string_view table, std::uint64_t key,
+                            std::uint64_t value) {
+  const auto [stage, local] = resolve(table);
+  return stage != nullptr && stage->table_insert(local, key, value);
+}
+
+bool AppChain::table_erase(std::string_view table, std::uint64_t key) {
+  const auto [stage, local] = resolve(table);
+  return stage != nullptr && stage->table_erase(local, key);
+}
+
+std::optional<std::uint64_t> AppChain::table_lookup(std::string_view table,
+                                                    std::uint64_t key) const {
+  const auto [stage, local] = resolve(table);
+  if (stage == nullptr) return std::nullopt;
+  return stage->table_lookup(local, key);
+}
+
+ppe::PpeApp* AppChain::find_stage(std::string_view stage_name) {
+  for (const auto& stage : stages_) {
+    if (ppe::PpeApp* found = stage->find_stage(stage_name)) return found;
+  }
+  return nullptr;
+}
+
+std::vector<ppe::CounterSnapshot> AppChain::counters() const {
+  std::vector<ppe::CounterSnapshot> out;
+  for (const auto& stage : stages_) {
+    const auto stage_counters = stage->counters();
+    out.insert(out.end(), stage_counters.begin(), stage_counters.end());
+  }
+  return out;
+}
+
+}  // namespace flexsfp::apps

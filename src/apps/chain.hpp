@@ -1,0 +1,51 @@
+// App chaining: compose several packet functions into one PPE pipeline
+// (§5.3: bidirectional line rate "keeping chains compact (about 3-4
+// stages)"). Stages run in order; the first non-forward verdict wins.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ppe/app.hpp"
+
+namespace flexsfp::apps {
+
+class AppChain final : public ppe::PpeApp {
+ public:
+  AppChain() = default;
+  explicit AppChain(std::vector<ppe::PpeAppPtr> stages);
+
+  void append(ppe::PpeAppPtr stage);
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+  [[nodiscard]] ppe::PpeApp& stage(std::size_t index) {
+    return *stages_.at(index);
+  }
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  /// Sum of stage footprints plus inter-stage glue FIFOs.
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  /// Pipeline depths add up stage by stage.
+  [[nodiscard]] std::uint64_t pipeline_latency_cycles() const override;
+
+  // Control-plane ops address tables as "<stage-name>.<table>"; a bare
+  // table name is routed to the first stage that owns it.
+  [[nodiscard]] std::vector<std::string> table_names() const override;
+  bool table_insert(std::string_view table, std::uint64_t key,
+                    std::uint64_t value) override;
+  bool table_erase(std::string_view table, std::uint64_t key) override;
+  [[nodiscard]] std::optional<std::uint64_t> table_lookup(
+      std::string_view table, std::uint64_t key) const override;
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+  [[nodiscard]] ppe::PpeApp* find_stage(std::string_view stage_name) override;
+
+ private:
+  /// Resolve "<stage>.<table>" or bare "<table>" to (stage, local name).
+  [[nodiscard]] std::pair<ppe::PpeApp*, std::string_view> resolve(
+      std::string_view table) const;
+
+  std::vector<ppe::PpeAppPtr> stages_;
+};
+
+}  // namespace flexsfp::apps

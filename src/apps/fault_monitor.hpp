@@ -1,0 +1,63 @@
+// Active fault detection at the wire (§3: "detecting faults such as link
+// flapping, microbursts, or fiber breaks, with a 'wire-level' capillarity").
+//
+// The monitor watches the packet stream itself: short-window rate spikes
+// (microbursts), abnormal inter-arrival silences (loss-of-signal candidates)
+// and a counter surface the control plane exports. Laser-degradation
+// telemetry lives in sfp::VcselModel; this app covers the traffic-visible
+// symptoms.
+#pragma once
+
+#include <cstdint>
+
+#include "ppe/app.hpp"
+#include "ppe/counters.hpp"
+#include "sim/stats.hpp"
+
+namespace flexsfp::apps {
+
+struct FaultMonitorConfig {
+  /// Microburst detection window and threshold: a window whose average
+  /// rate exceeds `burst_threshold_bps` counts as a burst.
+  std::int64_t burst_window_ps = 100'000'000;  // 100 us
+  std::uint64_t burst_threshold_bps = 8'000'000'000;  // 80% of 10G
+  /// A gap longer than this between packets is a silence event
+  /// (candidate link flap / fiber break when the link should be busy).
+  std::int64_t silence_threshold_ps = 10'000'000'000;  // 10 ms
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<FaultMonitorConfig> parse(
+      net::BytesView data);
+};
+
+class FaultMonitor final : public ppe::PpeApp {
+ public:
+  explicit FaultMonitor(FaultMonitorConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "faultmon"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  [[nodiscard]] std::uint64_t microbursts_detected() const {
+    return microbursts_;
+  }
+  [[nodiscard]] std::uint64_t silence_events() const { return silences_; }
+  [[nodiscard]] double peak_window_bps() const { return rate_.peak_bps(); }
+
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  FaultMonitorConfig config_;
+  sim::WindowedRate rate_;
+  std::int64_t last_packet_ps_ = -1;
+  double last_reported_window_bps_ = 0;
+  std::uint64_t microbursts_ = 0;
+  std::uint64_t silences_ = 0;
+  ppe::CounterBank stats_;  // 0 observed
+};
+
+}  // namespace flexsfp::apps

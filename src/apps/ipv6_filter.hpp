@@ -1,0 +1,75 @@
+// Per-subscriber IPv6 filtering — named explicitly in §2.1 as one of the
+// policies telecom operators must otherwise enforce upstream: prefix-based
+// permit/deny over IPv6 traffic, with a configurable disposition for
+// subscribers with no IPv6 service at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/addresses.hpp"
+#include "ppe/app.hpp"
+#include "ppe/counters.hpp"
+
+namespace flexsfp::apps {
+
+enum class Ipv6Action : std::uint8_t {
+  permit = 0,
+  deny = 1,
+};
+
+struct Ipv6Rule {
+  net::Ipv6Prefix prefix;  // matched against src (uplink) or dst (downlink)
+  Ipv6Action action = Ipv6Action::deny;
+};
+
+enum class Ipv6MatchField : std::uint8_t {
+  source = 0,       // subscriber -> network (uplink policing)
+  destination = 1,  // network -> subscriber (downlink policing)
+};
+
+struct Ipv6FilterConfig {
+  Ipv6MatchField field = Ipv6MatchField::source;
+  /// Disposition for IPv6 traffic matching no rule. deny-by-default turns
+  /// the port into "no IPv6 service unless provisioned".
+  Ipv6Action default_action = Ipv6Action::deny;
+  std::uint32_t rule_capacity = 256;
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<Ipv6FilterConfig> parse(
+      net::BytesView data);
+};
+
+class Ipv6Filter final : public ppe::PpeApp {
+ public:
+  explicit Ipv6Filter(Ipv6FilterConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "ipv6filter"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  /// Longest prefix wins; equal lengths: first added wins. False when at
+  /// capacity.
+  bool add_rule(net::Ipv6Prefix prefix, Ipv6Action action);
+  bool remove_rule(const net::Ipv6Prefix& prefix);
+  void clear_rules();
+  [[nodiscard]] const std::vector<Ipv6Rule>& rules() const { return rules_; }
+
+  [[nodiscard]] std::uint64_t permitted() const { return stats_.packets(0); }
+  [[nodiscard]] std::uint64_t denied() const { return stats_.packets(1); }
+  /// Non-IPv6 traffic passed through untouched.
+  [[nodiscard]] std::uint64_t bypassed() const { return stats_.packets(2); }
+
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  Ipv6FilterConfig config_;
+  std::vector<Ipv6Rule> rules_;  // sorted by descending prefix length
+  ppe::CounterBank stats_;       // 0 permit, 1 deny, 2 bypass (non-IPv6)
+};
+
+}  // namespace flexsfp::apps

@@ -1,0 +1,144 @@
+#include "apps/nat.hpp"
+
+#include "net/builder.hpp"
+#include "ppe/registry.hpp"
+
+namespace flexsfp::apps {
+
+net::Bytes NatConfig::serialize() const {
+  net::Bytes out(6);
+  out[0] = static_cast<std::uint8_t>(direction);
+  out[1] = static_cast<std::uint8_t>(miss_action);
+  net::write_be32(out, 2, table_capacity);
+  return out;
+}
+
+std::optional<NatConfig> NatConfig::parse(net::BytesView data) {
+  if (data.size() < 6) return std::nullopt;
+  if (data[0] > 1 || data[1] > 2) return std::nullopt;
+  NatConfig config;
+  config.direction = static_cast<NatDirection>(data[0]);
+  config.miss_action = static_cast<NatMissAction>(data[1]);
+  config.table_capacity = net::read_be32(data, 2);
+  if (config.table_capacity == 0) return std::nullopt;
+  return config;
+}
+
+StaticNat::StaticNat(NatConfig config)
+    : config_(config),
+      // Entry layout: 32 b key (IPv4 address), 64 b value (translated
+      // address + metadata), +4 valid/version = 100 bits/entry -> the
+      // paper's 160 LSRAM blocks at 32,768 entries.
+      table_("nat", config.table_capacity, 32, 64),
+      stats_("nat_stats", 3) {}
+
+ppe::Verdict StaticNat::process(ppe::PacketContext& ctx) {
+  const auto& parsed = ctx.parsed();
+  if (!parsed.ok() || !parsed.outer.ipv4) {
+    stats_.add(2, ctx.packet().size());
+    return ppe::Verdict::forward;  // NAT is IPv4-only; pass others through
+  }
+  const net::Ipv4Address match_addr = config_.direction == NatDirection::source
+                                          ? parsed.outer.ipv4->src
+                                          : parsed.outer.ipv4->dst;
+  const auto hit = table_.lookup(match_addr.value());
+  if (!hit) {
+    stats_.add(1, ctx.packet().size());
+    switch (config_.miss_action) {
+      case NatMissAction::forward: return ppe::Verdict::forward;
+      case NatMissAction::drop: return ppe::Verdict::drop;
+      case NatMissAction::punt: return ppe::Verdict::to_control_plane;
+    }
+    return ppe::Verdict::forward;
+  }
+
+  const net::Ipv4Address translated{static_cast<std::uint32_t>(*hit)};
+  const bool rewritten =
+      config_.direction == NatDirection::source
+          ? net::rewrite_ipv4_src(ctx.bytes(), parsed, translated)
+          : net::rewrite_ipv4_dst(ctx.bytes(), parsed, translated);
+  if (rewritten) {
+    ctx.invalidate_parse();
+    stats_.add(0, ctx.packet().size());
+  }
+  return ppe::Verdict::forward;
+}
+
+hw::ResourceBreakdown StaticNat::resource_breakdown(
+    const hw::DatapathConfig& datapath) const {
+  using RM = hw::ResourceModel;
+  const std::uint32_t w = datapath.width_bits;
+  hw::ResourceBreakdown breakdown;
+  // Eth (14) + IPv4 (20) + L4 ports (4) examined by the parser.
+  breakdown.add("parser", RM::parser(38, w));
+  breakdown.add("nat_table", RM::exact_match_table(config_.table_capacity,
+                                                   32, 64));
+  breakdown.add("addr_edit", RM::field_edit_unit(1, w));
+  breakdown.add("checksum_patch", RM::checksum_patch_unit());
+  breakdown.add("deparser", RM::deparser(w));
+  breakdown.add("csr", RM::csr_block(24));
+  breakdown.add("ingress_fifo", RM::stream_fifo(128, 72));
+  breakdown.add("egress_fifo", RM::stream_fifo(128, 72));
+  breakdown.add("lookup_fifo", RM::stream_fifo(128, 72));
+  breakdown.add("pipeline_fsm", RM::control_fsm(18, w));
+  return breakdown;
+}
+
+hw::ResourceUsage StaticNat::resource_usage(
+    const hw::DatapathConfig& datapath) const {
+  return resource_breakdown(datapath).total();
+}
+
+bool StaticNat::add_mapping(net::Ipv4Address original,
+                            net::Ipv4Address translated) {
+  return table_.insert(original.value(), translated.value());
+}
+
+bool StaticNat::remove_mapping(net::Ipv4Address original) {
+  return table_.erase(original.value());
+}
+
+std::optional<net::Ipv4Address> StaticNat::translation_for(
+    net::Ipv4Address original) const {
+  const auto hit = table_.lookup(original.value());
+  if (!hit) return std::nullopt;
+  return net::Ipv4Address{static_cast<std::uint32_t>(*hit)};
+}
+
+bool StaticNat::table_insert(std::string_view table, std::uint64_t key,
+                             std::uint64_t value) {
+  return table == "nat" && table_.insert(key, value);
+}
+
+bool StaticNat::table_erase(std::string_view table, std::uint64_t key) {
+  return table == "nat" && table_.erase(key);
+}
+
+std::optional<std::uint64_t> StaticNat::table_lookup(std::string_view table,
+                                                     std::uint64_t key) const {
+  if (table != "nat") return std::nullopt;
+  return table_.lookup(key);
+}
+
+std::vector<ppe::CounterSnapshot> StaticNat::counters() const {
+  return {
+      {"nat_stats", 0, stats_.packets(0), stats_.bytes(0)},
+      {"nat_stats", 1, stats_.packets(1), stats_.bytes(1)},
+      {"nat_stats", 2, stats_.packets(2), stats_.bytes(2)},
+  };
+}
+
+namespace {
+const bool registered = ppe::register_ppe_app(
+    "nat", [](net::BytesView config) -> ppe::PpeAppPtr {
+      if (config.empty()) return std::make_unique<StaticNat>();
+      const auto parsed = NatConfig::parse(config);
+      if (!parsed) return nullptr;
+      return std::make_unique<StaticNat>(*parsed);
+    });
+}  // namespace
+
+/// Force-link hook used by register_builtin_apps().
+void link_nat_app() { (void)registered; }
+
+}  // namespace flexsfp::apps

@@ -1,0 +1,31 @@
+#include "apps/register.hpp"
+
+namespace flexsfp::apps {
+
+void link_nat_app();
+void link_acl_app();
+void link_vlan_app();
+void link_tunnel_app();
+void link_lb_app();
+void link_telemetry_apps();
+void link_ratelimit_app();
+void link_sanitizer_app();
+void link_faultmon_app();
+void link_bpf_app();
+void link_ipv6_filter_app();
+
+void register_builtin_apps() {
+  link_nat_app();
+  link_acl_app();
+  link_vlan_app();
+  link_tunnel_app();
+  link_lb_app();
+  link_telemetry_apps();
+  link_ratelimit_app();
+  link_sanitizer_app();
+  link_faultmon_app();
+  link_bpf_app();
+  link_ipv6_filter_app();
+}
+
+}  // namespace flexsfp::apps

@@ -1,0 +1,13 @@
+// Explicit registration entry point.
+//
+// App factories self-register through static initializers, but a static
+// library only links the object files something references. Call this from
+// any binary that loads apps by name (bitstreams, management protocol) to
+// guarantee every built-in app is linked and registered. Idempotent.
+#pragma once
+
+namespace flexsfp::apps {
+
+void register_builtin_apps();
+
+}  // namespace flexsfp::apps

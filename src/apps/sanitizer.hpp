@@ -1,0 +1,84 @@
+// Packet sanitization & protocol validation (§3: "removing deprecated
+// headers, blocking malformed packets"), plus DoH blocking (§2.1) — screening
+// traffic before it reaches the NIC, switch or customer premises.
+#pragma once
+
+#include <cstdint>
+
+#include "net/parser.hpp"
+#include "ppe/app.hpp"
+#include "ppe/counters.hpp"
+#include "ppe/tables.hpp"
+
+namespace flexsfp::apps {
+
+/// Bitmask over net::ValidationIssue selecting which issues cause a drop.
+using IssueMask = std::uint32_t;
+
+[[nodiscard]] constexpr IssueMask issue_bit(net::ValidationIssue issue) {
+  return IssueMask{1} << static_cast<std::uint8_t>(issue);
+}
+
+/// A hardened-edge default: drop checksum/length violations, martians,
+/// bogus TCP flag combinations and unparseable frames.
+[[nodiscard]] IssueMask strict_issue_mask();
+
+struct SanitizerConfig {
+  IssueMask drop_mask = 0;  // 0 = observe only
+  /// Strip IPv4 options in place (rewrites IHL, recomputes the checksum) —
+  /// the paper's "removing deprecated headers".
+  bool strip_ipv4_options = false;
+  /// Drop frames the parser rejects outright.
+  bool drop_unparseable = true;
+  /// Enable DoH blocking: TCP/UDP port 443 toward a configured resolver
+  /// set is dropped.
+  bool block_doh = false;
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<SanitizerConfig> parse(
+      net::BytesView data);
+};
+
+class Sanitizer final : public ppe::PpeApp {
+ public:
+  explicit Sanitizer(SanitizerConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "sanitizer"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  /// Register a DoH resolver address to block.
+  bool add_doh_resolver(net::Ipv4Address resolver);
+
+  [[nodiscard]] std::uint64_t dropped() const { return stats_.packets(1); }
+  [[nodiscard]] std::uint64_t repaired() const { return stats_.packets(2); }
+  /// Per-issue observation counters (indexed by ValidationIssue).
+  [[nodiscard]] std::uint64_t issue_count(net::ValidationIssue issue) const {
+    return issues_.packets(static_cast<std::size_t>(issue));
+  }
+
+  [[nodiscard]] std::vector<std::string> table_names() const override {
+    return {"doh_resolvers"};
+  }
+  bool table_insert(std::string_view table, std::uint64_t key,
+                    std::uint64_t value) override;
+  bool table_erase(std::string_view table, std::uint64_t key) override;
+  [[nodiscard]] std::optional<std::uint64_t> table_lookup(
+      std::string_view table, std::uint64_t key) const override;
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  /// Rewrite the IPv4 header to IHL=5, dropping option bytes.
+  static bool strip_options(net::Bytes& frame, const net::ParsedPacket& parsed);
+
+  SanitizerConfig config_;
+  ppe::ExactMatchTable doh_resolvers_;
+  ppe::CounterBank stats_;   // 0 clean, 1 dropped, 2 repaired, 3 doh-blocked
+  ppe::CounterBank issues_;  // one per ValidationIssue
+};
+
+}  // namespace flexsfp::apps

@@ -1,0 +1,174 @@
+// Monitoring & observability apps (§3): in-band telemetry stamping,
+// NetFlow-like per-flow statistics with idle/active timeout export, and
+// 1-in-N packet sampling to the control plane.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/flow.hpp"
+#include "net/headers.hpp"
+#include "ppe/app.hpp"
+#include "ppe/counters.hpp"
+#include "ppe/tables.hpp"
+
+namespace flexsfp::apps {
+
+/// EtherType of the L2 telemetry shim FlexSFP modules insert (local-
+/// experimental range; the downstream edge strips it).
+inline constexpr std::uint16_t telemetry_ether_type = 0x88b6;
+
+/// The 12-byte in-band telemetry shim: inserted after the Ethernet header,
+/// carrying the original EtherType like a VLAN tag does.
+struct TelemetryShim {
+  static constexpr std::size_t size() { return 12; }
+
+  std::uint16_t device_id = 0;
+  std::uint8_t ingress_port = 0;
+  std::uint8_t queue_depth = 0;
+  std::uint64_t timestamp_ns = 0;  // 48 bits on the wire
+  std::uint16_t inner_ether_type = 0;
+
+  [[nodiscard]] static std::optional<TelemetryShim> parse(net::BytesView data,
+                                                          std::size_t offset);
+  void serialize_to(net::BytesSpan data, std::size_t offset) const;
+};
+
+/// Insert a telemetry shim after the Ethernet header (returns false when
+/// the frame lacks one).
+bool push_telemetry_shim(net::Bytes& frame, const TelemetryShim& shim);
+/// Strip a shim if present; returns the parsed shim.
+std::optional<TelemetryShim> pop_telemetry_shim(net::Bytes& frame);
+
+enum class StamperRole : std::uint8_t {
+  source = 0,  // insert a shim
+  sink = 1,    // strip the shim and record the measured hop latency
+};
+
+struct IntStamperConfig {
+  StamperRole role = StamperRole::source;
+  std::uint16_t device_id = 1;
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<IntStamperConfig> parse(
+      net::BytesView data);
+};
+
+/// In-band telemetry source/sink ("in-line timestamping, labeling").
+class IntStamper final : public ppe::PpeApp {
+ public:
+  explicit IntStamper(IntStamperConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "int"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  [[nodiscard]] std::uint64_t stamped() const { return stats_.packets(0); }
+  /// Sink side: count and sum of one-way shim latencies seen.
+  [[nodiscard]] std::uint64_t sink_samples() const { return sink_samples_; }
+  [[nodiscard]] double mean_path_latency_ns() const {
+    return sink_samples_ > 0 ? sink_latency_sum_ns_ / double(sink_samples_)
+                             : 0.0;
+  }
+
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  IntStamperConfig config_;
+  ppe::CounterBank stats_;  // 0 stamped/stripped, 1 passed
+  std::uint64_t sink_samples_ = 0;
+  double sink_latency_sum_ns_ = 0;
+};
+
+/// One exported flow record (NetFlow v5-shaped).
+struct FlowRecord {
+  net::FiveTuple tuple;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t first_seen_ps = 0;
+  std::int64_t last_seen_ps = 0;
+  std::uint8_t tcp_flags_seen = 0;
+};
+
+struct FlowStatsConfig {
+  std::uint32_t cache_capacity = 8192;
+  /// Flows idle longer than this are exported on the next sweep.
+  std::int64_t idle_timeout_ps = 15'000'000'000'000;  // 15 s
+  /// Flows older than this are exported even if active.
+  std::int64_t active_timeout_ps = 60'000'000'000'000;  // 60 s
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<FlowStatsConfig> parse(
+      net::BytesView data);
+};
+
+/// NetFlow-like flow cache: per-flow packet/byte/timestamp accounting in the
+/// datapath, periodic export sweeps by the control plane.
+class FlowStats final : public ppe::PpeApp {
+ public:
+  explicit FlowStats(FlowStatsConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "flowstats"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  [[nodiscard]] std::size_t active_flows() const;
+  /// Remove and return flows that hit the idle/active timeouts at `now`
+  /// (the control plane calls this on its export timer).
+  [[nodiscard]] std::vector<FlowRecord> sweep(std::int64_t now_ps);
+  /// Remove and return everything (shutdown/final export).
+  [[nodiscard]] std::vector<FlowRecord> export_all();
+  /// Packets that could not be tracked because the cache was full.
+  [[nodiscard]] std::uint64_t cache_rejections() const { return rejections_; }
+
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  FlowStatsConfig config_;
+  // Key: murmur3 of the 5-tuple -> slot into records_. The table models the
+  // LSRAM structure; records_ carries the full per-flow state.
+  ppe::ExactMatchTable index_;
+  std::vector<FlowRecord> records_;
+  std::vector<std::size_t> free_slots_;
+  std::uint64_t rejections_ = 0;
+  ppe::CounterBank stats_;  // 0 tracked, 1 rejected
+};
+
+struct SamplerConfig {
+  std::uint32_t rate = 1000;  // 1-in-N
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<SamplerConfig> parse(net::BytesView data);
+};
+
+/// Deterministic 1-in-N sampler: forwards everything, mirrors every Nth
+/// packet to the embedded control plane for export.
+class Sampler final : public ppe::PpeApp {
+ public:
+  explicit Sampler(SamplerConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "sampler"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  [[nodiscard]] std::uint64_t sampled() const { return sampled_; }
+
+ private:
+  SamplerConfig config_;
+  std::uint64_t counter_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace flexsfp::apps

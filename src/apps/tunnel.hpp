@@ -1,0 +1,60 @@
+// Tunneling offload (§3: "insert tunneling headers for GRE, VXLAN, or
+// IP-in-IP without involving the host"): encapsulate on one direction,
+// decapsulate on the other.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addresses.hpp"
+#include "ppe/app.hpp"
+#include "ppe/counters.hpp"
+
+namespace flexsfp::apps {
+
+enum class TunnelType : std::uint8_t {
+  gre = 0,
+  vxlan = 1,
+  ipip = 2,
+};
+
+enum class TunnelRole : std::uint8_t {
+  encap = 0,
+  decap = 1,
+};
+
+struct TunnelConfig {
+  TunnelType type = TunnelType::gre;
+  TunnelRole role = TunnelRole::encap;
+  net::Ipv4Address local;   // tunnel source for encap
+  net::Ipv4Address remote;  // tunnel destination for encap
+  std::uint32_t vni = 0;    // VXLAN only
+  net::MacAddress outer_dst;  // VXLAN outer L2
+  net::MacAddress outer_src;
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<TunnelConfig> parse(net::BytesView data);
+};
+
+class TunnelApp final : public ppe::PpeApp {
+ public:
+  explicit TunnelApp(TunnelConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "tunnel"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  [[nodiscard]] const TunnelConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t transformed() const { return stats_.packets(0); }
+  [[nodiscard]] std::uint64_t passed() const { return stats_.packets(1); }
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  TunnelConfig config_;
+  ppe::CounterBank stats_;  // 0 transformed, 1 passed-through
+};
+
+}  // namespace flexsfp::apps

@@ -1,0 +1,65 @@
+// VLAN tagging / QinQ segmentation (§3 "Packet Transformation"): push, pop,
+// rewrite or service-tag frames at the optical boundary, with an optional
+// VID translation table — the classic legacy-switch retrofit function.
+#pragma once
+
+#include <cstdint>
+
+#include "ppe/app.hpp"
+#include "ppe/tables.hpp"
+
+namespace flexsfp::apps {
+
+enum class VlanMode : std::uint8_t {
+  push = 0,       // add an 802.1Q tag with the configured VID
+  pop = 1,        // strip the outermost tag
+  rewrite = 2,    // rewrite the outer VID (using the translation table if
+                  // it has a mapping, else the configured VID)
+  qinq_push = 3,  // add an 802.1ad service tag in front of existing tags
+};
+
+struct VlanConfig {
+  VlanMode mode = VlanMode::push;
+  std::uint16_t vid = 100;
+  std::uint8_t pcp = 0;
+  /// Drop untagged frames in pop/rewrite modes instead of passing them.
+  bool strict = false;
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<VlanConfig> parse(net::BytesView data);
+};
+
+class VlanTagger final : public ppe::PpeApp {
+ public:
+  explicit VlanTagger(VlanConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "vlan"; }
+  [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
+  [[nodiscard]] hw::ResourceUsage resource_usage(
+      const hw::DatapathConfig& datapath) const override;
+  [[nodiscard]] net::Bytes serialize_config() const override {
+    return config_.serialize();
+  }
+
+  /// VID translation mapping for rewrite mode.
+  bool add_translation(std::uint16_t from_vid, std::uint16_t to_vid);
+
+  [[nodiscard]] const VlanConfig& config() const { return config_; }
+
+  [[nodiscard]] std::vector<std::string> table_names() const override {
+    return {"vid_translation"};
+  }
+  bool table_insert(std::string_view table, std::uint64_t key,
+                    std::uint64_t value) override;
+  bool table_erase(std::string_view table, std::uint64_t key) override;
+  [[nodiscard]] std::optional<std::uint64_t> table_lookup(
+      std::string_view table, std::uint64_t key) const override;
+  [[nodiscard]] std::vector<ppe::CounterSnapshot> counters() const override;
+
+ private:
+  VlanConfig config_;
+  ppe::ExactMatchTable translation_;  // vid -> vid, 4096 entries
+  ppe::CounterBank stats_;            // 0 = tagged/edited, 1 = passed, 2 = dropped
+};
+
+}  // namespace flexsfp::apps

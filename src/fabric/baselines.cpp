@@ -1,0 +1,55 @@
+#include "fabric/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexsfp::fabric {
+
+CpuPath::CpuPath(sim::Simulation& sim, CpuPathConfig config,
+                 std::size_t queue_capacity)
+    : sim::QueuedServer(sim, queue_capacity),
+      config_(config),
+      rng_(config.seed) {}
+
+sim::TimePs CpuPath::service_time(const net::Packet&) {
+  const sim::TimePs per_packet =
+      static_cast<sim::TimePs>(1e12 / config_.packets_per_second);
+  if (rng_.bernoulli(config_.stall_probability)) {
+    return per_packet + config_.stall_ps;
+  }
+  return per_packet;
+}
+
+void CpuPath::finish(net::PacketPtr packet) {
+  if (!output_) return;
+  // Base latency + lognormal-ish positive jitter from scheduling noise.
+  const double jitter =
+      std::abs(rng_.lognormal(std::log(double(config_.jitter_sigma_ps)), 0.75));
+  const sim::TimePs delay =
+      config_.base_latency_ps + static_cast<sim::TimePs>(jitter);
+  sim().schedule_in(delay, [this, packet = std::move(packet)]() mutable {
+    output_(std::move(packet));
+  });
+}
+
+SmartNic::SmartNic(sim::Simulation& sim, SmartNicConfig config,
+                   std::size_t queue_capacity)
+    : sim::QueuedServer(sim, queue_capacity),
+      config_(config),
+      rng_(config.seed) {}
+
+sim::TimePs SmartNic::service_time(const net::Packet&) {
+  return static_cast<sim::TimePs>(1e12 / config_.packets_per_second);
+}
+
+void SmartNic::finish(net::PacketPtr packet) {
+  if (!output_) return;
+  const double jitter = rng_.exponential(double(config_.jitter_sigma_ps));
+  const sim::TimePs delay =
+      config_.base_latency_ps + static_cast<sim::TimePs>(jitter);
+  sim().schedule_in(delay, [this, packet = std::move(packet)]() mutable {
+    output_(std::move(packet));
+  });
+}
+
+}  // namespace flexsfp::fabric

@@ -1,0 +1,86 @@
+// The two tiers the paper positions FlexSFP against (§1/§2's "acceleration
+// gap"): the host-CPU slow path (latency, jitter, contention) and the
+// SmartNIC fast path (performance at a cost/power premium). Both are
+// modeled as queued servers with the corresponding cost/power envelopes so
+// the "cheap path" comparison can be run head-to-head.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "hw/cost_model.hpp"
+#include "sim/link.hpp"
+#include "sim/random.hpp"
+
+namespace flexsfp::fabric {
+
+struct CpuPathConfig {
+  /// Sustainable software forwarding rate (single core, XDP-less stack).
+  double packets_per_second = 1'200'000;
+  /// PCIe + interrupt + wakeup base latency and its jitter.
+  sim::TimePs base_latency_ps = 30'000'000;   // 30 us
+  sim::TimePs jitter_sigma_ps = 15'000'000;   // heavy scheduler noise
+  /// Occasional scheduling stall (the "reintroduced jitter" of §2).
+  double stall_probability = 0.001;
+  sim::TimePs stall_ps = 2'000'000'000;  // 2 ms
+  /// Power attributed to the core share doing packet work.
+  double watts = 20.0;
+  std::uint64_t seed = 7;
+};
+
+/// Host-CPU software path: every packet crosses PCIe, waits for a core and
+/// pays scheduling jitter.
+class CpuPath final : public sim::QueuedServer {
+ public:
+  CpuPath(sim::Simulation& sim, CpuPathConfig config = {},
+          std::size_t queue_capacity = 1024);
+
+  void set_output(std::function<void(net::PacketPtr)> output) {
+    output_ = std::move(output);
+  }
+  [[nodiscard]] double watts() const { return config_.watts; }
+  [[nodiscard]] static hw::UsdRange cost_usd() { return {0, 0}; }  // sunk
+
+ protected:
+  [[nodiscard]] sim::TimePs service_time(const net::Packet& packet) override;
+  void finish(net::PacketPtr packet) override;
+
+ private:
+  CpuPathConfig config_;
+  sim::Rng rng_;
+  std::function<void(net::PacketPtr)> output_;
+};
+
+struct SmartNicConfig {
+  /// Pipeline rate: SmartNICs forward small packets at tens of Mpps.
+  double packets_per_second = 30'000'000;
+  sim::TimePs base_latency_ps = 4'000'000;  // 4 us through the NIC complex
+  sim::TimePs jitter_sigma_ps = 300'000;    // tight, hardware-paced
+  double watts = 25.0;                      // §2: 25-75 W per port
+  hw::UsdRange cost{800, 2000};
+  std::uint64_t seed = 11;
+};
+
+/// SmartNIC/DPU offload path.
+class SmartNic final : public sim::QueuedServer {
+ public:
+  SmartNic(sim::Simulation& sim, SmartNicConfig config = {},
+           std::size_t queue_capacity = 1024);
+
+  void set_output(std::function<void(net::PacketPtr)> output) {
+    output_ = std::move(output);
+  }
+  [[nodiscard]] double watts() const { return config_.watts; }
+  [[nodiscard]] hw::UsdRange cost_usd() const { return config_.cost; }
+
+ protected:
+  [[nodiscard]] sim::TimePs service_time(const net::Packet& packet) override;
+  void finish(net::PacketPtr packet) override;
+
+ private:
+  SmartNicConfig config_;
+  sim::Rng rng_;
+  std::function<void(net::PacketPtr)> output_;
+};
+
+}  // namespace flexsfp::fabric

@@ -1,0 +1,129 @@
+#include "fabric/legacy_switch.hpp"
+
+#include "net/headers.hpp"
+
+namespace flexsfp::fabric {
+
+SwitchOutputPort::SwitchOutputPort(sim::Simulation& sim, sim::DataRate rate,
+                                   std::size_t queue_capacity)
+    : sim::QueuedServer(sim, queue_capacity), rate_(rate) {}
+
+sim::TimePs SwitchOutputPort::service_time(const net::Packet& packet) {
+  return rate_.serialization_time(packet.wire_size());
+}
+
+void SwitchOutputPort::finish(net::PacketPtr packet) {
+  if (output_) output_(std::move(packet));
+}
+
+LegacySwitch::LegacySwitch(sim::Simulation& sim, std::size_t port_count,
+                           sim::DataRate port_rate,
+                           sim::TimePs forwarding_latency_ps)
+    : sim_(sim),
+      port_rate_(port_rate),
+      forwarding_latency_ps_(forwarding_latency_ps),
+      cages_(port_count),
+      mac_table_("mac_table", 4096, 48, 16) {
+  for (std::size_t port = 0; port < port_count; ++port) {
+    cages_[port].output = std::make_unique<SwitchOutputPort>(sim, port_rate);
+    cages_[port].output->set_output([this, port](net::PacketPtr packet) {
+      asic_tx(port, std::move(packet));
+    });
+  }
+}
+
+void LegacySwitch::plug_flexsfp(std::size_t port,
+                                std::shared_ptr<sfp::FlexSfpModule> module) {
+  Cage& cage = cages_.at(port);
+  cage.flexsfp = std::move(module);
+  cage.standard.reset();
+  // Module edge egress -> switching ASIC; module optical egress -> fiber.
+  cage.flexsfp->set_egress_handler(
+      sfp::FlexSfpModule::edge_port, [this, port](net::PacketPtr packet) {
+        asic_rx(port, std::move(packet));
+      });
+  cage.flexsfp->set_egress_handler(
+      sfp::FlexSfpModule::optical_port, [this, port](net::PacketPtr packet) {
+        module_fiber_out(port, std::move(packet));
+      });
+}
+
+void LegacySwitch::plug_standard(std::size_t port,
+                                 std::shared_ptr<sfp::StandardSfp> module) {
+  Cage& cage = cages_.at(port);
+  cage.standard = std::move(module);
+  cage.flexsfp.reset();
+  cage.standard->set_egress_handler(
+      sfp::StandardSfp::edge_port, [this, port](net::PacketPtr packet) {
+        asic_rx(port, std::move(packet));
+      });
+  cage.standard->set_egress_handler(
+      sfp::StandardSfp::optical_port, [this, port](net::PacketPtr packet) {
+        module_fiber_out(port, std::move(packet));
+      });
+}
+
+void LegacySwitch::fiber_rx(std::size_t port, net::PacketPtr packet) {
+  Cage& cage = cages_.at(port);
+  if (cage.flexsfp) {
+    cage.flexsfp->inject(sfp::FlexSfpModule::optical_port, std::move(packet));
+  } else if (cage.standard) {
+    cage.standard->inject(sfp::StandardSfp::optical_port, std::move(packet));
+  }
+  // Empty cage: no transceiver, no link — frame lost.
+}
+
+void LegacySwitch::set_fiber_tx(std::size_t port,
+                                std::function<void(net::PacketPtr)> handler) {
+  cages_.at(port).fiber_tx = std::move(handler);
+}
+
+void LegacySwitch::module_fiber_out(std::size_t port, net::PacketPtr packet) {
+  auto& handler = cages_.at(port).fiber_tx;
+  if (handler) handler(std::move(packet));
+}
+
+void LegacySwitch::asic_rx(std::size_t ingress_port, net::PacketPtr packet) {
+  const auto eth = net::EthernetHeader::parse(packet->data(), 0);
+  if (!eth) return;
+
+  // Learn the source.
+  if (!eth->src.is_multicast()) {
+    mac_table_.insert(eth->src.to_u64(), ingress_port);
+  }
+
+  sim_.schedule_in(forwarding_latency_ps_, [this, ingress_port, eth = *eth,
+                                            packet =
+                                                std::move(packet)]() mutable {
+    const auto known_port = eth.dst.is_multicast() || eth.dst.is_broadcast()
+                                ? std::nullopt
+                                : mac_table_.lookup(eth.dst.to_u64());
+    if (known_port && *known_port != ingress_port) {
+      ++forwarded_;
+      cages_[static_cast<std::size_t>(*known_port)].output->handle_packet(
+          std::move(packet));
+      return;
+    }
+    if (known_port && *known_port == ingress_port) {
+      return;  // destination lives behind the ingress port: filter
+    }
+    // Flood to every other occupied port.
+    ++flooded_;
+    for (std::size_t port = 0; port < cages_.size(); ++port) {
+      if (port == ingress_port || !cages_[port].occupied()) continue;
+      cages_[port].output->handle_packet(
+          std::make_shared<net::Packet>(*packet));
+    }
+  });
+}
+
+void LegacySwitch::asic_tx(std::size_t egress_port, net::PacketPtr packet) {
+  Cage& cage = cages_[egress_port];
+  if (cage.flexsfp) {
+    cage.flexsfp->inject(sfp::FlexSfpModule::edge_port, std::move(packet));
+  } else if (cage.standard) {
+    cage.standard->inject(sfp::StandardSfp::edge_port, std::move(packet));
+  }
+}
+
+}  // namespace flexsfp::fabric

@@ -1,0 +1,87 @@
+// A fixed-function L2 aggregation switch with SFP cages — the legacy device
+// §2.1 retrofits: it learns MACs and floods unknowns, nothing more. All
+// intelligence comes from whatever module is plugged into each cage.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ppe/tables.hpp"
+#include "sfp/flexsfp.hpp"
+#include "sfp/standard_sfp.hpp"
+#include "sim/link.hpp"
+
+namespace flexsfp::fabric {
+
+/// Store-and-forward output port at line rate.
+class SwitchOutputPort final : public sim::QueuedServer {
+ public:
+  SwitchOutputPort(sim::Simulation& sim, sim::DataRate rate,
+                   std::size_t queue_capacity = 128);
+  void set_output(std::function<void(net::PacketPtr)> output) {
+    output_ = std::move(output);
+  }
+
+ protected:
+  [[nodiscard]] sim::TimePs service_time(const net::Packet& packet) override;
+  void finish(net::PacketPtr packet) override;
+
+ private:
+  sim::DataRate rate_;
+  std::function<void(net::PacketPtr)> output_;
+};
+
+class LegacySwitch {
+ public:
+  LegacySwitch(sim::Simulation& sim, std::size_t port_count,
+               sim::DataRate port_rate = sim::line_rate_10g,
+               sim::TimePs forwarding_latency_ps = 1'000'000);  // 1 us
+
+  [[nodiscard]] std::size_t port_count() const { return cages_.size(); }
+
+  /// Plug a FlexSFP into cage `port`. The switch talks to the module's
+  /// edge side; the fiber plant talks to its optical side.
+  void plug_flexsfp(std::size_t port, std::shared_ptr<sfp::FlexSfpModule> module);
+  /// Plug a plain transceiver.
+  void plug_standard(std::size_t port, std::shared_ptr<sfp::StandardSfp> module);
+
+  /// Frame arriving from the fiber plant at `port` (enters the module's
+  /// optical side; an empty cage drops it).
+  void fiber_rx(std::size_t port, net::PacketPtr packet);
+  /// Where frames leaving toward the fiber at `port` go.
+  void set_fiber_tx(std::size_t port,
+                    std::function<void(net::PacketPtr)> handler);
+
+  [[nodiscard]] const ppe::ExactMatchTable& mac_table() const {
+    return mac_table_;
+  }
+  [[nodiscard]] std::uint64_t flooded() const { return flooded_; }
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  struct Cage {
+    std::shared_ptr<sfp::FlexSfpModule> flexsfp;
+    std::shared_ptr<sfp::StandardSfp> standard;
+    std::function<void(net::PacketPtr)> fiber_tx;
+    std::unique_ptr<SwitchOutputPort> output;  // ASIC -> module edge
+    [[nodiscard]] bool occupied() const {
+      return flexsfp != nullptr || standard != nullptr;
+    }
+  };
+
+  /// Frame surfacing from a module's edge side into the switching ASIC.
+  void asic_rx(std::size_t ingress_port, net::PacketPtr packet);
+  void asic_tx(std::size_t egress_port, net::PacketPtr packet);
+  void module_fiber_out(std::size_t port, net::PacketPtr packet);
+
+  sim::Simulation& sim_;
+  sim::DataRate port_rate_;
+  sim::TimePs forwarding_latency_ps_;
+  std::vector<Cage> cages_;
+  ppe::ExactMatchTable mac_table_;  // mac -> port
+  std::uint64_t flooded_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace flexsfp::fabric

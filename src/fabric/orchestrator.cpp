@@ -1,0 +1,178 @@
+#include "fabric/orchestrator.hpp"
+
+namespace flexsfp::fabric {
+
+FleetOrchestrator::FleetOrchestrator(sim::Simulation& sim,
+                                     OrchestratorConfig config)
+    : sim_(sim), config_(config) {}
+
+void FleetOrchestrator::add_module(
+    const std::string& name, net::MacAddress module_mac,
+    std::function<void(net::PacketPtr)> transmit) {
+  modules_[name] = Module{module_mac, std::move(transmit)};
+}
+
+bool FleetOrchestrator::deliver(const net::Packet& packet) {
+  const auto body = sfp::mgmt_body(packet);
+  if (!body) return false;
+  const auto response = sfp::MgmtResponse::parse(*body);
+  if (!response) return false;
+  const auto it = outstanding_.find(response->seq);
+  if (it == outstanding_.end()) return true;  // late duplicate: consumed
+  Completion done = std::move(it->second.done);
+  outstanding_.erase(it);
+  if (done) done(*response);
+  return true;
+}
+
+void FleetOrchestrator::submit(const std::string& module,
+                               sfp::MgmtRequest request, Completion done) {
+  const auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    if (done) done(std::nullopt);
+    return;
+  }
+  request.seq = next_seq_++;
+  Outstanding entry{module, std::move(request), std::move(done), 1};
+  const std::uint32_t seq = entry.request.seq;
+  transmit(entry);
+  outstanding_.emplace(seq, std::move(entry));
+  arm_timeout(seq, 1);
+}
+
+void FleetOrchestrator::transmit(const Outstanding& entry) {
+  const Module& module = modules_.at(entry.module);
+  auto frame = std::make_shared<net::Packet>(sfp::make_mgmt_frame(
+      module.mac, config_.mac, entry.request.serialize(config_.key)));
+  ++sent_;
+  module.transmit(std::move(frame));
+}
+
+void FleetOrchestrator::arm_timeout(std::uint32_t seq, int attempt) {
+  sim_.schedule_in(config_.timeout_ps, [this, seq, attempt]() {
+    const auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) return;  // answered meanwhile
+    if (it->second.attempts != attempt) return;  // a retry is in flight
+    if (it->second.attempts > config_.max_retries) {
+      ++timeouts_;
+      Completion done = std::move(it->second.done);
+      outstanding_.erase(it);
+      if (done) done(std::nullopt);
+      return;
+    }
+    ++retries_;
+    ++it->second.attempts;
+    transmit(it->second);
+    arm_timeout(seq, it->second.attempts);
+  });
+}
+
+void FleetOrchestrator::ping(const std::string& module, std::uint64_t value,
+                             Completion done) {
+  sfp::MgmtRequest request;
+  request.op = sfp::MgmtOp::ping;
+  request.value = value;
+  submit(module, std::move(request), std::move(done));
+}
+
+void FleetOrchestrator::table_insert(const std::string& module,
+                                     const std::string& table,
+                                     std::uint64_t key, std::uint64_t value,
+                                     Completion done) {
+  sfp::MgmtRequest request;
+  request.op = sfp::MgmtOp::table_insert;
+  request.table = table;
+  request.key = key;
+  request.value = value;
+  submit(module, std::move(request), std::move(done));
+}
+
+void FleetOrchestrator::table_erase(const std::string& module,
+                                    const std::string& table,
+                                    std::uint64_t key, Completion done) {
+  sfp::MgmtRequest request;
+  request.op = sfp::MgmtOp::table_erase;
+  request.table = table;
+  request.key = key;
+  submit(module, std::move(request), std::move(done));
+}
+
+void FleetOrchestrator::table_lookup(const std::string& module,
+                                     const std::string& table,
+                                     std::uint64_t key, Completion done) {
+  sfp::MgmtRequest request;
+  request.op = sfp::MgmtOp::table_lookup;
+  request.table = table;
+  request.key = key;
+  submit(module, std::move(request), std::move(done));
+}
+
+void FleetOrchestrator::counter_read(const std::string& module,
+                                     std::uint64_t index, Completion done) {
+  sfp::MgmtRequest request;
+  request.op = sfp::MgmtOp::counter_read;
+  request.key = index;
+  submit(module, std::move(request), std::move(done));
+}
+
+void FleetOrchestrator::deploy_bitstream(const std::string& module,
+                                         const hw::Bitstream& bitstream,
+                                         Completion done,
+                                         std::size_t chunk_size) {
+  const auto image = std::make_shared<net::Bytes>(bitstream.serialize());
+  const std::size_t chunks = (image->size() + chunk_size - 1) / chunk_size;
+
+  // Sequential state machine over completions: begin -> chunk i -> commit.
+  // shared_ptr'd recursive lambda keeps the chain alive across events.
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  auto final_done = std::make_shared<Completion>(std::move(done));
+
+  auto fail = [final_done](std::optional<sfp::MgmtResponse> response) {
+    if (*final_done) (*final_done)(std::move(response));
+  };
+
+  *step = [this, module, image, chunks, chunk_size, step, final_done,
+           fail](std::size_t index) {
+    if (index < chunks) {
+      sfp::MgmtRequest request;
+      request.op = sfp::MgmtOp::reconfig_chunk;
+      request.payload.resize(2);
+      net::write_be16(request.payload, 0, static_cast<std::uint16_t>(index));
+      const std::size_t offset = index * chunk_size;
+      const std::size_t len = std::min(chunk_size, image->size() - offset);
+      request.payload.insert(request.payload.end(), image->begin() + offset,
+                             image->begin() + offset + len);
+      submit(module, std::move(request),
+             [step, index, fail](std::optional<sfp::MgmtResponse> response) {
+               if (!response || response->status != sfp::MgmtStatus::ok) {
+                 fail(std::move(response));
+                 return;
+               }
+               (*step)(index + 1);
+             });
+      return;
+    }
+    // All chunks delivered: commit.
+    sfp::MgmtRequest commit;
+    commit.op = sfp::MgmtOp::reconfig_commit;
+    submit(module, std::move(commit),
+           [final_done](std::optional<sfp::MgmtResponse> response) {
+             if (*final_done) (*final_done)(std::move(response));
+           });
+  };
+
+  sfp::MgmtRequest begin;
+  begin.op = sfp::MgmtOp::reconfig_begin;
+  begin.payload.resize(2);
+  net::write_be16(begin.payload, 0, static_cast<std::uint16_t>(chunks));
+  submit(module, std::move(begin),
+         [step, fail](std::optional<sfp::MgmtResponse> response) {
+           if (!response || response->status != sfp::MgmtStatus::ok) {
+             fail(std::move(response));
+             return;
+           }
+           (*step)(0);
+         });
+}
+
+}  // namespace flexsfp::fabric

@@ -1,0 +1,93 @@
+// Fleet orchestrator: the central controller the paper's §4.1 envisions
+// ("essential for centralized orchestration across a fleet of FlexSFPs").
+// Speaks the management protocol to many modules, with sequence tracking,
+// timeouts and retransmission — and drives complete bitstream deployments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hw/bitstream.hpp"
+#include "sfp/mgmt_protocol.hpp"
+#include "sim/simulation.hpp"
+
+namespace flexsfp::fabric {
+
+struct OrchestratorConfig {
+  hw::AuthKey key;
+  net::MacAddress mac = net::MacAddress::from_u64(0x020000000911);
+  sim::TimePs timeout_ps = 10'000'000'000;  // 10 ms per request
+  int max_retries = 3;
+};
+
+class FleetOrchestrator {
+ public:
+  /// Completion carries the response, or nullopt after retries exhausted.
+  using Completion = std::function<void(std::optional<sfp::MgmtResponse>)>;
+
+  FleetOrchestrator(sim::Simulation& sim, OrchestratorConfig config);
+
+  /// Register a module: its MAC plus a transmit function that puts a frame
+  /// on the wire toward it (directly or through a switch fabric).
+  void add_module(const std::string& name, net::MacAddress module_mac,
+                  std::function<void(net::PacketPtr)> transmit);
+  [[nodiscard]] std::size_t fleet_size() const { return modules_.size(); }
+
+  /// Feed frames arriving at the orchestrator NIC; management responses are
+  /// consumed (true), everything else ignored (false).
+  bool deliver(const net::Packet& packet);
+
+  // --- operations ------------------------------------------------------------
+  void ping(const std::string& module, std::uint64_t value,
+            Completion done);
+  void table_insert(const std::string& module, const std::string& table,
+                    std::uint64_t key, std::uint64_t value, Completion done);
+  void table_erase(const std::string& module, const std::string& table,
+                   std::uint64_t key, Completion done);
+  void table_lookup(const std::string& module, const std::string& table,
+                    std::uint64_t key, Completion done);
+  void counter_read(const std::string& module, std::uint64_t index,
+                    Completion done);
+  /// Full chunked deployment: begin -> every chunk -> commit, sequentially,
+  /// each leg covered by the retry machinery. Completion fires with the
+  /// commit response (or nullopt on any unrecoverable leg).
+  void deploy_bitstream(const std::string& module,
+                        const hw::Bitstream& bitstream, Completion done,
+                        std::size_t chunk_size = 256);
+
+  // --- stats -----------------------------------------------------------------
+  [[nodiscard]] std::uint64_t requests_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retries_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  struct Module {
+    net::MacAddress mac;
+    std::function<void(net::PacketPtr)> transmit;
+  };
+  struct Outstanding {
+    std::string module;
+    sfp::MgmtRequest request;
+    Completion done;
+    int attempts = 0;
+  };
+
+  void submit(const std::string& module, sfp::MgmtRequest request,
+              Completion done);
+  void transmit(const Outstanding& entry);
+  void arm_timeout(std::uint32_t seq, int attempt);
+
+  sim::Simulation& sim_;
+  OrchestratorConfig config_;
+  std::map<std::string, Module> modules_;
+  std::map<std::uint32_t, Outstanding> outstanding_;
+  std::uint32_t next_seq_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace flexsfp::fabric

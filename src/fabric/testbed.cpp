@@ -1,0 +1,152 @@
+#include "fabric/testbed.hpp"
+
+#include <algorithm>
+
+namespace flexsfp::fabric {
+
+ModuleTestbed::ModuleTestbed(TestbedConfig config, ppe::PpeAppPtr app)
+    : config_(std::move(config)) {
+  module_ = std::make_unique<sfp::FlexSfpModule>(sim_, std::move(app),
+                                                 config_.module);
+  edge_sink_ = std::make_unique<Sink>(sim_);
+  optical_sink_ = std::make_unique<Sink>(sim_);
+
+  module_->set_egress_handler(sfp::FlexSfpModule::edge_port,
+                              [this](net::PacketPtr packet) {
+                                edge_sink_->handle_packet(std::move(packet));
+                              });
+  module_->set_egress_handler(
+      sfp::FlexSfpModule::optical_port, [this](net::PacketPtr packet) {
+        optical_sink_->handle_packet(std::move(packet));
+      });
+
+  edge_in_ = std::make_unique<sim::LambdaHandler>([this](net::PacketPtr p) {
+    module_->inject(sfp::FlexSfpModule::edge_port, std::move(p));
+  });
+  optical_in_ = std::make_unique<sim::LambdaHandler>([this](net::PacketPtr p) {
+    module_->inject(sfp::FlexSfpModule::optical_port, std::move(p));
+  });
+
+  if (config_.edge_traffic) {
+    edge_gen_ = std::make_unique<TrafficGen>(sim_, *config_.edge_traffic,
+                                             *edge_in_);
+  }
+  if (config_.optical_traffic) {
+    optical_gen_ = std::make_unique<TrafficGen>(
+        sim_, *config_.optical_traffic, *optical_in_);
+  }
+}
+
+namespace {
+
+DirectionResult direction_result(const TrafficGen* gen, const Sink& sink,
+                                 sim::TimePs duration) {
+  DirectionResult out;
+  if (gen == nullptr) return out;
+  out.sent_packets = gen->emitted().packets();
+  out.received_packets = sink.received().packets();
+  out.offered_gbps = gen->emitted().bits_per_second(duration) * 1e-9;
+  out.delivered_gbps = sink.received().bits_per_second(duration) * 1e-9;
+  out.loss_rate =
+      out.sent_packets > 0
+          ? 1.0 - double(out.received_packets) / double(out.sent_packets)
+          : 0.0;
+  out.latency_p50_ns = sim::to_nanos(sink.latency().percentile(50));
+  out.latency_p99_ns = sim::to_nanos(sink.latency().percentile(99));
+  out.latency_max_ns = sim::to_nanos(sink.latency().max());
+  return out;
+}
+
+}  // namespace
+
+TestbedResult ModuleTestbed::run() {
+  if (edge_gen_) edge_gen_->start();
+  if (optical_gen_) optical_gen_->start();
+  sim_.run();
+
+  sim::TimePs duration = 0;
+  if (config_.edge_traffic) {
+    duration = std::max(duration, config_.edge_traffic->start +
+                                      config_.edge_traffic->duration);
+  }
+  if (config_.optical_traffic) {
+    duration = std::max(duration, config_.optical_traffic->start +
+                                      config_.optical_traffic->duration);
+  }
+  if (duration == 0) duration = sim_.now();
+
+  TestbedResult result;
+  result.duration = duration;
+  result.edge_to_optical =
+      direction_result(edge_gen_.get(), *optical_sink_, duration);
+  result.optical_to_edge =
+      direction_result(optical_gen_.get(), *edge_sink_, duration);
+  result.ppe_queue_drops = module_->shell().engine().drops();
+  result.app_drops = module_->shell().engine().dropped_by_app();
+  result.ppe_utilization =
+      module_->shell().engine().utilization(duration);
+  result.power = module_->power(duration);
+  return result;
+}
+
+PowerMeasurement run_power_measurement(ppe::PpeAppPtr app,
+                                       sim::TimePs duration) {
+  PowerMeasurement measurement;
+  measurement.nic_only_w = hw::PowerModel::nic_base_watts();
+
+  // Standard SFP: bidirectional line-rate stress ("receiving and
+  // transmitting line-rate traffic").
+  {
+    sim::Simulation sim;
+    sfp::StandardSfp sfp(sim);
+    Sink edge_sink(sim);
+    Sink optical_sink(sim);
+    sfp.set_egress_handler(sfp::StandardSfp::edge_port,
+                           [&edge_sink](net::PacketPtr p) {
+                             edge_sink.handle_packet(std::move(p));
+                           });
+    sfp.set_egress_handler(sfp::StandardSfp::optical_port,
+                           [&optical_sink](net::PacketPtr p) {
+                             optical_sink.handle_packet(std::move(p));
+                           });
+    sim::LambdaHandler into_edge([&sfp](net::PacketPtr p) {
+      sfp.inject(sfp::StandardSfp::edge_port, std::move(p));
+    });
+    sim::LambdaHandler into_optical([&sfp](net::PacketPtr p) {
+      sfp.inject(sfp::StandardSfp::optical_port, std::move(p));
+    });
+    TrafficSpec spec;
+    spec.fixed_size = 1518;
+    spec.duration = duration;
+    TrafficGen tx(sim, spec, into_edge);
+    TrafficSpec rx_spec = spec;
+    rx_spec.seed = 2;
+    TrafficGen rx(sim, rx_spec, into_optical);
+    tx.start();
+    rx.start();
+    sim.run();
+    measurement.nic_plus_sfp_w =
+        hw::PowerModel::nic_base_watts() +
+        sfp.power(duration, sim::line_rate_10g).total();
+  }
+
+  // FlexSFP: same stress through the module running `app`.
+  {
+    TestbedConfig config;
+    config.module.shell.kind = sfp::ShellKind::one_way_filter;
+    TrafficSpec spec;
+    spec.fixed_size = 1518;
+    spec.duration = duration;
+    config.edge_traffic = spec;
+    TrafficSpec rx_spec = spec;
+    rx_spec.seed = 2;
+    config.optical_traffic = rx_spec;
+    ModuleTestbed testbed(std::move(config), std::move(app));
+    const auto result = testbed.run();
+    measurement.nic_plus_flexsfp_w =
+        hw::PowerModel::nic_base_watts() + result.power.total();
+  }
+  return measurement;
+}
+
+}  // namespace flexsfp::fabric

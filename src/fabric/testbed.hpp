@@ -1,0 +1,99 @@
+// Ready-made experiment harnesses.
+//
+// ModuleTestbed: traffic sources on both sides of a single FlexSFP module,
+// sinks capturing throughput/latency/loss — the setup behind the line-rate
+// NAT test (§5.1) and the Figure 1 architecture comparison.
+//
+// run_power_measurement(): the §5 power experiment — a Thunderbolt NIC's
+// draw alone, with a standard SFP under line-rate stress, and with a
+// FlexSFP running an application.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "apps/nat.hpp"
+#include "fabric/traffic_gen.hpp"
+#include "sfp/flexsfp.hpp"
+#include "sfp/standard_sfp.hpp"
+
+namespace flexsfp::fabric {
+
+struct TestbedConfig {
+  sfp::FlexSfpConfig module{};
+  std::optional<TrafficSpec> edge_traffic;     // injected at the edge port
+  std::optional<TrafficSpec> optical_traffic;  // injected at the optical port
+
+  TestbedConfig() {
+    module.boot_at_start = false;  // usable at t = 0 for experiments
+  }
+};
+
+struct DirectionResult {
+  std::uint64_t sent_packets = 0;
+  std::uint64_t received_packets = 0;
+  double offered_gbps = 0;
+  double delivered_gbps = 0;
+  double loss_rate = 0;
+  double latency_p50_ns = 0;
+  double latency_p99_ns = 0;
+  double latency_max_ns = 0;
+};
+
+struct TestbedResult {
+  DirectionResult edge_to_optical;
+  DirectionResult optical_to_edge;
+  std::uint64_t ppe_queue_drops = 0;
+  std::uint64_t app_drops = 0;
+  double ppe_utilization = 0;
+  hw::PowerBreakdown power{};
+  sim::TimePs duration = 0;
+};
+
+/// One module, a source and sink per direction. Owns the simulation.
+class ModuleTestbed {
+ public:
+  ModuleTestbed(TestbedConfig config, ppe::PpeAppPtr app);
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] sfp::FlexSfpModule& module() { return *module_; }
+  [[nodiscard]] Sink& edge_sink() { return *edge_sink_; }
+  [[nodiscard]] Sink& optical_sink() { return *optical_sink_; }
+
+  /// Start the configured sources, run to quiescence, collect results.
+  [[nodiscard]] TestbedResult run();
+
+ private:
+  TestbedConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<sfp::FlexSfpModule> module_;
+  std::unique_ptr<Sink> edge_sink_;     // receives optical -> edge traffic
+  std::unique_ptr<Sink> optical_sink_;  // receives edge -> optical traffic
+  std::unique_ptr<sim::LambdaHandler> edge_in_;
+  std::unique_ptr<sim::LambdaHandler> optical_in_;
+  std::unique_ptr<TrafficGen> edge_gen_;
+  std::unique_ptr<TrafficGen> optical_gen_;
+};
+
+/// The §5 power experiment's three operating points, watts.
+struct PowerMeasurement {
+  double nic_only_w = 0;
+  double nic_plus_sfp_w = 0;
+  double nic_plus_flexsfp_w = 0;
+
+  [[nodiscard]] double sfp_delta_w() const {
+    return nic_plus_sfp_w - nic_only_w;
+  }
+  [[nodiscard]] double flexsfp_delta_w() const {
+    return nic_plus_flexsfp_w - nic_only_w;
+  }
+};
+
+/// Reproduce the paper's measurement: line-rate RX+TX stress through a
+/// standard SFP, then through a FlexSFP running `app` (defaults to the NAT
+/// case study on the One-Way-Filter shell).
+[[nodiscard]] PowerMeasurement run_power_measurement(
+    ppe::PpeAppPtr app = std::make_unique<apps::StaticNat>(),
+    sim::TimePs duration = 10'000'000'000);  // 10 ms of stress
+
+}  // namespace flexsfp::fabric

@@ -1,0 +1,106 @@
+#include "hw/bitstream.hpp"
+
+#include "net/checksum.hpp"
+#include "net/flow.hpp"
+
+namespace flexsfp::hw {
+
+namespace {
+constexpr std::uint32_t bitstream_magic = 0x46535350;  // "FSSP"
+// Fixed architecture-shell image size on flash (model constant): the PPE
+// shell, MACs and Mi-V occupy the same fabric regardless of the app.
+constexpr std::size_t shell_image_bytes = 2 * 1024 * 1024;
+}  // namespace
+
+std::uint64_t keyed_tag(AuthKey key, net::BytesView payload) {
+  // Two-pass keyed hash (inner then outer key variant), HMAC-shaped.
+  const std::uint64_t inner =
+      net::murmur3_64(payload, key.value ^ 0x5c5c5c5c5c5c5c5cull);
+  std::uint8_t block[8];
+  for (int i = 0; i < 8; ++i) {
+    block[i] = static_cast<std::uint8_t>(inner >> (8 * i));
+  }
+  return net::murmur3_64(net::BytesView{block, 8},
+                         key.value ^ 0x3636363636363636ull);
+}
+
+Bitstream Bitstream::create(std::string app_name, net::Bytes config,
+                            AuthKey key, std::uint32_t version) {
+  Bitstream b;
+  b.app_name_ = std::move(app_name);
+  b.config_ = std::move(config);
+  b.version_ = version;
+  // Tag covers name + version + config.
+  net::Bytes covered;
+  covered.insert(covered.end(), b.app_name_.begin(), b.app_name_.end());
+  covered.push_back(static_cast<std::uint8_t>(version));
+  covered.insert(covered.end(), b.config_.begin(), b.config_.end());
+  b.auth_tag_ = keyed_tag(key, covered);
+  return b;
+}
+
+bool Bitstream::verify(AuthKey key) const {
+  net::Bytes covered;
+  covered.insert(covered.end(), app_name_.begin(), app_name_.end());
+  covered.push_back(static_cast<std::uint8_t>(version_));
+  covered.insert(covered.end(), config_.begin(), config_.end());
+  return keyed_tag(key, covered) == auth_tag_;
+}
+
+net::Bytes Bitstream::serialize() const {
+  // Layout: magic(4) version(4) name_len(2) name config_len(4) config
+  //         tag(8) crc32(4, over everything before it)
+  net::Bytes out(4 + 4 + 2 + app_name_.size() + 4 + config_.size() + 8 + 4);
+  std::size_t offset = 0;
+  net::write_be32(out, offset, bitstream_magic);
+  offset += 4;
+  net::write_be32(out, offset, version_);
+  offset += 4;
+  net::write_be16(out, offset, static_cast<std::uint16_t>(app_name_.size()));
+  offset += 2;
+  for (const char c : app_name_) out[offset++] = static_cast<std::uint8_t>(c);
+  net::write_be32(out, offset, static_cast<std::uint32_t>(config_.size()));
+  offset += 4;
+  std::copy(config_.begin(), config_.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(offset));
+  offset += config_.size();
+  net::write_be64(out, offset, auth_tag_);
+  offset += 8;
+  const std::uint32_t crc =
+      net::crc32(net::BytesView{out.data(), offset});
+  net::write_be32(out, offset, crc);
+  return out;
+}
+
+std::optional<Bitstream> Bitstream::parse(net::BytesView data) {
+  if (data.size() < 4 + 4 + 2 + 4 + 8 + 4) return std::nullopt;
+  if (net::read_be32(data, 0) != bitstream_magic) return std::nullopt;
+
+  const std::uint32_t stored_crc = net::read_be32(data, data.size() - 4);
+  const std::uint32_t computed_crc =
+      net::crc32(data.subspan(0, data.size() - 4));
+  if (stored_crc != computed_crc) return std::nullopt;
+
+  Bitstream b;
+  b.version_ = net::read_be32(data, 4);
+  const std::size_t name_len = net::read_be16(data, 8);
+  std::size_t offset = 10;
+  if (offset + name_len + 4 + 8 + 4 > data.size()) return std::nullopt;
+  b.app_name_.assign(reinterpret_cast<const char*>(data.data() + offset),
+                     name_len);
+  offset += name_len;
+  const std::size_t config_len = net::read_be32(data, offset);
+  offset += 4;
+  if (offset + config_len + 8 + 4 > data.size()) return std::nullopt;
+  b.config_.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                   data.begin() + static_cast<std::ptrdiff_t>(offset + config_len));
+  offset += config_len;
+  b.auth_tag_ = net::read_be64(data, offset);
+  return b;
+}
+
+std::size_t Bitstream::flash_size_bytes() const {
+  return shell_image_bytes + serialize().size();
+}
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,61 @@
+// Bitstream artifacts: in this emulation a "bitstream" is a signed,
+// CRC-protected container carrying the name of a PPE application plus its
+// serialized configuration. The FlexSFP control plane authenticates the
+// container, stages it to SPI flash and reboots into it — exactly the
+// in-band reprogramming workflow §4.2 describes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/bytes.hpp"
+
+namespace flexsfp::hw {
+
+/// Key for the keyed-hash authentication tag. Shared between orchestrator
+/// and module (provisioned at manufacturing, per §4.2).
+struct AuthKey {
+  std::uint64_t value = 0;
+};
+
+class Bitstream {
+ public:
+  /// Build and sign a bitstream for application `app_name` with serialized
+  /// configuration `config`.
+  [[nodiscard]] static Bitstream create(std::string app_name,
+                                        net::Bytes config, AuthKey key,
+                                        std::uint32_t version = 1);
+
+  /// Parse a serialized container. Returns nullopt on truncation or CRC
+  /// mismatch. Authentication is a separate, explicit step.
+  [[nodiscard]] static std::optional<Bitstream> parse(net::BytesView data);
+
+  [[nodiscard]] const std::string& app_name() const { return app_name_; }
+  [[nodiscard]] const net::Bytes& config() const { return config_; }
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t auth_tag() const { return auth_tag_; }
+
+  /// Recompute the keyed hash and compare with the embedded tag.
+  [[nodiscard]] bool verify(AuthKey key) const;
+
+  /// Wire format: magic, version, name, config, crc32, tag.
+  [[nodiscard]] net::Bytes serialize() const;
+
+  /// Size the artifact would have on SPI flash. Real PolarFire bitstreams
+  /// run to megabits regardless of design size; we model a fixed shell
+  /// image plus the app configuration.
+  [[nodiscard]] std::size_t flash_size_bytes() const;
+
+ private:
+  std::string app_name_;
+  net::Bytes config_;
+  std::uint32_t version_ = 0;
+  std::uint64_t auth_tag_ = 0;
+};
+
+/// The keyed hash used for bitstream and management-message authentication.
+/// (A simulation stand-in for a real HMAC, with the same interface shape.)
+[[nodiscard]] std::uint64_t keyed_tag(AuthKey key, net::BytesView payload);
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,19 @@
+#include "hw/clock.hpp"
+
+namespace flexsfp::hw {
+
+bool DatapathConfig::sustains_line_rate(std::uint64_t line_rate_bps,
+                                        std::size_t min_packet_bytes,
+                                        std::uint64_t overhead_cycles) const {
+  // Wire time of the worst-case (smallest) packet, including preamble+SFD
+  // (8 B), FCS (4 B) and the 12 B inter-packet gap.
+  const std::size_t wire_bytes = min_packet_bytes + 24;
+  const double wire_time_s =
+      double(wire_bytes) * 8.0 / double(line_rate_bps);
+  const double cycles_needed =
+      double(beats_for(min_packet_bytes) + overhead_cycles);
+  const double cycles_available = wire_time_s * double(clock.hz());
+  return cycles_needed <= cycles_available;
+}
+
+}  // namespace flexsfp::hw

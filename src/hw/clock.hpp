@@ -1,0 +1,73 @@
+// Clocking and datapath-width arithmetic: the quantities behind every
+// line-rate claim in the paper ("clocked at 156.25 MHz with a 64 b datapath,
+// sufficient for line rate").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace flexsfp::hw {
+
+/// A synchronous clock domain.
+class ClockDomain {
+ public:
+  constexpr ClockDomain() = default;
+  explicit constexpr ClockDomain(std::uint64_t frequency_hz)
+      : frequency_hz_(frequency_hz) {}
+
+  [[nodiscard]] static constexpr ClockDomain mhz(double m) {
+    return ClockDomain{static_cast<std::uint64_t>(m * 1e6)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t hz() const { return frequency_hz_; }
+  [[nodiscard]] constexpr double mhz_value() const {
+    return double(frequency_hz_) * 1e-6;
+  }
+  /// Duration of one cycle in picoseconds (rounded to nearest).
+  [[nodiscard]] constexpr sim::TimePs cycle_time() const {
+    return frequency_hz_ > 0
+               ? static_cast<sim::TimePs>((1e12 + double(frequency_hz_) / 2) /
+                                          double(frequency_hz_))
+               : 0;
+  }
+  [[nodiscard]] constexpr sim::TimePs cycles_to_time(std::uint64_t cycles) const {
+    return static_cast<sim::TimePs>(cycles) * cycle_time();
+  }
+
+  friend constexpr auto operator<=>(const ClockDomain&,
+                                    const ClockDomain&) = default;
+
+ private:
+  std::uint64_t frequency_hz_ = 0;
+};
+
+/// The SFP+ reference clock the paper's prototype uses (10GbE XGMII rate).
+inline constexpr ClockDomain clock_156_25_mhz{156'250'000};
+
+/// Bus geometry of a streaming packet datapath.
+struct DatapathConfig {
+  std::uint32_t width_bits = 64;
+  ClockDomain clock = clock_156_25_mhz;
+
+  [[nodiscard]] constexpr std::uint32_t width_bytes() const {
+    return width_bits / 8;
+  }
+  /// Raw bus bandwidth in bits/second.
+  [[nodiscard]] constexpr std::uint64_t bandwidth_bps() const {
+    return std::uint64_t{width_bits} * clock.hz();
+  }
+  /// Bus beats needed to stream a packet of `bytes` through the pipe.
+  [[nodiscard]] constexpr std::uint64_t beats_for(std::size_t bytes) const {
+    const std::uint32_t wb = width_bytes();
+    return (bytes + wb - 1) / wb;
+  }
+  /// True when this geometry can absorb `line_rate_bps` of minimum-size
+  /// packets: per-packet beats must fit into the packet's wire time,
+  /// including the extra fixed `overhead_cycles` charged per packet.
+  [[nodiscard]] bool sustains_line_rate(std::uint64_t line_rate_bps,
+                                        std::size_t min_packet_bytes = 64,
+                                        std::uint64_t overhead_cycles = 0) const;
+};
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,66 @@
+// Cost model: FlexSFP bill of materials and the "ideal-scaling" cost/power
+// normalization of the paper's Table 3 (following the HotNets'23 fair-
+// comparison methodology the paper cites as [39]): capital expense and peak
+// board power are divided down to a 10 Gb/s slice of the device.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexsfp::hw {
+
+/// A closed interval of dollars (price quotes are ranges, not points).
+struct UsdRange {
+  double lo = 0;
+  double hi = 0;
+
+  [[nodiscard]] UsdRange scaled(double factor) const {
+    return UsdRange{lo * factor, hi * factor};
+  }
+  UsdRange& operator+=(const UsdRange& other) {
+    lo += other.lo;
+    hi += other.hi;
+    return *this;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One line of the FlexSFP bill of materials.
+struct BomItem {
+  std::string name;
+  UsdRange unit_cost;
+};
+
+/// The prototype BOM from §5.2: FPGA ~$200 at 1k volume, ~$10 transceiver
+/// optics, $50-100 of remaining components and manufacturing.
+[[nodiscard]] std::vector<BomItem> flexsfp_bom();
+[[nodiscard]] UsdRange flexsfp_unit_cost();
+
+/// One accelerator platform in the Table 3 comparison. `cost_norm_gbps` and
+/// `power_norm_gbps` are the aggregate throughputs the raw figures are
+/// divided by; the paper normalizes each row against the cited product's
+/// own port configuration.
+struct PlatformCost {
+  std::string name;
+  UsdRange raw_cost;
+  double raw_power_lo_w = 0;
+  double raw_power_hi_w = 0;
+  double cost_norm_gbps = 10;
+  double power_norm_gbps = 10;
+
+  [[nodiscard]] UsdRange cost_per_10g() const {
+    return raw_cost.scaled(10.0 / cost_norm_gbps);
+  }
+  [[nodiscard]] double power_per_10g_lo() const {
+    return raw_power_lo_w * 10.0 / power_norm_gbps;
+  }
+  [[nodiscard]] double power_per_10g_hi() const {
+    return raw_power_hi_w * 10.0 / power_norm_gbps;
+  }
+};
+
+/// The four rows of Table 3 (DPU, many-core SmartNIC, FPGA SmartNIC,
+/// FlexSFP). The FlexSFP row derives from flexsfp_unit_cost().
+[[nodiscard]] std::vector<PlatformCost> table3_platforms();
+
+}  // namespace flexsfp::hw

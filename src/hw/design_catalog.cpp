@@ -1,0 +1,40 @@
+#include "hw/design_catalog.hpp"
+
+#include <cmath>
+
+namespace flexsfp::hw {
+
+std::uint64_t LiteratureDesign::logic_le_equivalent() const {
+  switch (unit) {
+    case LogicUnit::le:
+      return logic_count;
+    case LogicUnit::lut6:
+      return static_cast<std::uint64_t>(
+          std::llround(double(logic_count) * le_per_lut6));
+    case LogicUnit::alm:
+      return static_cast<std::uint64_t>(
+          std::llround(double(logic_count) * le_per_alm));
+  }
+  return logic_count;
+}
+
+std::vector<LiteratureDesign> table2_designs() {
+  return {
+      {"FlowBlaze (1 stage)", 71712, LogicUnit::lut6, 14148},
+      {"Pigasus", 207960, LogicUnit::alm, 64400},
+      {"hXDP (1 core)", 68689, LogicUnit::lut6, 1799},
+      {"ClickNP IPSec GW", 242592, LogicUnit::lut6, 39161},
+  };
+}
+
+FitVerdict check_fit(const LiteratureDesign& design, const FpgaDevice& device) {
+  FitVerdict verdict;
+  verdict.design = design.name;
+  verdict.le_needed = design.logic_le_equivalent();
+  verdict.bram_kbits_needed = design.bram_kbits;
+  verdict.logic_fits = verdict.le_needed <= device.capacity().luts;
+  verdict.bram_fits = verdict.bram_kbits_needed <= device.capacity().total_sram_kbits();
+  return verdict;
+}
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,46 @@
+// Literature FPGA designs used by the paper's Table 2 fit comparison, with
+// cross-vendor normalization to 4-input logic-element equivalents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+
+namespace flexsfp::hw {
+
+enum class LogicUnit : std::uint8_t {
+  le,    // 4-input logic elements (PolarFire LUT4)
+  lut6,  // Xilinx 6-input LUTs  (1 LUT6 ~ 1.6 LE)
+  alm,   // Intel ALMs           (1 ALM  ~ 2 LE)
+};
+
+struct LiteratureDesign {
+  std::string name;
+  std::uint64_t logic_count = 0;
+  LogicUnit unit = LogicUnit::le;
+  std::uint64_t bram_kbits = 0;
+
+  [[nodiscard]] std::uint64_t logic_le_equivalent() const;
+};
+
+/// The four designs the paper tabulates.
+[[nodiscard]] std::vector<LiteratureDesign> table2_designs();
+
+struct FitVerdict {
+  std::string design;
+  std::uint64_t le_needed = 0;
+  std::uint64_t bram_kbits_needed = 0;
+  bool logic_fits = false;
+  bool bram_fits = false;
+
+  [[nodiscard]] bool fits() const { return logic_fits && bram_fits; }
+};
+
+/// Would `design` fit in `device`? (LE against LUT budget, BRAM against
+/// total on-chip SRAM.)
+[[nodiscard]] FitVerdict check_fit(const LiteratureDesign& design,
+                                   const FpgaDevice& device);
+
+}  // namespace flexsfp::hw

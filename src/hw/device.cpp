@@ -1,0 +1,78 @@
+#include "hw/device.hpp"
+
+#include <algorithm>
+
+namespace flexsfp::hw {
+
+double UtilizationReport::worst() const {
+  return std::max({luts_pct, ffs_pct, usram_pct, lsram_pct});
+}
+
+FpgaDevice::FpgaDevice(DeviceCapacity capacity)
+    : capacity_(std::move(capacity)) {}
+
+FpgaDevice FpgaDevice::mpf100t() {
+  return FpgaDevice{{.name = "MPF100T",
+                     .luts = 108600,
+                     .ffs = 108600,
+                     .usram_blocks = 1008,
+                     .lsram_blocks = 352,
+                     .process_nm = 28}};
+}
+
+FpgaDevice FpgaDevice::mpf200t() {
+  // Matches the paper's Table 1 "Avail." row.
+  return FpgaDevice{{.name = "MPF200T",
+                     .luts = 192408,
+                     .ffs = 192408,
+                     .usram_blocks = 1764,
+                     .lsram_blocks = 616,
+                     .process_nm = 28}};
+}
+
+FpgaDevice FpgaDevice::mpf300t() {
+  return FpgaDevice{{.name = "MPF300T",
+                     .luts = 299544,
+                     .ffs = 299544,
+                     .usram_blocks = 2772,
+                     .lsram_blocks = 952,
+                     .process_nm = 28}};
+}
+
+FpgaDevice FpgaDevice::mpf500t() {
+  return FpgaDevice{{.name = "MPF500T",
+                     .luts = 481036,
+                     .ffs = 481036,
+                     .usram_blocks = 4440,
+                     .lsram_blocks = 1520,
+                     .process_nm = 28}};
+}
+
+std::optional<FpgaDevice> FpgaDevice::by_name(std::string_view name) {
+  for (auto& device : polarfire_family()) {
+    if (device.name() == name) return device;
+  }
+  return std::nullopt;
+}
+
+std::vector<FpgaDevice> FpgaDevice::polarfire_family() {
+  return {mpf100t(), mpf200t(), mpf300t(), mpf500t()};
+}
+
+bool FpgaDevice::fits(const ResourceUsage& usage) const {
+  return usage.luts <= capacity_.luts && usage.ffs <= capacity_.ffs &&
+         usage.usram_blocks <= capacity_.usram_blocks &&
+         usage.lsram_blocks <= capacity_.lsram_blocks;
+}
+
+UtilizationReport FpgaDevice::utilization(const ResourceUsage& usage) const {
+  auto pct = [](std::uint64_t used, std::uint64_t available) {
+    return available > 0 ? 100.0 * double(used) / double(available) : 0.0;
+  };
+  return UtilizationReport{pct(usage.luts, capacity_.luts),
+                           pct(usage.ffs, capacity_.ffs),
+                           pct(usage.usram_blocks, capacity_.usram_blocks),
+                           pct(usage.lsram_blocks, capacity_.lsram_blocks)};
+}
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,72 @@
+// FPGA device catalog and cross-vendor logic-element normalization.
+//
+// Capacities for the PolarFire family come from the Microchip datasheet
+// figures cited by the paper; the MPF200T numbers match the paper's Table 1
+// "Avail." row exactly. Cross-vendor conversions follow the paper's Table 2
+// footnotes: 1 Xilinx LUT6 ~ 1.6 LE, 1 Intel ALM ~ 2 LE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/resources.hpp"
+
+namespace flexsfp::hw {
+
+/// Conversion factors to 4-input logic-element equivalents (Table 2 notes).
+inline constexpr double le_per_lut6 = 1.6;
+inline constexpr double le_per_alm = 2.0;
+
+struct DeviceCapacity {
+  std::string name;
+  std::uint64_t luts = 0;          // 4LUT count (== LE count for PolarFire)
+  std::uint64_t ffs = 0;
+  std::uint64_t usram_blocks = 0;
+  std::uint64_t lsram_blocks = 0;
+  /// Process node, for the scalability discussion (§5.3).
+  unsigned process_nm = 28;
+
+  [[nodiscard]] std::uint64_t total_sram_kbits() const {
+    return (usram_blocks * usram_block_bits +
+            lsram_blocks * lsram_block_bits) /
+           1024;
+  }
+};
+
+/// Utilization of one resource dimension, as a percentage.
+struct UtilizationReport {
+  double luts_pct = 0;
+  double ffs_pct = 0;
+  double usram_pct = 0;
+  double lsram_pct = 0;
+
+  [[nodiscard]] double worst() const;
+};
+
+/// A concrete FPGA with capacity checks.
+class FpgaDevice {
+ public:
+  explicit FpgaDevice(DeviceCapacity capacity);
+
+  /// Named parts. `mpf200t()` is the paper's prototype device.
+  [[nodiscard]] static FpgaDevice mpf100t();
+  [[nodiscard]] static FpgaDevice mpf200t();
+  [[nodiscard]] static FpgaDevice mpf300t();
+  [[nodiscard]] static FpgaDevice mpf500t();
+  [[nodiscard]] static std::optional<FpgaDevice> by_name(std::string_view name);
+  [[nodiscard]] static std::vector<FpgaDevice> polarfire_family();
+
+  [[nodiscard]] const DeviceCapacity& capacity() const { return capacity_; }
+  [[nodiscard]] const std::string& name() const { return capacity_.name; }
+
+  [[nodiscard]] bool fits(const ResourceUsage& usage) const;
+  [[nodiscard]] UtilizationReport utilization(const ResourceUsage& usage) const;
+
+ private:
+  DeviceCapacity capacity_;
+};
+
+}  // namespace flexsfp::hw

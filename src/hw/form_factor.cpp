@@ -1,0 +1,24 @@
+#include "hw/form_factor.hpp"
+
+namespace flexsfp::hw {
+
+std::vector<FormFactor> form_factor_ladder() {
+  return {
+      {"SFP+", 1.5, 10, 1},      // power class with standard cooling
+      {"SFP28", 2.5, 25, 1},
+      {"QSFP+", 3.5, 40, 4},
+      {"QSFP28", 5.0, 100, 4},
+      {"QSFP-DD", 12.0, 400, 8},
+      {"OSFP", 15.0, 800, 8},
+  };
+}
+
+std::optional<FormFactor> smallest_form_factor(double watts,
+                                               double line_gbps) {
+  for (const auto& form : form_factor_ladder()) {
+    if (form.accommodates(watts, line_gbps)) return form;
+  }
+  return std::nullopt;
+}
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,34 @@
+// Pluggable-module form factors and their MSA power/thermal envelopes
+// (§5.3: "Higher-speed interconnects rely on larger form factors like QSFP,
+// and OSFP ... designed with higher power and thermal envelopes").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flexsfp::hw {
+
+struct FormFactor {
+  std::string name;
+  double max_power_w = 0;   // MSA power class ceiling
+  double max_line_gbps = 0; // aggregate electrical interface rate
+  unsigned lanes = 1;
+
+  /// Can a module drawing `watts` at `line_gbps` live in this cage?
+  [[nodiscard]] bool accommodates(double watts, double line_gbps) const {
+    return watts <= max_power_w && line_gbps <= max_line_gbps;
+  }
+};
+
+/// The MSA ladder, ordered small to large. Power ceilings follow the
+/// highest standard power class of each family.
+[[nodiscard]] std::vector<FormFactor> form_factor_ladder();
+
+/// Smallest form factor that accommodates the design point, or nullopt when
+/// even OSFP cannot (the §5.3 scaling wall).
+[[nodiscard]] std::optional<FormFactor> smallest_form_factor(
+    double watts, double line_gbps);
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,53 @@
+#include "hw/power_model.hpp"
+
+#include <algorithm>
+
+namespace flexsfp::hw {
+
+namespace {
+// Calibration constants (see header).
+constexpr double nic_base_w = 3.800;
+constexpr double optics_idle_w = 0.720;
+constexpr double optics_active_w = 0.173;   // at 100% utilization
+constexpr double static_w_per_mlut = 0.58;  // leakage per million 4LUTs
+// Dynamic power per (LUT-equivalent x Hz x activity). FFs toggle at roughly
+// half the weight of LUT output nets in this normalization.
+constexpr double dynamic_w_per_lut_hz = 3.0e-13;
+}  // namespace
+
+double PowerModel::nic_base_watts() { return nic_base_w; }
+
+double PowerModel::sfp_optics_watts(double utilization) {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return optics_idle_w + optics_active_w * u;
+}
+
+double PowerModel::fpga_static_watts(const FpgaDevice& device) {
+  return static_w_per_mlut * double(device.capacity().luts) / 1e6;
+}
+
+double PowerModel::fpga_dynamic_watts(const ResourceUsage& usage,
+                                      ClockDomain clock, double activity) {
+  const double lut_equiv = double(usage.luts) + double(usage.ffs) / 2.0;
+  return dynamic_w_per_lut_hz * lut_equiv * double(clock.hz()) *
+         std::clamp(activity, 0.0, 1.0);
+}
+
+PowerBreakdown PowerModel::standard_sfp(double utilization) {
+  return PowerBreakdown{.optics_w = sfp_optics_watts(utilization)};
+}
+
+PowerBreakdown PowerModel::flexsfp(const FpgaDevice& device,
+                                   const ResourceUsage& usage,
+                                   ClockDomain clock, double utilization,
+                                   double activity) {
+  // Dynamic switching scales with how much traffic actually flows.
+  const double traffic_activity =
+      activity * std::clamp(utilization, 0.05, 1.0);
+  return PowerBreakdown{
+      .optics_w = sfp_optics_watts(utilization),
+      .fpga_static_w = fpga_static_watts(device),
+      .fpga_dynamic_w = fpga_dynamic_watts(usage, clock, traffic_activity)};
+}
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,163 @@
+#include "hw/resource_model.hpp"
+#include <cmath>
+
+namespace flexsfp::hw {
+
+std::uint64_t lsram_blocks_for_bits(std::uint64_t bits) {
+  return (bits + lsram_block_bits - 1) / lsram_block_bits;
+}
+
+std::uint64_t usram_blocks_for_bits(std::uint64_t bits) {
+  return (bits + usram_block_bits - 1) / usram_block_bits;
+}
+
+ResourceUsage ResourceModel::miv_rv32() {
+  return ResourceUsage{8696, 376, 6, 4};
+}
+
+ResourceUsage ResourceModel::ethernet_iface_electrical() {
+  return ResourceUsage{6824, 6924, 118, 0};
+}
+
+ResourceUsage ResourceModel::ethernet_iface_optical() {
+  return ResourceUsage{6813, 6924, 118, 0};
+}
+
+ResourceUsage ResourceModel::ethernet_iface_scaled(double line_gbps) {
+  const ResourceUsage base = ethernet_iface_electrical();
+  const double ratio = line_gbps / 10.0;
+  if (ratio <= 1.0) return base;
+  const double logic_factor = std::pow(ratio, 0.85);
+  const double memory_factor = ratio * 0.5;  // wider words absorb half
+  return ResourceUsage{
+      static_cast<std::uint64_t>(double(base.luts) * logic_factor),
+      static_cast<std::uint64_t>(double(base.ffs) * logic_factor),
+      static_cast<std::uint64_t>(double(base.usram_blocks) * memory_factor),
+      base.lsram_blocks};
+}
+
+// Calibrated logic coefficients (see header comment). Each constant is the
+// per-unit cost in 4LUTs / FFs of the named structure.
+namespace {
+constexpr std::uint64_t parser_luts_per_byte = 56;
+constexpr std::uint64_t parser_ffs_per_byte = 64;
+constexpr std::uint64_t hash_luts_per_bit = 32;
+constexpr std::uint64_t hash_ffs_per_bit = 36;
+constexpr std::uint64_t em_ctl_base_luts = 900;
+constexpr std::uint64_t em_ctl_base_ffs = 1200;
+constexpr std::uint64_t em_ctl_luts_per_entry_bit = 8;
+constexpr std::uint64_t em_ctl_ffs_per_entry_bit = 14;
+constexpr std::uint64_t edit_base_luts = 500;
+constexpr std::uint64_t edit_base_ffs = 600;
+constexpr std::uint64_t deparser_luts_per_bit = 22;
+constexpr std::uint64_t deparser_ffs_per_bit = 30;
+constexpr std::uint64_t csr_luts_per_reg = 14;
+constexpr std::uint64_t csr_ffs_per_reg = 18;
+constexpr std::uint64_t fifo_luts = 64;
+constexpr std::uint64_t fifo_ffs = 96;
+constexpr std::uint64_t fsm_luts_per_state = 50;
+constexpr std::uint64_t fsm_ffs_per_state = 40;
+}  // namespace
+
+ResourceUsage ResourceModel::parser(std::size_t bytes_examined,
+                                    std::uint32_t width_bits) {
+  // Field extraction muxes scale with bytes examined; the shift network
+  // scales with bus width.
+  return ResourceUsage{
+      parser_luts_per_byte * bytes_examined + 2ull * width_bits,
+      parser_ffs_per_byte * bytes_examined + 4ull * width_bits, 0, 0};
+}
+
+ResourceUsage ResourceModel::hash_unit(std::uint32_t key_bits) {
+  return ResourceUsage{hash_luts_per_bit * key_bits,
+                       hash_ffs_per_bit * key_bits, 0, 0};
+}
+
+ResourceUsage ResourceModel::exact_match_table(std::uint64_t entries,
+                                               std::uint32_t key_bits,
+                                               std::uint32_t value_bits) {
+  const std::uint64_t entry_bits = std::uint64_t{key_bits} + value_bits + 4;
+  ResourceUsage usage = hash_unit(key_bits);
+  usage.luts += em_ctl_base_luts + em_ctl_luts_per_entry_bit * entry_bits;
+  usage.ffs += em_ctl_base_ffs + em_ctl_ffs_per_entry_bit * entry_bits;
+  usage.lsram_blocks = lsram_blocks_for_bits(entries * entry_bits);
+  return usage;
+}
+
+ResourceUsage ResourceModel::ternary_table(std::uint64_t rules,
+                                           std::uint32_t key_bits) {
+  // TCAM emulation: each rule stores value+mask in FFs (2 bits of state per
+  // key bit) and burns ~0.7 LUT per key bit for the masked compare, plus a
+  // priority encoder that grows with the rule count.
+  const std::uint64_t compare_luts = rules * (7 * key_bits) / 10;
+  const std::uint64_t rule_ffs = rules * 2 * key_bits;
+  const std::uint64_t encoder_luts = 4 * rules + 200;
+  return ResourceUsage{compare_luts + encoder_luts, rule_ffs + 100, 0, 0};
+}
+
+ResourceUsage ResourceModel::lpm_table(std::uint64_t entries) {
+  // Two-level 16/8/8 stride trie in LSRAM: level tables sized for the entry
+  // count, plus walk control.
+  const std::uint64_t node_bits = 40;  // pointer/prefix/valid per node
+  const std::uint64_t nodes = entries * 3;
+  return ResourceUsage{1600, 1900, 0,
+                       lsram_blocks_for_bits(nodes * node_bits)};
+}
+
+ResourceUsage ResourceModel::field_edit_unit(std::size_t edited_fields,
+                                             std::uint32_t width_bits) {
+  return ResourceUsage{edit_base_luts * edited_fields + 4ull * width_bits,
+                       edit_base_ffs * edited_fields + 6ull * width_bits, 0,
+                       0};
+}
+
+ResourceUsage ResourceModel::checksum_patch_unit() {
+  return ResourceUsage{420, 380, 0, 0};
+}
+
+ResourceUsage ResourceModel::header_shift_unit(std::size_t shim_bytes,
+                                               std::uint32_t width_bits) {
+  // Barrel shifter across the bus plus shim assembly registers.
+  return ResourceUsage{12ull * width_bits + 30ull * shim_bytes,
+                       16ull * width_bits + 8ull * shim_bytes, 0, 0};
+}
+
+ResourceUsage ResourceModel::deparser(std::uint32_t width_bits) {
+  return ResourceUsage{deparser_luts_per_bit * width_bits,
+                       deparser_ffs_per_bit * width_bits, 0, 0};
+}
+
+ResourceUsage ResourceModel::csr_block(std::size_t registers) {
+  return ResourceUsage{csr_luts_per_reg * registers,
+                       csr_ffs_per_reg * registers, 0, 0};
+}
+
+ResourceUsage ResourceModel::stream_fifo(std::size_t depth_words,
+                                         std::uint32_t width_bits) {
+  return ResourceUsage{
+      fifo_luts, fifo_ffs,
+      usram_blocks_for_bits(std::uint64_t{depth_words} * width_bits), 0};
+}
+
+ResourceUsage ResourceModel::control_fsm(std::size_t states,
+                                         std::uint32_t width_bits) {
+  return ResourceUsage{fsm_luts_per_state * states + 2ull * width_bits,
+                       fsm_ffs_per_state * states + 2ull * width_bits, 0, 0};
+}
+
+ResourceUsage ResourceModel::counter_bank(std::uint64_t counters,
+                                          std::uint32_t bits) {
+  return ResourceUsage{300 + 2 * bits, 200 + bits,
+                       usram_blocks_for_bits(counters * bits), 0};
+}
+
+ResourceUsage ResourceModel::token_bucket_bank(std::uint64_t buckets) {
+  // Per-bucket state: 32 b level + 32 b last-refill timestamp.
+  return ResourceUsage{900, 700, usram_blocks_for_bits(buckets * 64), 0};
+}
+
+ResourceUsage ResourceModel::timestamp_unit() {
+  return ResourceUsage{500, 650, 0, 0};
+}
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,45 @@
+#include "hw/resources.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flexsfp::hw {
+
+ResourceUsage ResourceUsage::scaled(double factor) const {
+  auto scale = [factor](std::uint64_t v) {
+    return static_cast<std::uint64_t>(std::ceil(double(v) * factor));
+  };
+  return ResourceUsage{scale(luts), scale(ffs), scale(usram_blocks),
+                       scale(lsram_blocks)};
+}
+
+std::string ResourceUsage::to_string() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer,
+                "%llu LUT, %llu FF, %llu uSRAM, %llu LSRAM",
+                static_cast<unsigned long long>(luts),
+                static_cast<unsigned long long>(ffs),
+                static_cast<unsigned long long>(usram_blocks),
+                static_cast<unsigned long long>(lsram_blocks));
+  return buffer;
+}
+
+void ResourceBreakdown::add(std::string name, ResourceUsage usage) {
+  components_.push_back(ComponentUsage{std::move(name), usage});
+}
+
+ResourceUsage ResourceBreakdown::total() const {
+  ResourceUsage total;
+  for (const auto& component : components_) total += component.usage;
+  return total;
+}
+
+void ResourceBreakdown::merge(const std::string& prefix,
+                              const ResourceBreakdown& other) {
+  for (const auto& component : other.components()) {
+    components_.push_back(
+        ComponentUsage{prefix + component.name, component.usage});
+  }
+}
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,78 @@
+// FPGA resource accounting in PolarFire terms: 4-input LUTs, flip-flops,
+// uSRAM blocks (64 x 12 bit) and LSRAM blocks (20 kbit).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexsfp::hw {
+
+/// PolarFire uSRAM block: 64 words x 12 bits.
+inline constexpr std::uint64_t usram_block_bits = 64 * 12;
+/// PolarFire LSRAM block: 20 kbit.
+inline constexpr std::uint64_t lsram_block_bits = 20 * 1024;
+
+/// Resource vector for one design component. Addition composes components
+/// into a design; comparison against a device budget decides fit.
+struct ResourceUsage {
+  std::uint64_t luts = 0;          // 4-input LUT equivalents
+  std::uint64_t ffs = 0;           // D flip-flops
+  std::uint64_t usram_blocks = 0;  // 64x12 bit blocks
+  std::uint64_t lsram_blocks = 0;  // 20 kbit blocks
+
+  constexpr ResourceUsage& operator+=(const ResourceUsage& other) {
+    luts += other.luts;
+    ffs += other.ffs;
+    usram_blocks += other.usram_blocks;
+    lsram_blocks += other.lsram_blocks;
+    return *this;
+  }
+  friend constexpr ResourceUsage operator+(ResourceUsage a,
+                                           const ResourceUsage& b) {
+    a += b;
+    return a;
+  }
+  /// Scale every dimension (e.g. replicating a PPE lane). Rounds up.
+  [[nodiscard]] ResourceUsage scaled(double factor) const;
+
+  [[nodiscard]] std::uint64_t usram_bits() const {
+    return usram_blocks * usram_block_bits;
+  }
+  [[nodiscard]] std::uint64_t lsram_bits() const {
+    return lsram_blocks * lsram_block_bits;
+  }
+  [[nodiscard]] std::uint64_t total_memory_bits() const {
+    return usram_bits() + lsram_bits();
+  }
+
+  friend constexpr auto operator<=>(const ResourceUsage&,
+                                    const ResourceUsage&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A named component line-item, so a design can be reported broken down by
+/// component exactly like the paper's Table 1.
+struct ComponentUsage {
+  std::string name;
+  ResourceUsage usage;
+};
+
+/// Ordered component list with a computed total.
+class ResourceBreakdown {
+ public:
+  void add(std::string name, ResourceUsage usage);
+  [[nodiscard]] const std::vector<ComponentUsage>& components() const {
+    return components_;
+  }
+  [[nodiscard]] ResourceUsage total() const;
+  /// Merge another breakdown's components under a prefix ("nat/...").
+  void merge(const std::string& prefix, const ResourceBreakdown& other);
+
+ private:
+  std::vector<ComponentUsage> components_;
+};
+
+}  // namespace flexsfp::hw

@@ -1,0 +1,39 @@
+#include "hw/spi_flash.hpp"
+
+namespace flexsfp::hw {
+
+using namespace sim;  // time literals
+
+SpiFlash::SpiFlash(std::size_t slots, std::uint64_t capacity_bits)
+    : slots_(slots),
+      slot_capacity_bytes_(slots > 0 ? capacity_bits / 8 / slots : 0) {}
+
+sim::TimePs SpiFlash::program_time(std::size_t bytes) {
+  constexpr std::size_t sector = 4096;
+  constexpr std::size_t page = 256;
+  const std::size_t sectors = (bytes + sector - 1) / sector;
+  const std::size_t pages = (bytes + page - 1) / page;
+  const sim::TimePs erase = static_cast<sim::TimePs>(sectors) * 45_ms;
+  const sim::TimePs program = static_cast<sim::TimePs>(pages) * 600_us;
+  return erase + program;
+}
+
+std::optional<sim::TimePs> SpiFlash::write(std::size_t slot,
+                                           const Bitstream& image) {
+  if (slot >= slots_.size()) return std::nullopt;
+  if (image.flash_size_bytes() > slot_capacity_bytes_) return std::nullopt;
+  slots_[slot].image = image;
+  ++slots_[slot].erase_cycles;
+  return program_time(image.flash_size_bytes());
+}
+
+std::optional<Bitstream> SpiFlash::read(std::size_t slot) const {
+  if (slot >= slots_.size()) return std::nullopt;
+  return slots_[slot].image;
+}
+
+std::uint64_t SpiFlash::erase_cycles(std::size_t slot) const {
+  return slot < slots_.size() ? slots_[slot].erase_cycles : 0;
+}
+
+}  // namespace flexsfp::hw

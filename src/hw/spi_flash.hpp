@@ -1,0 +1,54 @@
+// SPI NOR flash model: the 128 Mb device on the prototype board that holds
+// multiple design images (§4.3) so the module can reboot into a different
+// application at runtime. Models capacity, slotting, erase-before-write
+// timing and per-slot wear counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/bitstream.hpp"
+#include "sim/time.hpp"
+
+namespace flexsfp::hw {
+
+class SpiFlash {
+ public:
+  /// 128 Mb part split into `slots` equal design slots (slot 0 is the
+  /// factory/golden image by convention).
+  explicit SpiFlash(std::size_t slots = 4,
+                    std::uint64_t capacity_bits = 128ull * 1024 * 1024);
+
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  [[nodiscard]] std::uint64_t slot_capacity_bytes() const {
+    return slot_capacity_bytes_;
+  }
+
+  /// Erase + program a bitstream into `slot`. Returns the operation's
+  /// duration (what the reconfiguration FSM must wait), or nullopt when the
+  /// slot index is bad or the image doesn't fit.
+  [[nodiscard]] std::optional<sim::TimePs> write(std::size_t slot,
+                                                 const Bitstream& image);
+
+  /// Image currently stored in `slot`, if any.
+  [[nodiscard]] std::optional<Bitstream> read(std::size_t slot) const;
+
+  [[nodiscard]] std::uint64_t erase_cycles(std::size_t slot) const;
+
+  /// Total program time for `bytes` (erase + page programming), a model of
+  /// typical NOR timing: 4 KiB sector erase ~45 ms each... scaled to the
+  /// affected region; 256 B page program ~600 us.
+  [[nodiscard]] static sim::TimePs program_time(std::size_t bytes);
+
+ private:
+  struct Slot {
+    std::optional<Bitstream> image;
+    std::uint64_t erase_cycles = 0;
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t slot_capacity_bytes_;
+};
+
+}  // namespace flexsfp::hw

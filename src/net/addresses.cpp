@@ -1,0 +1,269 @@
+#include "net/addresses.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace flexsfp::net {
+
+namespace {
+
+// Parse up to `max_digits` hex digits from `text` starting at `pos`.
+// Returns nullopt if no digit is present.
+std::optional<std::uint32_t> parse_hex_group(std::string_view text,
+                                             std::size_t& pos,
+                                             int max_digits) {
+  std::uint32_t value = 0;
+  int digits = 0;
+  while (pos < text.size() && digits < max_digits) {
+    const char c = text[pos];
+    std::uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      break;
+    }
+    value = (value << 4) | nibble;
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+MacAddress MacAddress::from_u64(std::uint64_t value) {
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    octets[i] = static_cast<std::uint8_t>(value >> (40 - 8 * i));
+  }
+  return MacAddress{octets};
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> octets{};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i != 0) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+    const auto group = parse_hex_group(text, pos, 2);
+    if (!group) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>(*group);
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddress{octets};
+}
+
+std::uint64_t MacAddress::to_u64() const {
+  std::uint64_t value = 0;
+  for (const auto octet : octets_) value = (value << 8) | octet;
+  return value;
+}
+
+bool MacAddress::is_broadcast() const { return *this == broadcast(); }
+
+bool MacAddress::is_multicast() const { return (octets_[0] & 0x01) != 0; }
+
+std::string MacAddress::to_string() const { return to_hex(octets_, ':'); }
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    unsigned octet = 0;
+    const auto* begin = text.data() + pos;
+    const auto* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, octet);
+    if (ec != std::errc{} || octet > 255 || ptr == begin) return std::nullopt;
+    pos += static_cast<std::size_t>(ptr - begin);
+    value = (value << 8) | octet;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Address{value};
+}
+
+bool Ipv4Address::is_multicast() const { return (value_ >> 28) == 0xe; }
+
+bool Ipv4Address::is_loopback() const { return (value_ >> 24) == 127; }
+
+std::string Ipv4Address::to_string() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof buffer, "%u.%u.%u.%u", value_ >> 24,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buffer;
+}
+
+Ipv6Address Ipv6Address::from_u64_pair(std::uint64_t hi, std::uint64_t lo) {
+  std::array<std::uint8_t, 16> octets{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    octets[i] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    octets[8 + i] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+  }
+  return Ipv6Address{octets};
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Split on "::" if present; each side is a list of 16-bit groups.
+  std::array<std::uint16_t, 8> groups{};
+  std::size_t head_count = 0;
+  std::size_t tail_count = 0;
+  std::array<std::uint16_t, 8> tail{};
+
+  const auto gap = text.find("::");
+  const std::string_view head =
+      gap == std::string_view::npos ? text : text.substr(0, gap);
+  const std::string_view rest =
+      gap == std::string_view::npos ? std::string_view{} : text.substr(gap + 2);
+
+  auto parse_side = [](std::string_view side, std::array<std::uint16_t, 8>& out,
+                       std::size_t& count) -> bool {
+    if (side.empty()) return true;
+    std::size_t pos = 0;
+    while (true) {
+      if (count == 8) return false;
+      const auto group = parse_hex_group(side, pos, 4);
+      if (!group) return false;
+      out[count++] = static_cast<std::uint16_t>(*group);
+      if (pos == side.size()) return true;
+      if (side[pos] != ':') return false;
+      ++pos;
+    }
+  };
+
+  if (!parse_side(head, groups, head_count)) return std::nullopt;
+  if (!parse_side(rest, tail, tail_count)) return std::nullopt;
+  if (gap == std::string_view::npos) {
+    if (head_count != 8) return std::nullopt;
+  } else {
+    if (head_count + tail_count > 7) return std::nullopt;  // "::" covers >= 1
+    for (std::size_t i = 0; i < tail_count; ++i) {
+      groups[8 - tail_count + i] = tail[i];
+    }
+  }
+
+  std::array<std::uint8_t, 16> octets{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    octets[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    octets[2 * i + 1] = static_cast<std::uint8_t>(groups[i] & 0xff);
+  }
+  return Ipv6Address{octets};
+}
+
+std::pair<std::uint64_t, std::uint64_t> Ipv6Address::to_u64_pair() const {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (std::size_t i = 0; i < 8; ++i) hi = (hi << 8) | octets_[i];
+  for (std::size_t i = 8; i < 16; ++i) lo = (lo << 8) | octets_[i];
+  return {hi, lo};
+}
+
+bool Ipv6Address::is_multicast() const { return octets_[0] == 0xff; }
+
+std::string Ipv6Address::to_string() const {
+  // Always the full (uncompressed) form: unambiguous and cheap.
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(39);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i != 0) out += ':';
+    const std::uint16_t group = static_cast<std::uint16_t>(
+        (octets_[2 * i] << 8) | octets_[2 * i + 1]);
+    out += digits[(group >> 12) & 0xf];
+    out += digits[(group >> 8) & 0xf];
+    out += digits[(group >> 4) & 0xf];
+    out += digits[group & 0xf];
+  }
+  return out;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address address, std::uint8_t length)
+    : length_(length) {
+  const std::uint32_t m =
+      length == 0 ? 0 : (length >= 32 ? 0xffffffffu
+                                      : ~((1u << (32 - length)) - 1));
+  address_ = Ipv4Address{address.value() & m};
+  if (length > 32) length_ = 32;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  const auto* begin = text.data() + slash + 1;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, length);
+  if (ec != std::errc{} || ptr != end || length > 32) return std::nullopt;
+  return Ipv4Prefix{*addr, static_cast<std::uint8_t>(length)};
+}
+
+std::uint32_t Ipv4Prefix::mask() const {
+  return length_ == 0 ? 0
+                      : (length_ >= 32 ? 0xffffffffu
+                                       : ~((1u << (32 - length_)) - 1));
+}
+
+bool Ipv4Prefix::contains(Ipv4Address addr) const {
+  return (addr.value() & mask()) == address_.value();
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+namespace {
+
+// 128-bit mask as a (hi, lo) pair for `length` leading ones.
+std::pair<std::uint64_t, std::uint64_t> ipv6_mask(std::uint8_t length) {
+  const auto ones = [](unsigned n) -> std::uint64_t {
+    return n == 0 ? 0 : (n >= 64 ? ~0ull : ~((1ull << (64 - n)) - 1));
+  };
+  if (length <= 64) return {ones(length), 0};
+  return {~0ull, ones(length - 64)};
+}
+
+}  // namespace
+
+Ipv6Prefix::Ipv6Prefix(const Ipv6Address& address, std::uint8_t length)
+    : length_(length > 128 ? 128 : length) {
+  const auto [mask_hi, mask_lo] = ipv6_mask(length_);
+  const auto [hi, lo] = address.to_u64_pair();
+  address_ = Ipv6Address::from_u64_pair(hi & mask_hi, lo & mask_lo);
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned length = 0;
+  const auto* begin = text.data() + slash + 1;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, length);
+  if (ec != std::errc{} || ptr != end || length > 128) return std::nullopt;
+  return Ipv6Prefix{*addr, static_cast<std::uint8_t>(length)};
+}
+
+bool Ipv6Prefix::contains(const Ipv6Address& addr) const {
+  const auto [mask_hi, mask_lo] = ipv6_mask(length_);
+  const auto [hi, lo] = addr.to_u64_pair();
+  const auto [prefix_hi, prefix_lo] = address_.to_u64_pair();
+  return (hi & mask_hi) == prefix_hi && (lo & mask_lo) == prefix_lo;
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace flexsfp::net

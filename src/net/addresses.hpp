@@ -1,0 +1,149 @@
+// Link-layer and network-layer address value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/bytes.hpp"
+
+namespace flexsfp::net {
+
+/// 48-bit IEEE 802 MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Build from the low 48 bits of `value` (useful for generated hosts).
+  [[nodiscard]] static MacAddress from_u64(std::uint64_t value);
+  /// Parse "aa:bb:cc:dd:ee:ff"; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text);
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] std::uint64_t to_u64() const;
+  [[nodiscard]] bool is_broadcast() const;
+  [[nodiscard]] bool is_multicast() const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address held in host order for arithmetic convenience.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+
+  [[nodiscard]] static constexpr Ipv4Address from_octets(std::uint8_t a,
+                                                         std::uint8_t b,
+                                                         std::uint8_t c,
+                                                         std::uint8_t d) {
+    return Ipv4Address{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+  /// Parse dotted quad; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] bool is_multicast() const;  // 224.0.0.0/4
+  [[nodiscard]] bool is_loopback() const;   // 127.0.0.0/8
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Address&,
+                                    const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv6 address as 16 raw octets.
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  explicit constexpr Ipv6Address(std::array<std::uint8_t, 16> octets)
+      : octets_(octets) {}
+
+  /// Build from two 64-bit halves (hi = first 8 octets on the wire).
+  [[nodiscard]] static Ipv6Address from_u64_pair(std::uint64_t hi,
+                                                 std::uint64_t lo);
+  /// Parse full or "::"-compressed textual form; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv6Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> to_u64_pair() const;
+  [[nodiscard]] bool is_multicast() const;  // ff00::/8
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Address&,
+                                    const Ipv6Address&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> octets_{};
+};
+
+/// IPv4 prefix (address + mask length) used by LPM tables and ACLs.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  /// Precondition: length <= 32. The address is canonicalized (host bits
+  /// cleared) so equal prefixes compare equal.
+  Ipv4Prefix(Ipv4Address address, std::uint8_t length);
+
+  /// Parse "a.b.c.d/len"; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Address address() const { return address_; }
+  [[nodiscard]] constexpr std::uint8_t length() const { return length_; }
+  [[nodiscard]] std::uint32_t mask() const;
+  [[nodiscard]] bool contains(Ipv4Address addr) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&,
+                                    const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Address address_{};
+  std::uint8_t length_ = 0;
+};
+
+/// IPv6 prefix (address + mask length), for subscriber-side IPv6 policy.
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() = default;
+  /// Canonicalizes host bits to zero; length is clamped to 128.
+  Ipv6Prefix(const Ipv6Address& address, std::uint8_t length);
+
+  /// Parse "2001:db8::/32"; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv6Prefix> parse(std::string_view text);
+
+  [[nodiscard]] const Ipv6Address& address() const { return address_; }
+  [[nodiscard]] std::uint8_t length() const { return length_; }
+  [[nodiscard]] bool contains(const Ipv6Address& addr) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Prefix&,
+                                    const Ipv6Prefix&) = default;
+
+ private:
+  Ipv6Address address_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace flexsfp::net

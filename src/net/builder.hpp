@@ -1,0 +1,103 @@
+// Fluent frame construction with automatic length and checksum fixup, plus
+// the in-place encapsulation/decapsulation primitives the tunnel app uses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+#include "net/parser.hpp"
+
+namespace flexsfp::net {
+
+/// Builds a frame inner-to-outer-agnostic: call the layer methods in wire
+/// order (ethernet, [vlan...], ip, l4, payload) then build(). Lengths and
+/// checksums are computed in build(); explicitly set values are preserved.
+class PacketBuilder {
+ public:
+  PacketBuilder& ethernet(MacAddress dst, MacAddress src,
+                          EtherType type = EtherType::ipv4);
+  PacketBuilder& vlan(std::uint16_t vid, std::uint8_t pcp = 0);
+  /// Outer 802.1ad service tag followed by an inner 802.1Q tag.
+  PacketBuilder& qinq(std::uint16_t service_vid, std::uint16_t customer_vid);
+  PacketBuilder& ipv4(Ipv4Address src, Ipv4Address dst, IpProto proto,
+                      std::uint8_t ttl = 64);
+  PacketBuilder& ipv4_header(const Ipv4Header& header);
+  PacketBuilder& ipv6(Ipv6Address src, Ipv6Address dst, IpProto next,
+                      std::uint8_t hop_limit = 64);
+  PacketBuilder& udp(std::uint16_t src_port, std::uint16_t dst_port);
+  PacketBuilder& tcp(std::uint16_t src_port, std::uint16_t dst_port,
+                     std::uint8_t flags = TcpHeader::flag_ack);
+  PacketBuilder& icmp_echo(std::uint16_t id, std::uint16_t seq);
+  /// Raw payload bytes.
+  PacketBuilder& payload(Bytes bytes);
+  /// Zero payload of `size` bytes (pattern-filled for identification).
+  PacketBuilder& payload_size(std::size_t size);
+  /// Pad the final frame to at least `size` bytes (default: Ethernet
+  /// 60-byte minimum is always applied).
+  PacketBuilder& min_frame_size(std::size_t size);
+
+  /// Assemble the frame. Can be called repeatedly; the builder is const
+  /// after configuration.
+  [[nodiscard]] Bytes build() const;
+  [[nodiscard]] Packet build_packet() const;
+
+ private:
+  std::optional<EthernetHeader> eth_;
+  std::vector<VlanTag> vlans_;
+  bool qinq_outer_ = false;
+  std::optional<Ipv4Header> ipv4_;
+  std::optional<Ipv6Header> ipv6_;
+  std::optional<UdpHeader> udp_;
+  std::optional<TcpHeader> tcp_;
+  std::optional<IcmpHeader> icmp_;
+  Bytes payload_;
+  std::size_t min_frame_ = 60;
+};
+
+// --- In-place transformations (the datapath edit primitives) ---------------
+
+/// Push a GRE/IPv4 delivery header in front of the IP payload of `frame`.
+/// The original Ethernet header is kept; the original IP packet becomes the
+/// GRE payload. Returns false if the frame has no outer IPv4 layer.
+bool encapsulate_gre(Bytes& frame, Ipv4Address tunnel_src,
+                     Ipv4Address tunnel_dst, std::uint8_t ttl = 64);
+
+/// Push a full VXLAN stack (outer Ethernet/IPv4/UDP/VXLAN) around the whole
+/// original frame.
+bool encapsulate_vxlan(Bytes& frame, MacAddress outer_dst, MacAddress outer_src,
+                       Ipv4Address tunnel_src, Ipv4Address tunnel_dst,
+                       std::uint32_t vni, std::uint16_t src_port = 49152);
+
+/// Push an IP-in-IP delivery header (protocol 4).
+bool encapsulate_ipip(Bytes& frame, Ipv4Address tunnel_src,
+                      Ipv4Address tunnel_dst, std::uint8_t ttl = 64);
+
+/// Strip a recognized GRE/VXLAN/IP-in-IP delivery header, restoring the
+/// inner packet as a standalone frame. Returns false when `frame` carries no
+/// recognized tunnel.
+bool decapsulate(Bytes& frame);
+
+/// Insert a 802.1Q tag after the Ethernet header. Returns false only if the
+/// frame is too short to hold an Ethernet header.
+bool push_vlan(Bytes& frame, std::uint16_t vid, std::uint8_t pcp = 0,
+               EtherType tpid = EtherType::vlan);
+
+/// Remove the outermost VLAN tag; false when none present.
+bool pop_vlan(Bytes& frame);
+
+/// Rewrite the IPv4 source address in place, patching the IPv4 header
+/// checksum and any TCP/UDP checksum incrementally (RFC 1624) — the exact
+/// operation the paper's NAT case study performs at line rate.
+bool rewrite_ipv4_src(Bytes& frame, const ParsedPacket& parsed,
+                      Ipv4Address new_src);
+
+/// Same for the destination address (reverse NAT direction).
+bool rewrite_ipv4_dst(Bytes& frame, const ParsedPacket& parsed,
+                      Ipv4Address new_dst);
+
+/// Decrement TTL and patch the header checksum; false if TTL already 0.
+bool decrement_ttl(Bytes& frame, const ParsedPacket& parsed);
+
+}  // namespace flexsfp::net

@@ -1,0 +1,41 @@
+// Byte-buffer primitives shared by every protocol module.
+//
+// All multi-byte protocol fields on the wire are big-endian; the helpers here
+// convert between host integers and network byte order at explicit offsets so
+// header code never does manual shifting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flexsfp::net {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+using BytesSpan = std::span<std::uint8_t>;
+
+/// Read a big-endian unsigned integer of width N bytes at `offset`.
+/// Precondition: offset + N <= data.size() (checked, throws std::out_of_range).
+[[nodiscard]] std::uint8_t read_u8(BytesView data, std::size_t offset);
+[[nodiscard]] std::uint16_t read_be16(BytesView data, std::size_t offset);
+[[nodiscard]] std::uint32_t read_be32(BytesView data, std::size_t offset);
+[[nodiscard]] std::uint64_t read_be64(BytesView data, std::size_t offset);
+
+/// Write a big-endian unsigned integer at `offset` (throws std::out_of_range
+/// when the write would not fit).
+void write_u8(BytesSpan data, std::size_t offset, std::uint8_t value);
+void write_be16(BytesSpan data, std::size_t offset, std::uint16_t value);
+void write_be32(BytesSpan data, std::size_t offset, std::uint32_t value);
+void write_be64(BytesSpan data, std::size_t offset, std::uint64_t value);
+
+/// Render `data` as the conventional two-digit-hex dump, 16 bytes per line,
+/// with an ASCII gutter. Intended for diagnostics and example output.
+[[nodiscard]] std::string hex_dump(BytesView data);
+
+/// Render `data` as a compact "aa:bb:cc" string (no line breaks).
+[[nodiscard]] std::string to_hex(BytesView data, char separator = ':');
+
+}  // namespace flexsfp::net

@@ -1,0 +1,77 @@
+#include "net/checksum.hpp"
+
+#include <array>
+
+namespace flexsfp::net {
+
+std::uint32_t checksum_partial(BytesView data, std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);  // pad odd byte with zero
+  }
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t partial) {
+  while ((partial >> 16) != 0) {
+    partial = (partial & 0xffff) + (partial >> 16);
+  }
+  return static_cast<std::uint16_t>(~partial & 0xffff);
+}
+
+std::uint16_t internet_checksum(BytesView data) {
+  return checksum_finish(checksum_partial(data));
+}
+
+std::uint16_t checksum_incremental_update(std::uint16_t old_checksum,
+                                          std::uint16_t old_word,
+                                          std::uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while ((sum >> 16) != 0) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t checksum_incremental_update32(std::uint16_t old_checksum,
+                                            std::uint32_t old_value,
+                                            std::uint32_t new_value) {
+  std::uint16_t checksum = checksum_incremental_update(
+      old_checksum, static_cast<std::uint16_t>(old_value >> 16),
+      static_cast<std::uint16_t>(new_value >> 16));
+  return checksum_incremental_update(
+      checksum, static_cast<std::uint16_t>(old_value & 0xffff),
+      static_cast<std::uint16_t>(new_value & 0xffff));
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) != 0 ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data, std::uint32_t initial) {
+  static const auto table = make_crc32_table();
+  std::uint32_t c = initial;
+  for (const auto byte : data) {
+    c = table[(c ^ byte) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace flexsfp::net

@@ -1,0 +1,41 @@
+// Internet checksum (RFC 1071), incremental update (RFC 1624) and Ethernet
+// CRC32 used by the frame check sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "net/bytes.hpp"
+
+namespace flexsfp::net {
+
+/// One's-complement sum over `data` folded to 16 bits but NOT complemented;
+/// use this to accumulate over several regions (e.g. pseudo-header + payload).
+[[nodiscard]] std::uint32_t checksum_partial(BytesView data,
+                                             std::uint32_t initial = 0);
+
+/// Fold a partial sum and complement it into a final checksum field value.
+[[nodiscard]] std::uint16_t checksum_finish(std::uint32_t partial);
+
+/// Full RFC 1071 checksum over a single buffer.
+[[nodiscard]] std::uint16_t internet_checksum(BytesView data);
+
+/// RFC 1624 incremental update: new checksum after a 16-bit word in the
+/// covered data changes from `old_word` to `new_word`.
+///
+/// This is what the FlexSFP NAT datapath uses: rewriting the source address
+/// only touches two 16-bit words, so the IPv4/TCP/UDP checksums are patched
+/// in O(1) instead of re-summing the packet.
+[[nodiscard]] std::uint16_t checksum_incremental_update(
+    std::uint16_t old_checksum, std::uint16_t old_word, std::uint16_t new_word);
+
+/// Incremental update for a 32-bit field change (two word updates).
+[[nodiscard]] std::uint16_t checksum_incremental_update32(
+    std::uint16_t old_checksum, std::uint32_t old_value,
+    std::uint32_t new_value);
+
+/// IEEE 802.3 CRC32 (reflected, polynomial 0xEDB88320) as used by the
+/// Ethernet frame check sequence.
+[[nodiscard]] std::uint32_t crc32(BytesView data,
+                                  std::uint32_t initial = 0xffffffffu);
+
+}  // namespace flexsfp::net

@@ -1,0 +1,128 @@
+#include "net/flow.hpp"
+
+namespace flexsfp::net {
+
+std::string FiveTuple::to_string() const {
+  return src.to_string() + ":" + std::to_string(src_port) + " -> " +
+         dst.to_string() + ":" + std::to_string(dst_port) + " proto " +
+         std::to_string(protocol);
+}
+
+FiveTuple FiveTuple::reversed() const {
+  return FiveTuple{dst, src, dst_port, src_port, protocol};
+}
+
+FiveTuple FiveTuple::canonical() const {
+  const auto fwd = std::pair{src.value(), src_port};
+  const auto rev = std::pair{dst.value(), dst_port};
+  return fwd <= rev ? *this : reversed();
+}
+
+std::uint64_t fnv1a(BytesView data) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const auto byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t value) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return fnv1a(BytesView{bytes, 8});
+}
+
+namespace {
+
+std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+std::uint64_t murmur3_64(BytesView data, std::uint64_t seed) {
+  // A streamlined variant of MurmurHash3 x64: 8-byte blocks mixed with the
+  // x64 finalizer. Chosen for avalanche quality, not wire compatibility.
+  std::uint64_t hash = seed ^ (data.size() * 0x87c37b91114253d5ull);
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t block = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      block |= std::uint64_t{data[i + j]} << (8 * j);
+    }
+    hash = fmix64(hash ^ block) * 0x5bd1e9955bd1e995ull;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t j = 0; i + j < data.size(); ++j) {
+    tail |= std::uint64_t{data[i + j]} << (8 * j);
+  }
+  return fmix64(hash ^ tail);
+}
+
+ToeplitzHash::ToeplitzHash(Bytes key) : key_(std::move(key)) {}
+
+ToeplitzHash ToeplitzHash::symmetric() {
+  // The well-known symmetric RSS key: repeating 0x6d5a makes
+  // H(src,dst) == H(dst,src) for swapped 32-bit/16-bit field pairs.
+  Bytes key(40);
+  for (std::size_t i = 0; i < key.size(); i += 2) {
+    key[i] = 0x6d;
+    key[i + 1] = 0x5a;
+  }
+  return ToeplitzHash{std::move(key)};
+}
+
+std::uint32_t ToeplitzHash::operator()(BytesView input) const {
+  std::uint32_t result = 0;
+  // Window = first 32 bits of the key, shifted left one bit per input bit.
+  std::uint32_t window = 0;
+  std::size_t key_bit = 32;
+  for (std::size_t i = 0; i < 4 && i < key_.size(); ++i) {
+    window = (window << 8) | key_[i];
+  }
+  for (std::size_t byte = 0; byte < input.size(); ++byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (((input[byte] >> bit) & 1) != 0) result ^= window;
+      // Shift in the next key bit.
+      const std::size_t key_byte = key_bit / 8;
+      std::uint32_t next = 0;
+      if (key_byte < key_.size()) {
+        next = (key_[key_byte] >> (7 - key_bit % 8)) & 1;
+      }
+      window = (window << 1) | next;
+      ++key_bit;
+    }
+  }
+  return result;
+}
+
+std::uint32_t ToeplitzHash::hash_tuple(const FiveTuple& t) const {
+  std::uint8_t input[12];
+  BytesSpan span{input, sizeof input};
+  write_be32(span, 0, t.src.value());
+  write_be32(span, 4, t.dst.value());
+  write_be16(span, 8, t.src_port);
+  write_be16(span, 10, t.dst_port);
+  return (*this)(BytesView{input, sizeof input});
+}
+
+std::uint64_t hash_tuple(const FiveTuple& t, std::uint64_t seed) {
+  std::uint8_t input[13];
+  BytesSpan span{input, sizeof input};
+  write_be32(span, 0, t.src.value());
+  write_be32(span, 4, t.dst.value());
+  write_be16(span, 8, t.src_port);
+  write_be16(span, 10, t.dst_port);
+  input[12] = t.protocol;
+  return murmur3_64(BytesView{input, sizeof input}, seed);
+}
+
+}  // namespace flexsfp::net

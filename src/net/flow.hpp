@@ -1,0 +1,64 @@
+// Flow identity and the hash functions a hardware datapath would implement.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "net/addresses.hpp"
+
+namespace flexsfp::net {
+
+/// Classic 5-tuple flow key (IPv4). Ports are zero for protocols without
+/// them (e.g. ICMP).
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend constexpr auto operator<=>(const FiveTuple&,
+                                    const FiveTuple&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+  /// The same flow with src/dst swapped (reverse direction).
+  [[nodiscard]] FiveTuple reversed() const;
+  /// Canonical key equal for both directions of a flow, for bidirectional
+  /// state tables.
+  [[nodiscard]] FiveTuple canonical() const;
+};
+
+/// FNV-1a: the cheapest hash; one multiply per byte, maps to a tiny
+/// LUT budget, used where quality requirements are modest.
+[[nodiscard]] std::uint64_t fnv1a(BytesView data);
+[[nodiscard]] std::uint64_t fnv1a_u64(std::uint64_t value);
+
+/// MurmurHash3 x64 finalizer-based 64-bit hash; good avalanche at a cost a
+/// small FPGA pipeline can still afford. Used by exact-match tables.
+[[nodiscard]] std::uint64_t murmur3_64(BytesView data,
+                                       std::uint64_t seed = 0);
+
+/// Toeplitz hash (the RSS hash NICs implement in silicon); symmetric when
+/// used with a symmetric key. Used by the load-balancer app so both
+/// directions of a flow pick the same uplink.
+class ToeplitzHash {
+ public:
+  /// `key` must be at least input length + 4 bytes; the standard Microsoft
+  /// RSS key length of 40 bytes covers IPv4 5-tuples.
+  explicit ToeplitzHash(Bytes key);
+  /// The conventional symmetric key (repeated 0x6d5a pattern).
+  [[nodiscard]] static ToeplitzHash symmetric();
+
+  [[nodiscard]] std::uint32_t operator()(BytesView input) const;
+  [[nodiscard]] std::uint32_t hash_tuple(const FiveTuple& t) const;
+
+ private:
+  Bytes key_;
+};
+
+/// Hash a 5-tuple with murmur3 (table insertion key).
+[[nodiscard]] std::uint64_t hash_tuple(const FiveTuple& t,
+                                       std::uint64_t seed = 0);
+
+}  // namespace flexsfp::net

@@ -1,0 +1,266 @@
+#include "net/headers.hpp"
+
+#include <stdexcept>
+
+#include "net/checksum.hpp"
+
+namespace flexsfp::net {
+
+std::string to_string(EtherType type) {
+  switch (type) {
+    case EtherType::ipv4: return "IPv4";
+    case EtherType::arp: return "ARP";
+    case EtherType::vlan: return "VLAN";
+    case EtherType::qinq: return "QinQ";
+    case EtherType::ipv6: return "IPv6";
+    case EtherType::flexsfp_mgmt: return "FlexSFP-Mgmt";
+  }
+  return "EtherType(0x" +
+         to_hex(std::array<std::uint8_t, 2>{
+             static_cast<std::uint8_t>(static_cast<std::uint16_t>(type) >> 8),
+             static_cast<std::uint8_t>(static_cast<std::uint16_t>(type))}) +
+         ")";
+}
+
+std::string to_string(IpProto proto) {
+  switch (proto) {
+    case IpProto::icmp: return "ICMP";
+    case IpProto::tcp: return "TCP";
+    case IpProto::udp: return "UDP";
+    case IpProto::gre: return "GRE";
+    case IpProto::icmpv6: return "ICMPv6";
+    case IpProto::ipv4_encap: return "IP-in-IP";
+    case IpProto::ipv6_encap: return "IPv6-in-IP";
+  }
+  return "IpProto(" + std::to_string(static_cast<int>(proto)) + ")";
+}
+
+std::optional<EthernetHeader> EthernetHeader::parse(BytesView data,
+                                                    std::size_t offset) {
+  if (offset + size() > data.size()) return std::nullopt;
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> mac{};
+  for (std::size_t i = 0; i < 6; ++i) mac[i] = data[offset + i];
+  h.dst = MacAddress{mac};
+  for (std::size_t i = 0; i < 6; ++i) mac[i] = data[offset + 6 + i];
+  h.src = MacAddress{mac};
+  h.ether_type = read_be16(data, offset + 12);
+  return h;
+}
+
+void EthernetHeader::serialize_to(BytesSpan data, std::size_t offset) const {
+  if (offset + size() > data.size()) {
+    throw std::out_of_range("EthernetHeader::serialize_to");
+  }
+  for (std::size_t i = 0; i < 6; ++i) data[offset + i] = dst.octets()[i];
+  for (std::size_t i = 0; i < 6; ++i) data[offset + 6 + i] = src.octets()[i];
+  write_be16(data, offset + 12, ether_type);
+}
+
+std::optional<VlanTag> VlanTag::parse(BytesView data, std::size_t offset) {
+  if (offset + size() > data.size()) return std::nullopt;
+  const std::uint16_t tci = read_be16(data, offset);
+  VlanTag tag;
+  tag.pcp = static_cast<std::uint8_t>(tci >> 13);
+  tag.dei = ((tci >> 12) & 1) != 0;
+  tag.vid = static_cast<std::uint16_t>(tci & 0x0fff);
+  tag.ether_type = read_be16(data, offset + 2);
+  return tag;
+}
+
+void VlanTag::serialize_to(BytesSpan data, std::size_t offset) const {
+  const std::uint16_t tci = static_cast<std::uint16_t>(
+      (std::uint16_t{pcp} << 13) | ((dei ? 1u : 0u) << 12) |
+      (vid & 0x0fff));
+  write_be16(data, offset, tci);
+  write_be16(data, offset + 2, ether_type);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(BytesView data,
+                                            std::size_t offset) {
+  if (offset + min_size() > data.size()) return std::nullopt;
+  const std::uint8_t version_ihl = data[offset];
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  Ipv4Header h;
+  h.ihl = static_cast<std::uint8_t>(version_ihl & 0x0f);
+  if (h.ihl < 5 || offset + h.size() > data.size()) return std::nullopt;
+  const std::uint8_t tos = data[offset + 1];
+  h.dscp = static_cast<std::uint8_t>(tos >> 2);
+  h.ecn = static_cast<std::uint8_t>(tos & 0x03);
+  h.total_length = read_be16(data, offset + 2);
+  h.identification = read_be16(data, offset + 4);
+  const std::uint16_t flags_frag = read_be16(data, offset + 6);
+  h.dont_fragment = (flags_frag & 0x4000) != 0;
+  h.more_fragments = (flags_frag & 0x2000) != 0;
+  h.fragment_offset = static_cast<std::uint16_t>(flags_frag & 0x1fff);
+  h.ttl = data[offset + 8];
+  h.protocol = data[offset + 9];
+  h.checksum = read_be16(data, offset + 10);
+  h.src = Ipv4Address{read_be32(data, offset + 12)};
+  h.dst = Ipv4Address{read_be32(data, offset + 16)};
+  return h;
+}
+
+void Ipv4Header::serialize_to(BytesSpan data, std::size_t offset) const {
+  if (offset + size() > data.size()) {
+    throw std::out_of_range("Ipv4Header::serialize_to");
+  }
+  data[offset] = static_cast<std::uint8_t>((4 << 4) | (ihl & 0x0f));
+  data[offset + 1] = static_cast<std::uint8_t>((dscp << 2) | (ecn & 0x03));
+  write_be16(data, offset + 2, total_length);
+  write_be16(data, offset + 4, identification);
+  const std::uint16_t flags_frag = static_cast<std::uint16_t>(
+      (dont_fragment ? 0x4000 : 0) | (more_fragments ? 0x2000 : 0) |
+      (fragment_offset & 0x1fff));
+  write_be16(data, offset + 6, flags_frag);
+  data[offset + 8] = ttl;
+  data[offset + 9] = protocol;
+  write_be16(data, offset + 10, checksum);
+  write_be32(data, offset + 12, src.value());
+  write_be32(data, offset + 16, dst.value());
+  for (std::size_t i = min_size(); i < size(); ++i) data[offset + i] = 0;
+}
+
+std::uint16_t Ipv4Header::compute_checksum() const {
+  Bytes scratch(size(), 0);
+  Ipv4Header copy = *this;
+  copy.checksum = 0;
+  copy.serialize_to(scratch, 0);
+  return internet_checksum(scratch);
+}
+
+std::optional<Ipv6Header> Ipv6Header::parse(BytesView data,
+                                            std::size_t offset) {
+  if (offset + size() > data.size()) return std::nullopt;
+  const std::uint32_t word0 = read_be32(data, offset);
+  if ((word0 >> 28) != 6) return std::nullopt;
+  Ipv6Header h;
+  h.traffic_class = static_cast<std::uint8_t>((word0 >> 20) & 0xff);
+  h.flow_label = word0 & 0xfffff;
+  h.payload_length = read_be16(data, offset + 4);
+  h.next_header = data[offset + 6];
+  h.hop_limit = data[offset + 7];
+  std::array<std::uint8_t, 16> addr{};
+  for (std::size_t i = 0; i < 16; ++i) addr[i] = data[offset + 8 + i];
+  h.src = Ipv6Address{addr};
+  for (std::size_t i = 0; i < 16; ++i) addr[i] = data[offset + 24 + i];
+  h.dst = Ipv6Address{addr};
+  return h;
+}
+
+void Ipv6Header::serialize_to(BytesSpan data, std::size_t offset) const {
+  if (offset + size() > data.size()) {
+    throw std::out_of_range("Ipv6Header::serialize_to");
+  }
+  const std::uint32_t word0 = (std::uint32_t{6} << 28) |
+                              (std::uint32_t{traffic_class} << 20) |
+                              (flow_label & 0xfffff);
+  write_be32(data, offset, word0);
+  write_be16(data, offset + 4, payload_length);
+  data[offset + 6] = next_header;
+  data[offset + 7] = hop_limit;
+  for (std::size_t i = 0; i < 16; ++i) data[offset + 8 + i] = src.octets()[i];
+  for (std::size_t i = 0; i < 16; ++i) data[offset + 24 + i] = dst.octets()[i];
+}
+
+std::optional<UdpHeader> UdpHeader::parse(BytesView data, std::size_t offset) {
+  if (offset + size() > data.size()) return std::nullopt;
+  UdpHeader h;
+  h.src_port = read_be16(data, offset);
+  h.dst_port = read_be16(data, offset + 2);
+  h.length = read_be16(data, offset + 4);
+  h.checksum = read_be16(data, offset + 6);
+  return h;
+}
+
+void UdpHeader::serialize_to(BytesSpan data, std::size_t offset) const {
+  write_be16(data, offset, src_port);
+  write_be16(data, offset + 2, dst_port);
+  write_be16(data, offset + 4, length);
+  write_be16(data, offset + 6, checksum);
+}
+
+std::optional<TcpHeader> TcpHeader::parse(BytesView data, std::size_t offset) {
+  if (offset + min_size() > data.size()) return std::nullopt;
+  TcpHeader h;
+  h.src_port = read_be16(data, offset);
+  h.dst_port = read_be16(data, offset + 2);
+  h.seq = read_be32(data, offset + 4);
+  h.ack = read_be32(data, offset + 8);
+  h.data_offset = static_cast<std::uint8_t>(data[offset + 12] >> 4);
+  if (h.data_offset < 5 || offset + h.size() > data.size()) {
+    return std::nullopt;
+  }
+  h.flags = data[offset + 13];
+  h.window = read_be16(data, offset + 14);
+  h.checksum = read_be16(data, offset + 16);
+  h.urgent_pointer = read_be16(data, offset + 18);
+  return h;
+}
+
+void TcpHeader::serialize_to(BytesSpan data, std::size_t offset) const {
+  if (offset + size() > data.size()) {
+    throw std::out_of_range("TcpHeader::serialize_to");
+  }
+  write_be16(data, offset, src_port);
+  write_be16(data, offset + 2, dst_port);
+  write_be32(data, offset + 4, seq);
+  write_be32(data, offset + 8, ack);
+  data[offset + 12] = static_cast<std::uint8_t>(data_offset << 4);
+  data[offset + 13] = flags;
+  write_be16(data, offset + 14, window);
+  write_be16(data, offset + 16, checksum);
+  write_be16(data, offset + 18, urgent_pointer);
+  for (std::size_t i = min_size(); i < size(); ++i) data[offset + i] = 0;
+}
+
+std::optional<IcmpHeader> IcmpHeader::parse(BytesView data,
+                                            std::size_t offset) {
+  if (offset + size() > data.size()) return std::nullopt;
+  IcmpHeader h;
+  h.type = data[offset];
+  h.code = data[offset + 1];
+  h.checksum = read_be16(data, offset + 2);
+  h.rest = read_be32(data, offset + 4);
+  return h;
+}
+
+void IcmpHeader::serialize_to(BytesSpan data, std::size_t offset) const {
+  write_u8(data, offset, type);
+  write_u8(data, offset + 1, code);
+  write_be16(data, offset + 2, checksum);
+  write_be32(data, offset + 4, rest);
+}
+
+std::optional<GreHeader> GreHeader::parse(BytesView data, std::size_t offset) {
+  if (offset + size() > data.size()) return std::nullopt;
+  const std::uint16_t flags_version = read_be16(data, offset);
+  // We only implement the base RFC 2784 header: all flag bits and the
+  // version must be zero, otherwise optional fields would follow.
+  if (flags_version != 0) return std::nullopt;
+  GreHeader h;
+  h.protocol = read_be16(data, offset + 2);
+  return h;
+}
+
+void GreHeader::serialize_to(BytesSpan data, std::size_t offset) const {
+  write_be16(data, offset, 0);
+  write_be16(data, offset + 2, protocol);
+}
+
+std::optional<VxlanHeader> VxlanHeader::parse(BytesView data,
+                                              std::size_t offset) {
+  if (offset + size() > data.size()) return std::nullopt;
+  const std::uint32_t flags = read_be32(data, offset);
+  if ((flags & 0x08000000u) == 0) return std::nullopt;  // I flag must be set
+  VxlanHeader h;
+  h.vni = read_be32(data, offset + 4) >> 8;
+  return h;
+}
+
+void VxlanHeader::serialize_to(BytesSpan data, std::size_t offset) const {
+  write_be32(data, offset, 0x08000000u);
+  write_be32(data, offset + 4, (vni & 0xffffffu) << 8);
+}
+
+}  // namespace flexsfp::net

@@ -1,0 +1,191 @@
+// Wire-format protocol headers.
+//
+// Each header type is a plain value struct with
+//   * static constexpr min_size / size()  — bytes on the wire,
+//   * static parse(view, offset)          — returns nullopt when truncated or
+//                                           structurally invalid,
+//   * serialize_to(span, offset)          — writes exactly size() bytes.
+// Parsing never reads past the view; serialization throws std::out_of_range
+// when the destination is too small (via the bytes.hpp helpers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/addresses.hpp"
+#include "net/bytes.hpp"
+
+namespace flexsfp::net {
+
+/// EtherType values used across the library (host order).
+enum class EtherType : std::uint16_t {
+  ipv4 = 0x0800,
+  arp = 0x0806,
+  vlan = 0x8100,       // 802.1Q
+  qinq = 0x88a8,       // 802.1ad service tag
+  ipv6 = 0x86dd,
+  flexsfp_mgmt = 0x88b7,  // local-experimental: FlexSFP management protocol
+};
+
+/// IP protocol numbers.
+enum class IpProto : std::uint8_t {
+  icmp = 1,
+  tcp = 6,
+  udp = 17,
+  gre = 47,
+  icmpv6 = 58,
+  ipv4_encap = 4,   // IP-in-IP
+  ipv6_encap = 41,
+};
+
+[[nodiscard]] std::string to_string(EtherType type);
+[[nodiscard]] std::string to_string(IpProto proto);
+
+struct EthernetHeader {
+  static constexpr std::size_t size() { return 14; }
+
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  [[nodiscard]] static std::optional<EthernetHeader> parse(BytesView data,
+                                                           std::size_t offset);
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+};
+
+/// A single 802.1Q/802.1ad tag (the 4 bytes after the TPID has been consumed
+/// as the outer ether_type).
+struct VlanTag {
+  static constexpr std::size_t size() { return 4; }
+
+  std::uint8_t pcp = 0;   // priority code point, 3 bits
+  bool dei = false;       // drop eligible indicator
+  std::uint16_t vid = 0;  // VLAN id, 12 bits
+  std::uint16_t ether_type = 0;  // inner ether type
+
+  [[nodiscard]] static std::optional<VlanTag> parse(BytesView data,
+                                                    std::size_t offset);
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t min_size() { return 20; }
+
+  std::uint8_t ihl = 5;  // header length in 32-bit words (5..15)
+  std::uint8_t dscp = 0;
+  std::uint8_t ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  [[nodiscard]] std::size_t size() const { return std::size_t{ihl} * 4; }
+  [[nodiscard]] static std::optional<Ipv4Header> parse(BytesView data,
+                                                       std::size_t offset);
+  /// Serializes the fixed header; option bytes (ihl > 5) are zero-filled.
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+  /// Checksum over the serialized header with the checksum field zeroed.
+  [[nodiscard]] std::uint16_t compute_checksum() const;
+};
+
+struct Ipv6Header {
+  static constexpr std::size_t size() { return 40; }
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  [[nodiscard]] static std::optional<Ipv6Header> parse(BytesView data,
+                                                       std::size_t offset);
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+};
+
+struct UdpHeader {
+  static constexpr std::size_t size() { return 8; }
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+
+  [[nodiscard]] static std::optional<UdpHeader> parse(BytesView data,
+                                                      std::size_t offset);
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t min_size() { return 20; }
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // header length in 32-bit words (5..15)
+  std::uint8_t flags = 0;        // CWR..FIN bit field
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent_pointer = 0;
+
+  static constexpr std::uint8_t flag_fin = 0x01;
+  static constexpr std::uint8_t flag_syn = 0x02;
+  static constexpr std::uint8_t flag_rst = 0x04;
+  static constexpr std::uint8_t flag_psh = 0x08;
+  static constexpr std::uint8_t flag_ack = 0x10;
+
+  [[nodiscard]] std::size_t size() const {
+    return std::size_t{data_offset} * 4;
+  }
+  [[nodiscard]] static std::optional<TcpHeader> parse(BytesView data,
+                                                      std::size_t offset);
+  /// Option bytes beyond the fixed 20 are zero-filled.
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+};
+
+struct IcmpHeader {
+  static constexpr std::size_t size() { return 8; }
+
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint32_t rest = 0;  // id/seq or unused, type dependent
+
+  [[nodiscard]] static std::optional<IcmpHeader> parse(BytesView data,
+                                                       std::size_t offset);
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+};
+
+/// Minimal GRE header (RFC 2784, no optional fields).
+struct GreHeader {
+  static constexpr std::size_t size() { return 4; }
+
+  std::uint16_t protocol = 0;  // EtherType of the payload
+
+  [[nodiscard]] static std::optional<GreHeader> parse(BytesView data,
+                                                      std::size_t offset);
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+};
+
+/// VXLAN header (RFC 7348), carried over UDP dst port 4789.
+struct VxlanHeader {
+  static constexpr std::size_t size() { return 8; }
+  static constexpr std::uint16_t udp_port = 4789;
+
+  std::uint32_t vni = 0;  // 24 bits
+
+  [[nodiscard]] static std::optional<VxlanHeader> parse(BytesView data,
+                                                        std::size_t offset);
+  void serialize_to(BytesSpan data, std::size_t offset) const;
+};
+
+}  // namespace flexsfp::net

@@ -1,0 +1,75 @@
+// The unit of work that flows through the simulated datapath.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "net/bytes.hpp"
+
+namespace flexsfp::net {
+
+/// Monotonic per-simulation packet identity, handy for tracing.
+using PacketId = std::uint64_t;
+
+/// A packet: the on-wire bytes (Ethernet frame without preamble/FCS) plus
+/// simulation metadata that a real datapath would carry as side-band signals.
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(Bytes data) : data_(std::move(data)) {}
+
+  [[nodiscard]] const Bytes& data() const { return data_; }
+  [[nodiscard]] Bytes& data() { return data_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Total bytes the frame occupies on a 10GBASE-R wire: payload plus
+  /// preamble+SFD (8), FCS (4) and minimum inter-packet gap (12). Line-rate
+  /// arithmetic must use this, not size().
+  [[nodiscard]] std::size_t wire_size() const { return data_.size() + 24; }
+
+  // --- simulation metadata -------------------------------------------------
+
+  [[nodiscard]] PacketId id() const { return id_; }
+  void set_id(PacketId id) { id_ = id; }
+
+  /// Picoseconds since simulation start when the first bit entered the
+  /// module under test; used for latency accounting.
+  [[nodiscard]] std::int64_t ingress_time_ps() const {
+    return ingress_time_ps_;
+  }
+  void set_ingress_time_ps(std::int64_t t) { ingress_time_ps_ = t; }
+
+  /// When the traffic source emitted the packet (end-to-end latency base;
+  /// unlike ingress_time_ps this is never overwritten downstream).
+  [[nodiscard]] std::int64_t created_time_ps() const {
+    return created_time_ps_;
+  }
+  void set_created_time_ps(std::int64_t t) { created_time_ps_ = t; }
+
+  /// Which module interface the packet arrived on (0 = edge/electrical,
+  /// 1 = optical). Architecture shells use this for demux decisions.
+  [[nodiscard]] int ingress_port() const { return ingress_port_; }
+  void set_ingress_port(int port) { ingress_port_ = port; }
+
+  /// Scratch metadata word usable by pipeline stages (models per-packet
+  /// metadata bus in an RMT-style design).
+  [[nodiscard]] std::uint64_t user_metadata() const { return user_metadata_; }
+  void set_user_metadata(std::uint64_t v) { user_metadata_ = v; }
+
+ private:
+  Bytes data_;
+  PacketId id_ = 0;
+  std::int64_t ingress_time_ps_ = 0;
+  std::int64_t created_time_ps_ = 0;
+  int ingress_port_ = 0;
+  std::uint64_t user_metadata_ = 0;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+[[nodiscard]] inline PacketPtr make_packet(Bytes data) {
+  return std::make_shared<Packet>(std::move(data));
+}
+
+}  // namespace flexsfp::net

@@ -1,0 +1,19 @@
+#include "ppe/app.hpp"
+
+namespace flexsfp::ppe {
+
+std::string to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::forward: return "forward";
+    case Verdict::drop: return "drop";
+    case Verdict::to_control_plane: return "to-control-plane";
+  }
+  return "verdict(?)";
+}
+
+const net::ParsedPacket& PacketContext::parsed() {
+  if (!parsed_) parsed_ = net::parse_packet(packet_.data());
+  return *parsed_;
+}
+
+}  // namespace flexsfp::ppe

@@ -1,0 +1,58 @@
+#include "ppe/engine.hpp"
+
+#include <utility>
+
+namespace flexsfp::ppe {
+
+Engine::Engine(sim::Simulation& sim, PpeAppPtr app, hw::DatapathConfig datapath,
+               std::size_t queue_capacity)
+    : sim::QueuedServer(sim, queue_capacity),
+      app_(std::move(app)),
+      datapath_(datapath) {}
+
+void Engine::replace_app(PpeAppPtr app) { app_ = std::move(app); }
+
+sim::TimePs Engine::service_time(const net::Packet& packet) {
+  const std::uint64_t beats = std::max<std::uint64_t>(
+      datapath_.beats_for(packet.size()), 1);
+  return datapath_.clock.cycles_to_time(beats);
+}
+
+void Engine::finish(net::PacketPtr packet) {
+  PacketContext ctx(*packet);
+  const Verdict verdict = app_->process(ctx);
+
+  if (ctx.mirror_requested() && control_) {
+    control_(std::make_shared<net::Packet>(*packet));
+  }
+
+  // The packet leaves the pipeline pipeline-depth cycles after its last
+  // beat; this adds latency but does not occupy the bus.
+  const sim::TimePs drain =
+      datapath_.clock.cycles_to_time(app_->pipeline_latency_cycles());
+
+  switch (verdict) {
+    case Verdict::forward:
+      ++forwarded_;
+      if (forward_) {
+        sim().schedule_in(drain, [this, packet = std::move(packet)]() mutable {
+          latency_.record(sim().now() - packet->ingress_time_ps());
+          forward_(std::move(packet));
+        });
+      }
+      break;
+    case Verdict::drop:
+      ++dropped_;
+      break;
+    case Verdict::to_control_plane:
+      ++punted_;
+      if (control_) {
+        sim().schedule_in(drain, [this, packet = std::move(packet)]() mutable {
+          control_(std::move(packet));
+        });
+      }
+      break;
+  }
+}
+
+}  // namespace flexsfp::ppe

@@ -1,0 +1,68 @@
+// The Packet Processing Engine execution model.
+//
+// The engine streams packets through the app on a `DatapathConfig` bus:
+// a packet of N bytes occupies the pipe for ceil(N / width) bus beats
+// (back-to-back packets overlap in the pipeline, so occupancy — not
+// pipeline depth — bounds throughput), and leaves the engine
+// pipeline_latency_cycles() later. This reproduces the paper's line-rate
+// arithmetic: 64 bit x 156.25 MHz = 10 Gb/s of bus bandwidth.
+#pragma once
+
+#include <functional>
+
+#include "hw/clock.hpp"
+#include "ppe/app.hpp"
+#include "sim/link.hpp"
+#include "sim/stats.hpp"
+
+namespace flexsfp::ppe {
+
+class Engine final : public sim::QueuedServer {
+ public:
+  /// `queue_capacity` models the ingress store-and-forward FIFO in packets.
+  Engine(sim::Simulation& sim, PpeAppPtr app, hw::DatapathConfig datapath,
+         std::size_t queue_capacity = 64);
+
+  /// Where forwarded packets go (set by the architecture shell).
+  void set_forward_handler(std::function<void(net::PacketPtr)> handler) {
+    forward_ = std::move(handler);
+  }
+  /// Where control-plane punts go.
+  void set_control_handler(std::function<void(net::PacketPtr)> handler) {
+    control_ = std::move(handler);
+  }
+
+  [[nodiscard]] PpeApp& app() { return *app_; }
+  [[nodiscard]] const PpeApp& app() const { return *app_; }
+  /// Swap the running application (reconfiguration); packets already queued
+  /// are processed by the new app, as after a partial-reconfig swap.
+  void replace_app(PpeAppPtr app);
+
+  [[nodiscard]] const hw::DatapathConfig& datapath() const { return datapath_; }
+
+  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped_by_app() const { return dropped_; }
+  [[nodiscard]] std::uint64_t punted() const { return punted_; }
+  /// Queue-full losses are on the base class: drops().
+
+  /// Engine-internal latency (queue wait + streaming + pipeline depth).
+  [[nodiscard]] const sim::LatencyHistogram& latency() const {
+    return latency_;
+  }
+
+ protected:
+  [[nodiscard]] sim::TimePs service_time(const net::Packet& packet) override;
+  void finish(net::PacketPtr packet) override;
+
+ private:
+  PpeAppPtr app_;
+  hw::DatapathConfig datapath_;
+  std::function<void(net::PacketPtr)> forward_;
+  std::function<void(net::PacketPtr)> control_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t punted_ = 0;
+  sim::LatencyHistogram latency_;
+};
+
+}  // namespace flexsfp::ppe

@@ -1,0 +1,288 @@
+#include "ppe/tables.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "net/flow.hpp"
+
+namespace flexsfp::ppe {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+}  // namespace
+
+ExactMatchTable::ExactMatchTable(std::string name, std::size_t capacity,
+                                 std::uint32_t key_bits,
+                                 std::uint32_t value_bits, std::size_t ways)
+    : name_(std::move(name)),
+      capacity_(capacity),
+      key_bits_(key_bits),
+      value_bits_(value_bits),
+      ways_(std::max<std::size_t>(ways, 1)),
+      bucket_count_(round_up_pow2((capacity + ways_ - 1) / ways_)),
+      entries_(bucket_count_ * ways_) {}
+
+std::array<std::size_t, 2> ExactMatchTable::bucket_indices(
+    std::uint64_t key) const {
+  // Two independent hash functions: d-left / two-choice placement keeps the
+  // table usable to high load factors, as hardware exact-match pipelines do
+  // with dual-ported SRAM banks.
+  const std::size_t first = net::fnv1a_u64(key) & (bucket_count_ - 1);
+  std::size_t second = net::murmur3_64(net::BytesView{
+                           reinterpret_cast<const std::uint8_t*>(&key),
+                           sizeof key}) &
+                       (bucket_count_ - 1);
+  if (second == first) second = (second + 1) & (bucket_count_ - 1);
+  return {first, second};
+}
+
+bool ExactMatchTable::insert(std::uint64_t key, std::uint64_t value) {
+  const auto buckets = bucket_indices(key);
+  // Pass 1: update in place, wherever the key already lives.
+  for (const std::size_t bucket : buckets) {
+    const std::size_t base = bucket * ways_;
+    for (std::size_t way = 0; way < ways_; ++way) {
+      Entry& entry = entries_[base + way];
+      if (entry.valid && entry.key == key) {
+        entry.value = value;
+        ++generation_;
+        return true;
+      }
+    }
+  }
+  if (size_ >= capacity_) return false;
+  // Pass 2: place into the less-loaded candidate bucket.
+  Entry* chosen = nullptr;
+  std::size_t best_load = ways_ + 1;
+  for (const std::size_t bucket : buckets) {
+    const std::size_t base = bucket * ways_;
+    std::size_t load = 0;
+    Entry* free_slot = nullptr;
+    for (std::size_t way = 0; way < ways_; ++way) {
+      Entry& entry = entries_[base + way];
+      if (entry.valid) {
+        ++load;
+      } else if (free_slot == nullptr) {
+        free_slot = &entry;
+      }
+    }
+    if (free_slot != nullptr && load < best_load) {
+      best_load = load;
+      chosen = free_slot;
+    }
+  }
+  if (chosen == nullptr) {
+    // Cuckoo relocation: the control plane (not the datapath) walks a
+    // bounded displacement chain, moving a victim to its alternate bucket
+    // to make room. Bounded so a pathological key set cannot loop forever.
+    if (!cuckoo_make_room(buckets[0], /*depth=*/0)) {
+      ++bucket_overflows_;
+      return false;
+    }
+    // A way in the first bucket is now free.
+    const std::size_t base = buckets[0] * ways_;
+    for (std::size_t way = 0; way < ways_; ++way) {
+      if (!entries_[base + way].valid) {
+        chosen = &entries_[base + way];
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      ++bucket_overflows_;
+      return false;
+    }
+  }
+  *chosen = Entry{true, key, value};
+  ++size_;
+  ++generation_;
+  return true;
+}
+
+bool ExactMatchTable::cuckoo_make_room(std::size_t bucket, int depth) {
+  constexpr int max_depth = 8;
+  if (depth >= max_depth) return false;
+  const std::size_t base = bucket * ways_;
+  // Try a cheap move first: any resident whose alternate bucket has space.
+  for (std::size_t way = 0; way < ways_; ++way) {
+    Entry& victim = entries_[base + way];
+    const auto alternates = bucket_indices(victim.key);
+    const std::size_t other =
+        alternates[0] == bucket ? alternates[1] : alternates[0];
+    const std::size_t other_base = other * ways_;
+    for (std::size_t other_way = 0; other_way < ways_; ++other_way) {
+      if (!entries_[other_base + other_way].valid) {
+        entries_[other_base + other_way] = victim;
+        victim.valid = false;
+        return true;
+      }
+    }
+  }
+  // No direct move: recurse on the first victim's alternate bucket.
+  Entry& victim = entries_[base];
+  const auto alternates = bucket_indices(victim.key);
+  const std::size_t other =
+      alternates[0] == bucket ? alternates[1] : alternates[0];
+  if (!cuckoo_make_room(other, depth + 1)) return false;
+  const std::size_t other_base = other * ways_;
+  for (std::size_t other_way = 0; other_way < ways_; ++other_way) {
+    if (!entries_[other_base + other_way].valid) {
+      entries_[other_base + other_way] = victim;
+      victim.valid = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> ExactMatchTable::lookup(std::uint64_t key) const {
+  for (const std::size_t bucket : bucket_indices(key)) {
+    const std::size_t base = bucket * ways_;
+    for (std::size_t way = 0; way < ways_; ++way) {
+      const Entry& entry = entries_[base + way];
+      if (entry.valid && entry.key == key) return entry.value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ExactMatchTable::erase(std::uint64_t key) {
+  for (const std::size_t bucket : bucket_indices(key)) {
+    const std::size_t base = bucket * ways_;
+    for (std::size_t way = 0; way < ways_; ++way) {
+      Entry& entry = entries_[base + way];
+      if (entry.valid && entry.key == key) {
+        entry.valid = false;
+        --size_;
+        ++generation_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ExactMatchTable::clear() {
+  for (auto& entry : entries_) entry.valid = false;
+  size_ = 0;
+  ++generation_;
+}
+
+void ExactMatchTable::for_each(
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  for (const auto& entry : entries_) {
+    if (entry.valid) fn(entry.key, entry.value);
+  }
+}
+
+TernaryTable::TernaryTable(std::string name, std::size_t capacity,
+                           std::uint32_t key_bits)
+    : name_(std::move(name)), capacity_(capacity), key_bits_(key_bits) {}
+
+std::optional<std::uint64_t> TernaryTable::add_rule(TernaryRule rule) {
+  if (rules_.size() >= capacity_) return std::nullopt;
+  rule.rule_id = next_rule_id_++;
+  // Keep the vector ordered by priority (desc), stable for equal priorities
+  // (first-added wins), so match() is a straight scan.
+  const auto pos = std::find_if(
+      rules_.begin(), rules_.end(),
+      [&rule](const TernaryRule& r) { return r.priority < rule.priority; });
+  rules_.insert(pos, rule);
+  ++generation_;
+  return rule.rule_id;
+}
+
+bool TernaryTable::erase_rule(std::uint64_t rule_id) {
+  const auto it = std::find_if(
+      rules_.begin(), rules_.end(),
+      [rule_id](const TernaryRule& r) { return r.rule_id == rule_id; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  ++generation_;
+  return true;
+}
+
+void TernaryTable::clear() {
+  rules_.clear();
+  ++generation_;
+}
+
+const TernaryRule* TernaryTable::match(TernaryKey key) const {
+  for (const auto& rule : rules_) {
+    if ((key.hi & rule.mask.hi) == (rule.value.hi & rule.mask.hi) &&
+        (key.lo & rule.mask.lo) == (rule.value.lo & rule.mask.lo)) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> TernaryTable::lookup(TernaryKey key) const {
+  const TernaryRule* rule = match(key);
+  return rule != nullptr ? std::optional{rule->result} : std::nullopt;
+}
+
+std::vector<std::pair<std::uint16_t, std::uint16_t>> expand_port_range(
+    std::uint16_t lo, std::uint16_t hi) {
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> out;
+  if (lo > hi) return out;
+  std::uint32_t start = lo;
+  const std::uint32_t end = std::uint32_t{hi} + 1;  // half-open [start, end)
+  while (start < end) {
+    // Largest power-of-two block aligned at `start` that fits before `end`.
+    std::uint32_t block = 1;
+    while ((start & ((block << 1) - 1)) == 0 && start + (block << 1) <= end &&
+           (block << 1) <= 0x10000) {
+      block <<= 1;
+    }
+    const auto mask = static_cast<std::uint16_t>(~(block - 1) & 0xffff);
+    out.emplace_back(static_cast<std::uint16_t>(start), mask);
+    start += block;
+  }
+  return out;
+}
+
+LpmTable::LpmTable(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity) {}
+
+bool LpmTable::insert(net::Ipv4Prefix prefix, std::uint64_t value) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&prefix](const Entry& e) { return e.prefix == prefix; });
+  if (it != entries_.end()) {
+    it->value = value;
+    ++generation_;
+    return true;
+  }
+  if (entries_.size() >= capacity_) return false;
+  const auto pos = std::find_if(entries_.begin(), entries_.end(),
+                                [&prefix](const Entry& e) {
+                                  return e.prefix.length() < prefix.length();
+                                });
+  entries_.insert(pos, Entry{prefix, value});
+  ++generation_;
+  return true;
+}
+
+bool LpmTable::erase(net::Ipv4Prefix prefix) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&prefix](const Entry& e) { return e.prefix == prefix; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  ++generation_;
+  return true;
+}
+
+std::optional<std::uint64_t> LpmTable::lookup(net::Ipv4Address addr) const {
+  // Sorted by descending length: the first containing prefix is longest.
+  for (const auto& entry : entries_) {
+    if (entry.prefix.contains(addr)) return entry.value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace flexsfp::ppe

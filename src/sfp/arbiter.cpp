@@ -1,0 +1,17 @@
+#include "sfp/arbiter.hpp"
+
+namespace flexsfp::sfp {
+
+EgressArbiter::EgressArbiter(sim::Simulation& sim, sim::DataRate line_rate,
+                             std::size_t queue_capacity)
+    : sim::QueuedServer(sim, queue_capacity), line_rate_(line_rate) {}
+
+sim::TimePs EgressArbiter::service_time(const net::Packet& packet) {
+  return line_rate_.serialization_time(packet.wire_size());
+}
+
+void EgressArbiter::finish(net::PacketPtr packet) {
+  if (output_) output_(std::move(packet));
+}
+
+}  // namespace flexsfp::sfp

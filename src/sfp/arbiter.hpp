@@ -1,0 +1,31 @@
+// Egress arbiter: the merge point of Figure 1 where data-plane traffic and
+// control-plane traffic share one transmit interface. Serializes at the
+// interface line rate, so the "control traffic is negligible" assumption of
+// §4.1 becomes a measurable property instead of an assumption.
+#pragma once
+
+#include <functional>
+
+#include "sim/link.hpp"
+
+namespace flexsfp::sfp {
+
+class EgressArbiter final : public sim::QueuedServer {
+ public:
+  EgressArbiter(sim::Simulation& sim, sim::DataRate line_rate,
+                std::size_t queue_capacity = 64);
+
+  void set_output(std::function<void(net::PacketPtr)> output) {
+    output_ = std::move(output);
+  }
+
+ protected:
+  [[nodiscard]] sim::TimePs service_time(const net::Packet& packet) override;
+  void finish(net::PacketPtr packet) override;
+
+ private:
+  sim::DataRate line_rate_;
+  std::function<void(net::PacketPtr)> output_;
+};
+
+}  // namespace flexsfp::sfp

@@ -1,0 +1,136 @@
+#include "sfp/exporter.hpp"
+
+#include "net/builder.hpp"
+
+namespace flexsfp::sfp {
+
+namespace {
+constexpr std::uint16_t export_magic = 0x4658;  // "FX"
+constexpr std::uint8_t export_version = 1;
+}  // namespace
+
+ExportRecord ExportRecord::from_flow(const apps::FlowRecord& flow) {
+  ExportRecord record;
+  record.tuple = flow.tuple;
+  record.packets = flow.packets;
+  record.bytes = flow.bytes;
+  record.first_seen_us =
+      static_cast<std::uint64_t>(flow.first_seen_ps / 1'000'000);
+  record.last_seen_us =
+      static_cast<std::uint64_t>(flow.last_seen_ps / 1'000'000);
+  record.tcp_flags = flow.tcp_flags_seen;
+  return record;
+}
+
+void ExportRecord::serialize_to(net::BytesSpan data,
+                                std::size_t offset) const {
+  net::write_be32(data, offset, tuple.src.value());
+  net::write_be32(data, offset + 4, tuple.dst.value());
+  net::write_be16(data, offset + 8, tuple.src_port);
+  net::write_be16(data, offset + 10, tuple.dst_port);
+  net::write_u8(data, offset + 12, tuple.protocol);
+  net::write_u8(data, offset + 13, tcp_flags);
+  net::write_be16(data, offset + 14, 0);  // reserved
+  net::write_be64(data, offset + 16, packets);
+  net::write_be64(data, offset + 24, bytes);
+  net::write_be64(data, offset + 32, first_seen_us);
+  net::write_be64(data, offset + 40, last_seen_us);
+}
+
+std::optional<ExportRecord> ExportRecord::parse(net::BytesView data,
+                                                std::size_t offset) {
+  if (offset + size() > data.size()) return std::nullopt;
+  ExportRecord record;
+  record.tuple.src = net::Ipv4Address{net::read_be32(data, offset)};
+  record.tuple.dst = net::Ipv4Address{net::read_be32(data, offset + 4)};
+  record.tuple.src_port = net::read_be16(data, offset + 8);
+  record.tuple.dst_port = net::read_be16(data, offset + 10);
+  record.tuple.protocol = data[offset + 12];
+  record.tcp_flags = data[offset + 13];
+  record.packets = net::read_be64(data, offset + 16);
+  record.bytes = net::read_be64(data, offset + 24);
+  record.first_seen_us = net::read_be64(data, offset + 32);
+  record.last_seen_us = net::read_be64(data, offset + 40);
+  return record;
+}
+
+FlowExporter::FlowExporter(sim::Simulation& sim, FlexSfpModule& module,
+                           FlowExporterConfig config)
+    : sim_(sim), module_(module), config_(std::move(config)) {}
+
+void FlowExporter::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule_in(config_.interval_ps, [this]() { sweep(); });
+}
+
+void FlowExporter::sweep() {
+  if (!running_) return;
+  auto* stage = module_.app().find_stage(config_.stage_name);
+  auto* flow_stats = dynamic_cast<apps::FlowStats*>(stage);
+  if (flow_stats != nullptr) {
+    const auto flows = flow_stats->sweep(sim_.now());
+    if (!flows.empty()) emit(flows);
+  }
+  sim_.schedule_in(config_.interval_ps, [this]() { sweep(); });
+}
+
+void FlowExporter::emit(const std::vector<apps::FlowRecord>& flows) {
+  std::size_t index = 0;
+  while (index < flows.size()) {
+    const std::size_t count =
+        std::min(config_.max_records_per_packet, flows.size() - index);
+
+    // Payload: magic(2) version(1) count(1) sequence(4) records.
+    net::Bytes payload(8 + count * ExportRecord::size());
+    net::write_be16(payload, 0, export_magic);
+    payload[2] = export_version;
+    payload[3] = static_cast<std::uint8_t>(count);
+    net::write_be32(payload, 4, sequence_++);
+    for (std::size_t i = 0; i < count; ++i) {
+      ExportRecord::from_flow(flows[index + i])
+          .serialize_to(payload, 8 + i * ExportRecord::size());
+    }
+
+    auto frame = std::make_shared<net::Packet>(
+        net::PacketBuilder()
+            .ethernet(config_.collector_mac,
+                      module_.shell().config().module_mac)
+            .ipv4(config_.exporter_ip, config_.collector_ip,
+                  net::IpProto::udp)
+            .udp(config_.source_port, config_.collector_port)
+            .payload(payload)
+            .build_packet());
+    module_.shell().send_from_control(config_.egress_port, std::move(frame));
+    ++datagrams_;
+    records_ += count;
+    index += count;
+  }
+}
+
+std::optional<std::vector<ExportRecord>> FlowExporter::decode(
+    const net::Packet& packet, std::uint16_t collector_port) {
+  const auto parsed = net::parse_packet(packet.data());
+  if (!parsed.ok() || !parsed.outer.udp ||
+      parsed.outer.udp->dst_port != collector_port) {
+    return std::nullopt;
+  }
+  const auto& data = packet.data();
+  const std::size_t payload = parsed.outer.payload_offset;
+  if (payload + 8 > data.size()) return std::nullopt;
+  if (net::read_be16(data, payload) != export_magic) return std::nullopt;
+  if (data[payload + 2] != export_version) return std::nullopt;
+  const std::size_t count = data[payload + 3];
+
+  std::vector<ExportRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto record =
+        ExportRecord::parse(data, payload + 8 + i * ExportRecord::size());
+    if (!record) return std::nullopt;
+    records.push_back(*record);
+  }
+  return records;
+}
+
+}  // namespace flexsfp::sfp

@@ -1,0 +1,76 @@
+// Control-plane flow exporter: the Active-CP "originate traffic" role in
+// practice (§3: "a FlexSFP could export NetFlow-like stats"). Periodically
+// sweeps the FlowStats cache and emits UDP export datagrams from the
+// embedded control plane toward a collector.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/telemetry.hpp"
+#include "sfp/flexsfp.hpp"
+
+namespace flexsfp::sfp {
+
+/// Wire format of one exported record (48 bytes, NetFlow-v5-shaped).
+struct ExportRecord {
+  static constexpr std::size_t size() { return 48; }
+
+  net::FiveTuple tuple;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t first_seen_us = 0;
+  std::uint64_t last_seen_us = 0;
+  std::uint8_t tcp_flags = 0;
+
+  [[nodiscard]] static ExportRecord from_flow(const apps::FlowRecord& flow);
+  void serialize_to(net::BytesSpan data, std::size_t offset) const;
+  [[nodiscard]] static std::optional<ExportRecord> parse(net::BytesView data,
+                                                         std::size_t offset);
+};
+
+struct FlowExporterConfig {
+  sim::TimePs interval_ps = 1'000'000'000'000;  // 1 s sweep
+  net::MacAddress collector_mac;
+  net::Ipv4Address collector_ip;
+  net::Ipv4Address exporter_ip;
+  std::uint16_t collector_port = 2055;
+  std::uint16_t source_port = 2055;
+  /// Records per datagram (bounds frame size).
+  std::size_t max_records_per_packet = 24;
+  /// Which stage of the running app holds the flow cache.
+  std::string stage_name = "flowstats";
+  /// Egress side the collector lives on.
+  int egress_port = FlexSfpModule::edge_port;
+};
+
+class FlowExporter {
+ public:
+  FlowExporter(sim::Simulation& sim, FlexSfpModule& module,
+               FlowExporterConfig config);
+
+  /// Schedule periodic sweeps (call once; runs until `stop()`).
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return datagrams_; }
+  [[nodiscard]] std::uint64_t records_exported() const { return records_; }
+
+  /// Decode an export datagram's records (for collectors and tests);
+  /// nullopt when the packet is not an export datagram.
+  [[nodiscard]] static std::optional<std::vector<ExportRecord>> decode(
+      const net::Packet& packet, std::uint16_t collector_port = 2055);
+
+ private:
+  void sweep();
+  void emit(const std::vector<apps::FlowRecord>& flows);
+
+  sim::Simulation& sim_;
+  FlexSfpModule& module_;
+  FlowExporterConfig config_;
+  bool running_ = false;
+  std::uint64_t datagrams_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint32_t sequence_ = 0;
+};
+
+}  // namespace flexsfp::sfp

@@ -1,0 +1,140 @@
+#include "sfp/flexsfp.hpp"
+
+#include "apps/register.hpp"
+#include "hw/resource_model.hpp"
+
+namespace flexsfp::sfp {
+
+std::string to_string(ModuleState state) {
+  switch (state) {
+    case ModuleState::booting: return "booting";
+    case ModuleState::running: return "running";
+    case ModuleState::rebooting: return "rebooting";
+    case ModuleState::failed: return "failed";
+  }
+  return "state(?)";
+}
+
+FlexSfpModule::FlexSfpModule(sim::Simulation& sim, ppe::PpeAppPtr app,
+                             FlexSfpConfig config)
+    : sim_(sim),
+      config_(config),
+      device_(hw::FpgaDevice::mpf200t()),
+      flash_(/*slots=*/4),
+      control_plane_(sim, ControlPlaneConfig{.key = config.auth_key,
+                                             .mac = config.shell.module_mac,
+                                             .ip = config.cp_ip}) {
+  apps::register_builtin_apps();
+
+  shell_ = std::make_unique<ArchitectureShell>(sim, std::move(app),
+                                               config_.shell);
+  shell_->set_control_rx([this](net::PacketPtr packet) {
+    control_plane_.handle_packet(std::move(packet));
+  });
+  control_plane_.set_app_provider(
+      [this]() -> ppe::PpeApp* { return &shell_->engine().app(); });
+  control_plane_.set_transmit([this](net::PacketPtr packet) {
+    shell_->send_from_control(edge_port, std::move(packet));
+  });
+  control_plane_.set_reconfig_sink(
+      [this](hw::Bitstream bitstream) { reconfigure(bitstream); });
+
+  // Seed the golden image (slot 0) with the initial application.
+  const auto golden = hw::Bitstream::create(
+      shell_->engine().app().name(), shell_->engine().app().serialize_config(),
+      config_.auth_key);
+  (void)flash_.write(0, golden);
+
+  sim::Rng vcsel_rng{config_.vcsel_seed};
+  vcsel_ = std::make_unique<VcselModel>(VcselParams{}, vcsel_rng);
+
+  if (config_.boot_at_start) {
+    state_ = ModuleState::booting;
+    const auto boot = boot_duration(default_boot_sequence());
+    sim_.schedule_in(boot, [this]() {
+      if (state_ == ModuleState::booting) {
+        state_ = ModuleState::running;
+        run_started_ = sim_.now();
+      }
+    });
+  }
+}
+
+void FlexSfpModule::inject(int port, net::PacketPtr packet) {
+  if (state_ != ModuleState::running) {
+    ++dark_drops_;  // no light, no link: the wire drops it
+    return;
+  }
+  shell_->inject(port, std::move(packet));
+}
+
+void FlexSfpModule::set_egress_handler(
+    int port, std::function<void(net::PacketPtr)> handler) {
+  shell_->set_egress_handler(port, std::move(handler));
+}
+
+hw::ResourceBreakdown FlexSfpModule::resource_report() const {
+  hw::ResourceBreakdown report;
+  report.add("Mi-V", hw::ResourceModel::miv_rv32());
+  report.add("Elec. I/F", hw::ResourceModel::ethernet_iface_electrical());
+  report.add("Opt. I/F", hw::ResourceModel::ethernet_iface_optical());
+  report.add(shell_->engine().app().name() + " app",
+             shell_->engine().app().resource_usage(config_.shell.datapath));
+  return report;
+}
+
+bool FlexSfpModule::design_fits() const {
+  return device_.fits(resource_report().total() +
+                      shell_->shell_overhead_resources());
+}
+
+hw::PowerBreakdown FlexSfpModule::power(sim::TimePs elapsed) const {
+  // Utilization: the busier of the two directions over the window.
+  const double edge_bps =
+      shell_->ingress_meter(edge_port).bits_per_second(elapsed);
+  const double opt_bps =
+      shell_->ingress_meter(optical_port).bits_per_second(elapsed);
+  const double line = double(config_.shell.line_rate.bps());
+  const double utilization =
+      line > 0 ? std::max(edge_bps, opt_bps) / line : 0.0;
+  return hw::PowerModel::flexsfp(
+      device_,
+      resource_report().total() + shell_->shell_overhead_resources(),
+      config_.shell.datapath.clock, utilization);
+}
+
+LaserHealth FlexSfpModule::check_laser(double age_hours) {
+  const LaserHealth health = vcsel_->health(age_hours);
+  if (health == LaserHealth::failed) state_ = ModuleState::failed;
+  return health;
+}
+
+bool FlexSfpModule::reconfigure(const hw::Bitstream& bitstream) {
+  if (!bitstream.verify(config_.auth_key)) return false;
+  auto new_app =
+      ppe::AppRegistry::instance().create(bitstream.app_name(),
+                                          bitstream.config());
+  if (new_app == nullptr) return false;
+
+  const auto flash_time = flash_.write(config_.staging_slot, bitstream);
+  if (!flash_time) return false;
+
+  // Flash programming happens while the old design keeps forwarding; only
+  // the FPGA reload darkens the datapath. (Simulation events are
+  // std::function, hence the shared holder around the unique owner.)
+  ++reconfigs_;
+  last_outage_ = config_.fpga_reload_ps;
+  auto holder = std::make_shared<ppe::PpeAppPtr>(std::move(new_app));
+  sim_.schedule_in(*flash_time, [this, holder]() {
+    state_ = ModuleState::rebooting;
+    sim_.schedule_in(config_.fpga_reload_ps, [this, holder]() {
+      shell_->engine().replace_app(std::move(*holder));
+      state_ = ModuleState::running;
+      run_started_ = sim_.now();
+      control_plane_.reconfig_reset();
+    });
+  });
+  return true;
+}
+
+}  // namespace flexsfp::sfp

@@ -1,0 +1,114 @@
+// The FlexSFP module: the paper's prototype (§4.3) as one object — an
+// MPF200T-class FPGA carrying an architecture shell + PPE app, a Mi-V
+// control plane, a 128 Mb SPI flash with multiple design slots, two 10 Gb/s
+// interfaces and a VCSEL whose wear the module can observe from inside.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hw/device.hpp"
+#include "hw/power_model.hpp"
+#include "hw/spi_flash.hpp"
+#include "ppe/registry.hpp"
+#include "sfp/control_plane.hpp"
+#include "sfp/shell.hpp"
+#include "sfp/vcsel.hpp"
+
+namespace flexsfp::sfp {
+
+enum class ModuleState : std::uint8_t {
+  booting,
+  running,
+  rebooting,  // reconfiguration in progress: datapath dark
+  failed,     // optical failure
+};
+
+[[nodiscard]] std::string to_string(ModuleState state);
+
+struct FlexSfpConfig {
+  ShellConfig shell{};
+  hw::AuthKey auth_key{0x5f5f464c45585f5f};
+  /// IP identity of the embedded control plane (Active-CP shells terminate
+  /// and answer traffic addressed to it, e.g. ICMP echo).
+  std::optional<net::Ipv4Address> cp_ip;
+  /// Flash slot reconfigurations are staged into (slot 0 = golden image).
+  std::size_t staging_slot = 1;
+  /// FPGA configuration reload time after a reconfig commit.
+  sim::TimePs fpga_reload_ps = 150'000'000'000;  // 150 ms
+  /// Run the boot sequence at construction time (tests may disable to get
+  /// a module that is usable at t = 0).
+  bool boot_at_start = true;
+  std::uint64_t vcsel_seed = 42;
+};
+
+class FlexSfpModule {
+ public:
+  /// Build a module running `app` on the MPF200T prototype device.
+  FlexSfpModule(sim::Simulation& sim, ppe::PpeAppPtr app,
+                FlexSfpConfig config = {});
+
+  static constexpr int edge_port = ArchitectureShell::edge_port;
+  static constexpr int optical_port = ArchitectureShell::optical_port;
+
+  /// Packet arriving at the module. While booting/rebooting/failed the
+  /// datapath is dark and the packet is lost (counted).
+  void inject(int port, net::PacketPtr packet);
+  void set_egress_handler(int port,
+                          std::function<void(net::PacketPtr)> handler);
+
+  [[nodiscard]] ModuleState state() const { return state_; }
+  [[nodiscard]] std::uint64_t packets_lost_while_dark() const {
+    return dark_drops_;
+  }
+
+  [[nodiscard]] ArchitectureShell& shell() { return *shell_; }
+  [[nodiscard]] ControlPlane& control_plane() { return control_plane_; }
+  [[nodiscard]] hw::SpiFlash& flash() { return flash_; }
+  [[nodiscard]] const hw::FpgaDevice& device() const { return device_; }
+  [[nodiscard]] ppe::PpeApp& app() { return shell_->engine().app(); }
+
+  // --- reporting ------------------------------------------------------------
+  /// Full design breakdown: Mi-V + electrical I/F + optical I/F + app
+  /// (+ shell glue) — the structure of the paper's Table 1.
+  [[nodiscard]] hw::ResourceBreakdown resource_report() const;
+  /// Does the current design fit the device?
+  [[nodiscard]] bool design_fits() const;
+
+  /// Module power right now: optics at current utilization + FPGA.
+  /// `elapsed` is the span utilization is averaged over.
+  [[nodiscard]] hw::PowerBreakdown power(sim::TimePs elapsed) const;
+
+  // --- failure model ---------------------------------------------------------
+  [[nodiscard]] const VcselModel& vcsel() const { return *vcsel_; }
+  [[nodiscard]] VcselModel& vcsel() { return *vcsel_; }
+  /// Age the laser to `age_hours` of operation and fail the module if it
+  /// wore out; returns the health telemetry.
+  LaserHealth check_laser(double age_hours);
+
+  // --- reconfiguration (also reachable in-band via the mgmt protocol) --------
+  /// Stage `bitstream` to flash and reboot into it. Returns false when the
+  /// app name is unknown to the registry or flash staging failed.
+  bool reconfigure(const hw::Bitstream& bitstream);
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+  /// Duration of the most recent dark window (flash + reload), for the
+  /// reconfiguration-outage experiment.
+  [[nodiscard]] sim::TimePs last_outage_ps() const { return last_outage_; }
+
+ private:
+  sim::Simulation& sim_;
+  FlexSfpConfig config_;
+  hw::FpgaDevice device_;
+  hw::SpiFlash flash_;
+  std::unique_ptr<ArchitectureShell> shell_;
+  ControlPlane control_plane_;
+  std::unique_ptr<VcselModel> vcsel_;
+  ModuleState state_ = ModuleState::running;
+  std::uint64_t dark_drops_ = 0;
+  std::uint64_t reconfigs_ = 0;
+  sim::TimePs last_outage_ = 0;
+  sim::TimePs run_started_ = 0;
+};
+
+}  // namespace flexsfp::sfp

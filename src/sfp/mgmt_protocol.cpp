@@ -1,0 +1,180 @@
+#include "sfp/mgmt_protocol.hpp"
+
+#include "net/headers.hpp"
+
+namespace flexsfp::sfp {
+
+std::string to_string(MgmtOp op) {
+  switch (op) {
+    case MgmtOp::ping: return "ping";
+    case MgmtOp::table_insert: return "table-insert";
+    case MgmtOp::table_erase: return "table-erase";
+    case MgmtOp::table_lookup: return "table-lookup";
+    case MgmtOp::counter_read: return "counter-read";
+    case MgmtOp::reconfig_begin: return "reconfig-begin";
+    case MgmtOp::reconfig_chunk: return "reconfig-chunk";
+    case MgmtOp::reconfig_commit: return "reconfig-commit";
+    case MgmtOp::reconfig_abort: return "reconfig-abort";
+  }
+  return "op(?)";
+}
+
+std::string to_string(MgmtStatus status) {
+  switch (status) {
+    case MgmtStatus::ok: return "ok";
+    case MgmtStatus::auth_failed: return "auth-failed";
+    case MgmtStatus::unknown_op: return "unknown-op";
+    case MgmtStatus::unknown_table: return "unknown-table";
+    case MgmtStatus::table_full: return "table-full";
+    case MgmtStatus::not_found: return "not-found";
+    case MgmtStatus::bad_state: return "bad-state";
+    case MgmtStatus::verify_failed: return "verify-failed";
+    case MgmtStatus::malformed: return "malformed";
+  }
+  return "status(?)";
+}
+
+namespace {
+
+// Body layout shared by serialize/parse:
+// 'R' seq(4) op(1) table_len(1) table key(8) value(8)
+// payload_len(2) payload tag(8)
+constexpr std::uint8_t request_marker = 'R';
+constexpr std::uint8_t response_marker = 'S';
+
+net::Bytes request_body_without_tag(const MgmtRequest& request) {
+  net::Bytes out(1 + 4 + 1 + 1 + request.table.size() + 8 + 8 + 2 +
+                 request.payload.size());
+  std::size_t offset = 0;
+  out[offset++] = request_marker;
+  net::write_be32(out, offset, request.seq);
+  offset += 4;
+  out[offset++] = static_cast<std::uint8_t>(request.op);
+  out[offset++] = static_cast<std::uint8_t>(request.table.size());
+  for (const char c : request.table) {
+    out[offset++] = static_cast<std::uint8_t>(c);
+  }
+  net::write_be64(out, offset, request.key);
+  offset += 8;
+  net::write_be64(out, offset, request.value);
+  offset += 8;
+  net::write_be16(out, offset,
+                  static_cast<std::uint16_t>(request.payload.size()));
+  offset += 2;
+  std::copy(request.payload.begin(), request.payload.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(offset));
+  return out;
+}
+
+}  // namespace
+
+net::Bytes MgmtRequest::serialize(hw::AuthKey key_material) const {
+  net::Bytes body = request_body_without_tag(*this);
+  const std::uint64_t tag = hw::keyed_tag(key_material, body);
+  const std::size_t offset = body.size();
+  body.resize(body.size() + 8);
+  net::write_be64(body, offset, tag);
+  return body;
+}
+
+std::optional<MgmtRequest> MgmtRequest::parse(net::BytesView data) {
+  if (data.size() < 1 + 4 + 1 + 1 + 8 + 8 + 2 + 8) return std::nullopt;
+  if (data[0] != request_marker) return std::nullopt;
+  MgmtRequest request;
+  request.seq = net::read_be32(data, 1);
+  const std::uint8_t op = data[5];
+  if (op > static_cast<std::uint8_t>(MgmtOp::reconfig_abort)) {
+    return std::nullopt;
+  }
+  request.op = static_cast<MgmtOp>(op);
+  const std::size_t table_len = data[6];
+  std::size_t offset = 7;
+  if (offset + table_len + 8 + 8 + 2 + 8 > data.size()) return std::nullopt;
+  request.table.assign(reinterpret_cast<const char*>(data.data() + offset),
+                       table_len);
+  offset += table_len;
+  request.key = net::read_be64(data, offset);
+  offset += 8;
+  request.value = net::read_be64(data, offset);
+  offset += 8;
+  const std::size_t payload_len = net::read_be16(data, offset);
+  offset += 2;
+  if (offset + payload_len + 8 > data.size()) return std::nullopt;
+  request.payload.assign(
+      data.begin() + static_cast<std::ptrdiff_t>(offset),
+      data.begin() + static_cast<std::ptrdiff_t>(offset + payload_len));
+  offset += payload_len;
+  request.auth_tag = net::read_be64(data, offset);
+  return request;
+}
+
+bool MgmtRequest::verify(hw::AuthKey key_material) const {
+  return hw::keyed_tag(key_material, request_body_without_tag(*this)) ==
+         auth_tag;
+}
+
+net::Bytes MgmtResponse::serialize() const {
+  net::Bytes out(1 + 4 + 1 + 8 + 2 + payload.size());
+  std::size_t offset = 0;
+  out[offset++] = response_marker;
+  net::write_be32(out, offset, seq);
+  offset += 4;
+  out[offset++] = static_cast<std::uint8_t>(status);
+  net::write_be64(out, offset, value);
+  offset += 8;
+  net::write_be16(out, offset, static_cast<std::uint16_t>(payload.size()));
+  offset += 2;
+  std::copy(payload.begin(), payload.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(offset));
+  return out;
+}
+
+std::optional<MgmtResponse> MgmtResponse::parse(net::BytesView data) {
+  if (data.size() < 1 + 4 + 1 + 8 + 2) return std::nullopt;
+  if (data[0] != response_marker) return std::nullopt;
+  MgmtResponse response;
+  response.seq = net::read_be32(data, 1);
+  if (data[5] > static_cast<std::uint8_t>(MgmtStatus::malformed)) {
+    return std::nullopt;
+  }
+  response.status = static_cast<MgmtStatus>(data[5]);
+  response.value = net::read_be64(data, 6);
+  const std::size_t payload_len = net::read_be16(data, 14);
+  if (16 + payload_len > data.size()) return std::nullopt;
+  response.payload.assign(
+      data.begin() + 16,
+      data.begin() + static_cast<std::ptrdiff_t>(16 + payload_len));
+  return response;
+}
+
+net::Packet make_mgmt_frame(net::MacAddress dst, net::MacAddress src,
+                            net::BytesView body) {
+  net::Bytes frame(
+      std::max<std::size_t>(net::EthernetHeader::size() + body.size(), 60), 0);
+  net::EthernetHeader eth;
+  eth.dst = dst;
+  eth.src = src;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::flexsfp_mgmt);
+  eth.serialize_to(frame, 0);
+  std::copy(body.begin(), body.end(),
+            frame.begin() + net::EthernetHeader::size());
+  return net::Packet{std::move(frame)};
+}
+
+std::optional<net::Bytes> mgmt_body(const net::Packet& packet) {
+  const auto eth = net::EthernetHeader::parse(packet.data(), 0);
+  if (!eth || eth->ether_type !=
+                  static_cast<std::uint16_t>(net::EtherType::flexsfp_mgmt)) {
+    return std::nullopt;
+  }
+  return net::Bytes(packet.data().begin() + net::EthernetHeader::size(),
+                    packet.data().end());
+}
+
+bool is_mgmt_frame(const net::Packet& packet) {
+  const auto eth = net::EthernetHeader::parse(packet.data(), 0);
+  return eth && eth->ether_type ==
+                    static_cast<std::uint16_t>(net::EtherType::flexsfp_mgmt);
+}
+
+}  // namespace flexsfp::sfp

@@ -1,0 +1,87 @@
+// FlexSFP management protocol: the network-accessible control interface of
+// §4.1/§4.2. Requests ride in raw Ethernet frames (EtherType 0x88b7) and are
+// authenticated with a keyed hash; operations cover table/counter access and
+// the chunked, authenticated bitstream transfer used for over-the-network
+// reprogramming.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hw/bitstream.hpp"
+#include "net/addresses.hpp"
+#include "net/bytes.hpp"
+#include "net/packet.hpp"
+
+namespace flexsfp::sfp {
+
+enum class MgmtOp : std::uint8_t {
+  ping = 0,
+  table_insert = 1,
+  table_erase = 2,
+  table_lookup = 3,
+  counter_read = 4,
+  reconfig_begin = 5,   // payload: app name + total chunk count (be16)
+  reconfig_chunk = 6,   // payload: chunk index (be16) + chunk bytes
+  reconfig_commit = 7,  // no payload; triggers verify + flash + reboot
+  reconfig_abort = 8,
+};
+
+enum class MgmtStatus : std::uint8_t {
+  ok = 0,
+  auth_failed = 1,
+  unknown_op = 2,
+  unknown_table = 3,
+  table_full = 4,
+  not_found = 5,
+  bad_state = 6,     // e.g. chunk without begin
+  verify_failed = 7,  // bitstream signature/CRC rejected
+  malformed = 8,
+};
+
+[[nodiscard]] std::string to_string(MgmtOp op);
+[[nodiscard]] std::string to_string(MgmtStatus status);
+
+struct MgmtRequest {
+  std::uint32_t seq = 0;
+  MgmtOp op = MgmtOp::ping;
+  std::string table;      // table ops
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+  net::Bytes payload;     // reconfig chunks
+  std::uint64_t auth_tag = 0;
+
+  /// Serialize and sign with `key_material`.
+  [[nodiscard]] net::Bytes serialize(hw::AuthKey key_material) const;
+  /// Parse; nullopt when malformed. Authentication is checked separately
+  /// via verify().
+  [[nodiscard]] static std::optional<MgmtRequest> parse(net::BytesView data);
+  [[nodiscard]] bool verify(hw::AuthKey key_material) const;
+};
+
+struct MgmtResponse {
+  std::uint32_t seq = 0;
+  MgmtStatus status = MgmtStatus::ok;
+  std::uint64_t value = 0;
+  net::Bytes payload;
+
+  [[nodiscard]] net::Bytes serialize() const;
+  [[nodiscard]] static std::optional<MgmtResponse> parse(net::BytesView data);
+};
+
+/// Wrap a serialized request/response into an Ethernet frame with the
+/// FlexSFP management EtherType.
+[[nodiscard]] net::Packet make_mgmt_frame(net::MacAddress dst,
+                                          net::MacAddress src,
+                                          net::BytesView body);
+
+/// Extract the management body from a frame; nullopt when the frame is not
+/// a management frame.
+[[nodiscard]] std::optional<net::Bytes> mgmt_body(const net::Packet& packet);
+
+/// True when the frame carries the management EtherType (the demux test the
+/// shell applies per Figure 1).
+[[nodiscard]] bool is_mgmt_frame(const net::Packet& packet);
+
+}  // namespace flexsfp::sfp

@@ -1,0 +1,137 @@
+#include "sfp/shell.hpp"
+
+#include "hw/resource_model.hpp"
+#include "net/headers.hpp"
+
+namespace flexsfp::sfp {
+
+std::string to_string(ShellKind kind) {
+  switch (kind) {
+    case ShellKind::one_way_filter: return "One-Way-Filter";
+    case ShellKind::two_way_core: return "Two-Way-Core";
+    case ShellKind::active_cp: return "Active-CP";
+  }
+  return "shell(?)";
+}
+
+ArchitectureShell::ArchitectureShell(sim::Simulation& sim, ppe::PpeAppPtr app,
+                                     ShellConfig config)
+    : sim_(sim), config_(config) {
+  engine_ = std::make_unique<ppe::Engine>(sim, std::move(app),
+                                          config.datapath,
+                                          config.ppe_queue_capacity);
+  for (std::size_t port = 0; port < 2; ++port) {
+    arbiters_[port] = std::make_unique<EgressArbiter>(
+        sim, config.line_rate, config.arbiter_queue_capacity);
+    arbiters_[port]->set_output([this, port](net::PacketPtr packet) {
+      deliver_egress(static_cast<int>(port), std::move(packet));
+    });
+  }
+
+  // Forwarded packets leave on the opposite interface from where they
+  // entered; for the one-way shell that is always the configured egress.
+  engine_->set_forward_handler([this](net::PacketPtr packet) {
+    const int egress = packet->ingress_port() == edge_port ? optical_port
+                                                           : edge_port;
+    arbiters_[static_cast<std::size_t>(egress)]->handle_packet(
+        std::move(packet));
+  });
+  engine_->set_control_handler(
+      [this](net::PacketPtr packet) { punt_to_control(std::move(packet)); });
+}
+
+bool ArchitectureShell::terminates_locally(const net::Packet& packet) const {
+  if (config_.kind != ShellKind::active_cp) return false;
+  const auto eth = net::EthernetHeader::parse(packet.data(), 0);
+  return eth && eth->dst == config_.module_mac;
+}
+
+void ArchitectureShell::inject(int port, net::PacketPtr packet) {
+  packet->set_ingress_port(port);
+  packet->set_ingress_time_ps(sim_.now());
+  ingress_meters_[static_cast<std::size_t>(port)].record(packet->size());
+
+  // The MAC/PCS pipeline delays the frame before the demux sees it.
+  sim_.schedule_in(config_.interface_latency_ps, [this, port,
+                                                  packet =
+                                                      std::move(packet)]() mutable {
+    // Demux step of Figure 1: management frames (and, for ActiveCp, frames
+    // addressed to the module) go to the control plane.
+    if (is_mgmt_frame(*packet) || terminates_locally(*packet)) {
+      punt_to_control(std::move(packet));
+      return;
+    }
+
+    switch (config_.kind) {
+      case ShellKind::one_way_filter: {
+        const bool processed_direction =
+            (config_.direction == PpeDirection::edge_to_optical &&
+             port == edge_port) ||
+            (config_.direction == PpeDirection::optical_to_edge &&
+             port == optical_port);
+        if (processed_direction) {
+          engine_->handle_packet(std::move(packet));
+        } else {
+          // Reverse path: straight to the egress arbiter, merging with any
+          // control-plane traffic (Figure 1a's aggregation).
+          const int egress = port == edge_port ? optical_port : edge_port;
+          arbiters_[static_cast<std::size_t>(egress)]->handle_packet(
+              std::move(packet));
+        }
+        break;
+      }
+      case ShellKind::two_way_core:
+      case ShellKind::active_cp:
+        // Aggregation step of Figure 1b: both directions share the PPE.
+        engine_->handle_packet(std::move(packet));
+        break;
+    }
+  });
+}
+
+void ArchitectureShell::set_egress_handler(
+    int port, std::function<void(net::PacketPtr)> handler) {
+  egress_handlers_.at(static_cast<std::size_t>(port)) = std::move(handler);
+}
+
+void ArchitectureShell::send_from_control(int port, net::PacketPtr packet) {
+  arbiters_.at(static_cast<std::size_t>(port))->handle_packet(std::move(packet));
+}
+
+void ArchitectureShell::punt_to_control(net::PacketPtr packet) {
+  ++control_punts_;
+  if (control_rx_) control_rx_(std::move(packet));
+}
+
+void ArchitectureShell::deliver_egress(int port, net::PacketPtr packet) {
+  auto& handler = egress_handlers_[static_cast<std::size_t>(port)];
+  if (!handler) return;
+  // Egress MAC/PCS latency.
+  sim_.schedule_in(config_.interface_latency_ps,
+                   [&handler, packet = std::move(packet)]() mutable {
+                     handler(std::move(packet));
+                   });
+}
+
+hw::ResourceUsage ArchitectureShell::shell_overhead_resources() const {
+  using RM = hw::ResourceModel;
+  const std::uint32_t w = config_.datapath.width_bits;
+  hw::ResourceUsage usage;
+  // Ingress demux (ethertype compare + steering) per interface.
+  usage += RM::control_fsm(4, w);
+  usage += RM::control_fsm(4, w);
+  // Egress arbiters with their merge FIFOs.
+  usage += RM::stream_fifo(64, 72);
+  usage += RM::stream_fifo(64, 72);
+  usage += RM::control_fsm(6, w);
+  usage += RM::control_fsm(6, w);
+  if (config_.kind != ShellKind::one_way_filter) {
+    // Aggregator in front of the shared PPE plus the post-PPE demux — the
+    // sub-linear extra hardware of the Two-Way-Core.
+    usage += RM::stream_fifo(128, 72);
+    usage += RM::control_fsm(8, w);
+  }
+  return usage;
+}
+
+}  // namespace flexsfp::sfp

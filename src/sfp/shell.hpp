@@ -1,0 +1,110 @@
+// The three architecture shells of Figure 1.
+//
+// A shell owns the wiring between the module's two network interfaces
+// (port 0 = edge/electrical connector, port 1 = optical), the Packet
+// Processing Engine and the control-plane tap:
+//
+//   * OneWayFilter  — PPE on one direction only; the reverse direction goes
+//                     straight to the egress arbiter where it merges with
+//                     control-plane traffic (Figure 1a).
+//   * TwoWayCore    — traffic from both interfaces is aggregated into one
+//                     PPE, then demuxed to the opposite interface; the PPE
+//                     must absorb twice the packet rate (Figure 1b).
+//   * ActiveCp      — TwoWayCore plus a control plane that terminates and
+//                     originates traffic (the "self-contained microservice
+//                     node" third model).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "ppe/engine.hpp"
+#include "sfp/arbiter.hpp"
+#include "sfp/mgmt_protocol.hpp"
+
+namespace flexsfp::sfp {
+
+enum class ShellKind : std::uint8_t {
+  one_way_filter = 0,
+  two_way_core = 1,
+  active_cp = 2,
+};
+
+[[nodiscard]] std::string to_string(ShellKind kind);
+
+enum class PpeDirection : std::uint8_t {
+  edge_to_optical = 0,
+  optical_to_edge = 1,
+};
+
+struct ShellConfig {
+  ShellKind kind = ShellKind::one_way_filter;
+  hw::DatapathConfig datapath{};
+  PpeDirection direction = PpeDirection::edge_to_optical;  // one-way only
+  std::size_t ppe_queue_capacity = 64;
+  std::size_t arbiter_queue_capacity = 64;
+  /// MAC/PCS traversal latency per interface crossing.
+  sim::TimePs interface_latency_ps = 100'000;  // 100 ns
+  /// Line rate of both interfaces.
+  sim::DataRate line_rate = sim::line_rate_10g;
+  /// The module's own MAC (ActiveCp terminates frames addressed to it).
+  net::MacAddress module_mac;
+};
+
+class ArchitectureShell {
+ public:
+  ArchitectureShell(sim::Simulation& sim, ppe::PpeAppPtr app,
+                    ShellConfig config);
+
+  static constexpr int edge_port = 0;
+  static constexpr int optical_port = 1;
+
+  /// A packet arriving at the module on `port` (from the host system or
+  /// from the fiber).
+  void inject(int port, net::PacketPtr packet);
+
+  /// Where packets leaving the module on `port` are delivered.
+  void set_egress_handler(int port,
+                          std::function<void(net::PacketPtr)> handler);
+  /// Management (and, for ActiveCp, terminated) frames are delivered here.
+  void set_control_rx(std::function<void(net::PacketPtr)> handler) {
+    control_rx_ = std::move(handler);
+  }
+  /// Control-plane-originated traffic merges at the egress arbiter of
+  /// `port` — the aggregation step of Figure 1a.
+  void send_from_control(int port, net::PacketPtr packet);
+
+  [[nodiscard]] ppe::Engine& engine() { return *engine_; }
+  [[nodiscard]] const ppe::Engine& engine() const { return *engine_; }
+  [[nodiscard]] const ShellConfig& config() const { return config_; }
+
+  /// Fabric cost of the shell glue (demux, arbiters, CDC FIFOs) — what the
+  /// Two-Way-Core's "hardware overhead ... is not linear" remark refers to.
+  [[nodiscard]] hw::ResourceUsage shell_overhead_resources() const;
+
+  // --- stats ----------------------------------------------------------------
+  [[nodiscard]] const sim::TrafficMeter& ingress_meter(int port) const {
+    return ingress_meters_.at(static_cast<std::size_t>(port));
+  }
+  [[nodiscard]] std::uint64_t control_punts() const { return control_punts_; }
+  [[nodiscard]] const EgressArbiter& arbiter(int port) const {
+    return *arbiters_.at(static_cast<std::size_t>(port));
+  }
+
+ private:
+  [[nodiscard]] bool terminates_locally(const net::Packet& packet) const;
+  void punt_to_control(net::PacketPtr packet);
+  void deliver_egress(int port, net::PacketPtr packet);
+
+  sim::Simulation& sim_;
+  ShellConfig config_;
+  std::unique_ptr<ppe::Engine> engine_;
+  std::array<std::unique_ptr<EgressArbiter>, 2> arbiters_;
+  std::array<std::function<void(net::PacketPtr)>, 2> egress_handlers_;
+  std::function<void(net::PacketPtr)> control_rx_;
+  std::array<sim::TrafficMeter, 2> ingress_meters_;
+  std::uint64_t control_punts_ = 0;
+};
+
+}  // namespace flexsfp::sfp

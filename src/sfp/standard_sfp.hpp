@@ -1,0 +1,41 @@
+// A plain, fixed-function SFP+ transceiver: the baseline the paper measures
+// against. Pure electrical<->optical conversion — a short serdes latency and
+// the optics power envelope, no processing.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "hw/power_model.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+
+namespace flexsfp::sfp {
+
+class StandardSfp {
+ public:
+  explicit StandardSfp(sim::Simulation& sim,
+                       sim::TimePs serdes_latency_ps = 25'000);  // 25 ns
+
+  static constexpr int edge_port = 0;
+  static constexpr int optical_port = 1;
+
+  void inject(int port, net::PacketPtr packet);
+  void set_egress_handler(int port,
+                          std::function<void(net::PacketPtr)> handler);
+
+  [[nodiscard]] const sim::TrafficMeter& meter(int port) const {
+    return meters_.at(static_cast<std::size_t>(port));
+  }
+  /// Power draw at a utilization averaged over `elapsed`.
+  [[nodiscard]] hw::PowerBreakdown power(sim::TimePs elapsed,
+                                         sim::DataRate line_rate) const;
+
+ private:
+  sim::Simulation& sim_;
+  sim::TimePs serdes_latency_ps_;
+  std::array<std::function<void(net::PacketPtr)>, 2> egress_handlers_;
+  std::array<sim::TrafficMeter, 2> meters_;
+};
+
+}  // namespace flexsfp::sfp

@@ -1,0 +1,43 @@
+#include "sfp/vcsel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexsfp::sfp {
+
+VcselModel::VcselModel(const VcselParams& params, sim::Rng& rng)
+    : params_(params),
+      ttf_hours_(rng.lognormal(params.ttf_mu_log_hours, params.ttf_sigma)) {}
+
+double VcselModel::power_mw(double age_hours) const {
+  if (age_hours >= ttf_hours_) return 0.0;
+  // Power declines super-linearly with age, reaching fail_fraction exactly
+  // at the wear-out life: p(t) = p0 * (1 - (1-f) * (t/ttf)^2).
+  const double x = std::max(age_hours, 0.0) / ttf_hours_;
+  const double fraction = 1.0 - (1.0 - params_.fail_fraction) * x * x;
+  return params_.initial_power_mw * std::max(fraction, 0.0);
+}
+
+LaserHealth VcselModel::health(double age_hours) const {
+  const double p = power_mw(age_hours);
+  if (age_hours >= ttf_hours_ ||
+      p <= params_.fail_fraction * params_.initial_power_mw) {
+    return LaserHealth::failed;
+  }
+  if (p < params_.warn_fraction * params_.initial_power_mw) {
+    return LaserHealth::degrading;
+  }
+  return LaserHealth::nominal;
+}
+
+OpticalFault VcselModel::diagnose(double age_hours) const {
+  // A driver fault kills modulation while the laser bias telemetry still
+  // reads healthy power; degradation shows the opposite signature.
+  if (driver_fault_) return OpticalFault::driver_fault;
+  if (health(age_hours) != LaserHealth::nominal) {
+    return OpticalFault::laser_degradation;
+  }
+  return OpticalFault::none;
+}
+
+}  // namespace flexsfp::sfp

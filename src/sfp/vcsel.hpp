@@ -1,0 +1,68 @@
+// VCSEL wear-out model (§5.3 "Failure Recovery"): the paper cites lognormal
+// time-to-failure with gradual optical power degradation as the dominant
+// failure mode, and argues FlexSFP's internal visibility enables targeted
+// diagnosis (laser vs driver). This model produces exactly that telemetry.
+//
+// Laser lifetimes are years — far beyond the picosecond simulation clock —
+// so ages here are expressed in operating hours (double).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+
+namespace flexsfp::sfp {
+
+enum class LaserHealth : std::uint8_t {
+  nominal,
+  degrading,  // output power below warning threshold, still usable
+  failed,     // below failure threshold or past wear-out life
+};
+
+enum class OpticalFault : std::uint8_t {
+  none,
+  laser_degradation,  // the VCSEL itself (replace the optical subassembly)
+  driver_fault,       // the driver circuit (board-level repair)
+};
+
+struct VcselParams {
+  double initial_power_mw = 1.0;
+  /// Lognormal TTF parameters in hours (median = e^mu ~ 13.5 years with
+  /// these defaults, sigma controls spread).
+  double ttf_mu_log_hours = 11.68;
+  double ttf_sigma = 0.6;
+  /// Warning / failure thresholds as fractions of initial power.
+  double warn_fraction = 0.8;
+  double fail_fraction = 0.5;
+};
+
+class VcselModel {
+ public:
+  VcselModel(const VcselParams& params, sim::Rng& rng);
+
+  /// Optical output power after `age_hours` of operation. Degradation is a
+  /// smooth power-law decline toward the failure threshold at the sampled
+  /// time-to-failure.
+  [[nodiscard]] double power_mw(double age_hours) const;
+  [[nodiscard]] LaserHealth health(double age_hours) const;
+  /// The sampled wear-out life of this individual laser, hours.
+  [[nodiscard]] double time_to_failure_hours() const { return ttf_hours_; }
+
+  /// Inject a driver-circuit fault (for diagnosis tests).
+  void inject_driver_fault() { driver_fault_ = true; }
+  [[nodiscard]] bool driver_fault() const { return driver_fault_; }
+
+  /// What a technician should replace, given internal telemetry at
+  /// `age_hours`: distinguishes laser degradation from driver malfunction —
+  /// the paper's "targeted repairs" argument.
+  [[nodiscard]] OpticalFault diagnose(double age_hours) const;
+
+  [[nodiscard]] const VcselParams& params() const { return params_; }
+
+ private:
+  VcselParams params_;
+  double ttf_hours_;
+  bool driver_fault_ = false;
+};
+
+}  // namespace flexsfp::sfp

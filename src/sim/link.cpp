@@ -1,0 +1,63 @@
+#include "sim/link.hpp"
+
+#include <utility>
+
+namespace flexsfp::sim {
+
+Link::Link(Simulation& sim, DataRate rate, TimePs propagation_delay,
+           PacketHandler& destination, std::string name)
+    : sim_(sim),
+      rate_(rate),
+      propagation_delay_(propagation_delay),
+      destination_(destination),
+      name_(std::move(name)) {}
+
+void Link::handle_packet(net::PacketPtr packet) {
+  const TimePs start = std::max(sim_.now(), next_free_);
+  const TimePs ser = rate_.serialization_time(packet->wire_size());
+  next_free_ = start + ser;
+  busy_time_ += ser;
+  meter_.record(packet->size());
+  const TimePs arrival = next_free_ + propagation_delay_;
+  sim_.schedule_at(arrival, [this, packet = std::move(packet)]() mutable {
+    destination_.handle_packet(std::move(packet));
+  });
+}
+
+bool BoundedQueue::push(net::PacketPtr packet) {
+  if (queue_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  queue_.push_back(std::move(packet));
+  high_watermark_ = std::max(high_watermark_, queue_.size());
+  return true;
+}
+
+net::PacketPtr BoundedQueue::pop() {
+  if (queue_.empty()) return nullptr;
+  auto packet = std::move(queue_.front());
+  queue_.pop_front();
+  return packet;
+}
+
+void QueuedServer::handle_packet(net::PacketPtr packet) {
+  if (!queue_.push(std::move(packet))) return;  // dropped, counted
+  if (!busy_) start_service();
+}
+
+void QueuedServer::start_service() {
+  auto packet = queue_.pop();
+  if (!packet) return;
+  busy_ = true;
+  const TimePs service = service_time(*packet);
+  busy_time_ += service;
+  served_.record(packet->size());
+  sim_.schedule_in(service, [this, packet = std::move(packet)]() mutable {
+    finish(std::move(packet));
+    busy_ = false;
+    if (!queue_.empty()) start_service();
+  });
+}
+
+}  // namespace flexsfp::sim

@@ -1,0 +1,105 @@
+// Point-to-point link and queued-server building blocks.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace flexsfp::sim {
+
+/// A unidirectional serial link: packets occupy the wire for
+/// wire_size() / rate, then arrive after the propagation delay. Back-to-back
+/// sends queue behind the transmitter (infinite TX buffer: sources that need
+/// loss behaviour put a BoundedQueue in front).
+class Link final : public PacketHandler {
+ public:
+  Link(Simulation& sim, DataRate rate, TimePs propagation_delay,
+       PacketHandler& destination, std::string name = "link");
+
+  void handle_packet(net::PacketPtr packet) override;
+
+  [[nodiscard]] DataRate rate() const { return rate_; }
+  [[nodiscard]] const TrafficMeter& meter() const { return meter_; }
+  /// Total time the transmitter was busy — utilization = busy / elapsed.
+  [[nodiscard]] TimePs busy_time() const { return busy_time_; }
+  [[nodiscard]] double utilization(TimePs elapsed) const {
+    return elapsed > 0 ? double(busy_time_) / double(elapsed) : 0.0;
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Simulation& sim_;
+  DataRate rate_;
+  TimePs propagation_delay_;
+  PacketHandler& destination_;
+  std::string name_;
+  TimePs next_free_ = 0;
+  TimePs busy_time_ = 0;
+  TrafficMeter meter_;
+};
+
+/// Drop-tail FIFO with a packet-count bound, as found in front of every
+/// store-and-forward element. Pure container: the owner drives dequeue.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False (and counted as a drop) when full.
+  bool push(net::PacketPtr packet);
+  [[nodiscard]] net::PacketPtr pop();
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<net::PacketPtr> queue_;
+  std::uint64_t drops_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+/// An M/G/1-style service element: arriving packets wait in a bounded FIFO,
+/// are served one at a time for `service_time(packet)`, then handed to
+/// `finish`. This is the execution model of the Packet Processing Engine:
+/// the service time is the packet's cycle budget on the PPE clock.
+class QueuedServer : public PacketHandler {
+ public:
+  QueuedServer(Simulation& sim, std::size_t queue_capacity)
+      : sim_(sim), queue_(queue_capacity) {}
+
+  void handle_packet(net::PacketPtr packet) final;
+
+  [[nodiscard]] std::uint64_t drops() const { return queue_.drops(); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_high_watermark() const {
+    return queue_.high_watermark();
+  }
+  [[nodiscard]] TimePs busy_time() const { return busy_time_; }
+  [[nodiscard]] double utilization(TimePs elapsed) const {
+    return elapsed > 0 ? double(busy_time_) / double(elapsed) : 0.0;
+  }
+  [[nodiscard]] const TrafficMeter& served() const { return served_; }
+
+ protected:
+  [[nodiscard]] Simulation& sim() { return sim_; }
+  /// How long this packet occupies the server.
+  [[nodiscard]] virtual TimePs service_time(const net::Packet& packet) = 0;
+  /// Invoked at service completion; implementations forward, drop, etc.
+  virtual void finish(net::PacketPtr packet) = 0;
+
+ private:
+  void start_service();
+
+  Simulation& sim_;
+  BoundedQueue queue_;
+  bool busy_ = false;
+  TimePs busy_time_ = 0;
+  TrafficMeter served_;
+};
+
+}  // namespace flexsfp::sim

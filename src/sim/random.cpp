@@ -1,0 +1,49 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexsfp::sim {
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  return std::uniform_int_distribution<std::uint64_t>{lo, hi}(engine_);
+}
+
+double Rng::uniform_real() {
+  return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>{1.0 / mean}(engine_);
+}
+
+double Rng::pareto(double alpha, double x_min) {
+  const double u = 1.0 - uniform_real();  // (0, 1]
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>{mu, sigma}(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution{p}(engine_);
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(double(rank), s);
+    cdf_[rank - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform_real();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace flexsfp::sim

@@ -1,0 +1,48 @@
+// Deterministic randomness for workload generation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace flexsfp::sim {
+
+/// Seeded PRNG wrapper. Every generator in a run derives from an explicit
+/// seed so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+  [[nodiscard]] double uniform_real();  // [0, 1)
+  /// Exponential inter-arrival with the given mean.
+  [[nodiscard]] double exponential(double mean);
+  /// Pareto with shape alpha and scale x_min (heavy-tailed flow sizes).
+  [[nodiscard]] double pareto(double alpha, double x_min);
+  /// Lognormal (used by the VCSEL wear-out model, per the paper's §5.3).
+  [[nodiscard]] double lognormal(double mu, double sigma);
+  [[nodiscard]] bool bernoulli(double p);
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed ranks in [1, n]: the canonical skewed flow popularity
+/// model ("a few elephant flows, many mice").
+class ZipfDistribution {
+ public:
+  /// `s` is the skew exponent (s = 0 degenerates to uniform).
+  ZipfDistribution(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probability for ranks 1..n
+};
+
+}  // namespace flexsfp::sim

@@ -1,0 +1,39 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+namespace flexsfp::sim {
+
+void Simulation::schedule_at(TimePs at, EventFn fn) {
+  if (at < now_) at = now_;
+  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulation::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::size_t Simulation::run_until(TimePs deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the closure handle instead (shared closures are cheap here).
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.at;
+  entry.fn();
+  return true;
+}
+
+}  // namespace flexsfp::sim

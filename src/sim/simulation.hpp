@@ -1,0 +1,82 @@
+// Discrete-event simulation core: a time-ordered event queue plus the
+// per-run services every component needs (packet ids, tracing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace flexsfp::sim {
+
+/// The simulation owns time. Components schedule closures; run() executes
+/// them in (time, insertion-order) sequence. Deterministic by construction:
+/// ties are broken by a monotone sequence number, never by pointer order.
+class Simulation {
+ public:
+  using EventFn = std::function<void()>;
+
+  [[nodiscard]] TimePs now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (events in the past are clamped to
+  /// now — hardware can't act retroactively).
+  void schedule_at(TimePs at, EventFn fn);
+  void schedule_in(TimePs delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run everything; returns the number of events executed.
+  std::size_t run();
+  /// Run until simulated time exceeds `deadline` (events at exactly
+  /// `deadline` still execute).
+  std::size_t run_until(TimePs deadline);
+  /// Execute a single event; false when the queue is empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Fresh packet identity for tracing.
+  [[nodiscard]] net::PacketId next_packet_id() { return ++last_packet_id_; }
+
+ private:
+  struct Entry {
+    TimePs at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  net::PacketId last_packet_id_ = 0;
+};
+
+/// Anything that can receive a packet (a port, a queue, a sink...).
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void handle_packet(net::PacketPtr packet) = 0;
+};
+
+/// Adapts a lambda into a PacketHandler — convenient for tests and for
+/// wiring topology glue.
+class LambdaHandler final : public PacketHandler {
+ public:
+  explicit LambdaHandler(std::function<void(net::PacketPtr)> fn)
+      : fn_(std::move(fn)) {}
+  void handle_packet(net::PacketPtr packet) override { fn_(std::move(packet)); }
+
+ private:
+  std::function<void(net::PacketPtr)> fn_;
+};
+
+}  // namespace flexsfp::sim

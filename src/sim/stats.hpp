@@ -1,0 +1,94 @@
+// Measurement primitives: counters, byte/packet meters and a log-bucketed
+// latency histogram with percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace flexsfp::sim {
+
+/// Packets + bytes observed, with derived rates over a given span.
+class TrafficMeter {
+ public:
+  void record(std::size_t bytes) {
+    ++packets_;
+    bytes_ += bytes;
+  }
+
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  /// Average bit rate over `span` (payload bits, no wire overhead).
+  [[nodiscard]] double bits_per_second(TimePs span) const {
+    return span > 0 ? double(bytes_) * 8.0 / to_seconds(span) : 0.0;
+  }
+  [[nodiscard]] double packets_per_second(TimePs span) const {
+    return span > 0 ? double(packets_) / to_seconds(span) : 0.0;
+  }
+  void reset() {
+    packets_ = 0;
+    bytes_ = 0;
+  }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Latency histogram: geometric buckets from 1 ns to ~17 ms, 16 buckets per
+/// octave, ~4% relative resolution — plenty for datapath latencies while
+/// staying allocation-free after construction.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(TimePs latency);
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] TimePs min() const { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] TimePs max() const { return max_; }
+  [[nodiscard]] double mean_ns() const {
+    return count_ > 0 ? sum_ns_ / double(count_) : 0.0;
+  }
+  /// Percentile in [0, 100]; returns the representative value of the bucket
+  /// containing the requested rank.
+  [[nodiscard]] TimePs percentile(double p) const;
+  [[nodiscard]] std::string summary() const;
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(TimePs latency) const;
+  [[nodiscard]] TimePs bucket_value(std::size_t index) const;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ns_ = 0;
+  TimePs min_ = 0;
+  TimePs max_ = 0;
+};
+
+/// Sliding-window rate estimator used by the microburst detector: counts
+/// bytes in fixed windows and reports the previous window's rate.
+class WindowedRate {
+ public:
+  explicit WindowedRate(TimePs window) : window_(window) {}
+
+  void record(TimePs now, std::size_t bytes);
+  /// Rate of the most recently *completed* window, bits/second.
+  [[nodiscard]] double last_window_bps() const { return last_bps_; }
+  /// Highest completed-window rate seen so far.
+  [[nodiscard]] double peak_bps() const { return peak_bps_; }
+  [[nodiscard]] TimePs window() const { return window_; }
+
+ private:
+  void roll(TimePs now);
+
+  TimePs window_;
+  TimePs window_start_ = 0;
+  std::uint64_t window_bytes_ = 0;
+  double last_bps_ = 0.0;
+  double peak_bps_ = 0.0;
+};
+
+}  // namespace flexsfp::sim

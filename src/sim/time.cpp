@@ -1,0 +1,24 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace flexsfp::sim {
+
+std::string format_time(TimePs t) {
+  char buffer[48];
+  const double abs_t = t < 0 ? -double(t) : double(t);
+  if (abs_t < 1e3) {
+    std::snprintf(buffer, sizeof buffer, "%lld ps", static_cast<long long>(t));
+  } else if (abs_t < 1e6) {
+    std::snprintf(buffer, sizeof buffer, "%.3f ns", double(t) * 1e-3);
+  } else if (abs_t < 1e9) {
+    std::snprintf(buffer, sizeof buffer, "%.3f us", double(t) * 1e-6);
+  } else if (abs_t < 1e12) {
+    std::snprintf(buffer, sizeof buffer, "%.3f ms", double(t) * 1e-9);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.3f s", double(t) * 1e-12);
+  }
+  return buffer;
+}
+
+}  // namespace flexsfp::sim

@@ -1,0 +1,50 @@
+// Shared helpers for app-level tests: frame factories and a one-shot app
+// driver that runs process() outside the simulator.
+#pragma once
+
+#include "net/builder.hpp"
+#include "ppe/app.hpp"
+
+namespace flexsfp::apps::testing {
+
+inline net::MacAddress mac(std::uint64_t v) {
+  return net::MacAddress::from_u64(v);
+}
+
+inline net::Ipv4Address ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                           std::uint8_t d) {
+  return net::Ipv4Address::from_octets(a, b, c, d);
+}
+
+/// UDP frame src:sport -> dst:dport with `payload` bytes.
+inline net::Packet udp_packet(net::Ipv4Address src, net::Ipv4Address dst,
+                              std::uint16_t sport, std::uint16_t dport,
+                              std::size_t payload = 32) {
+  return net::PacketBuilder()
+      .ethernet(mac(2), mac(1))
+      .ipv4(src, dst, net::IpProto::udp)
+      .udp(sport, dport)
+      .payload_size(payload)
+      .build_packet();
+}
+
+inline net::Packet tcp_packet(net::Ipv4Address src, net::Ipv4Address dst,
+                              std::uint16_t sport, std::uint16_t dport,
+                              std::uint8_t flags = net::TcpHeader::flag_ack,
+                              std::size_t payload = 32) {
+  return net::PacketBuilder()
+      .ethernet(mac(2), mac(1))
+      .ipv4(src, dst, net::IpProto::tcp)
+      .tcp(sport, dport, flags)
+      .payload_size(payload)
+      .build_packet();
+}
+
+/// Run one packet through an app and return the verdict (packet is
+/// modified in place).
+inline ppe::Verdict run(ppe::PpeApp& app, net::Packet& packet) {
+  ppe::PacketContext ctx(packet);
+  return app.process(ctx);
+}
+
+}  // namespace flexsfp::apps::testing

@@ -1,0 +1,173 @@
+#include "apps/acl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::run;
+using testing::tcp_packet;
+using testing::udp_packet;
+
+TEST(AclFirewall, DefaultActionAppliesWithNoRules) {
+  AclFirewall permit_all;  // default permit
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(permit_all, packet), ppe::Verdict::forward);
+
+  AclConfig deny_config;
+  deny_config.default_action = AclAction::deny;
+  AclFirewall deny_all(deny_config);
+  EXPECT_EQ(run(deny_all, packet), ppe::Verdict::drop);
+}
+
+TEST(AclFirewall, DenyBySourcePrefix) {
+  AclFirewall acl;
+  AclRuleSpec rule;
+  rule.src = net::Ipv4Prefix::parse("10.0.0.0/8");
+  rule.action = AclAction::deny;
+  rule.priority = 10;
+  ASSERT_GT(acl.add_rule(rule), 0u);
+
+  auto inside = udp_packet(ip(10, 5, 5, 5), ip(2, 2, 2, 2), 1, 2);
+  auto outside = udp_packet(ip(11, 5, 5, 5), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(acl, inside), ppe::Verdict::drop);
+  EXPECT_EQ(run(acl, outside), ppe::Verdict::forward);
+  EXPECT_EQ(acl.denied(), 1u);
+}
+
+TEST(AclFirewall, ProtocolAndDstPortMatch) {
+  AclFirewall acl;
+  AclRuleSpec rule;
+  rule.protocol = static_cast<std::uint8_t>(net::IpProto::tcp);
+  rule.dst_port_range = {{443, 443}};
+  rule.action = AclAction::deny;
+  ASSERT_GT(acl.add_rule(rule), 0u);
+
+  auto https = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 5000, 443);
+  auto http = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 5000, 80);
+  auto udp443 = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 5000, 443);
+  EXPECT_EQ(run(acl, https), ppe::Verdict::drop);
+  EXPECT_EQ(run(acl, http), ppe::Verdict::forward);
+  EXPECT_EQ(run(acl, udp443), ppe::Verdict::forward);  // protocol mismatch
+}
+
+TEST(AclFirewall, PortRangeExpansionMatchesWholeRange) {
+  AclFirewall acl;
+  AclRuleSpec rule;
+  rule.dst_port_range = {{1000, 1999}};
+  rule.action = AclAction::deny;
+  const auto expanded = acl.add_rule(rule);
+  ASSERT_GT(expanded, 1u);  // non-aligned range expands to several entries
+
+  for (std::uint16_t port : {1000, 1500, 1999}) {
+    auto hit = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, port);
+    EXPECT_EQ(run(acl, hit), ppe::Verdict::drop) << port;
+  }
+  for (std::uint16_t port : {999, 2000}) {
+    auto miss = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, port);
+    EXPECT_EQ(run(acl, miss), ppe::Verdict::forward) << port;
+  }
+}
+
+TEST(AclFirewall, HigherPriorityOverridesCatchAll) {
+  AclConfig config;
+  config.default_action = AclAction::permit;
+  AclFirewall acl(config);
+
+  AclRuleSpec deny_subnet;
+  deny_subnet.src = net::Ipv4Prefix::parse("10.0.0.0/8");
+  deny_subnet.action = AclAction::deny;
+  deny_subnet.priority = 1;
+  ASSERT_GT(acl.add_rule(deny_subnet), 0u);
+
+  AclRuleSpec allow_host;
+  allow_host.src = net::Ipv4Prefix::parse("10.0.0.53/32");
+  allow_host.action = AclAction::permit;
+  allow_host.priority = 10;
+  ASSERT_GT(acl.add_rule(allow_host), 0u);
+
+  auto blocked = udp_packet(ip(10, 0, 0, 1), ip(2, 2, 2, 2), 1, 2);
+  auto allowed = udp_packet(ip(10, 0, 0, 53), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(acl, blocked), ppe::Verdict::drop);
+  EXPECT_EQ(run(acl, allowed), ppe::Verdict::forward);
+}
+
+TEST(AclFirewall, PuntActionReachesControlPlane) {
+  AclFirewall acl;
+  AclRuleSpec rule;
+  rule.dst = net::Ipv4Prefix::parse("192.0.2.1/32");
+  rule.action = AclAction::punt;
+  ASSERT_GT(acl.add_rule(rule), 0u);
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(192, 0, 2, 1), 1, 2);
+  EXPECT_EQ(run(acl, packet), ppe::Verdict::to_control_plane);
+}
+
+TEST(AclFirewall, ExpansionIsAllOrNothingAtCapacity) {
+  AclConfig config;
+  config.rule_capacity = 4;
+  AclFirewall acl(config);
+  AclRuleSpec wide;
+  wide.dst_port_range = {{1000, 1999}};  // expands to > 4 entries
+  wide.action = AclAction::deny;
+  EXPECT_EQ(acl.add_rule(wide), 0u);
+  EXPECT_EQ(acl.rules().size(), 0u);  // nothing partially installed
+}
+
+TEST(AclFirewall, NonIpTrafficGetsDefaultAction) {
+  AclConfig config;
+  config.default_action = AclAction::deny;
+  AclFirewall acl(config);
+  net::Bytes frame(64, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::arp);
+  eth.serialize_to(frame, 0);
+  net::Packet packet{frame};
+  EXPECT_EQ(run(acl, packet), ppe::Verdict::drop);
+}
+
+TEST(AclFirewall, ClearRulesRestoresDefaultOnly) {
+  AclFirewall acl;
+  AclRuleSpec rule;
+  rule.src = net::Ipv4Prefix::parse("10.0.0.0/8");
+  rule.action = AclAction::deny;
+  acl.add_rule(rule);
+  acl.clear_rules();
+  auto packet = udp_packet(ip(10, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(acl, packet), ppe::Verdict::forward);
+}
+
+TEST(AclFirewall, PackKeyLayout) {
+  const net::FiveTuple t{ip(1, 2, 3, 4), ip(5, 6, 7, 8), 0x1111, 0x2222, 17};
+  const auto key = AclFirewall::pack_key(t);
+  EXPECT_EQ(key.hi, 0x0102030405060708ull);
+  EXPECT_EQ(key.lo, (0x1111ull << 24) | (0x2222ull << 8) | 17);
+}
+
+TEST(AclFirewall, SrcPortRangeMatches) {
+  AclFirewall acl;
+  AclRuleSpec rule;
+  rule.src_port_range = {{0, 1023}};  // privileged source ports
+  rule.action = AclAction::deny;
+  ASSERT_GT(acl.add_rule(rule), 0u);
+  auto privileged = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 512, 9999);
+  auto ephemeral = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 50000, 9999);
+  EXPECT_EQ(run(acl, privileged), ppe::Verdict::drop);
+  EXPECT_EQ(run(acl, ephemeral), ppe::Verdict::forward);
+}
+
+TEST(AclConfig, SerializeParseRoundTrip) {
+  AclConfig config;
+  config.default_action = AclAction::deny;
+  config.rule_capacity = 77;
+  const auto parsed = AclConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->default_action, AclAction::deny);
+  EXPECT_EQ(parsed->rule_capacity, 77u);
+  EXPECT_FALSE(AclConfig::parse(net::Bytes{5, 0, 0, 0, 1}).has_value());
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

@@ -1,0 +1,191 @@
+#include "apps/bpf_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+#include "apps/register.hpp"
+#include "ppe/registry.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::run;
+using testing::tcp_packet;
+using testing::udp_packet;
+
+// --- loader/validator ---------------------------------------------------------
+
+TEST(BpfProgram, AssembleRejectsEmptyAndOversized) {
+  EXPECT_FALSE(BpfProgram::assemble({}).has_value());
+  std::vector<BpfInsn> huge(BpfProgram::max_instructions + 1,
+                            {BpfOp::ret_accept, 0, 0, 0});
+  EXPECT_FALSE(BpfProgram::assemble(std::move(huge)).has_value());
+}
+
+TEST(BpfProgram, AssembleRejectsFallThroughEnd) {
+  // Last instruction is a plain load: execution would fall off the end.
+  EXPECT_FALSE(BpfProgram::assemble({{BpfOp::ld_imm, 1, 0, 0}}).has_value());
+  EXPECT_FALSE(BpfProgram::assemble({{BpfOp::ld_imm, 1, 0, 0},
+                                     {BpfOp::ld_imm, 2, 0, 0}})
+                   .has_value());
+}
+
+TEST(BpfProgram, AssembleRejectsOutOfRangeJumps) {
+  // jeq at 0 with jt=5 jumps past the 2-instruction program.
+  EXPECT_FALSE(BpfProgram::assemble({{BpfOp::jeq, 0, 5, 0},
+                                     {BpfOp::ret_accept, 0, 0, 0}})
+                   .has_value());
+  EXPECT_FALSE(BpfProgram::assemble({{BpfOp::ja, 9, 0, 0},
+                                     {BpfOp::ret_accept, 0, 0, 0}})
+                   .has_value());
+}
+
+TEST(BpfProgram, AssembleRejectsUnknownOpcode) {
+  EXPECT_FALSE(BpfProgram::assemble({{static_cast<BpfOp>(99), 0, 0, 0}})
+                   .has_value());
+}
+
+TEST(BpfProgram, SerializeParseRoundTrip) {
+  const auto original = bpf_programs::drop_tcp_dport(23);
+  const auto reparsed = BpfProgram::parse(original.serialize());
+  ASSERT_TRUE(reparsed);
+  ASSERT_EQ(reparsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed->code()[i].op, original.code()[i].op) << i;
+    EXPECT_EQ(reparsed->code()[i].k, original.code()[i].k) << i;
+  }
+}
+
+TEST(BpfProgram, ParseRejectsInvalidBytecode) {
+  EXPECT_FALSE(BpfProgram::parse(net::Bytes{}).has_value());
+  // Valid framing, invalid program (fall-through end).
+  net::Bytes bad(2 + 7, 0);
+  net::write_be16(bad, 0, 1);
+  bad[2] = static_cast<std::uint8_t>(BpfOp::ld_imm);
+  EXPECT_FALSE(BpfProgram::parse(bad).has_value());
+}
+
+// --- interpreter ---------------------------------------------------------------
+
+TEST(BpfProgram, LoadsAluAndRegisters) {
+  // A = len; X = A; A = 0; A += X; accept iff A == len (always true).
+  const auto program = *BpfProgram::assemble({
+      {BpfOp::ld_len, 0, 0, 0},
+      {BpfOp::tax, 0, 0, 0},
+      {BpfOp::ld_imm, 0, 0, 0},
+      {BpfOp::alu_add_x, 0, 0, 0},
+      {BpfOp::txa, 0, 0, 0},
+      {BpfOp::jge, 60, 0, 1},
+      {BpfOp::ret_accept, 0, 0, 0},
+      {BpfOp::ret_drop, 0, 0, 0},
+  });
+  const auto packet = testing::udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(program.run(packet.data()), ppe::Verdict::forward);
+}
+
+TEST(BpfProgram, OutOfBoundsLoadAborts) {
+  const auto program = *BpfProgram::assemble({
+      {BpfOp::ld_abs_u32, 5000, 0, 0},  // way past any frame
+      {BpfOp::ret_accept, 0, 0, 0},
+  });
+  const auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(program.run(packet.data()), ppe::Verdict::drop);
+}
+
+TEST(BpfPrograms, DropTcpDportMatchesOnlyThatPort) {
+  BpfFilter filter(bpf_programs::drop_tcp_dport(23));
+  auto telnet = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 5000, 23);
+  auto ssh = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 5000, 22);
+  auto udp23 = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 5000, 23);
+  EXPECT_EQ(run(filter, telnet), ppe::Verdict::drop);
+  EXPECT_EQ(run(filter, ssh), ppe::Verdict::forward);
+  EXPECT_EQ(run(filter, udp23), ppe::Verdict::forward);
+  EXPECT_EQ(filter.counters()[1].packets, 1u);  // one drop counted
+}
+
+TEST(BpfPrograms, DropTcpDportHandlesIpOptions) {
+  // The program computes the L4 offset from IHL, so options don't fool it.
+  net::Ipv4Header ip_header;
+  ip_header.ihl = 7;  // 8 bytes of options
+  ip_header.src = ip(1, 1, 1, 1);
+  ip_header.dst = ip(2, 2, 2, 2);
+  ip_header.protocol = 6;
+  ip_header.total_length = 28 + 8 + 20;
+  net::Bytes frame(net::EthernetHeader::size() + ip_header.total_length, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = 0x0800;
+  eth.serialize_to(frame, 0);
+  ip_header.serialize_to(frame, 14);
+  net::TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 23;
+  tcp.serialize_to(frame, 14 + 28);
+
+  BpfFilter filter(bpf_programs::drop_tcp_dport(23));
+  net::Packet packet{frame};
+  EXPECT_EQ(run(filter, packet), ppe::Verdict::drop);
+}
+
+TEST(BpfPrograms, AllowSrcNetPermitsOnlyThePrefix) {
+  BpfFilter filter(bpf_programs::allow_src_net(
+      ip(10, 7, 0, 0).value(), 0xffff0000));
+  auto inside = udp_packet(ip(10, 7, 3, 4), ip(2, 2, 2, 2), 1, 2);
+  auto outside = udp_packet(ip(10, 8, 0, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(filter, inside), ppe::Verdict::forward);
+  EXPECT_EQ(run(filter, outside), ppe::Verdict::drop);
+}
+
+TEST(BpfPrograms, PuntFragmentsToControlPlane) {
+  BpfFilter filter(bpf_programs::punt_fragments());
+  auto normal = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(filter, normal), ppe::Verdict::forward);
+
+  // Build a fragment (MF set).
+  net::Bytes frame = normal.data();
+  const std::uint16_t flags = net::read_be16(frame, 14 + 6);
+  net::write_be16(frame, 14 + 6, flags | 0x2000);
+  net::Packet fragment{frame};
+  EXPECT_EQ(run(filter, fragment), ppe::Verdict::to_control_plane);
+}
+
+TEST(BpfFilter, PipelineLatencyTracksProgramLength) {
+  BpfFilter small(bpf_programs::accept_all());
+  BpfFilter large(bpf_programs::drop_tcp_dport(80));
+  EXPECT_LT(small.pipeline_latency_cycles(), large.pipeline_latency_cycles());
+  EXPECT_EQ(large.pipeline_latency_cycles(), large.program().size());
+}
+
+TEST(BpfFilter, ResourceUsageGrowsWithProgramSize) {
+  // Instruction memory scales with the loaded program.
+  std::vector<BpfInsn> long_code(200, {BpfOp::ld_imm, 0, 0, 0});
+  long_code.push_back({BpfOp::ret_accept, 0, 0, 0});
+  BpfFilter small(bpf_programs::accept_all());
+  BpfFilter large(*BpfProgram::assemble(std::move(long_code)));
+  const hw::DatapathConfig dp{};
+  EXPECT_GT(large.resource_usage(dp).usram_blocks,
+            small.resource_usage(dp).usram_blocks);
+}
+
+TEST(BpfFilter, HotSwapProgramAtRuntime) {
+  BpfFilter filter(bpf_programs::accept_all());
+  auto telnet = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 23);
+  EXPECT_EQ(run(filter, telnet), ppe::Verdict::forward);
+  filter.load(bpf_programs::drop_tcp_dport(23));
+  auto telnet2 = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 23);
+  EXPECT_EQ(run(filter, telnet2), ppe::Verdict::drop);
+}
+
+TEST(BpfFilter, DeployableAsBitstreamConfig) {
+  apps::register_builtin_apps();
+  const auto program = bpf_programs::drop_tcp_dport(445);
+  const auto app =
+      ppe::AppRegistry::instance().create("bpf", program.serialize());
+  ASSERT_NE(app, nullptr);
+  auto smb = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 5000, 445);
+  ppe::PacketContext ctx(smb);
+  EXPECT_EQ(app->process(ctx), ppe::Verdict::drop);
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

@@ -1,0 +1,164 @@
+#include "apps/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+#include "apps/acl.hpp"
+#include "apps/nat.hpp"
+#include "apps/telemetry.hpp"
+#include "apps/vlan.hpp"
+#include "hw/device.hpp"
+#include "hw/resource_model.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::run;
+using testing::udp_packet;
+
+std::unique_ptr<AppChain> nat_then_vlan() {
+  auto nat = std::make_unique<StaticNat>();
+  nat->add_mapping(ip(10, 0, 0, 1), ip(99, 0, 0, 1));
+  VlanConfig vlan_config;
+  vlan_config.mode = VlanMode::push;
+  vlan_config.vid = 100;
+  auto chain = std::make_unique<AppChain>();
+  chain->append(std::move(nat));
+  chain->append(std::make_unique<VlanTagger>(vlan_config));
+  return chain;
+}
+
+TEST(AppChain, StagesApplyInOrder) {
+  auto chain_owner = nat_then_vlan();
+  AppChain& chain = *chain_owner;
+  auto packet = udp_packet(ip(10, 0, 0, 1), ip(8, 8, 8, 8), 1, 2);
+  EXPECT_EQ(run(chain, packet), ppe::Verdict::forward);
+  const auto parsed = net::parse_packet(packet.data());
+  ASSERT_EQ(parsed.vlan_tags.size(), 1u);
+  EXPECT_EQ(parsed.vlan_tags[0].vid, 100);
+  EXPECT_EQ(parsed.outer.ipv4->src, ip(99, 0, 0, 1));  // NAT ran first
+}
+
+TEST(AppChain, DropShortCircuitsLaterStages) {
+  AclConfig deny_config;
+  deny_config.default_action = AclAction::deny;
+  VlanConfig vlan_config;
+  vlan_config.mode = VlanMode::push;
+  AppChain chain;
+  chain.append(std::make_unique<AclFirewall>(deny_config));
+  chain.append(std::make_unique<VlanTagger>(vlan_config));
+
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  const std::size_t before = packet.size();
+  EXPECT_EQ(run(chain, packet), ppe::Verdict::drop);
+  EXPECT_EQ(packet.size(), before);  // VLAN stage never ran
+}
+
+TEST(AppChain, NameListsStages) {
+  auto chain_owner = nat_then_vlan();
+  AppChain& chain = *chain_owner;
+  EXPECT_EQ(chain.name(), "chain(nat,vlan)");
+}
+
+TEST(AppChain, ResourceUsageSumsStagesPlusGlue) {
+  auto chain_owner = nat_then_vlan();
+  AppChain& chain = *chain_owner;
+  const hw::DatapathConfig dp{};
+  const auto total = chain.resource_usage(dp);
+  const auto nat_only = StaticNat().resource_usage(dp);
+  const auto vlan_only = VlanTagger().resource_usage(dp);
+  EXPECT_GT(total.luts, nat_only.luts + vlan_only.luts);  // + glue FIFO
+  EXPECT_GE(total.usram_blocks,
+            nat_only.usram_blocks + vlan_only.usram_blocks);
+}
+
+TEST(AppChain, PipelineLatencyAddsUp) {
+  auto chain_owner = nat_then_vlan();
+  AppChain& chain = *chain_owner;
+  EXPECT_EQ(chain.pipeline_latency_cycles(),
+            StaticNat().pipeline_latency_cycles() +
+                VlanTagger().pipeline_latency_cycles());
+}
+
+TEST(AppChain, QualifiedTableNamesRoute) {
+  auto chain_owner = nat_then_vlan();
+  AppChain& chain = *chain_owner;
+  const auto names = chain.table_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "nat.nat");
+  EXPECT_EQ(names[1], "vlan.vid_translation");
+
+  EXPECT_TRUE(chain.table_insert("nat.nat", 42, 43));
+  EXPECT_EQ(chain.table_lookup("nat.nat", 42), 43u);
+  EXPECT_TRUE(chain.table_insert("vlan.vid_translation", 1, 2));
+  EXPECT_FALSE(chain.table_insert("bogus.table", 1, 2));
+}
+
+TEST(AppChain, BareTableNameFindsOwningStage) {
+  auto chain_owner = nat_then_vlan();
+  AppChain& chain = *chain_owner;
+  EXPECT_TRUE(chain.table_insert("vid_translation", 7, 8));
+  EXPECT_EQ(chain.table_lookup("vid_translation", 7), 8u);
+  EXPECT_TRUE(chain.table_erase("vid_translation", 7));
+}
+
+TEST(AppChain, CountersAggregateAllStages) {
+  auto chain_owner = nat_then_vlan();
+  AppChain& chain = *chain_owner;
+  auto packet = udp_packet(ip(10, 0, 0, 1), ip(8, 8, 8, 8), 1, 2);
+  (void)run(chain, packet);
+  const auto counters = chain.counters();
+  // NAT exposes 3 counters, VLAN 3.
+  EXPECT_EQ(counters.size(), 6u);
+}
+
+TEST(AppChain, MirrorRequestPropagates) {
+  SamplerConfig sampler_config;
+  sampler_config.rate = 1;
+  AppChain chain;
+  chain.append(std::make_unique<Sampler>(sampler_config));
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  ppe::PacketContext ctx(packet);
+  EXPECT_EQ(chain.process(ctx), ppe::Verdict::forward);
+  EXPECT_TRUE(ctx.mirror_requested());
+}
+
+TEST(AppChain, EmptyChainForwards) {
+  AppChain chain;
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(chain, packet), ppe::Verdict::forward);
+  EXPECT_EQ(chain.pipeline_latency_cycles(), 1u);
+}
+
+TEST(AppChain, FindStageLocatesMembers) {
+  auto chain_owner = nat_then_vlan();
+  AppChain& chain = *chain_owner;
+  ASSERT_NE(chain.find_stage("nat"), nullptr);
+  EXPECT_EQ(chain.find_stage("nat")->name(), "nat");
+  ASSERT_NE(chain.find_stage("vlan"), nullptr);
+  EXPECT_EQ(chain.find_stage("missing"), nullptr);
+  // A simple app finds only itself.
+  StaticNat nat;
+  EXPECT_EQ(nat.find_stage("nat"), &nat);
+  EXPECT_EQ(nat.find_stage("vlan"), nullptr);
+}
+
+TEST(AppChain, FourStageCompactChainStaysModest) {
+  // §5.3: chains of 3-4 stages are the design point; the composed logic
+  // must still fit comfortably alongside the fixed blocks on the MPF200T.
+  AppChain chain;
+  chain.append(std::make_unique<StaticNat>());
+  chain.append(std::make_unique<AclFirewall>());
+  chain.append(std::make_unique<VlanTagger>());
+  chain.append(std::make_unique<IntStamper>());
+  const auto usage = chain.resource_usage(hw::DatapathConfig{});
+  const auto device = hw::FpgaDevice::mpf200t();
+  const auto fixed = hw::ResourceModel::miv_rv32() +
+                     hw::ResourceModel::ethernet_iface_electrical() +
+                     hw::ResourceModel::ethernet_iface_optical();
+  EXPECT_TRUE(device.fits(usage + fixed));
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

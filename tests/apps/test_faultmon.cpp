@@ -1,0 +1,93 @@
+#include "apps/fault_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::udp_packet;
+
+ppe::Verdict run_at(FaultMonitor& monitor, std::int64_t now_ps,
+                    std::size_t payload = 1400) {
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, payload);
+  packet.set_ingress_time_ps(now_ps);
+  ppe::PacketContext ctx(packet);
+  return monitor.process(ctx);
+}
+
+TEST(FaultMonitor, AlwaysForwards) {
+  FaultMonitor monitor;
+  EXPECT_EQ(run_at(monitor, 0), ppe::Verdict::forward);
+}
+
+TEST(FaultMonitor, DetectsMicroburst) {
+  FaultMonitorConfig config;
+  config.burst_window_ps = 100'000'000;         // 100 us windows
+  config.burst_threshold_bps = 8'000'000'000;   // 80% of 10G
+  FaultMonitor monitor(config);
+
+  // Saturate one window: 1442+24 wire bytes every ~1.2 us ~ 9.9 Gb/s.
+  std::int64_t now = 0;
+  while (now < 150'000'000) {  // run past the window boundary
+    (void)run_at(monitor, now);
+    now += 1'200'000;
+  }
+  EXPECT_GE(monitor.microbursts_detected(), 1u);
+  EXPECT_GT(monitor.peak_window_bps(), 8e9);
+}
+
+TEST(FaultMonitor, LowRateTrafficIsNotABurst) {
+  FaultMonitor monitor;
+  // One packet per ms: ~12 Mb/s.
+  for (int i = 0; i < 50; ++i) {
+    (void)run_at(monitor, std::int64_t(i) * 1'000'000'000);
+  }
+  EXPECT_EQ(monitor.microbursts_detected(), 0u);
+}
+
+TEST(FaultMonitor, DetectsSilenceGap) {
+  FaultMonitorConfig config;
+  config.silence_threshold_ps = 10'000'000'000;  // 10 ms
+  FaultMonitor monitor(config);
+  (void)run_at(monitor, 0);
+  (void)run_at(monitor, 1'000'000);          // 1 us later: fine
+  (void)run_at(monitor, 50'000'000'000);     // 50 ms gap: silence event
+  EXPECT_EQ(monitor.silence_events(), 1u);
+}
+
+TEST(FaultMonitor, FirstPacketIsNotASilenceEvent) {
+  FaultMonitor monitor;
+  (void)run_at(monitor, 99'000'000'000'000);  // very late first packet
+  EXPECT_EQ(monitor.silence_events(), 0u);
+}
+
+TEST(FaultMonitor, CountersExposeEvents) {
+  FaultMonitorConfig config;
+  config.silence_threshold_ps = 1'000'000;
+  FaultMonitor monitor(config);
+  (void)run_at(monitor, 0);
+  (void)run_at(monitor, 10'000'000);
+  const auto counters = monitor.counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].packets, 2u);  // observed
+  EXPECT_EQ(counters[2].packets, 1u);  // silences
+}
+
+TEST(FaultMonitorConfig, SerializeParseRoundTrip) {
+  FaultMonitorConfig config;
+  config.burst_window_ps = 123;
+  config.burst_threshold_bps = 456;
+  config.silence_threshold_ps = 789;
+  const auto parsed = FaultMonitorConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->burst_window_ps, 123);
+  EXPECT_EQ(parsed->burst_threshold_bps, 456u);
+  EXPECT_EQ(parsed->silence_threshold_ps, 789);
+  EXPECT_FALSE(FaultMonitorConfig::parse(net::Bytes(4, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

@@ -1,0 +1,145 @@
+#include "apps/ipv6_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+#include "hw/device.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::run;
+
+net::Packet ipv6_packet(const std::string& src, const std::string& dst) {
+  return net::PacketBuilder()
+      .ethernet(net::MacAddress::from_u64(2), net::MacAddress::from_u64(1))
+      .ipv6(*net::Ipv6Address::parse(src), *net::Ipv6Address::parse(dst),
+            net::IpProto::udp)
+      .udp(1000, 2000)
+      .payload_size(32)
+      .build_packet();
+}
+
+TEST(Ipv6Prefix, ParseContainsAndCanonicalize) {
+  const auto prefix = net::Ipv6Prefix::parse("2001:db8:abcd::/48");
+  ASSERT_TRUE(prefix);
+  EXPECT_TRUE(prefix->contains(*net::Ipv6Address::parse("2001:db8:abcd::1")));
+  EXPECT_TRUE(
+      prefix->contains(*net::Ipv6Address::parse("2001:db8:abcd:ffff::9")));
+  EXPECT_FALSE(prefix->contains(*net::Ipv6Address::parse("2001:db8:abce::1")));
+  // Host bits canonicalized away.
+  const net::Ipv6Prefix sloppy{*net::Ipv6Address::parse("2001:db8:abcd::42"),
+                               48};
+  EXPECT_EQ(sloppy, *prefix);
+}
+
+TEST(Ipv6Prefix, MasksSpanningTheU64Boundary) {
+  const net::Ipv6Prefix p72{*net::Ipv6Address::parse("2001:db8::"), 72};
+  EXPECT_TRUE(p72.contains(*net::Ipv6Address::parse("2001:db8::ff:1:2:3")));
+  EXPECT_FALSE(
+      p72.contains(*net::Ipv6Address::parse("2001:db8:0:0:0100::1")));
+  const net::Ipv6Prefix p0{*net::Ipv6Address::parse("::"), 0};
+  EXPECT_TRUE(p0.contains(*net::Ipv6Address::parse("ffff::1")));
+  const net::Ipv6Prefix p128{*net::Ipv6Address::parse("::1"), 128};
+  EXPECT_TRUE(p128.contains(*net::Ipv6Address::parse("::1")));
+  EXPECT_FALSE(p128.contains(*net::Ipv6Address::parse("::2")));
+}
+
+TEST(Ipv6Prefix, ParseRejectsBadInput) {
+  EXPECT_FALSE(net::Ipv6Prefix::parse("2001:db8::").has_value());
+  EXPECT_FALSE(net::Ipv6Prefix::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(net::Ipv6Prefix::parse("nope/64").has_value());
+}
+
+TEST(Ipv6Filter, DenyByDefaultMeansNoUnprovisionedIpv6) {
+  Ipv6Filter filter;  // default: deny
+  auto packet = ipv6_packet("2001:db8::1", "2620:fe::fe");
+  EXPECT_EQ(run(filter, packet), ppe::Verdict::drop);
+  EXPECT_EQ(filter.denied(), 1u);
+}
+
+TEST(Ipv6Filter, ProvisionedPrefixPermits) {
+  Ipv6Filter filter;
+  ASSERT_TRUE(filter.add_rule(*net::Ipv6Prefix::parse("2001:db8:7::/48"),
+                              Ipv6Action::permit));
+  auto provisioned = ipv6_packet("2001:db8:7::42", "2620:fe::fe");
+  auto other = ipv6_packet("2001:db8:8::42", "2620:fe::fe");
+  EXPECT_EQ(run(filter, provisioned), ppe::Verdict::forward);
+  EXPECT_EQ(run(filter, other), ppe::Verdict::drop);
+  EXPECT_EQ(filter.permitted(), 1u);
+  EXPECT_EQ(filter.denied(), 1u);
+}
+
+TEST(Ipv6Filter, LongestPrefixWins) {
+  Ipv6FilterConfig config;
+  config.default_action = Ipv6Action::permit;
+  Ipv6Filter filter(config);
+  // Deny the /32, carve out a permitted /48 inside it.
+  ASSERT_TRUE(filter.add_rule(*net::Ipv6Prefix::parse("2001:db8::/32"),
+                              Ipv6Action::deny));
+  ASSERT_TRUE(filter.add_rule(*net::Ipv6Prefix::parse("2001:db8:7::/48"),
+                              Ipv6Action::permit));
+  auto carved = ipv6_packet("2001:db8:7::1", "::1");
+  auto denied = ipv6_packet("2001:db8:9::1", "::1");
+  auto outside = ipv6_packet("2001:db9::1", "::1");
+  EXPECT_EQ(run(filter, carved), ppe::Verdict::forward);
+  EXPECT_EQ(run(filter, denied), ppe::Verdict::drop);
+  EXPECT_EQ(run(filter, outside), ppe::Verdict::forward);
+}
+
+TEST(Ipv6Filter, DestinationModeFiltersDownlink) {
+  Ipv6FilterConfig config;
+  config.field = Ipv6MatchField::destination;
+  Ipv6Filter filter(config);
+  ASSERT_TRUE(filter.add_rule(*net::Ipv6Prefix::parse("2001:db8:7::/48"),
+                              Ipv6Action::permit));
+  auto to_subscriber = ipv6_packet("2620:fe::fe", "2001:db8:7::42");
+  auto to_other = ipv6_packet("2620:fe::fe", "2001:db8:8::42");
+  EXPECT_EQ(run(filter, to_subscriber), ppe::Verdict::forward);
+  EXPECT_EQ(run(filter, to_other), ppe::Verdict::drop);
+}
+
+TEST(Ipv6Filter, Ipv4TrafficBypasses) {
+  Ipv6Filter filter;  // deny-by-default for IPv6
+  auto v4 = testing::udp_packet(testing::ip(1, 1, 1, 1),
+                                testing::ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(filter, v4), ppe::Verdict::forward);
+  EXPECT_EQ(filter.bypassed(), 1u);
+}
+
+TEST(Ipv6Filter, RuleCapacityAndRemoval) {
+  Ipv6FilterConfig config;
+  config.rule_capacity = 1;
+  Ipv6Filter filter(config);
+  const auto a = *net::Ipv6Prefix::parse("2001:db8::/32");
+  const auto b = *net::Ipv6Prefix::parse("2001:db9::/32");
+  EXPECT_TRUE(filter.add_rule(a, Ipv6Action::permit));
+  EXPECT_FALSE(filter.add_rule(b, Ipv6Action::permit));
+  EXPECT_TRUE(filter.remove_rule(a));
+  EXPECT_FALSE(filter.remove_rule(a));
+  EXPECT_TRUE(filter.add_rule(b, Ipv6Action::permit));
+}
+
+TEST(Ipv6FilterConfig, SerializeParseRoundTrip) {
+  Ipv6FilterConfig config;
+  config.field = Ipv6MatchField::destination;
+  config.default_action = Ipv6Action::permit;
+  config.rule_capacity = 99;
+  const auto parsed = Ipv6FilterConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->field, Ipv6MatchField::destination);
+  EXPECT_EQ(parsed->default_action, Ipv6Action::permit);
+  EXPECT_EQ(parsed->rule_capacity, 99u);
+  EXPECT_FALSE(Ipv6FilterConfig::parse(net::Bytes{2, 0, 0, 0, 0, 1}).has_value());
+}
+
+TEST(Ipv6Filter, WideKeyCostsMoreThanIpv4Acl) {
+  // The 128-bit ternary key is pricier fabric than the IPv4 5-tuple TCAM.
+  Ipv6Filter v6;
+  const auto usage = v6.resource_usage(hw::DatapathConfig{});
+  EXPECT_GT(usage.luts, 0u);
+  EXPECT_TRUE(hw::FpgaDevice::mpf200t().fits(usage));
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

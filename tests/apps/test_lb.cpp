@@ -1,0 +1,169 @@
+#include "apps/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "app_test_util.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::mac;
+using testing::run;
+using testing::udp_packet;
+
+net::FiveTuple flow(std::uint32_t i) {
+  return net::FiveTuple{net::Ipv4Address{0x0a000000u + i},
+                        net::Ipv4Address{0xc0a80001u},
+                        static_cast<std::uint16_t>(1024 + i % 50000), 80,
+                        static_cast<std::uint8_t>(net::IpProto::tcp)};
+}
+
+std::unique_ptr<LoadBalancer> make_lb(int backends) {
+  auto lb = std::make_unique<LoadBalancer>();
+  for (int i = 0; i < backends; ++i) {
+    lb->add_backend(Backend{static_cast<std::uint32_t>(i),
+                            mac(0x100 + static_cast<std::uint64_t>(i)), true});
+  }
+  return lb;
+}
+
+TEST(LoadBalancer, RewritesDestinationMacToChosenBackend) {
+  auto lb_owner = make_lb(4);
+  LoadBalancer& lb = *lb_owner;
+  auto packet = udp_packet(ip(10, 0, 0, 1), ip(192, 168, 0, 1), 1234, 80);
+  EXPECT_EQ(run(lb, packet), ppe::Verdict::forward);
+  const auto parsed = net::parse_packet(packet.data());
+  const auto chosen = lb.backend_for(*parsed.five_tuple());
+  ASSERT_TRUE(chosen);
+  EXPECT_EQ(parsed.eth.dst, chosen->next_hop);
+}
+
+TEST(LoadBalancer, MappingIsFlowStable) {
+  auto lb_owner = make_lb(8);
+  LoadBalancer& lb = *lb_owner;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const auto first = lb.backend_for(flow(i));
+    const auto second = lb.backend_for(flow(i));
+    ASSERT_TRUE(first && second);
+    EXPECT_EQ(first->id, second->id);
+  }
+}
+
+TEST(LoadBalancer, SymmetricForBothDirections) {
+  auto lb_owner = make_lb(8);
+  LoadBalancer& lb = *lb_owner;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const auto fwd = lb.backend_for(flow(i));
+    const auto rev = lb.backend_for(flow(i).reversed());
+    ASSERT_TRUE(fwd && rev);
+    EXPECT_EQ(fwd->id, rev->id) << "flow " << i;
+  }
+}
+
+TEST(LoadBalancer, TableSlotsNearlyBalanced) {
+  // Maglev property: slot counts differ by at most ~1% of table size.
+  auto lb_owner = make_lb(5);
+  LoadBalancer& lb = *lb_owner;
+  std::map<std::int32_t, int> slots;
+  for (const auto index : lb.lookup_table()) {
+    ASSERT_GE(index, 0);
+    ++slots[index];
+  }
+  ASSERT_EQ(slots.size(), 5u);
+  const double expected = double(lb.lookup_table().size()) / 5.0;
+  for (const auto& [index, count] : slots) {
+    EXPECT_NEAR(count, expected, expected * 0.02) << "backend " << index;
+  }
+}
+
+TEST(LoadBalancer, RemovalDisturbsOnlyOwnShareOfFlows) {
+  // The consistent-hashing property the paper's use case needs: removing
+  // one of N backends must remap only ~1/N of flows.
+  auto lb_owner = make_lb(10);
+  LoadBalancer& lb = *lb_owner;
+  std::map<std::uint32_t, std::uint32_t> before;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    before[i] = lb.backend_for(flow(i))->id;
+  }
+  ASSERT_TRUE(lb.remove_backend(7));
+  int moved_unnecessarily = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const auto now = lb.backend_for(flow(i))->id;
+    if (before[i] != 7 && now != before[i]) ++moved_unnecessarily;
+  }
+  // Maglev is not perfectly minimal; allow a small disruption margin.
+  EXPECT_LT(moved_unnecessarily, 2000 / 10);
+}
+
+TEST(LoadBalancer, UnhealthyBackendReceivesNothing) {
+  auto lb_owner = make_lb(4);
+  LoadBalancer& lb = *lb_owner;
+  ASSERT_TRUE(lb.set_backend_health(2, false));
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto chosen = lb.backend_for(flow(i));
+    ASSERT_TRUE(chosen);
+    EXPECT_NE(chosen->id, 2u);
+  }
+  // Recovery restores it.
+  ASSERT_TRUE(lb.set_backend_health(2, true));
+  bool seen = false;
+  for (std::uint32_t i = 0; i < 500 && !seen; ++i) {
+    seen = lb.backend_for(flow(i))->id == 2;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(LoadBalancer, NoBackendsPassesTrafficThrough) {
+  LoadBalancer lb;
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 80);
+  const net::Bytes original = packet.data();
+  EXPECT_EQ(run(lb, packet), ppe::Verdict::forward);
+  EXPECT_EQ(packet.data(), original);
+}
+
+TEST(LoadBalancer, NonIpPassesThrough) {
+  auto lb_owner = make_lb(2);
+  LoadBalancer& lb = *lb_owner;
+  net::Bytes frame(64, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::arp);
+  eth.serialize_to(frame, 0);
+  net::Packet packet{frame};
+  EXPECT_EQ(run(lb, packet), ppe::Verdict::forward);
+}
+
+TEST(LoadBalancer, PacketCountersPerBackend) {
+  auto lb_owner = make_lb(2);
+  LoadBalancer& lb = *lb_owner;
+  std::uint64_t before = lb.packets_to(0) + lb.packets_to(1);
+  EXPECT_EQ(before, 0u);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    auto packet = udp_packet(net::Ipv4Address{0x0a000000u + i},
+                             ip(192, 168, 0, 1), 1000, 80);
+    (void)run(lb, packet);
+  }
+  EXPECT_EQ(lb.packets_to(0) + lb.packets_to(1), 20u);
+}
+
+TEST(LoadBalancer, RemoveUnknownBackendFails) {
+  auto lb_owner = make_lb(2);
+  LoadBalancer& lb = *lb_owner;
+  EXPECT_FALSE(lb.remove_backend(99));
+  EXPECT_FALSE(lb.set_backend_health(99, false));
+}
+
+TEST(LoadBalancerConfig, SerializeParseRoundTrip) {
+  LoadBalancerConfig config;
+  config.table_size = 127;
+  const auto parsed = LoadBalancerConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->table_size, 127u);
+  EXPECT_FALSE(LoadBalancerConfig::parse(net::Bytes{0, 0, 0, 1}).has_value());
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

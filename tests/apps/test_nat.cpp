@@ -1,0 +1,161 @@
+#include "apps/nat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+#include "sim/random.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::run;
+using testing::udp_packet;
+
+TEST(StaticNat, TranslatesMappedSourceAddress) {
+  StaticNat nat;
+  ASSERT_TRUE(nat.add_mapping(ip(10, 0, 0, 5), ip(203, 0, 113, 5)));
+
+  auto packet = udp_packet(ip(10, 0, 0, 5), ip(8, 8, 8, 8), 1234, 53);
+  EXPECT_EQ(run(nat, packet), ppe::Verdict::forward);
+
+  const auto parsed = net::parse_packet(packet);
+  EXPECT_EQ(parsed.outer.ipv4->src, ip(203, 0, 113, 5));
+  EXPECT_EQ(parsed.outer.ipv4->dst, ip(8, 8, 8, 8));
+  // Checksums remain valid after the rewrite (line-rate O(1) patching).
+  EXPECT_TRUE(net::validate_packet(parsed, packet.data()).empty());
+}
+
+TEST(StaticNat, MissForwardsUntranslatedByDefault) {
+  StaticNat nat;
+  auto packet = udp_packet(ip(10, 0, 0, 99), ip(8, 8, 8, 8), 1, 2);
+  EXPECT_EQ(run(nat, packet), ppe::Verdict::forward);
+  EXPECT_EQ(net::parse_packet(packet).outer.ipv4->src, ip(10, 0, 0, 99));
+}
+
+TEST(StaticNat, MissActionDrop) {
+  NatConfig config;
+  config.miss_action = NatMissAction::drop;
+  StaticNat nat(config);
+  auto packet = udp_packet(ip(10, 0, 0, 99), ip(8, 8, 8, 8), 1, 2);
+  EXPECT_EQ(run(nat, packet), ppe::Verdict::drop);
+}
+
+TEST(StaticNat, MissActionPunt) {
+  NatConfig config;
+  config.miss_action = NatMissAction::punt;
+  StaticNat nat(config);
+  auto packet = udp_packet(ip(10, 0, 0, 99), ip(8, 8, 8, 8), 1, 2);
+  EXPECT_EQ(run(nat, packet), ppe::Verdict::to_control_plane);
+}
+
+TEST(StaticNat, DestinationModeRewritesReturnPath) {
+  NatConfig config;
+  config.direction = NatDirection::destination;
+  StaticNat nat(config);
+  ASSERT_TRUE(nat.add_mapping(ip(203, 0, 113, 5), ip(10, 0, 0, 5)));
+  auto packet = udp_packet(ip(8, 8, 8, 8), ip(203, 0, 113, 5), 53, 1234);
+  EXPECT_EQ(run(nat, packet), ppe::Verdict::forward);
+  const auto parsed = net::parse_packet(packet);
+  EXPECT_EQ(parsed.outer.ipv4->dst, ip(10, 0, 0, 5));
+  EXPECT_TRUE(net::validate_packet(parsed, packet.data()).empty());
+}
+
+TEST(StaticNat, NonIpv4PassesThrough) {
+  StaticNat nat;
+  net::Bytes frame(64, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::arp);
+  eth.serialize_to(frame, 0);
+  net::Packet packet{frame};
+  EXPECT_EQ(run(nat, packet), ppe::Verdict::forward);
+  EXPECT_EQ(packet.data(), frame);
+}
+
+TEST(StaticNat, TcpChecksumPatchedToo) {
+  StaticNat nat;
+  ASSERT_TRUE(nat.add_mapping(ip(10, 0, 0, 1), ip(1, 2, 3, 4)));
+  auto packet =
+      testing::tcp_packet(ip(10, 0, 0, 1), ip(5, 6, 7, 8), 5555, 80);
+  EXPECT_EQ(run(nat, packet), ppe::Verdict::forward);
+  const auto parsed = net::parse_packet(packet);
+  EXPECT_TRUE(net::validate_packet(parsed, packet.data()).empty());
+}
+
+TEST(StaticNat, PaperTableGeometryHolds32kFlows) {
+  StaticNat nat;  // default 32,768 capacity
+  sim::Rng rng(4);
+  std::size_t added = 0;
+  for (std::uint32_t i = 0; i < 30000; ++i) {
+    if (nat.add_mapping(net::Ipv4Address{0x0a000000u + i},
+                        net::Ipv4Address{0xcb007100u + i})) {
+      ++added;
+    }
+  }
+  EXPECT_GT(double(added) / 30000.0, 0.999);  // cuckoo relocation keeps it full
+  EXPECT_EQ(nat.table().capacity(), 32768u);
+}
+
+TEST(StaticNat, CountersTrackOutcomes) {
+  StaticNat nat;
+  nat.add_mapping(ip(10, 0, 0, 1), ip(1, 1, 1, 1));
+  auto hit = udp_packet(ip(10, 0, 0, 1), ip(9, 9, 9, 9), 1, 2);
+  auto miss = udp_packet(ip(10, 0, 0, 2), ip(9, 9, 9, 9), 1, 2);
+  (void)run(nat, hit);
+  (void)run(nat, miss);
+  const auto counters = nat.counters();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].packets, 1u);  // translated
+  EXPECT_EQ(counters[1].packets, 1u);  // missed
+}
+
+TEST(StaticNat, ControlPlaneTableOps) {
+  StaticNat nat;
+  EXPECT_EQ(nat.table_names(), std::vector<std::string>{"nat"});
+  EXPECT_TRUE(nat.table_insert("nat", ip(10, 0, 0, 7).value(),
+                               ip(7, 7, 7, 7).value()));
+  EXPECT_EQ(nat.table_lookup("nat", ip(10, 0, 0, 7).value()),
+            ip(7, 7, 7, 7).value());
+  EXPECT_TRUE(nat.table_erase("nat", ip(10, 0, 0, 7).value()));
+  EXPECT_FALSE(nat.table_lookup("nat", ip(10, 0, 0, 7).value()).has_value());
+  EXPECT_FALSE(nat.table_insert("bogus", 1, 2));
+  EXPECT_FALSE(nat.table_lookup("bogus", 1).has_value());
+}
+
+TEST(StaticNat, RemoveMappingStopsTranslation) {
+  StaticNat nat;
+  nat.add_mapping(ip(10, 0, 0, 1), ip(1, 1, 1, 1));
+  ASSERT_TRUE(nat.remove_mapping(ip(10, 0, 0, 1)));
+  auto packet = udp_packet(ip(10, 0, 0, 1), ip(9, 9, 9, 9), 1, 2);
+  (void)run(nat, packet);
+  EXPECT_EQ(net::parse_packet(packet).outer.ipv4->src, ip(10, 0, 0, 1));
+}
+
+TEST(NatConfig, SerializeParseRoundTrip) {
+  NatConfig config;
+  config.direction = NatDirection::destination;
+  config.miss_action = NatMissAction::punt;
+  config.table_capacity = 4096;
+  const auto parsed = NatConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->direction, NatDirection::destination);
+  EXPECT_EQ(parsed->miss_action, NatMissAction::punt);
+  EXPECT_EQ(parsed->table_capacity, 4096u);
+}
+
+TEST(NatConfig, ParseRejectsGarbage) {
+  EXPECT_FALSE(NatConfig::parse(net::Bytes{1}).has_value());
+  EXPECT_FALSE(NatConfig::parse(net::Bytes{9, 0, 0, 0, 0, 1}).has_value());
+  // Zero capacity rejected.
+  EXPECT_FALSE(NatConfig::parse(net::Bytes{0, 0, 0, 0, 0, 0}).has_value());
+}
+
+TEST(StaticNat, TranslationForQueriesTable) {
+  StaticNat nat;
+  nat.add_mapping(ip(10, 1, 1, 1), ip(2, 2, 2, 2));
+  EXPECT_EQ(nat.translation_for(ip(10, 1, 1, 1)), ip(2, 2, 2, 2));
+  EXPECT_FALSE(nat.translation_for(ip(10, 1, 1, 2)).has_value());
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

@@ -1,0 +1,149 @@
+#include "apps/rate_limiter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::udp_packet;
+
+// Run a packet with an explicit arrival time.
+ppe::Verdict run_at(RateLimiter& limiter, net::Packet& packet,
+                    std::int64_t now_ps) {
+  packet.set_ingress_time_ps(now_ps);
+  ppe::PacketContext ctx(packet);
+  return limiter.process(ctx);
+}
+
+TEST(RateLimiter, UnmatchedTrafficUnlimitedByDefault) {
+  RateLimiter limiter;
+  for (int i = 0; i < 100; ++i) {
+    auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, 1000);
+    EXPECT_EQ(run_at(limiter, packet, i), ppe::Verdict::forward);
+  }
+  EXPECT_EQ(limiter.policed(), 0u);
+}
+
+TEST(RateLimiter, BurstThenPolice) {
+  RateLimiter limiter;
+  // Subscriber with 8 Mb/s and a 2,000-byte burst.
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/24"),
+                                     {8'000'000, 2000}));
+  int forwarded = 0;
+  int dropped = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto packet = udp_packet(ip(10, 0, 0, 5), ip(2, 2, 2, 2), 1, 2, 400);
+    // All at t=0: only the burst allowance passes.
+    if (run_at(limiter, packet, 0) == ppe::Verdict::forward) {
+      ++forwarded;
+    } else {
+      ++dropped;
+    }
+  }
+  // ~2000 bytes of burst at ~458-byte frames -> 4 packets pass.
+  EXPECT_EQ(forwarded, 4);
+  EXPECT_EQ(dropped, 6);
+  EXPECT_EQ(limiter.policed(), 6u);
+}
+
+TEST(RateLimiter, TokensRefillOverTime) {
+  RateLimiter limiter;
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/24"),
+                                     {8'000'000, 500}));
+  auto first = udp_packet(ip(10, 0, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, first, 0), ppe::Verdict::forward);
+  auto second = udp_packet(ip(10, 0, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, second, 1), ppe::Verdict::drop);  // bucket empty
+  // 8 Mb/s = 1 MB/s = 1 byte/us: after 500 us the bucket holds 500 bytes.
+  auto third = udp_packet(ip(10, 0, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, third, 500'000'000), ppe::Verdict::forward);
+}
+
+TEST(RateLimiter, LongRunRateConvergesToConfigured) {
+  RateLimiter limiter;
+  const std::uint64_t rate_bps = 80'000'000;  // 10 MB/s
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/24"),
+                                     {rate_bps, 10'000}));
+  // Offer 2x the rate for 100 ms; measure what conforms.
+  std::uint64_t conformed_bytes = 0;
+  const std::size_t frame = 1000;
+  const std::int64_t gap_ps = 50'000'000 / 1250;  // 2x offered load...
+  std::int64_t now = 0;
+  const std::int64_t end = 100'000'000'000;  // 100 ms
+  while (now < end) {
+    auto packet = udp_packet(ip(10, 0, 0, 9), ip(2, 2, 2, 2), 1, 2,
+                             frame - 42);
+    if (run_at(limiter, packet, now) == ppe::Verdict::forward) {
+      conformed_bytes += packet.size();
+    }
+    now += gap_ps * 1000;
+  }
+  const double measured_bps = double(conformed_bytes) * 8.0 / 0.1;
+  EXPECT_NEAR(measured_bps, double(rate_bps), double(rate_bps) * 0.1);
+}
+
+TEST(RateLimiter, PerSubscriberIsolation) {
+  RateLimiter limiter;
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.1.0/24"),
+                                     {8'000'000, 1000}));
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.2.0/24"),
+                                     {8'000'000, 1000}));
+  // Exhaust subscriber 1's bucket.
+  for (int i = 0; i < 5; ++i) {
+    auto p = udp_packet(ip(10, 0, 1, 1), ip(2, 2, 2, 2), 1, 2, 400);
+    (void)run_at(limiter, p, 0);
+  }
+  // Subscriber 2 is unaffected.
+  auto p2 = udp_packet(ip(10, 0, 2, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, p2, 0), ppe::Verdict::forward);
+}
+
+TEST(RateLimiter, DefaultBucketPolicesUnmatchedWhenConfigured) {
+  RateLimiterConfig config;
+  config.default_spec = {8'000'000, 500};
+  RateLimiter limiter(config);
+  auto first = udp_packet(ip(99, 0, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, first, 0), ppe::Verdict::forward);
+  auto second = udp_packet(ip(99, 0, 0, 2), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, second, 0), ppe::Verdict::drop);
+}
+
+TEST(RateLimiter, RemoveSubscriberFreesSlot) {
+  RateLimiterConfig config;
+  config.max_subscribers = 1;
+  RateLimiter limiter(config);
+  const auto p1 = *net::Ipv4Prefix::parse("10.0.1.0/24");
+  const auto p2 = *net::Ipv4Prefix::parse("10.0.2.0/24");
+  ASSERT_TRUE(limiter.add_subscriber(p1, {1000, 100}));
+  EXPECT_FALSE(limiter.add_subscriber(p2, {1000, 100}));
+  ASSERT_TRUE(limiter.remove_subscriber(p1));
+  EXPECT_TRUE(limiter.add_subscriber(p2, {1000, 100}));
+}
+
+TEST(RateLimiter, NonIpv4Forwarded) {
+  RateLimiter limiter;
+  net::Bytes frame(64, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::arp);
+  eth.serialize_to(frame, 0);
+  net::Packet packet{frame};
+  ppe::PacketContext ctx(packet);
+  EXPECT_EQ(limiter.process(ctx), ppe::Verdict::forward);
+}
+
+TEST(RateLimiterConfig, SerializeParseRoundTrip) {
+  RateLimiterConfig config;
+  config.max_subscribers = 33;
+  config.default_spec = {123456, 789};
+  const auto parsed = RateLimiterConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->max_subscribers, 33u);
+  EXPECT_EQ(parsed->default_spec.rate_bps, 123456u);
+  EXPECT_EQ(parsed->default_spec.burst_bytes, 789u);
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

@@ -1,0 +1,168 @@
+#include "apps/sanitizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::run;
+using testing::tcp_packet;
+using testing::udp_packet;
+
+TEST(Sanitizer, ObserveOnlyForwardsEverything) {
+  Sanitizer sanitizer;  // drop_mask = 0
+  auto bad = udp_packet(ip(127, 0, 0, 1), ip(2, 2, 2, 2), 1, 2);  // martian
+  EXPECT_EQ(run(sanitizer, bad), ppe::Verdict::forward);
+  EXPECT_GT(sanitizer.issue_count(net::ValidationIssue::ipv4_martian_source),
+            0u);
+}
+
+TEST(Sanitizer, StrictMaskDropsMartians) {
+  SanitizerConfig config;
+  config.drop_mask = strict_issue_mask();
+  Sanitizer sanitizer(config);
+  auto martian = udp_packet(ip(127, 0, 0, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(sanitizer, martian), ppe::Verdict::drop);
+  EXPECT_EQ(sanitizer.dropped(), 1u);
+  auto clean = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(sanitizer, clean), ppe::Verdict::forward);
+}
+
+TEST(Sanitizer, StrictMaskDropsCorruptedChecksum) {
+  SanitizerConfig config;
+  config.drop_mask = strict_issue_mask();
+  Sanitizer sanitizer(config);
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  packet.data()[net::EthernetHeader::size() + 10] ^= 0xff;
+  EXPECT_EQ(run(sanitizer, packet), ppe::Verdict::drop);
+}
+
+TEST(Sanitizer, StrictMaskDropsSynFin) {
+  SanitizerConfig config;
+  config.drop_mask = strict_issue_mask();
+  Sanitizer sanitizer(config);
+  auto packet = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2,
+                           net::TcpHeader::flag_syn |
+                               net::TcpHeader::flag_fin);
+  EXPECT_EQ(run(sanitizer, packet), ppe::Verdict::drop);
+}
+
+TEST(Sanitizer, UnparseableDroppedWhenConfigured) {
+  Sanitizer sanitizer;  // drop_unparseable defaults true
+  net::Packet truncated{net::Bytes(10, 0)};
+  EXPECT_EQ(run(sanitizer, truncated), ppe::Verdict::drop);
+
+  SanitizerConfig lenient;
+  lenient.drop_unparseable = false;
+  Sanitizer pass(lenient);
+  net::Packet truncated2{net::Bytes(10, 0)};
+  EXPECT_EQ(run(pass, truncated2), ppe::Verdict::forward);
+}
+
+TEST(Sanitizer, StripsIpv4OptionsAndRepairsHeader) {
+  SanitizerConfig config;
+  config.strip_ipv4_options = true;
+  Sanitizer sanitizer(config);
+
+  // Build a frame whose IPv4 header carries 8 bytes of options.
+  net::Ipv4Header ip_header;
+  ip_header.ihl = 7;
+  ip_header.src = ip(1, 1, 1, 1);
+  ip_header.dst = ip(2, 2, 2, 2);
+  ip_header.protocol = static_cast<std::uint8_t>(net::IpProto::udp);
+  ip_header.total_length = 28 + 8 + 20;
+  net::Bytes frame(net::EthernetHeader::size() + ip_header.total_length, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::ipv4);
+  eth.serialize_to(frame, 0);
+  ip_header.serialize_to(frame, net::EthernetHeader::size());
+  net::write_be16(frame, net::EthernetHeader::size() + 10,
+                  ip_header.compute_checksum());
+  net::UdpHeader udp;
+  udp.src_port = 1;
+  udp.dst_port = 2;
+  udp.length = 28;
+  udp.serialize_to(frame, net::EthernetHeader::size() + 28);
+
+  net::Packet packet{frame};
+  EXPECT_EQ(run(sanitizer, packet), ppe::Verdict::forward);
+  EXPECT_EQ(sanitizer.repaired(), 1u);
+  const auto parsed = net::parse_packet(packet.data());
+  ASSERT_TRUE(parsed.outer.ipv4);
+  EXPECT_EQ(parsed.outer.ipv4->ihl, 5);
+  EXPECT_EQ(parsed.outer.ipv4->compute_checksum(),
+            parsed.outer.ipv4->checksum);
+  // The UDP header moved up and still parses.
+  ASSERT_TRUE(parsed.outer.udp);
+  EXPECT_EQ(parsed.outer.udp->dst_port, 2);
+}
+
+TEST(Sanitizer, DohBlockingDropsResolverTraffic) {
+  SanitizerConfig config;
+  config.block_doh = true;
+  Sanitizer sanitizer(config);
+  ASSERT_TRUE(sanitizer.add_doh_resolver(ip(1, 1, 1, 1)));
+
+  auto doh = tcp_packet(ip(10, 0, 0, 1), ip(1, 1, 1, 1), 5000, 443);
+  EXPECT_EQ(run(sanitizer, doh), ppe::Verdict::drop);
+  // Same resolver, different port (plain DNS) passes.
+  auto dns = udp_packet(ip(10, 0, 0, 1), ip(1, 1, 1, 1), 5000, 53);
+  EXPECT_EQ(run(sanitizer, dns), ppe::Verdict::forward);
+  // Port 443 to a non-resolver passes.
+  auto https = tcp_packet(ip(10, 0, 0, 1), ip(93, 184, 216, 34), 5000, 443);
+  EXPECT_EQ(run(sanitizer, https), ppe::Verdict::forward);
+}
+
+TEST(Sanitizer, DohBlockingDisabledByDefault) {
+  Sanitizer sanitizer;
+  ASSERT_TRUE(sanitizer.add_doh_resolver(ip(1, 1, 1, 1)));
+  auto doh = tcp_packet(ip(10, 0, 0, 1), ip(1, 1, 1, 1), 5000, 443);
+  EXPECT_EQ(run(sanitizer, doh), ppe::Verdict::forward);
+}
+
+TEST(Sanitizer, ResolverTableControlSurface) {
+  Sanitizer sanitizer;
+  EXPECT_TRUE(sanitizer.table_insert("doh_resolvers",
+                                     ip(8, 8, 8, 8).value(), 1));
+  EXPECT_TRUE(
+      sanitizer.table_lookup("doh_resolvers", ip(8, 8, 8, 8).value()));
+  EXPECT_TRUE(
+      sanitizer.table_erase("doh_resolvers", ip(8, 8, 8, 8).value()));
+  EXPECT_FALSE(sanitizer.table_insert("other", 1, 1));
+}
+
+TEST(Sanitizer, IssueMaskIsSelective) {
+  // Only drop TTL-zero; martians pass.
+  SanitizerConfig config;
+  config.drop_mask = issue_bit(net::ValidationIssue::ipv4_ttl_zero);
+  Sanitizer sanitizer(config);
+  auto martian = udp_packet(ip(127, 0, 0, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(sanitizer, martian), ppe::Verdict::forward);
+  auto expired = net::PacketBuilder()
+                     .ethernet(testing::mac(2), testing::mac(1))
+                     .ipv4(ip(1, 1, 1, 1), ip(2, 2, 2, 2), net::IpProto::udp,
+                           /*ttl=*/0)
+                     .udp(1, 2)
+                     .build_packet();
+  EXPECT_EQ(run(sanitizer, expired), ppe::Verdict::drop);
+}
+
+TEST(SanitizerConfig, SerializeParseRoundTrip) {
+  SanitizerConfig config;
+  config.drop_mask = 0xabc;
+  config.strip_ipv4_options = true;
+  config.drop_unparseable = false;
+  config.block_doh = true;
+  const auto parsed = SanitizerConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->drop_mask, 0xabcu);
+  EXPECT_TRUE(parsed->strip_ipv4_options);
+  EXPECT_FALSE(parsed->drop_unparseable);
+  EXPECT_TRUE(parsed->block_doh);
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

@@ -1,0 +1,227 @@
+#include "apps/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::run;
+using testing::udp_packet;
+
+TEST(TelemetryShim, SerializeParseRoundTrip) {
+  TelemetryShim shim;
+  shim.device_id = 0x1234;
+  shim.ingress_port = 1;
+  shim.queue_depth = 7;
+  shim.timestamp_ns = 0x123456789abull & 0xffffffffffff;
+  shim.inner_ether_type = 0x0800;
+  net::Bytes buffer(TelemetryShim::size());
+  shim.serialize_to(buffer, 0);
+  const auto parsed = TelemetryShim::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->device_id, 0x1234);
+  EXPECT_EQ(parsed->ingress_port, 1);
+  EXPECT_EQ(parsed->queue_depth, 7);
+  EXPECT_EQ(parsed->timestamp_ns, shim.timestamp_ns);
+  EXPECT_EQ(parsed->inner_ether_type, 0x0800);
+}
+
+TEST(TelemetryShim, PushPopRestoresFrame) {
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  const net::Bytes original = packet.data();
+  TelemetryShim shim;
+  shim.device_id = 9;
+  ASSERT_TRUE(push_telemetry_shim(packet.data(), shim));
+  EXPECT_EQ(packet.data().size(), original.size() + TelemetryShim::size());
+  const auto eth = net::EthernetHeader::parse(packet.data(), 0);
+  EXPECT_EQ(eth->ether_type, telemetry_ether_type);
+  const auto popped = pop_telemetry_shim(packet.data());
+  ASSERT_TRUE(popped);
+  EXPECT_EQ(popped->device_id, 9);
+  EXPECT_EQ(packet.data(), original);
+}
+
+TEST(TelemetryShim, PopWithoutShimFails) {
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_FALSE(pop_telemetry_shim(packet.data()).has_value());
+}
+
+TEST(IntStamper, SourceInsertsTimestampAndDevice) {
+  IntStamperConfig config;
+  config.role = StamperRole::source;
+  config.device_id = 77;
+  IntStamper stamper(config);
+
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  packet.set_ingress_time_ps(5'000'000);  // 5 us
+  packet.set_ingress_port(1);
+  EXPECT_EQ(run(stamper, packet), ppe::Verdict::forward);
+  const auto shim = TelemetryShim::parse(packet.data(),
+                                         net::EthernetHeader::size());
+  ASSERT_TRUE(shim);
+  EXPECT_EQ(shim->device_id, 77);
+  EXPECT_EQ(shim->ingress_port, 1);
+  EXPECT_EQ(shim->timestamp_ns, 5000u);
+  EXPECT_EQ(stamper.stamped(), 1u);
+}
+
+TEST(IntStamper, SinkMeasuresPathLatency) {
+  IntStamperConfig source_config;
+  source_config.role = StamperRole::source;
+  IntStamper source(source_config);
+  IntStamperConfig sink_config;
+  sink_config.role = StamperRole::sink;
+  IntStamper sink(sink_config);
+
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  packet.set_ingress_time_ps(1'000'000);  // stamped at 1 us
+  (void)run(source, packet);
+  packet.set_ingress_time_ps(4'000'000);  // arrives at sink at 4 us
+  (void)run(sink, packet);
+  EXPECT_EQ(sink.sink_samples(), 1u);
+  EXPECT_NEAR(sink.mean_path_latency_ns(), 3000.0, 1.0);
+  // The shim is stripped at the sink.
+  EXPECT_FALSE(TelemetryShim::parse(packet.data(),
+                                    net::EthernetHeader::size())
+                   .has_value() &&
+               net::EthernetHeader::parse(packet.data(), 0)->ether_type ==
+                   telemetry_ether_type);
+}
+
+TEST(FlowStats, TracksPerFlowCounters) {
+  FlowStats stats;
+  for (int i = 0; i < 3; ++i) {
+    auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 10, 20, 100);
+    packet.set_ingress_time_ps(i * 1'000'000);
+    (void)run(stats, packet);
+  }
+  auto other = udp_packet(ip(3, 3, 3, 3), ip(2, 2, 2, 2), 10, 20);
+  (void)run(stats, other);
+
+  EXPECT_EQ(stats.active_flows(), 2u);
+  auto records = stats.export_all();
+  ASSERT_EQ(records.size(), 2u);
+  const auto& big = records[0].packets >= records[1].packets ? records[0]
+                                                             : records[1];
+  EXPECT_EQ(big.packets, 3u);
+  EXPECT_EQ(big.first_seen_ps, 0);
+  EXPECT_EQ(big.last_seen_ps, 2'000'000);
+  EXPECT_EQ(stats.active_flows(), 0u);
+}
+
+TEST(FlowStats, SweepExportsIdleFlowsOnly) {
+  FlowStatsConfig config;
+  config.idle_timeout_ps = 1'000'000'000;    // 1 ms
+  config.active_timeout_ps = 1'000'000'000'000;  // effectively off
+  FlowStats stats(config);
+
+  auto old_flow = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  old_flow.set_ingress_time_ps(0);
+  (void)run(stats, old_flow);
+  auto fresh_flow = udp_packet(ip(9, 9, 9, 9), ip(2, 2, 2, 2), 1, 2);
+  fresh_flow.set_ingress_time_ps(1'900'000'000);
+  (void)run(stats, fresh_flow);
+
+  const auto exported = stats.sweep(2'000'000'000);
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(exported[0].tuple.src, ip(1, 1, 1, 1));
+  EXPECT_EQ(stats.active_flows(), 1u);
+}
+
+TEST(FlowStats, ActiveTimeoutExportsLongLivedFlows) {
+  FlowStatsConfig config;
+  config.idle_timeout_ps = 1'000'000'000'000;
+  config.active_timeout_ps = 5'000'000;  // 5 us
+  FlowStats stats(config);
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  packet.set_ingress_time_ps(0);
+  (void)run(stats, packet);
+  auto again = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  again.set_ingress_time_ps(6'000'000);  // still active
+  (void)run(stats, again);
+  EXPECT_EQ(stats.sweep(7'000'000).size(), 1u);
+}
+
+TEST(FlowStats, CacheFullRejectionsCounted) {
+  FlowStatsConfig config;
+  config.cache_capacity = 4;
+  FlowStats stats(config);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    auto packet = udp_packet(net::Ipv4Address{0x01000000u + i},
+                             ip(2, 2, 2, 2), 1, 2);
+    (void)run(stats, packet);
+  }
+  EXPECT_LE(stats.active_flows(), 4u);
+  EXPECT_GT(stats.cache_rejections(), 0u);
+}
+
+TEST(FlowStats, TcpFlagsAccumulate) {
+  FlowStats stats;
+  auto syn = testing::tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2,
+                                 net::TcpHeader::flag_syn);
+  auto fin = testing::tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2,
+                                 net::TcpHeader::flag_fin |
+                                     net::TcpHeader::flag_ack);
+  (void)run(stats, syn);
+  (void)run(stats, fin);
+  const auto records = stats.export_all();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].tcp_flags_seen,
+            net::TcpHeader::flag_syn | net::TcpHeader::flag_fin |
+                net::TcpHeader::flag_ack);
+}
+
+TEST(Sampler, MirrorsEveryNth) {
+  SamplerConfig config;
+  config.rate = 10;
+  Sampler sampler(config);
+  int mirrors = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+    ppe::PacketContext ctx(packet);
+    EXPECT_EQ(sampler.process(ctx), ppe::Verdict::forward);
+    if (ctx.mirror_requested()) ++mirrors;
+  }
+  EXPECT_EQ(mirrors, 10);
+  EXPECT_EQ(sampler.sampled(), 10u);
+}
+
+TEST(Sampler, RateOneMirrorsEverything) {
+  SamplerConfig config;
+  config.rate = 1;
+  Sampler sampler(config);
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  ppe::PacketContext ctx(packet);
+  (void)sampler.process(ctx);
+  EXPECT_TRUE(ctx.mirror_requested());
+}
+
+TEST(TelemetryConfigs, SerializeParseRoundTrips) {
+  IntStamperConfig int_config;
+  int_config.role = StamperRole::sink;
+  int_config.device_id = 3;
+  const auto int_parsed = IntStamperConfig::parse(int_config.serialize());
+  ASSERT_TRUE(int_parsed);
+  EXPECT_EQ(int_parsed->role, StamperRole::sink);
+  EXPECT_EQ(int_parsed->device_id, 3);
+
+  FlowStatsConfig flow_config;
+  flow_config.cache_capacity = 99;
+  flow_config.idle_timeout_ps = 123;
+  const auto flow_parsed = FlowStatsConfig::parse(flow_config.serialize());
+  ASSERT_TRUE(flow_parsed);
+  EXPECT_EQ(flow_parsed->cache_capacity, 99u);
+  EXPECT_EQ(flow_parsed->idle_timeout_ps, 123);
+
+  SamplerConfig sampler_config;
+  sampler_config.rate = 256;
+  const auto sampler_parsed = SamplerConfig::parse(sampler_config.serialize());
+  ASSERT_TRUE(sampler_parsed);
+  EXPECT_EQ(sampler_parsed->rate, 256u);
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

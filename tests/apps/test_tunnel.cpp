@@ -1,0 +1,139 @@
+#include "apps/tunnel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::mac;
+using testing::run;
+using testing::udp_packet;
+
+TunnelConfig gre_encap_config() {
+  TunnelConfig config;
+  config.type = TunnelType::gre;
+  config.role = TunnelRole::encap;
+  config.local = ip(172, 16, 0, 1);
+  config.remote = ip(172, 16, 0, 2);
+  return config;
+}
+
+TEST(TunnelApp, GreEncapThenDecapRestoresOriginal) {
+  TunnelApp encap(gre_encap_config());
+  TunnelConfig decap_config = gre_encap_config();
+  decap_config.role = TunnelRole::decap;
+  TunnelApp decap(decap_config);
+
+  auto packet = udp_packet(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 1000, 2000);
+  const net::Bytes original = packet.data();
+
+  EXPECT_EQ(run(encap, packet), ppe::Verdict::forward);
+  const auto outer = net::parse_packet(packet.data());
+  ASSERT_TRUE(outer.gre.has_value());
+  EXPECT_EQ(outer.outer.ipv4->src, ip(172, 16, 0, 1));
+  EXPECT_EQ(outer.outer.ipv4->dst, ip(172, 16, 0, 2));
+
+  EXPECT_EQ(run(decap, packet), ppe::Verdict::forward);
+  EXPECT_EQ(packet.data(), original);
+  EXPECT_EQ(encap.transformed(), 1u);
+  EXPECT_EQ(decap.transformed(), 1u);
+}
+
+TEST(TunnelApp, VxlanEncapCarriesVni) {
+  TunnelConfig config;
+  config.type = TunnelType::vxlan;
+  config.role = TunnelRole::encap;
+  config.local = ip(172, 16, 1, 1);
+  config.remote = ip(172, 16, 1, 2);
+  config.vni = 4242;
+  config.outer_dst = mac(0xaa);
+  config.outer_src = mac(0xbb);
+  TunnelApp encap(config);
+
+  auto packet = udp_packet(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 1, 2);
+  EXPECT_EQ(run(encap, packet), ppe::Verdict::forward);
+  const auto parsed = net::parse_packet(packet.data());
+  ASSERT_TRUE(parsed.vxlan.has_value());
+  EXPECT_EQ(parsed.vxlan->vni, 4242u);
+  EXPECT_EQ(parsed.eth.dst, mac(0xaa));
+  ASSERT_TRUE(parsed.inner.has_value());
+  EXPECT_EQ(parsed.inner->ipv4->src, ip(10, 0, 0, 1));
+}
+
+TEST(TunnelApp, IpipRoundTrip) {
+  TunnelConfig config;
+  config.type = TunnelType::ipip;
+  config.role = TunnelRole::encap;
+  config.local = ip(9, 0, 0, 1);
+  config.remote = ip(9, 0, 0, 2);
+  TunnelApp encap(config);
+  config.role = TunnelRole::decap;
+  TunnelApp decap(config);
+
+  auto packet = udp_packet(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 5, 6);
+  const net::Bytes original = packet.data();
+  (void)run(encap, packet);
+  EXPECT_EQ(net::parse_packet(packet.data()).outer.ipv4->protocol,
+            static_cast<std::uint8_t>(net::IpProto::ipv4_encap));
+  (void)run(decap, packet);
+  EXPECT_EQ(packet.data(), original);
+}
+
+TEST(TunnelApp, DecapPassesNonTunneledTraffic) {
+  TunnelConfig config;
+  config.role = TunnelRole::decap;
+  TunnelApp decap(config);
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  const net::Bytes original = packet.data();
+  EXPECT_EQ(run(decap, packet), ppe::Verdict::forward);
+  EXPECT_EQ(packet.data(), original);
+  EXPECT_EQ(decap.passed(), 1u);
+}
+
+TEST(TunnelApp, EncapPassesNonIpTraffic) {
+  TunnelApp encap(gre_encap_config());
+  net::Bytes frame(64, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::arp);
+  eth.serialize_to(frame, 0);
+  net::Packet packet{frame};
+  EXPECT_EQ(run(encap, packet), ppe::Verdict::forward);
+  EXPECT_EQ(packet.data(), frame);
+  EXPECT_EQ(encap.passed(), 1u);
+}
+
+TEST(TunnelApp, VxlanNeedsLargerShifterThanGre) {
+  TunnelConfig vxlan;
+  vxlan.type = TunnelType::vxlan;
+  TunnelConfig gre;
+  gre.type = TunnelType::gre;
+  const hw::DatapathConfig dp{};
+  EXPECT_GT(TunnelApp(vxlan).resource_usage(dp).luts,
+            TunnelApp(gre).resource_usage(dp).luts);
+}
+
+TEST(TunnelConfig, SerializeParseRoundTrip) {
+  TunnelConfig config;
+  config.type = TunnelType::vxlan;
+  config.role = TunnelRole::decap;
+  config.local = ip(1, 2, 3, 4);
+  config.remote = ip(5, 6, 7, 8);
+  config.vni = 0xabcdef;
+  config.outer_dst = mac(0x112233445566);
+  config.outer_src = mac(0x665544332211);
+  const auto parsed = TunnelConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, TunnelType::vxlan);
+  EXPECT_EQ(parsed->role, TunnelRole::decap);
+  EXPECT_EQ(parsed->local, config.local);
+  EXPECT_EQ(parsed->remote, config.remote);
+  EXPECT_EQ(parsed->vni, config.vni);
+  EXPECT_EQ(parsed->outer_dst, config.outer_dst);
+  EXPECT_FALSE(TunnelConfig::parse(net::Bytes{1, 2, 3}).has_value());
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

@@ -1,0 +1,129 @@
+#include "apps/vlan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app_test_util.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+using testing::ip;
+using testing::run;
+using testing::udp_packet;
+
+TEST(VlanTagger, PushAddsConfiguredTag) {
+  VlanConfig config;
+  config.mode = VlanMode::push;
+  config.vid = 42;
+  config.pcp = 5;
+  VlanTagger tagger(config);
+
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  const std::size_t before = packet.size();
+  EXPECT_EQ(run(tagger, packet), ppe::Verdict::forward);
+  EXPECT_EQ(packet.size(), before + 4);
+  const auto parsed = net::parse_packet(packet.data());
+  ASSERT_EQ(parsed.vlan_tags.size(), 1u);
+  EXPECT_EQ(parsed.vlan_tags[0].vid, 42);
+  EXPECT_EQ(parsed.vlan_tags[0].pcp, 5);
+  // Inner IP layer still parses.
+  EXPECT_TRUE(parsed.outer.ipv4.has_value());
+}
+
+TEST(VlanTagger, PopRemovesOuterTag) {
+  VlanConfig config;
+  config.mode = VlanMode::pop;
+  VlanTagger tagger(config);
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  net::push_vlan(packet.data(), 77);
+  EXPECT_EQ(run(tagger, packet), ppe::Verdict::forward);
+  EXPECT_TRUE(net::parse_packet(packet.data()).vlan_tags.empty());
+}
+
+TEST(VlanTagger, PopUntaggedPassesUnlessStrict) {
+  VlanConfig config;
+  config.mode = VlanMode::pop;
+  VlanTagger lenient(config);
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  EXPECT_EQ(run(lenient, packet), ppe::Verdict::forward);
+
+  config.strict = true;
+  VlanTagger strict(config);
+  EXPECT_EQ(run(strict, packet), ppe::Verdict::drop);
+}
+
+TEST(VlanTagger, RewriteUsesTranslationTable) {
+  VlanConfig config;
+  config.mode = VlanMode::rewrite;
+  config.vid = 999;  // fallback
+  VlanTagger tagger(config);
+  ASSERT_TRUE(tagger.add_translation(100, 200));
+
+  auto mapped = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  net::push_vlan(mapped.data(), 100);
+  (void)run(tagger, mapped);
+  EXPECT_EQ(net::parse_packet(mapped.data()).vlan_tags[0].vid, 200);
+
+  auto unmapped = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  net::push_vlan(unmapped.data(), 55);
+  (void)run(tagger, unmapped);
+  EXPECT_EQ(net::parse_packet(unmapped.data()).vlan_tags[0].vid, 999);
+}
+
+TEST(VlanTagger, QinqPushUsesServiceTpid) {
+  VlanConfig config;
+  config.mode = VlanMode::qinq_push;
+  config.vid = 300;
+  VlanTagger tagger(config);
+  auto packet = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  net::push_vlan(packet.data(), 100);  // existing customer tag
+  (void)run(tagger, packet);
+  const auto parsed = net::parse_packet(packet.data());
+  ASSERT_EQ(parsed.vlan_tags.size(), 2u);
+  EXPECT_EQ(parsed.eth.ether_type,
+            static_cast<std::uint16_t>(net::EtherType::qinq));
+  EXPECT_EQ(parsed.vlan_tags[0].vid, 300);
+  EXPECT_EQ(parsed.vlan_tags[1].vid, 100);
+}
+
+TEST(VlanTagger, TableOpsThroughControlSurface) {
+  VlanTagger tagger;
+  EXPECT_EQ(tagger.table_names(),
+            std::vector<std::string>{"vid_translation"});
+  EXPECT_TRUE(tagger.table_insert("vid_translation", 10, 20));
+  EXPECT_EQ(tagger.table_lookup("vid_translation", 10), 20u);
+  EXPECT_TRUE(tagger.table_erase("vid_translation", 10));
+  EXPECT_FALSE(tagger.table_insert("nope", 1, 2));
+}
+
+TEST(VlanTagger, CountersSplitEditedVsPassed) {
+  VlanConfig config;
+  config.mode = VlanMode::pop;
+  VlanTagger tagger(config);
+  auto tagged = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  net::push_vlan(tagged.data(), 5);
+  auto untagged = udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2);
+  (void)run(tagger, tagged);
+  (void)run(tagger, untagged);
+  const auto counters = tagger.counters();
+  EXPECT_EQ(counters[0].packets, 1u);  // edited
+  EXPECT_EQ(counters[1].packets, 1u);  // passed
+}
+
+TEST(VlanConfig, SerializeParseRoundTrip) {
+  VlanConfig config;
+  config.mode = VlanMode::rewrite;
+  config.vid = 1234 & 0x0fff;
+  config.pcp = 6;
+  config.strict = true;
+  const auto parsed = VlanConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->mode, VlanMode::rewrite);
+  EXPECT_EQ(parsed->vid, config.vid);
+  EXPECT_EQ(parsed->pcp, 6);
+  EXPECT_TRUE(parsed->strict);
+  EXPECT_FALSE(VlanConfig::parse(net::Bytes{9, 0, 0, 0, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace flexsfp::apps

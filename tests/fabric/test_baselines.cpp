@@ -1,0 +1,111 @@
+#include "fabric/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabric/traffic_gen.hpp"
+
+namespace flexsfp::fabric {
+namespace {
+
+using namespace sim;  // time literals
+
+TEST(CpuPath, AddsTensOfMicrosecondsLatency) {
+  Simulation sim;
+  CpuPath cpu(sim);
+  Sink sink(sim);
+  cpu.set_output([&sink](net::PacketPtr p) { sink.handle_packet(std::move(p)); });
+  for (int i = 0; i < 50; ++i) {
+    auto packet = net::make_packet(net::Bytes(64, 0));
+    packet->set_created_time_ps(sim.now());
+    cpu.handle_packet(std::move(packet));
+  }
+  sim.run();
+  EXPECT_EQ(sink.received().packets(), 50u);
+  // §2: the host path reintroduces latency — tens of microseconds.
+  EXPECT_GT(to_nanos(sink.latency().percentile(50)), 25'000.0);
+}
+
+TEST(CpuPath, JitterSpreadsTheDistribution) {
+  Simulation sim;
+  CpuPath cpu(sim);
+  Sink sink(sim);
+  cpu.set_output([&sink](net::PacketPtr p) { sink.handle_packet(std::move(p)); });
+  for (int i = 0; i < 500; ++i) {
+    auto packet = net::make_packet(net::Bytes(64, 0));
+    packet->set_created_time_ps(sim.now());
+    cpu.handle_packet(std::move(packet));
+  }
+  sim.run();
+  // p99 well above p50: software jitter.
+  EXPECT_GT(double(sink.latency().percentile(99)),
+            1.2 * double(sink.latency().percentile(50)));
+}
+
+TEST(CpuPath, ThroughputCapped) {
+  Simulation sim;
+  CpuPathConfig config;
+  config.packets_per_second = 1'000'000;
+  config.stall_probability = 0;
+  CpuPath cpu(sim, config, /*queue_capacity=*/64);
+  int delivered = 0;
+  cpu.set_output([&delivered](net::PacketPtr) { ++delivered; });
+  // Offer 10k packets instantaneously: the queue bounds what survives.
+  for (int i = 0; i < 10'000; ++i) {
+    cpu.handle_packet(net::make_packet(net::Bytes(64, 0)));
+  }
+  sim.run();
+  EXPECT_GT(cpu.drops(), 9000u);
+  EXPECT_LE(delivered, 65);
+}
+
+TEST(SmartNic, LowLatencyAndHighRate) {
+  Simulation sim;
+  SmartNic nic(sim);
+  Sink sink(sim);
+  nic.set_output([&sink](net::PacketPtr p) { sink.handle_packet(std::move(p)); });
+  for (int i = 0; i < 100; ++i) {
+    auto packet = net::make_packet(net::Bytes(64, 0));
+    packet->set_created_time_ps(sim.now());
+    nic.handle_packet(std::move(packet));
+  }
+  sim.run();
+  EXPECT_EQ(sink.received().packets(), 100u);
+  // Single-digit microseconds, far tighter than the CPU path.
+  EXPECT_LT(to_nanos(sink.latency().percentile(99)), 10'000.0);
+  EXPECT_GT(to_nanos(sink.latency().percentile(50)), 3'000.0);
+}
+
+TEST(Baselines, PowerAndCostEnvelopesMatchPaperClaims) {
+  Simulation sim;
+  CpuPath cpu(sim);
+  SmartNic nic(sim);
+  // §2: SmartNIC 25-75 W and $800-2000+; FlexSFP ~1.5 W (tested elsewhere).
+  EXPECT_GE(nic.watts(), 25.0);
+  EXPECT_GE(nic.cost_usd().lo, 800.0);
+  EXPECT_GT(cpu.watts(), 0.0);
+  EXPECT_DOUBLE_EQ(CpuPath::cost_usd().hi, 0.0);
+}
+
+TEST(SmartNic, LatencyTighterThanCpuPath) {
+  Simulation sim;
+  CpuPath cpu(sim);
+  SmartNic nic(sim);
+  Sink cpu_sink(sim);
+  Sink nic_sink(sim);
+  cpu.set_output([&](net::PacketPtr p) { cpu_sink.handle_packet(std::move(p)); });
+  nic.set_output([&](net::PacketPtr p) { nic_sink.handle_packet(std::move(p)); });
+  for (int i = 0; i < 200; ++i) {
+    auto a = net::make_packet(net::Bytes(64, 0));
+    a->set_created_time_ps(0);
+    cpu.handle_packet(std::move(a));
+    auto b = net::make_packet(net::Bytes(64, 0));
+    b->set_created_time_ps(0);
+    nic.handle_packet(std::move(b));
+  }
+  sim.run();
+  EXPECT_LT(double(nic_sink.latency().percentile(99)),
+            double(cpu_sink.latency().percentile(50)));
+}
+
+}  // namespace
+}  // namespace flexsfp::fabric

@@ -1,0 +1,211 @@
+#include "fabric/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/acl.hpp"
+#include "apps/nat.hpp"
+#include "sfp/flexsfp.hpp"
+
+namespace flexsfp::fabric {
+namespace {
+
+using namespace sim;  // time literals
+
+// A small fleet: orchestrator wired straight to each module's edge port.
+struct FleetFixture {
+  explicit FleetFixture(std::size_t count = 2)
+      : orchestrator(sim, OrchestratorConfig{
+                              .key = sfp::FlexSfpConfig{}.auth_key,
+                              .timeout_ps = 1'000'000'000,  // 1 ms
+                              .max_retries = 2}) {
+    for (std::size_t i = 0; i < count; ++i) {
+      sfp::FlexSfpConfig config;
+      config.boot_at_start = false;
+      config.shell.module_mac =
+          net::MacAddress::from_u64(0x02ee00 + i);
+      auto module = std::make_shared<sfp::FlexSfpModule>(
+          sim, std::make_unique<apps::StaticNat>(), config);
+      module->set_egress_handler(
+          sfp::FlexSfpModule::edge_port, [this](net::PacketPtr p) {
+            orchestrator.deliver(*p);
+          });
+      module->set_egress_handler(sfp::FlexSfpModule::optical_port,
+                                 [](net::PacketPtr) {});
+      const std::string name = "module-" + std::to_string(i);
+      auto* raw = module.get();
+      orchestrator.add_module(name, config.shell.module_mac,
+                              [this, raw](net::PacketPtr p) {
+                                if (!drop_next_tx) {
+                                  raw->inject(sfp::FlexSfpModule::edge_port,
+                                              std::move(p));
+                                } else {
+                                  drop_next_tx = false;  // frame lost
+                                }
+                              });
+      modules.push_back(std::move(module));
+    }
+  }
+
+  Simulation sim;
+  FleetOrchestrator orchestrator;
+  std::vector<std::shared_ptr<sfp::FlexSfpModule>> modules;
+  bool drop_next_tx = false;
+};
+
+TEST(Orchestrator, PingWholeFleet) {
+  FleetFixture fx(3);
+  int answered = 0;
+  for (int i = 0; i < 3; ++i) {
+    fx.orchestrator.ping("module-" + std::to_string(i), 42,
+                         [&answered](std::optional<sfp::MgmtResponse> r) {
+                           ASSERT_TRUE(r.has_value());
+                           EXPECT_EQ(r->status, sfp::MgmtStatus::ok);
+                           EXPECT_EQ(r->value, 42u);
+                           ++answered;
+                         });
+  }
+  fx.sim.run();
+  EXPECT_EQ(answered, 3);
+  EXPECT_EQ(fx.orchestrator.retransmissions(), 0u);
+}
+
+TEST(Orchestrator, TableOpsReachTheRightModule) {
+  FleetFixture fx(2);
+  bool inserted = false;
+  fx.orchestrator.table_insert(
+      "module-1", "nat", 0x0a000001, 0x63000001,
+      [&inserted](std::optional<sfp::MgmtResponse> r) {
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r->status, sfp::MgmtStatus::ok);
+        inserted = true;
+      });
+  fx.sim.run();
+  EXPECT_TRUE(inserted);
+  // Module 1 has the entry; module 0 does not.
+  auto* nat1 = dynamic_cast<apps::StaticNat*>(&fx.modules[1]->app());
+  auto* nat0 = dynamic_cast<apps::StaticNat*>(&fx.modules[0]->app());
+  EXPECT_TRUE(nat1->translation_for(net::Ipv4Address{0x0a000001}).has_value());
+  EXPECT_FALSE(nat0->translation_for(net::Ipv4Address{0x0a000001}).has_value());
+}
+
+TEST(Orchestrator, LookupAndEraseRoundTrip) {
+  FleetFixture fx(1);
+  std::optional<std::uint64_t> looked_up;
+  fx.orchestrator.table_insert("module-0", "nat", 5, 55,
+                               [](std::optional<sfp::MgmtResponse>) {});
+  fx.orchestrator.table_lookup(
+      "module-0", "nat", 5, [&looked_up](std::optional<sfp::MgmtResponse> r) {
+        ASSERT_TRUE(r);
+        if (r->status == sfp::MgmtStatus::ok) looked_up = r->value;
+      });
+  fx.sim.run();
+  EXPECT_EQ(looked_up, 55u);
+
+  bool erased = false;
+  fx.orchestrator.table_erase("module-0", "nat", 5,
+                              [&erased](std::optional<sfp::MgmtResponse> r) {
+                                erased = r && r->status == sfp::MgmtStatus::ok;
+                              });
+  fx.sim.run();
+  EXPECT_TRUE(erased);
+}
+
+TEST(Orchestrator, RetransmitsAfterLoss) {
+  FleetFixture fx(1);
+  fx.drop_next_tx = true;  // eat the first frame on the wire
+  bool answered = false;
+  fx.orchestrator.ping("module-0", 7,
+                       [&answered](std::optional<sfp::MgmtResponse> r) {
+                         answered = r.has_value();
+                       });
+  fx.sim.run();
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(fx.orchestrator.retransmissions(), 1u);
+  EXPECT_EQ(fx.orchestrator.timeouts(), 0u);
+}
+
+TEST(Orchestrator, TimesOutWhenModuleUnreachable) {
+  FleetFixture fx(1);
+  // A module registered with a black-hole transmit.
+  fx.orchestrator.add_module("dead", net::MacAddress::from_u64(0xdead),
+                             [](net::PacketPtr) {});
+  bool completed = false;
+  bool got_response = true;
+  fx.orchestrator.ping("dead", 1,
+                       [&](std::optional<sfp::MgmtResponse> r) {
+                         completed = true;
+                         got_response = r.has_value();
+                       });
+  fx.sim.run();
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(got_response);
+  EXPECT_EQ(fx.orchestrator.timeouts(), 1u);
+  EXPECT_EQ(fx.orchestrator.retransmissions(), 2u);  // max_retries
+}
+
+TEST(Orchestrator, UnknownModuleFailsImmediately) {
+  FleetFixture fx(1);
+  bool completed = false;
+  fx.orchestrator.ping("nope", 1, [&](std::optional<sfp::MgmtResponse> r) {
+    completed = true;
+    EXPECT_FALSE(r.has_value());
+  });
+  EXPECT_TRUE(completed);  // synchronous failure
+}
+
+TEST(Orchestrator, DeploysBitstreamEndToEnd) {
+  FleetFixture fx(1);
+  apps::AclConfig acl_config;
+  const auto bitstream = hw::Bitstream::create(
+      "acl", acl_config.serialize(), sfp::FlexSfpConfig{}.auth_key);
+
+  bool committed = false;
+  fx.orchestrator.deploy_bitstream(
+      "module-0", bitstream,
+      [&committed](std::optional<sfp::MgmtResponse> r) {
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r->status, sfp::MgmtStatus::ok);
+        committed = true;
+      },
+      /*chunk_size=*/16);
+  fx.sim.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(fx.modules[0]->app().name(), "acl");
+  EXPECT_EQ(fx.modules[0]->reconfigurations(), 1u);
+}
+
+TEST(Orchestrator, DeploySurvivesChunkLoss) {
+  FleetFixture fx(1);
+  const auto bitstream = hw::Bitstream::create(
+      "acl", apps::AclConfig{}.serialize(), sfp::FlexSfpConfig{}.auth_key);
+  bool committed = false;
+  fx.orchestrator.deploy_bitstream(
+      "module-0", bitstream,
+      [&committed](std::optional<sfp::MgmtResponse> r) {
+        committed = r && r->status == sfp::MgmtStatus::ok;
+      },
+      /*chunk_size=*/16);
+  // Lose a frame mid-flight.
+  fx.sim.run_until(500'000);
+  fx.drop_next_tx = true;
+  fx.sim.run();
+  EXPECT_TRUE(committed);
+  EXPECT_GE(fx.orchestrator.retransmissions(), 1u);
+  EXPECT_EQ(fx.modules[0]->app().name(), "acl");
+}
+
+TEST(Orchestrator, CounterReadReturnsSnapshot) {
+  FleetFixture fx(1);
+  std::optional<std::uint64_t> packets;
+  fx.orchestrator.counter_read(
+      "module-0", 0, [&packets](std::optional<sfp::MgmtResponse> r) {
+        ASSERT_TRUE(r);
+        EXPECT_EQ(r->status, sfp::MgmtStatus::ok);
+        packets = r->value;
+      });
+  fx.sim.run();
+  EXPECT_EQ(packets, 0u);  // no traffic yet
+}
+
+}  // namespace
+}  // namespace flexsfp::fabric

@@ -1,0 +1,141 @@
+#include "fabric/legacy_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/acl.hpp"
+#include "net/builder.hpp"
+
+namespace flexsfp::fabric {
+namespace {
+
+using namespace sim;  // time literals
+
+net::PacketPtr frame(std::uint64_t src_mac, std::uint64_t dst_mac) {
+  return std::make_shared<net::Packet>(
+      net::PacketBuilder()
+          .ethernet(net::MacAddress::from_u64(dst_mac),
+                    net::MacAddress::from_u64(src_mac))
+          .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+                net::Ipv4Address::from_octets(10, 0, 0, 2), net::IpProto::udp)
+          .udp(1, 2)
+          .payload_size(20)
+          .build_packet());
+}
+
+struct SwitchFixture {
+  explicit SwitchFixture(std::size_t ports = 3) : sw(sim, ports) {
+    for (std::size_t port = 0; port < ports; ++port) {
+      auto sfp = std::make_shared<sfp::StandardSfp>(sim);
+      sw.plug_standard(port, sfp);
+      sw.set_fiber_tx(port, [this, port](net::PacketPtr packet) {
+        fiber_out[port].push_back(std::move(packet));
+      });
+    }
+  }
+
+  Simulation sim;
+  LegacySwitch sw;
+  std::map<std::size_t, std::vector<net::PacketPtr>> fiber_out;
+};
+
+TEST(LegacySwitch, FloodsUnknownDestination) {
+  SwitchFixture fx;
+  fx.sw.fiber_rx(0, frame(0x1, 0x999));
+  fx.sim.run();
+  EXPECT_EQ(fx.fiber_out[0].size(), 0u);  // not back out the ingress
+  EXPECT_EQ(fx.fiber_out[1].size(), 1u);
+  EXPECT_EQ(fx.fiber_out[2].size(), 1u);
+  EXPECT_EQ(fx.sw.flooded(), 1u);
+}
+
+TEST(LegacySwitch, LearnsAndForwardsUnicast) {
+  SwitchFixture fx;
+  // Host A (mac 0x1) behind port 0 talks; the switch learns it.
+  fx.sw.fiber_rx(0, frame(0x1, 0x2));
+  fx.sim.run();
+  // Host B (mac 0x2) behind port 1 replies; now unicast to port 0 only.
+  fx.sw.fiber_rx(1, frame(0x2, 0x1));
+  fx.sim.run();
+  EXPECT_EQ(fx.fiber_out[0].size(), 1u);
+  EXPECT_EQ(fx.fiber_out[2].size(), 1u);  // only the first flood
+  EXPECT_GE(fx.sw.forwarded(), 1u);
+  EXPECT_EQ(fx.sw.mac_table().size(), 2u);
+}
+
+TEST(LegacySwitch, FiltersFramesToIngressPort) {
+  SwitchFixture fx;
+  fx.sw.fiber_rx(0, frame(0x1, 0x2));  // learn 0x1 @ 0
+  fx.sim.run();
+  const auto before = fx.fiber_out[1].size() + fx.fiber_out[2].size();
+  fx.sw.fiber_rx(0, frame(0x3, 0x1));  // dst is behind the same port
+  fx.sim.run();
+  EXPECT_EQ(fx.fiber_out[1].size() + fx.fiber_out[2].size(), before);
+}
+
+TEST(LegacySwitch, BroadcastFloods) {
+  SwitchFixture fx;
+  fx.sw.fiber_rx(0, frame(0x1, 0xffffffffffff));
+  fx.sim.run();
+  EXPECT_EQ(fx.fiber_out[1].size(), 1u);
+  EXPECT_EQ(fx.fiber_out[2].size(), 1u);
+}
+
+TEST(LegacySwitch, EmptyCageDropsFrames) {
+  Simulation sim;
+  LegacySwitch sw(sim, 2);  // nothing plugged
+  sw.fiber_rx(0, frame(0x1, 0x2));
+  sim.run();  // no crash, frame vanishes
+  SUCCEED();
+}
+
+TEST(LegacySwitch, FlexSfpRetrofitFiltersAtThePort) {
+  // §2.1's headline scenario: plug a FlexSFP running a deny-by-default ACL
+  // into one cage of a dumb L2 switch; that port now enforces policy
+  // without any switch modification.
+  Simulation sim;
+  LegacySwitch sw(sim, 2);
+
+  apps::AclConfig deny;
+  deny.default_action = apps::AclAction::deny;
+  sfp::FlexSfpConfig module_config;
+  module_config.boot_at_start = false;
+  // Police traffic arriving from the fiber: PPE on the optical->edge path.
+  module_config.shell.direction = sfp::PpeDirection::optical_to_edge;
+  auto flexsfp = std::make_shared<sfp::FlexSfpModule>(
+      sim, std::make_unique<apps::AclFirewall>(deny), module_config);
+  sw.plug_flexsfp(0, flexsfp);
+  auto plain = std::make_shared<sfp::StandardSfp>(sim);
+  sw.plug_standard(1, plain);
+
+  std::vector<net::PacketPtr> out1;
+  sw.set_fiber_tx(1, [&out1](net::PacketPtr p) { out1.push_back(std::move(p)); });
+
+  // Traffic entering through the FlexSFP port is dropped by the ACL before
+  // it ever reaches the switching ASIC.
+  sw.fiber_rx(0, frame(0x1, 0x2));
+  sim.run();
+  EXPECT_TRUE(out1.empty());
+  EXPECT_EQ(flexsfp->shell().engine().dropped_by_app(), 1u);
+
+  // Traffic through the plain port still floods normally.
+  std::vector<net::PacketPtr> out0;
+  sw.set_fiber_tx(0, [&out0](net::PacketPtr p) { out0.push_back(std::move(p)); });
+  sw.fiber_rx(1, frame(0x3, 0x4));
+  sim.run();
+  EXPECT_EQ(out0.size(), 1u);
+}
+
+TEST(SwitchOutputPort, SerializesAtPortRate) {
+  Simulation sim;
+  SwitchOutputPort port(sim, line_rate_10g);
+  std::vector<TimePs> times;
+  port.set_output([&](net::PacketPtr) { times.push_back(sim.now()); });
+  port.handle_packet(std::make_shared<net::Packet>(net::Bytes(64, 0)));
+  port.handle_packet(std::make_shared<net::Packet>(net::Bytes(64, 0)));
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[1] - times[0], 70'400);  // back-to-back wire time
+}
+
+}  // namespace
+}  // namespace flexsfp::fabric

@@ -1,0 +1,158 @@
+#include "fabric/traffic_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace flexsfp::fabric {
+namespace {
+
+using namespace sim;  // time literals
+
+TEST(TrafficGen, CbrHitsOfferedRate) {
+  Simulation sim;
+  Sink sink(sim);
+  TrafficSpec spec;
+  spec.rate = DataRate::gbps(10);
+  spec.fixed_size = 1518;
+  spec.duration = 1_ms;
+  TrafficGen gen(sim, spec, sink);
+  gen.start();
+  sim.run();
+  const double offered = gen.emitted().bits_per_second(spec.duration);
+  // Payload rate = 10G x 1518/1542 (wire overhead) ~ 9.84 Gb/s.
+  EXPECT_NEAR(offered, 10e9 * 1518.0 / 1542.0, 0.05e9);
+  EXPECT_EQ(gen.emitted().packets(), sink.received().packets());
+}
+
+TEST(TrafficGen, StopsAtDuration) {
+  Simulation sim;
+  Sink sink(sim);
+  TrafficSpec spec;
+  spec.duration = 100_us;
+  TrafficGen gen(sim, spec, sink);
+  gen.start();
+  sim.run();
+  EXPECT_LE(sim.now(), 110_us);
+  EXPECT_GT(sink.received().packets(), 0u);
+}
+
+TEST(TrafficGen, DeterministicForSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulation sim;
+    Sink sink(sim, /*retain_last=*/16);
+    TrafficSpec spec;
+    spec.seed = seed;
+    spec.sizes = SizeDistribution::uniform;
+    spec.duration = 50_us;
+    TrafficGen gen(sim, spec, sink);
+    gen.start();
+    sim.run();
+    std::vector<net::Bytes> frames;
+    for (const auto& packet : sink.retained()) {
+      frames.push_back(packet->data());
+    }
+    return frames;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(TrafficGen, ImixMixesThreeSizes) {
+  Simulation sim;
+  Sink sink(sim, 1024);
+  TrafficSpec spec;
+  spec.sizes = SizeDistribution::imix;
+  spec.duration = 200_us;
+  TrafficGen gen(sim, spec, sink);
+  gen.start();
+  sim.run();
+  std::set<std::size_t> sizes;
+  for (const auto& packet : sink.retained()) sizes.insert(packet->size());
+  EXPECT_EQ(sizes, (std::set<std::size_t>{64, 594, 1518}));
+}
+
+TEST(TrafficGen, FramesAreWellFormed) {
+  Simulation sim;
+  Sink sink(sim, 256);
+  TrafficSpec spec;
+  spec.duration = 100_us;
+  spec.sizes = SizeDistribution::imix;
+  TrafficGen gen(sim, spec, sink);
+  gen.start();
+  sim.run();
+  ASSERT_GT(sink.retained().size(), 0u);
+  for (const auto& packet : sink.retained()) {
+    const auto parsed = net::parse_packet(packet->data());
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE(parsed.outer.ipv4.has_value());
+    EXPECT_TRUE(net::validate_packet(parsed, packet->data()).empty());
+  }
+}
+
+TEST(TrafficGen, ZipfSkewConcentratesFlows) {
+  Simulation sim;
+  Sink sink(sim, 4096);
+  TrafficSpec spec;
+  spec.flow_count = 1000;
+  spec.zipf_skew = 1.2;
+  spec.duration = 500_us;
+  TrafficGen gen(sim, spec, sink);
+  gen.start();
+  sim.run();
+  std::map<std::uint32_t, int> per_src;
+  for (const auto& packet : sink.retained()) {
+    const auto parsed = net::parse_packet(packet->data());
+    ++per_src[parsed.outer.ipv4->src.value()];
+  }
+  int max_count = 0;
+  for (const auto& [src, count] : per_src) max_count = std::max(max_count, count);
+  const double total = double(sink.retained().size());
+  EXPECT_GT(max_count / total, 0.05);  // the top flow dominates
+}
+
+TEST(TrafficGen, PoissonArrivalsHaveVariance) {
+  Simulation sim;
+  std::vector<TimePs> arrivals;
+  LambdaHandler capture([&arrivals, &sim](net::PacketPtr) {
+    arrivals.push_back(sim.now());
+  });
+  TrafficSpec spec;
+  spec.arrivals = ArrivalProcess::poisson;
+  spec.rate = DataRate::gbps(1);
+  spec.duration = 1_ms;
+  TrafficGen gen(sim, spec, capture);
+  gen.start();
+  sim.run();
+  ASSERT_GT(arrivals.size(), 100u);
+  std::set<TimePs> gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.insert(arrivals[i] - arrivals[i - 1]);
+  }
+  EXPECT_GT(gaps.size(), arrivals.size() / 2);  // not constant-gap
+}
+
+TEST(TrafficGen, FlowTupleStablePerRank) {
+  Simulation sim;
+  Sink sink(sim);
+  TrafficSpec spec;
+  TrafficGen gen(sim, spec, sink);
+  EXPECT_EQ(gen.flow_tuple(5), gen.flow_tuple(5));
+  EXPECT_NE(gen.flow_tuple(5), gen.flow_tuple(6));
+}
+
+TEST(Sink, MeasuresEndToEndLatency) {
+  Simulation sim;
+  Sink sink(sim);
+  auto packet = net::make_packet(net::Bytes(64, 0));
+  packet->set_created_time_ps(0);
+  sim.schedule_at(500_ns, [&sink, packet]() mutable {
+    sink.handle_packet(std::move(packet));
+  });
+  sim.run();
+  EXPECT_EQ(sink.latency().count(), 1u);
+  EXPECT_NEAR(to_nanos(sink.latency().max()), 500.0, 1.0);
+}
+
+}  // namespace
+}  // namespace flexsfp::fabric

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "hw/bitstream.hpp"
+#include "hw/spi_flash.hpp"
+
+namespace flexsfp::hw {
+namespace {
+
+const AuthKey key{0x1234567890abcdef};
+
+TEST(Bitstream, SerializeParseRoundTrip) {
+  const auto original =
+      Bitstream::create("nat", net::Bytes{1, 2, 3, 4}, key, /*version=*/7);
+  const auto wire = original.serialize();
+  const auto parsed = Bitstream::parse(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->app_name(), "nat");
+  EXPECT_EQ(parsed->config(), (net::Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(parsed->version(), 7u);
+  EXPECT_EQ(parsed->auth_tag(), original.auth_tag());
+}
+
+TEST(Bitstream, VerifyAcceptsCorrectKeyOnly) {
+  const auto bitstream = Bitstream::create("acl", {9, 9}, key);
+  EXPECT_TRUE(bitstream.verify(key));
+  EXPECT_FALSE(bitstream.verify(AuthKey{0xdeadbeef}));
+}
+
+TEST(Bitstream, CorruptionDetectedByCrc) {
+  auto wire = Bitstream::create("nat", net::Bytes(100, 0x5a), key).serialize();
+  wire[20] ^= 0x01;
+  EXPECT_FALSE(Bitstream::parse(wire).has_value());
+}
+
+TEST(Bitstream, TamperedConfigFailsAuthentication) {
+  // Rebuild a *valid* container (correct CRC) around altered config: CRC
+  // passes, the keyed tag must not.
+  const auto original = Bitstream::create("nat", {1, 2, 3}, key);
+  auto forged = Bitstream::create("nat", {1, 2, 4}, AuthKey{0});  // wrong key
+  const auto reparsed = Bitstream::parse(forged.serialize());
+  ASSERT_TRUE(reparsed);
+  EXPECT_FALSE(reparsed->verify(key));
+  (void)original;
+}
+
+TEST(Bitstream, ParseRejectsTruncatedAndGarbage) {
+  EXPECT_FALSE(Bitstream::parse(net::Bytes{}).has_value());
+  EXPECT_FALSE(Bitstream::parse(net::Bytes(10, 0)).has_value());
+  EXPECT_FALSE(Bitstream::parse(net::Bytes(64, 0xff)).has_value());
+}
+
+TEST(Bitstream, FlashSizeIncludesShellImage) {
+  const auto bitstream = Bitstream::create("nat", net::Bytes(100, 0), key);
+  EXPECT_GT(bitstream.flash_size_bytes(), 2u * 1024 * 1024);
+}
+
+TEST(SpiFlash, SlotGeometry128Mb) {
+  SpiFlash flash(4);
+  EXPECT_EQ(flash.slot_count(), 4u);
+  EXPECT_EQ(flash.slot_capacity_bytes(), 128ull * 1024 * 1024 / 8 / 4);
+}
+
+TEST(SpiFlash, WriteReadBack) {
+  SpiFlash flash;
+  const auto image = Bitstream::create("vlan", {1}, key);
+  const auto duration = flash.write(2, image);
+  ASSERT_TRUE(duration);
+  EXPECT_GT(*duration, 0);
+  const auto readback = flash.read(2);
+  ASSERT_TRUE(readback);
+  EXPECT_EQ(readback->app_name(), "vlan");
+  EXPECT_TRUE(readback->verify(key));
+}
+
+TEST(SpiFlash, InvalidSlotRejected) {
+  SpiFlash flash(2);
+  const auto image = Bitstream::create("nat", {}, key);
+  EXPECT_FALSE(flash.write(2, image).has_value());
+  EXPECT_FALSE(flash.read(5).has_value());
+}
+
+TEST(SpiFlash, EraseCyclesTracked) {
+  SpiFlash flash;
+  const auto image = Bitstream::create("nat", {}, key);
+  EXPECT_EQ(flash.erase_cycles(1), 0u);
+  (void)flash.write(1, image);
+  (void)flash.write(1, image);
+  EXPECT_EQ(flash.erase_cycles(1), 2u);
+}
+
+TEST(SpiFlash, ProgramTimeScalesWithSize) {
+  const auto small = SpiFlash::program_time(4096);
+  const auto large = SpiFlash::program_time(2 * 1024 * 1024);
+  EXPECT_GT(large, 100 * small / 2);
+  // A ~2 MiB image takes 10s of seconds of erase+program, not microseconds.
+  EXPECT_GT(large, 1'000'000'000'000ll / 100);  // > 10 ms
+}
+
+TEST(KeyedTag, SensitiveToKeyAndPayload) {
+  const net::Bytes payload{1, 2, 3};
+  EXPECT_NE(keyed_tag(AuthKey{1}, payload), keyed_tag(AuthKey{2}, payload));
+  EXPECT_NE(keyed_tag(AuthKey{1}, payload),
+            keyed_tag(AuthKey{1}, net::Bytes{1, 2, 4}));
+  EXPECT_EQ(keyed_tag(AuthKey{1}, payload), keyed_tag(AuthKey{1}, payload));
+}
+
+}  // namespace
+}  // namespace flexsfp::hw

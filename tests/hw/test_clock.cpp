@@ -1,0 +1,62 @@
+#include "hw/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::hw {
+namespace {
+
+TEST(ClockDomain, CycleTimeOf156MHz) {
+  EXPECT_EQ(clock_156_25_mhz.cycle_time(), 6400);  // ps
+  EXPECT_EQ(clock_156_25_mhz.cycles_to_time(100), 640'000);
+}
+
+TEST(ClockDomain, MhzHelper) {
+  EXPECT_EQ(ClockDomain::mhz(312.5).hz(), 312'500'000u);
+  EXPECT_DOUBLE_EQ(ClockDomain::mhz(100).mhz_value(), 100.0);
+}
+
+TEST(DatapathConfig, PaperGeometryBandwidth) {
+  // The paper's build: 64 bit x 156.25 MHz = 10 Gb/s exactly.
+  const DatapathConfig dp{};
+  EXPECT_EQ(dp.bandwidth_bps(), 10'000'000'000ull);
+}
+
+TEST(DatapathConfig, BeatsCeilDivision) {
+  const DatapathConfig dp{};
+  EXPECT_EQ(dp.beats_for(64), 8u);
+  EXPECT_EQ(dp.beats_for(65), 9u);
+  EXPECT_EQ(dp.beats_for(1), 1u);
+  EXPECT_EQ(dp.beats_for(1518), 190u);
+}
+
+TEST(DatapathConfig, PaperGeometrySustains10GLineRate) {
+  // 64 B min packets: wire time 70.4 ns = 11 cycles at 156.25 MHz; the
+  // packet needs 8 beats. Line rate holds — the §5.1 result.
+  const DatapathConfig dp{};
+  EXPECT_TRUE(dp.sustains_line_rate(10'000'000'000ull, 64));
+  // With 3 spare cycles, a 3-cycle per-packet overhead still fits...
+  EXPECT_TRUE(dp.sustains_line_rate(10'000'000'000ull, 64, 3));
+  // ...but a 4-cycle overhead does not.
+  EXPECT_FALSE(dp.sustains_line_rate(10'000'000'000ull, 64, 4));
+}
+
+TEST(DatapathConfig, SameGeometryCannotAbsorbDoubledRate) {
+  // The Two-Way-Core aggregates both directions: 20 Gb/s offered into a
+  // 10 Gb/s pipe fails...
+  const DatapathConfig dp{};
+  EXPECT_FALSE(dp.sustains_line_rate(20'000'000'000ull, 64));
+  // ...and doubling the clock restores line rate (§4.1's remedy).
+  const DatapathConfig doubled{64, ClockDomain::mhz(312.5)};
+  EXPECT_TRUE(doubled.sustains_line_rate(20'000'000'000ull, 64));
+}
+
+TEST(DatapathConfig, WideningReaches100G) {
+  // §5.3: 100G needs a 512-bit datapath and/or higher clock.
+  const DatapathConfig narrow{64, clock_156_25_mhz};
+  EXPECT_FALSE(narrow.sustains_line_rate(100'000'000'000ull, 64));
+  const DatapathConfig wide{512, ClockDomain::mhz(200)};
+  EXPECT_TRUE(wide.sustains_line_rate(100'000'000'000ull, 64));
+}
+
+}  // namespace
+}  // namespace flexsfp::hw

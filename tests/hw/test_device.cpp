@@ -1,0 +1,89 @@
+#include "hw/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/design_catalog.hpp"
+
+namespace flexsfp::hw {
+namespace {
+
+TEST(FpgaDevice, Mpf200tMatchesPaperAvailRow) {
+  const auto device = FpgaDevice::mpf200t();
+  EXPECT_EQ(device.capacity().luts, 192408u);
+  EXPECT_EQ(device.capacity().ffs, 192408u);
+  EXPECT_EQ(device.capacity().usram_blocks, 1764u);
+  EXPECT_EQ(device.capacity().lsram_blocks, 616u);
+  // "includes 13.3Mb of on-chip SRAM" — within a few percent.
+  EXPECT_NEAR(double(device.capacity().total_sram_kbits()), 13300.0, 500.0);
+}
+
+TEST(FpgaDevice, FamilyOrderedBySize) {
+  const auto family = FpgaDevice::polarfire_family();
+  ASSERT_EQ(family.size(), 4u);
+  for (std::size_t i = 1; i < family.size(); ++i) {
+    EXPECT_GT(family[i].capacity().luts, family[i - 1].capacity().luts);
+  }
+}
+
+TEST(FpgaDevice, ByNameLookup) {
+  EXPECT_TRUE(FpgaDevice::by_name("MPF300T").has_value());
+  EXPECT_FALSE(FpgaDevice::by_name("XCVU9P").has_value());
+}
+
+TEST(FpgaDevice, FitsChecksEveryDimension) {
+  const auto device = FpgaDevice::mpf200t();
+  EXPECT_TRUE(device.fits({192408, 192408, 1764, 616}));
+  EXPECT_FALSE(device.fits({192409, 0, 0, 0}));
+  EXPECT_FALSE(device.fits({0, 192409, 0, 0}));
+  EXPECT_FALSE(device.fits({0, 0, 1765, 0}));
+  EXPECT_FALSE(device.fits({0, 0, 0, 617}));
+}
+
+TEST(UtilizationReport, WorstPicksMax) {
+  const auto device = FpgaDevice::mpf200t();
+  const auto util = device.utilization({19240, 19240, 176, 308});
+  EXPECT_NEAR(util.worst(), 50.0, 0.5);  // LSRAM dominates
+}
+
+// --- Table 2 ---------------------------------------------------------------
+
+TEST(Table2, NormalizedLeEquivalentsMatchPaper) {
+  const auto designs = table2_designs();
+  ASSERT_EQ(designs.size(), 4u);
+  // FlowBlaze: 71,712 LUT6 x 1.6 ~ 115k LE.
+  EXPECT_NEAR(double(designs[0].logic_le_equivalent()), 115e3, 1.5e3);
+  // Pigasus: 207,960 ALM x 2 ~ 416k LE.
+  EXPECT_NEAR(double(designs[1].logic_le_equivalent()), 416e3, 1e3);
+  // hXDP: 68,689 LUT6 x 1.6 ~ 109-110k LE.
+  EXPECT_NEAR(double(designs[2].logic_le_equivalent()), 109.9e3, 1.5e3);
+  // ClickNP IPSec: 242,592 LUT6 x 1.6 ~ 388k LE.
+  EXPECT_NEAR(double(designs[3].logic_le_equivalent()), 388e3, 1.5e3);
+}
+
+TEST(Table2, FitVerdictsAgainstMpf200t) {
+  const auto device = FpgaDevice::mpf200t();
+  const auto designs = table2_designs();
+  // FlowBlaze single stage: logic fits (115k < 192k) but its 14.1 Mb BRAM
+  // exceeds the 13.3 Mb on chip.
+  const auto flowblaze = check_fit(designs[0], device);
+  EXPECT_TRUE(flowblaze.logic_fits);
+  EXPECT_FALSE(flowblaze.bram_fits);
+  // Pigasus: nowhere close.
+  const auto pigasus = check_fit(designs[1], device);
+  EXPECT_FALSE(pigasus.logic_fits);
+  EXPECT_FALSE(pigasus.bram_fits);
+  // hXDP single core: fits on both axes.
+  const auto hxdp = check_fit(designs[2], device);
+  EXPECT_TRUE(hxdp.fits());
+  // ClickNP IPSec gateway: logic does not fit.
+  const auto clicknp = check_fit(designs[3], device);
+  EXPECT_FALSE(clicknp.logic_fits);
+}
+
+TEST(Table2, LeUnitPassesThrough) {
+  const LiteratureDesign native{"native", 1000, LogicUnit::le, 0};
+  EXPECT_EQ(native.logic_le_equivalent(), 1000u);
+}
+
+}  // namespace
+}  // namespace flexsfp::hw

@@ -1,0 +1,53 @@
+#include "hw/form_factor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::hw {
+namespace {
+
+TEST(FormFactor, LadderOrderedByCapability) {
+  const auto ladder = form_factor_ladder();
+  ASSERT_GE(ladder.size(), 4u);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GE(ladder[i].max_power_w, ladder[i - 1].max_power_w);
+    EXPECT_GE(ladder[i].max_line_gbps, ladder[i - 1].max_line_gbps);
+  }
+  EXPECT_EQ(ladder.front().name, "SFP+");
+  EXPECT_EQ(ladder.back().name, "OSFP");
+}
+
+TEST(FormFactor, FlexSfpPrototypeFitsSfpPlus) {
+  // The paper's design point: ~1.5 W at 10G lives in a standard SFP+ cage.
+  const auto form = smallest_form_factor(1.5, 10);
+  ASSERT_TRUE(form);
+  EXPECT_EQ(form->name, "SFP+");
+}
+
+TEST(FormFactor, HundredGigNeedsQsfp28) {
+  // §5.3: "Higher-speed interconnects rely on larger form factors".
+  const auto form = smallest_form_factor(4.0, 100);
+  ASSERT_TRUE(form);
+  EXPECT_EQ(form->name, "QSFP28");
+}
+
+TEST(FormFactor, PowerCanForceABiggerCageThanRate) {
+  // 10G but 3 W of FPGA: too hot for SFP+/SFP28 despite the low rate.
+  const auto form = smallest_form_factor(3.0, 10);
+  ASSERT_TRUE(form);
+  EXPECT_EQ(form->name, "QSFP+");
+}
+
+TEST(FormFactor, BeyondOsfpIsNotAccommodated) {
+  EXPECT_FALSE(smallest_form_factor(40.0, 100).has_value());
+  EXPECT_FALSE(smallest_form_factor(5.0, 1600).has_value());
+}
+
+TEST(FormFactor, AccommodatesIsConjunction) {
+  const FormFactor qsfp28{"QSFP28", 5.0, 100, 4};
+  EXPECT_TRUE(qsfp28.accommodates(5.0, 100));
+  EXPECT_FALSE(qsfp28.accommodates(5.1, 100));
+  EXPECT_FALSE(qsfp28.accommodates(5.0, 101));
+}
+
+}  // namespace
+}  // namespace flexsfp::hw

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "apps/nat.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/power_model.hpp"
+#include "hw/resource_model.hpp"
+
+namespace flexsfp::hw {
+namespace {
+
+ResourceUsage nat_design_total() {
+  const apps::StaticNat nat;
+  return ResourceModel::miv_rv32() + ResourceModel::ethernet_iface_electrical() +
+         ResourceModel::ethernet_iface_optical() +
+         nat.resource_usage(DatapathConfig{});
+}
+
+TEST(PowerModel, NicBaselineMatchesPaper) {
+  EXPECT_DOUBLE_EQ(PowerModel::nic_base_watts(), 3.800);
+}
+
+TEST(PowerModel, StandardSfpAtLineRateMatchesPaper) {
+  // Paper: 4.693 W - 3.800 W = 0.893 W at line-rate stress.
+  const auto breakdown = PowerModel::standard_sfp(1.0);
+  EXPECT_NEAR(breakdown.total(), 0.893, 0.01);
+  EXPECT_DOUBLE_EQ(breakdown.fpga_static_w, 0.0);
+}
+
+TEST(PowerModel, FlexSfpAtLineRateMatchesPaper) {
+  // Paper: 5.320 W - 3.800 W ~ 1.52 W with the NAT design at line rate.
+  const auto breakdown = PowerModel::flexsfp(
+      FpgaDevice::mpf200t(), nat_design_total(), clock_156_25_mhz, 1.0);
+  EXPECT_NEAR(breakdown.total(), 1.52, 0.05);
+  // And the FPGA delta alone is ~0.63 W (paper: ~0.627 W).
+  EXPECT_NEAR(breakdown.fpga_static_w + breakdown.fpga_dynamic_w, 0.627, 0.05);
+}
+
+TEST(PowerModel, StaysWithinSfpEnvelope) {
+  // §2: FlexSFP is designed to stay within the 1-3 W transceiver envelope.
+  const auto breakdown = PowerModel::flexsfp(
+      FpgaDevice::mpf200t(), nat_design_total(), clock_156_25_mhz, 1.0);
+  EXPECT_GT(breakdown.total(), 1.0);
+  EXPECT_LT(breakdown.total(), 3.0);
+}
+
+TEST(PowerModel, IdleDrawsLessThanLineRate) {
+  const auto idle = PowerModel::flexsfp(FpgaDevice::mpf200t(),
+                                        nat_design_total(),
+                                        clock_156_25_mhz, 0.0);
+  const auto busy = PowerModel::flexsfp(FpgaDevice::mpf200t(),
+                                        nat_design_total(),
+                                        clock_156_25_mhz, 1.0);
+  EXPECT_LT(idle.total(), busy.total());
+}
+
+TEST(PowerModel, DynamicPowerScalesWithClock) {
+  const auto usage = nat_design_total();
+  const double base =
+      PowerModel::fpga_dynamic_watts(usage, clock_156_25_mhz);
+  const double doubled =
+      PowerModel::fpga_dynamic_watts(usage, ClockDomain::mhz(312.5));
+  EXPECT_NEAR(doubled, 2.0 * base, 1e-9);
+}
+
+TEST(PowerModel, StaticScalesWithDeviceSize) {
+  EXPECT_LT(PowerModel::fpga_static_watts(FpgaDevice::mpf100t()),
+            PowerModel::fpga_static_watts(FpgaDevice::mpf500t()));
+}
+
+// --- Table 3 -----------------------------------------------------------------
+
+TEST(CostModel, BomSumsToPaperBand) {
+  // "direct production cost around $300 per unit, with potential
+  // reductions toward $250".
+  const auto cost = flexsfp_unit_cost();
+  EXPECT_GE(cost.lo, 250.0);
+  EXPECT_LE(cost.hi, 320.0);
+}
+
+TEST(CostModel, BomDominatedByFpga) {
+  const auto bom = flexsfp_bom();
+  double max_item = 0;
+  std::string max_name;
+  for (const auto& item : bom) {
+    if (item.unit_cost.hi > max_item) {
+      max_item = item.unit_cost.hi;
+      max_name = item.name;
+    }
+  }
+  EXPECT_NE(max_name.find("FPGA"), std::string::npos);
+}
+
+TEST(Table3, RowsMatchPaperValues) {
+  const auto rows = table3_platforms();
+  ASSERT_EQ(rows.size(), 4u);
+
+  // DPU (BF-2): 300-400 $/10G, 15 W/10G.
+  EXPECT_NEAR(rows[0].cost_per_10g().lo, 300, 1);
+  EXPECT_NEAR(rows[0].cost_per_10g().hi, 400, 1);
+  EXPECT_NEAR(rows[0].power_per_10g_hi(), 15, 0.1);
+
+  // Many-core: 100-150 $/10G, 5 W/10G.
+  EXPECT_NEAR(rows[1].cost_per_10g().lo, 100, 1);
+  EXPECT_NEAR(rows[1].cost_per_10g().hi, 150, 1);
+  EXPECT_NEAR(rows[1].power_per_10g_hi(), 5, 0.1);
+
+  // FPGA NIC: 200-400 $/10G, 7-10 W/10G (approximately).
+  EXPECT_NEAR(rows[2].cost_per_10g().lo, 200, 1);
+  EXPECT_NEAR(rows[2].cost_per_10g().hi, 400, 1);
+  EXPECT_GE(rows[2].power_per_10g_lo(), 6.0);
+  EXPECT_LE(rows[2].power_per_10g_hi(), 11.0);
+
+  // FlexSFP: 250-300 $/10G, 1.5 W/10G.
+  EXPECT_NEAR(rows[3].cost_per_10g().lo, 250, 1);
+  EXPECT_NEAR(rows[3].cost_per_10g().hi, 300, 1);
+  EXPECT_NEAR(rows[3].power_per_10g_hi(), 1.5, 0.01);
+}
+
+TEST(Table3, FlexSfpWinsPowerByAnOrderOfMagnitude) {
+  // The paper's headline: "an order-of-magnitude power reduction".
+  const auto rows = table3_platforms();
+  const double flexsfp_w = rows[3].power_per_10g_hi();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(rows[i].power_per_10g_lo() / flexsfp_w, 3.0) << rows[i].name;
+  }
+  EXPECT_GE(rows[0].power_per_10g_hi() / flexsfp_w, 10.0);
+}
+
+TEST(UsdRange, FormattingAndArithmetic) {
+  UsdRange r{100, 200};
+  r += UsdRange{10, 20};
+  EXPECT_DOUBLE_EQ(r.lo, 110);
+  EXPECT_DOUBLE_EQ(r.hi, 220);
+  EXPECT_EQ(r.scaled(0.5).to_string(), "$55-110");
+  EXPECT_EQ((UsdRange{42, 42}).to_string(), "$42");
+}
+
+}  // namespace
+}  // namespace flexsfp::hw

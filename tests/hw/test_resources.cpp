@@ -1,0 +1,135 @@
+#include "hw/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/nat.hpp"
+#include "hw/device.hpp"
+#include "hw/resource_model.hpp"
+
+namespace flexsfp::hw {
+namespace {
+
+TEST(ResourceUsage, AdditionComposes) {
+  const ResourceUsage a{100, 200, 3, 4};
+  const ResourceUsage b{10, 20, 1, 2};
+  const ResourceUsage sum = a + b;
+  EXPECT_EQ(sum.luts, 110u);
+  EXPECT_EQ(sum.ffs, 220u);
+  EXPECT_EQ(sum.usram_blocks, 4u);
+  EXPECT_EQ(sum.lsram_blocks, 6u);
+}
+
+TEST(ResourceUsage, ScaledRoundsUp) {
+  const ResourceUsage u{10, 10, 1, 1};
+  const ResourceUsage scaled = u.scaled(1.25);
+  EXPECT_EQ(scaled.luts, 13u);
+  EXPECT_EQ(scaled.usram_blocks, 2u);
+}
+
+TEST(ResourceUsage, MemoryBitsArithmetic) {
+  const ResourceUsage u{0, 0, 2, 3};
+  EXPECT_EQ(u.usram_bits(), 2u * 64 * 12);
+  EXPECT_EQ(u.lsram_bits(), 3u * 20 * 1024);
+  EXPECT_EQ(u.total_memory_bits(), u.usram_bits() + u.lsram_bits());
+}
+
+TEST(MemoryMapping, BlockCeilings) {
+  EXPECT_EQ(lsram_blocks_for_bits(1), 1u);
+  EXPECT_EQ(lsram_blocks_for_bits(20 * 1024), 1u);
+  EXPECT_EQ(lsram_blocks_for_bits(20 * 1024 + 1), 2u);
+  EXPECT_EQ(usram_blocks_for_bits(768), 1u);
+  EXPECT_EQ(usram_blocks_for_bits(769), 2u);
+}
+
+TEST(ResourceBreakdown, TotalsAndMerge) {
+  ResourceBreakdown a;
+  a.add("x", {1, 2, 3, 4});
+  a.add("y", {10, 20, 30, 40});
+  EXPECT_EQ(a.total().luts, 11u);
+
+  ResourceBreakdown b;
+  b.add("z", {100, 0, 0, 0});
+  b.merge("a/", a);
+  EXPECT_EQ(b.components().size(), 3u);
+  EXPECT_EQ(b.components()[1].name, "a/x");
+  EXPECT_EQ(b.total().luts, 111u);
+}
+
+// --- Table 1 calibration ----------------------------------------------------
+
+TEST(Table1Calibration, FixedBlocksMatchPaperExactly) {
+  EXPECT_EQ(ResourceModel::miv_rv32(), (ResourceUsage{8696, 376, 6, 4}));
+  EXPECT_EQ(ResourceModel::ethernet_iface_electrical(),
+            (ResourceUsage{6824, 6924, 118, 0}));
+  EXPECT_EQ(ResourceModel::ethernet_iface_optical(),
+            (ResourceUsage{6813, 6924, 118, 0}));
+}
+
+TEST(Table1Calibration, NatMemoryBlocksMatchPaperExactly) {
+  const apps::StaticNat nat;
+  const auto usage = nat.resource_usage(DatapathConfig{});
+  // 32,768 entries x 100 bits -> exactly 160 LSRAM blocks (paper value);
+  // three 128x72 stream FIFOs -> exactly 36 uSRAM blocks (paper value).
+  EXPECT_EQ(usage.lsram_blocks, 160u);
+  EXPECT_EQ(usage.usram_blocks, 36u);
+}
+
+TEST(Table1Calibration, NatLogicWithinOnePercentOfPaper) {
+  const apps::StaticNat nat;
+  const auto usage = nat.resource_usage(DatapathConfig{});
+  EXPECT_NEAR(double(usage.luts), 9122.0, 9122.0 * 0.01);
+  EXPECT_NEAR(double(usage.ffs), 11294.0, 11294.0 * 0.01);
+}
+
+TEST(Table1Calibration, FullDesignUtilizationMatchesPaperPercentages) {
+  const apps::StaticNat nat;
+  const auto total = ResourceModel::miv_rv32() +
+                     ResourceModel::ethernet_iface_electrical() +
+                     ResourceModel::ethernet_iface_optical() +
+                     nat.resource_usage(DatapathConfig{});
+  const auto device = FpgaDevice::mpf200t();
+  const auto util = device.utilization(total);
+  // Paper: 16% LUT, 13% FF, 15% uSRAM, 26% LSRAM.
+  EXPECT_NEAR(util.luts_pct, 16.0, 1.0);
+  EXPECT_NEAR(util.ffs_pct, 13.0, 1.0);
+  EXPECT_NEAR(util.usram_pct, 15.0, 1.0);
+  EXPECT_NEAR(util.lsram_pct, 26.0, 1.0);
+  EXPECT_TRUE(device.fits(total));
+}
+
+TEST(ResourceModel, TableMemoryScalesWithEntries) {
+  const auto small = ResourceModel::exact_match_table(1024, 32, 64);
+  const auto large = ResourceModel::exact_match_table(65536, 32, 64);
+  EXPECT_LT(small.lsram_blocks, large.lsram_blocks);
+  EXPECT_EQ(large.lsram_blocks, lsram_blocks_for_bits(65536ull * 100));
+  // Control logic does not scale with entry count (only entry width).
+  EXPECT_EQ(small.luts, large.luts);
+}
+
+TEST(ResourceModel, TernaryScalesWithRules) {
+  const auto r64 = ResourceModel::ternary_table(64, 104);
+  const auto r256 = ResourceModel::ternary_table(256, 104);
+  EXPECT_GT(r256.luts, 3 * r64.luts / 1);
+  EXPECT_GT(r256.ffs, r64.ffs);
+  EXPECT_EQ(r64.lsram_blocks, 0u);  // TCAM emulation lives in fabric
+}
+
+TEST(ResourceModel, ScaledInterfaceGrowsSubLinearlyInLogic) {
+  const auto base = ResourceModel::ethernet_iface_scaled(10);
+  const auto at100 = ResourceModel::ethernet_iface_scaled(100);
+  EXPECT_EQ(base, ResourceModel::ethernet_iface_electrical());
+  // Logic grows sub-linearly (10x rate -> ~7x logic), memory with the
+  // bandwidth-delay product.
+  EXPECT_GT(at100.luts, 5 * base.luts);
+  EXPECT_LT(at100.luts, 10 * base.luts);
+  EXPECT_GT(at100.usram_blocks, base.usram_blocks);
+}
+
+TEST(ResourceModel, WiderDatapathCostsMoreLogic) {
+  const auto narrow = ResourceModel::deparser(64);
+  const auto wide = ResourceModel::deparser(512);
+  EXPECT_EQ(wide.luts, 8 * narrow.luts);
+}
+
+}  // namespace
+}  // namespace flexsfp::hw

@@ -1,0 +1,132 @@
+// Guard rails over the paper-facing experiment results: these assertions
+// encode the *shape* each bench must reproduce (who wins, where the
+// crossovers fall), so a regression in any model breaks a test before it
+// breaks EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "apps/nat.hpp"
+#include "fabric/baselines.hpp"
+#include "fabric/testbed.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/design_catalog.hpp"
+
+namespace flexsfp {
+namespace {
+
+using namespace sim;  // time literals
+
+TEST(Experiments, LineRateHoldsAcrossFrameSizes) {
+  // §5.1: the NAT sustains 10G line rate regardless of frame size.
+  for (const std::size_t frame : {64, 128, 512, 1024, 1518}) {
+    fabric::TestbedConfig config;
+    fabric::TrafficSpec spec;
+    spec.rate = DataRate::gbps(10);
+    spec.fixed_size = frame;
+    spec.duration = 100_us;
+    config.edge_traffic = spec;
+    fabric::ModuleTestbed testbed(std::move(config),
+                                  std::make_unique<apps::StaticNat>());
+    const auto result = testbed.run();
+    EXPECT_DOUBLE_EQ(result.edge_to_optical.loss_rate, 0.0)
+        << "frame " << frame;
+  }
+}
+
+TEST(Experiments, Figure1CrossoverAtDoubledClock) {
+  // Sweep the PPE clock under bidirectional min-frame load: the loss->zero
+  // crossover must land at ~2x the base 156.25 MHz clock.
+  auto loss_at = [](double mhz) {
+    fabric::TestbedConfig config;
+    config.module.shell.kind = sfp::ShellKind::two_way_core;
+    config.module.shell.datapath.clock = hw::ClockDomain::mhz(mhz);
+    fabric::TrafficSpec spec;
+    spec.rate = DataRate::gbps(10);
+    spec.fixed_size = 64;
+    spec.duration = 100_us;
+    config.edge_traffic = spec;
+    fabric::TrafficSpec rx = spec;
+    rx.seed = 2;
+    config.optical_traffic = rx;
+    fabric::ModuleTestbed testbed(std::move(config),
+                                  std::make_unique<apps::StaticNat>());
+    const auto result = testbed.run();
+    return (result.edge_to_optical.loss_rate +
+            result.optical_to_edge.loss_rate) /
+           2.0;
+  };
+  EXPECT_GT(loss_at(156.25), 0.2);   // heavy loss at base clock
+  EXPECT_GT(loss_at(200.0), 0.01);   // still lossy below the crossover
+  EXPECT_LT(loss_at(320.0), 0.001);  // clean at ~2x
+}
+
+TEST(Experiments, CheapPathLatencyOrdering) {
+  // §2: FlexSFP must beat the SmartNIC, which must beat the CPU path.
+  // FlexSFP in-module latency:
+  fabric::TestbedConfig config;
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::gbps(5);
+  spec.fixed_size = 256;
+  spec.duration = 100_us;
+  config.edge_traffic = spec;
+  fabric::ModuleTestbed testbed(std::move(config),
+                                std::make_unique<apps::StaticNat>());
+  const double flexsfp_p50_ns = testbed.run().edge_to_optical.latency_p50_ns;
+
+  Simulation sim;
+  fabric::SmartNic nic(sim);
+  fabric::CpuPath cpu(sim);
+  fabric::Sink nic_sink(sim);
+  fabric::Sink cpu_sink(sim);
+  nic.set_output([&](net::PacketPtr p) { nic_sink.handle_packet(std::move(p)); });
+  cpu.set_output([&](net::PacketPtr p) { cpu_sink.handle_packet(std::move(p)); });
+  for (int i = 0; i < 200; ++i) {
+    auto a = net::make_packet(net::Bytes(256, 0));
+    a->set_created_time_ps(0);
+    nic.handle_packet(std::move(a));
+    auto b = net::make_packet(net::Bytes(256, 0));
+    b->set_created_time_ps(0);
+    cpu.handle_packet(std::move(b));
+  }
+  sim.run();
+  const double nic_p50_ns = to_nanos(nic_sink.latency().percentile(50));
+  const double cpu_p50_ns = to_nanos(cpu_sink.latency().percentile(50));
+
+  EXPECT_LT(flexsfp_p50_ns, nic_p50_ns);
+  EXPECT_LT(nic_p50_ns, cpu_p50_ns);
+}
+
+TEST(Experiments, Table2OnlyHxdpFits) {
+  const auto device = hw::FpgaDevice::mpf200t();
+  int fits = 0;
+  std::string fitting;
+  for (const auto& design : hw::table2_designs()) {
+    if (hw::check_fit(design, device).fits()) {
+      ++fits;
+      fitting = design.name;
+    }
+  }
+  EXPECT_EQ(fits, 1);
+  EXPECT_NE(fitting.find("hXDP"), std::string::npos);
+}
+
+TEST(Experiments, Table3FlexSfpIsTheCheapPath) {
+  const auto rows = hw::table3_platforms();
+  const auto& flexsfp = rows.back();
+  // Cheapest absolute cost and lowest power of every platform.
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    EXPECT_GT(rows[i].raw_cost.lo, flexsfp.raw_cost.hi) << rows[i].name;
+    EXPECT_GT(rows[i].raw_power_lo_w, flexsfp.raw_power_hi_w) << rows[i].name;
+  }
+}
+
+TEST(Experiments, ScalabilityNeedsBiggerDeviceAt100G) {
+  // §5.3: the 100G design point (512-bit datapath) must outgrow the
+  // MPF200T's comfortable margins relative to the 64-bit build.
+  const apps::StaticNat nat;
+  const auto at64 = nat.resource_usage({64, hw::clock_156_25_mhz});
+  const auto at512 = nat.resource_usage({512, hw::ClockDomain::mhz(200)});
+  EXPECT_GT(at512.luts, 2 * at64.luts);
+}
+
+}  // namespace
+}  // namespace flexsfp

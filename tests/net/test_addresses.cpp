@@ -1,0 +1,129 @@
+#include "net/addresses.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::net {
+namespace {
+
+TEST(MacAddress, ParseAndFormatRoundTrip) {
+  const auto mac = MacAddress::parse("02:1a:ff:00:9c:7e");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:1a:ff:00:9c:7e");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("02:1a:ff:00:9c").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:1a:ff:00:9c:7e:aa").has_value());
+  EXPECT_FALSE(MacAddress::parse("0g:00:00:00:00:00").has_value());
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+}
+
+TEST(MacAddress, U64RoundTrip) {
+  const auto mac = MacAddress::from_u64(0x0000020304050607ull & 0xffffffffffff);
+  EXPECT_EQ(MacAddress::from_u64(mac.to_u64()), mac);
+}
+
+TEST(MacAddress, BroadcastAndMulticastBits) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+  const auto unicast = MacAddress::parse("02:00:00:00:00:01");
+  ASSERT_TRUE(unicast);
+  EXPECT_FALSE(unicast->is_multicast());
+  const auto multicast = MacAddress::parse("01:00:5e:00:00:01");
+  ASSERT_TRUE(multicast);
+  EXPECT_TRUE(multicast->is_multicast());
+}
+
+TEST(Ipv4Address, ParseAndFormatRoundTrip) {
+  const auto addr = Ipv4Address::parse("192.168.1.200");
+  ASSERT_TRUE(addr);
+  EXPECT_EQ(addr->to_string(), "192.168.1.200");
+  EXPECT_EQ(addr->value(), 0xc0a801c8u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("192.168.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("192.168.1.256").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("192.168.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("192.168.1.2 ").has_value());
+}
+
+TEST(Ipv4Address, Classification) {
+  EXPECT_TRUE(Ipv4Address::from_octets(127, 0, 0, 1).is_loopback());
+  EXPECT_TRUE(Ipv4Address::from_octets(224, 0, 0, 5).is_multicast());
+  EXPECT_FALSE(Ipv4Address::from_octets(10, 0, 0, 1).is_multicast());
+  EXPECT_FALSE(Ipv4Address::from_octets(10, 0, 0, 1).is_loopback());
+}
+
+TEST(Ipv6Address, ParseFullForm) {
+  const auto addr =
+      Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(addr);
+  EXPECT_EQ(addr->to_string(), "2001:0db8:0000:0000:0000:0000:0000:0001");
+}
+
+TEST(Ipv6Address, ParseCompressedForm) {
+  const auto addr = Ipv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(addr);
+  const auto [hi, lo] = addr->to_u64_pair();
+  EXPECT_EQ(hi, 0x20010db800000000ull);
+  EXPECT_EQ(lo, 1ull);
+}
+
+TEST(Ipv6Address, ParseLoopbackAndAllZero) {
+  const auto loopback = Ipv6Address::parse("::1");
+  ASSERT_TRUE(loopback);
+  EXPECT_EQ(loopback->to_u64_pair().second, 1ull);
+  const auto zero = Ipv6Address::parse("::");
+  ASSERT_TRUE(zero);
+  EXPECT_EQ(zero->to_u64_pair().first, 0ull);
+  EXPECT_EQ(zero->to_u64_pair().second, 0ull);
+}
+
+TEST(Ipv6Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv6Address::parse("2001:db8").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("1:2:3:4::5:6:7:8").has_value());
+  EXPECT_FALSE(Ipv6Address::parse("xyz::1").has_value());
+}
+
+TEST(Ipv6Address, MulticastDetection) {
+  EXPECT_TRUE(Ipv6Address::parse("ff02::1")->is_multicast());
+  EXPECT_FALSE(Ipv6Address::parse("2001:db8::1")->is_multicast());
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix prefix{Ipv4Address::from_octets(10, 1, 2, 3), 16};
+  EXPECT_EQ(prefix.address().to_string(), "10.1.0.0");
+  EXPECT_EQ(prefix.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, Containment) {
+  const auto prefix = Ipv4Prefix::parse("192.168.0.0/24");
+  ASSERT_TRUE(prefix);
+  EXPECT_TRUE(prefix->contains(Ipv4Address::from_octets(192, 168, 0, 200)));
+  EXPECT_FALSE(prefix->contains(Ipv4Address::from_octets(192, 168, 1, 1)));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  const auto any = Ipv4Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(any);
+  EXPECT_TRUE(any->contains(Ipv4Address::from_octets(8, 8, 8, 8)));
+}
+
+TEST(Ipv4Prefix, SlashThirtyTwoMatchesExactly) {
+  const auto host = Ipv4Prefix::parse("10.0.0.1/32");
+  ASSERT_TRUE(host);
+  EXPECT_TRUE(host->contains(Ipv4Address::from_octets(10, 0, 0, 1)));
+  EXPECT_FALSE(host->contains(Ipv4Address::from_octets(10, 0, 0, 2)));
+}
+
+TEST(Ipv4Prefix, ParseRejectsBadLength) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/8").has_value());
+}
+
+}  // namespace
+}  // namespace flexsfp::net

@@ -1,0 +1,261 @@
+#include "net/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+namespace flexsfp::net {
+namespace {
+
+MacAddress mac(std::uint64_t v) { return MacAddress::from_u64(v); }
+
+TEST(PacketBuilder, UdpFrameHasValidLengthsAndChecksums) {
+  const Bytes frame = PacketBuilder()
+                          .ethernet(mac(2), mac(1))
+                          .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                                Ipv4Address::from_octets(10, 0, 0, 2),
+                                IpProto::udp)
+                          .udp(5000, 5001)
+                          .payload_size(100)
+                          .build();
+  const auto parsed = parse_packet(frame);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.outer.ipv4);
+  ASSERT_TRUE(parsed.outer.udp);
+  EXPECT_EQ(parsed.outer.ipv4->total_length, 20 + 8 + 100);
+  EXPECT_EQ(parsed.outer.udp->length, 8 + 100);
+  // IPv4 header checksum verifies.
+  EXPECT_EQ(parsed.outer.ipv4->compute_checksum(), parsed.outer.ipv4->checksum);
+  // No validation issues at all.
+  EXPECT_TRUE(validate_packet(parsed, frame).empty());
+}
+
+TEST(PacketBuilder, TcpChecksumCoversPseudoHeaderAndPayload) {
+  const Bytes frame = PacketBuilder()
+                          .ethernet(mac(2), mac(1))
+                          .ipv4(Ipv4Address::from_octets(1, 1, 1, 1),
+                                Ipv4Address::from_octets(2, 2, 2, 2),
+                                IpProto::tcp)
+                          .tcp(80, 12345)
+                          .payload_size(64)
+                          .build();
+  const auto parsed = parse_packet(frame);
+  ASSERT_TRUE(parsed.outer.tcp);
+  // Verify by recomputing over pseudo-header + segment.
+  const auto& ip = *parsed.outer.ipv4;
+  Bytes pseudo(12);
+  write_be32(pseudo, 0, ip.src.value());
+  write_be32(pseudo, 4, ip.dst.value());
+  pseudo[9] = ip.protocol;
+  const std::size_t seg_len = ip.total_length - ip.size();
+  write_be16(pseudo, 10, static_cast<std::uint16_t>(seg_len));
+  std::uint32_t sum = checksum_partial(pseudo);
+  sum = checksum_partial(
+      BytesView{frame.data() + parsed.outer.l4_offset, seg_len}, sum);
+  EXPECT_EQ(checksum_finish(sum), 0);  // checksum field included -> zero
+}
+
+TEST(PacketBuilder, MinimumFrameSizeApplied) {
+  const Bytes frame = PacketBuilder()
+                          .ethernet(mac(2), mac(1))
+                          .ipv4(Ipv4Address::from_octets(1, 0, 0, 1),
+                                Ipv4Address::from_octets(1, 0, 0, 2),
+                                IpProto::udp)
+                          .udp(1, 2)
+                          .build();
+  EXPECT_EQ(frame.size(), 60u);
+}
+
+TEST(PacketBuilder, VlanStackChainsEtherTypes) {
+  const Bytes frame = PacketBuilder()
+                          .ethernet(mac(2), mac(1))
+                          .vlan(100, 3)
+                          .ipv4(Ipv4Address::from_octets(1, 0, 0, 1),
+                                Ipv4Address::from_octets(1, 0, 0, 2),
+                                IpProto::udp)
+                          .udp(1, 2)
+                          .build();
+  const auto parsed = parse_packet(frame);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.vlan_tags.size(), 1u);
+  EXPECT_EQ(parsed.vlan_tags[0].vid, 100);
+  EXPECT_EQ(parsed.vlan_tags[0].pcp, 3);
+  EXPECT_TRUE(parsed.outer.ipv4.has_value());
+}
+
+TEST(PacketBuilder, QinqProducesTwoTags) {
+  const Bytes frame = PacketBuilder()
+                          .ethernet(mac(2), mac(1))
+                          .qinq(200, 42)
+                          .ipv4(Ipv4Address::from_octets(1, 0, 0, 1),
+                                Ipv4Address::from_octets(1, 0, 0, 2),
+                                IpProto::udp)
+                          .udp(1, 2)
+                          .build();
+  const auto parsed = parse_packet(frame);
+  ASSERT_EQ(parsed.vlan_tags.size(), 2u);
+  EXPECT_EQ(parsed.eth.ether_type,
+            static_cast<std::uint16_t>(EtherType::qinq));
+  EXPECT_EQ(parsed.vlan_tags[0].vid, 200);
+  EXPECT_EQ(parsed.vlan_tags[1].vid, 42);
+}
+
+TEST(PacketBuilder, RequiresEthernetLayer) {
+  EXPECT_THROW((void)PacketBuilder().build(), std::logic_error);
+}
+
+TEST(Transform, GreEncapDecapRoundTrip) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::udp)
+                    .udp(1000, 2000)
+                    .payload_size(32)
+                    .build();
+  const Bytes original = frame;
+
+  ASSERT_TRUE(encapsulate_gre(frame, Ipv4Address::from_octets(172, 16, 0, 1),
+                              Ipv4Address::from_octets(172, 16, 0, 2)));
+  const auto outer = parse_packet(frame);
+  ASSERT_TRUE(outer.gre.has_value());
+  ASSERT_TRUE(outer.inner.has_value());
+  EXPECT_EQ(outer.outer.ipv4->protocol,
+            static_cast<std::uint8_t>(IpProto::gre));
+  EXPECT_EQ(outer.outer.ipv4->compute_checksum(), outer.outer.ipv4->checksum);
+  EXPECT_EQ(outer.inner->ipv4->src, Ipv4Address::from_octets(10, 0, 0, 1));
+
+  ASSERT_TRUE(decapsulate(frame));
+  EXPECT_EQ(frame, original);
+}
+
+TEST(Transform, VxlanEncapDecapRoundTrip) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::tcp)
+                    .tcp(80, 8080)
+                    .payload_size(200)
+                    .build();
+  const Bytes original = frame;
+
+  ASSERT_TRUE(encapsulate_vxlan(frame, mac(0xa), mac(0xb),
+                                Ipv4Address::from_octets(172, 16, 1, 1),
+                                Ipv4Address::from_octets(172, 16, 1, 2),
+                                /*vni=*/777));
+  const auto outer = parse_packet(frame);
+  ASSERT_TRUE(outer.vxlan.has_value());
+  EXPECT_EQ(outer.vxlan->vni, 777u);
+  ASSERT_TRUE(outer.inner_eth.has_value());
+  ASSERT_TRUE(outer.inner.has_value());
+  EXPECT_EQ(outer.outer.udp->dst_port, VxlanHeader::udp_port);
+
+  ASSERT_TRUE(decapsulate(frame));
+  EXPECT_EQ(frame, original);
+}
+
+TEST(Transform, IpipEncapDecapRoundTrip) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::udp)
+                    .udp(53, 53)
+                    .payload_size(48)
+                    .build();
+  const Bytes original = frame;
+  ASSERT_TRUE(encapsulate_ipip(frame, Ipv4Address::from_octets(9, 9, 9, 1),
+                               Ipv4Address::from_octets(9, 9, 9, 2)));
+  const auto outer = parse_packet(frame);
+  EXPECT_EQ(outer.outer.ipv4->protocol,
+            static_cast<std::uint8_t>(IpProto::ipv4_encap));
+  ASSERT_TRUE(decapsulate(frame));
+  EXPECT_EQ(frame, original);
+}
+
+TEST(Transform, DecapsulateRejectsPlainTraffic) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::udp)
+                    .udp(1, 2)
+                    .build();
+  EXPECT_FALSE(decapsulate(frame));
+}
+
+TEST(Transform, PushPopVlanRoundTrip) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::udp)
+                    .udp(1, 2)
+                    .build();
+  const Bytes original = frame;
+  ASSERT_TRUE(push_vlan(frame, 512, 6));
+  const auto tagged = parse_packet(frame);
+  ASSERT_EQ(tagged.vlan_tags.size(), 1u);
+  EXPECT_EQ(tagged.vlan_tags[0].vid, 512);
+  ASSERT_TRUE(pop_vlan(frame));
+  EXPECT_EQ(frame, original);
+}
+
+TEST(Transform, PopVlanOnUntaggedFails) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::udp)
+                    .udp(1, 2)
+                    .build();
+  EXPECT_FALSE(pop_vlan(frame));
+}
+
+TEST(Transform, RewriteSrcPreservesChecksumValidity) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::tcp)
+                    .tcp(80, 8080)
+                    .payload_size(40)
+                    .build();
+  auto parsed = parse_packet(frame);
+  ASSERT_TRUE(
+      rewrite_ipv4_src(frame, parsed, Ipv4Address::from_octets(5, 6, 7, 8)));
+  parsed = parse_packet(frame);
+  EXPECT_EQ(parsed.outer.ipv4->src, Ipv4Address::from_octets(5, 6, 7, 8));
+  // Header checksum still verifies, and no structural issues appear.
+  EXPECT_EQ(parsed.outer.ipv4->compute_checksum(), parsed.outer.ipv4->checksum);
+  EXPECT_TRUE(validate_packet(parsed, frame).empty());
+}
+
+TEST(Transform, RewriteDstUpdatesUdpChecksum) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::udp)
+                    .udp(53, 53)
+                    .payload_size(64)
+                    .build();
+  auto parsed = parse_packet(frame);
+  const std::uint16_t before = parsed.outer.udp->checksum;
+  ASSERT_TRUE(
+      rewrite_ipv4_dst(frame, parsed, Ipv4Address::from_octets(8, 8, 8, 8)));
+  parsed = parse_packet(frame);
+  EXPECT_EQ(parsed.outer.ipv4->dst, Ipv4Address::from_octets(8, 8, 8, 8));
+  EXPECT_NE(parsed.outer.udp->checksum, before);
+}
+
+TEST(Transform, DecrementTtlKeepsChecksumValid) {
+  Bytes frame = PacketBuilder()
+                    .ethernet(mac(2), mac(1))
+                    .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                          Ipv4Address::from_octets(10, 0, 0, 2), IpProto::udp,
+                          /*ttl=*/64)
+                    .udp(1, 2)
+                    .build();
+  auto parsed = parse_packet(frame);
+  ASSERT_TRUE(decrement_ttl(frame, parsed));
+  parsed = parse_packet(frame);
+  EXPECT_EQ(parsed.outer.ipv4->ttl, 63);
+  EXPECT_EQ(parsed.outer.ipv4->compute_checksum(), parsed.outer.ipv4->checksum);
+}
+
+}  // namespace
+}  // namespace flexsfp::net

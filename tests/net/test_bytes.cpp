@@ -1,0 +1,76 @@
+#include "net/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::net {
+namespace {
+
+TEST(Bytes, ReadWriteRoundTripBe16) {
+  Bytes buffer(4, 0);
+  write_be16(buffer, 1, 0xabcd);
+  EXPECT_EQ(read_be16(buffer, 1), 0xabcd);
+  EXPECT_EQ(buffer[1], 0xab);
+  EXPECT_EQ(buffer[2], 0xcd);
+}
+
+TEST(Bytes, ReadWriteRoundTripBe32) {
+  Bytes buffer(8, 0);
+  write_be32(buffer, 2, 0xdeadbeef);
+  EXPECT_EQ(read_be32(buffer, 2), 0xdeadbeefu);
+  EXPECT_EQ(buffer[2], 0xde);
+  EXPECT_EQ(buffer[5], 0xef);
+}
+
+TEST(Bytes, ReadWriteRoundTripBe64) {
+  Bytes buffer(8, 0);
+  write_be64(buffer, 0, 0x0123456789abcdefull);
+  EXPECT_EQ(read_be64(buffer, 0), 0x0123456789abcdefull);
+  EXPECT_EQ(buffer[0], 0x01);
+  EXPECT_EQ(buffer[7], 0xef);
+}
+
+TEST(Bytes, ReadPastEndThrows) {
+  Bytes buffer(4, 0);
+  EXPECT_THROW((void)read_be32(buffer, 1), std::out_of_range);
+  EXPECT_THROW((void)read_be16(buffer, 3), std::out_of_range);
+  EXPECT_THROW((void)read_u8(buffer, 4), std::out_of_range);
+}
+
+TEST(Bytes, WritePastEndThrows) {
+  Bytes buffer(4, 0);
+  EXPECT_THROW(write_be64(buffer, 0, 1), std::out_of_range);
+  EXPECT_THROW(write_be16(buffer, 3, 1), std::out_of_range);
+}
+
+TEST(Bytes, ReadAtExactBoundaryWorks) {
+  Bytes buffer(4, 0);
+  write_be32(buffer, 0, 42);
+  EXPECT_EQ(read_be32(buffer, 0), 42u);
+}
+
+TEST(Bytes, ToHexFormatsWithSeparator) {
+  const Bytes data{0x00, 0xff, 0x1a};
+  EXPECT_EQ(to_hex(data), "00:ff:1a");
+  EXPECT_EQ(to_hex(data, '-'), "00-ff-1a");
+}
+
+TEST(Bytes, HexDumpContainsAsciiGutter) {
+  Bytes data;
+  for (char c : std::string("Hello, FlexSFP!!")) {
+    data.push_back(static_cast<std::uint8_t>(c));
+  }
+  const std::string dump = hex_dump(data);
+  EXPECT_NE(dump.find("|Hello, FlexSFP!!|"), std::string::npos);
+  EXPECT_NE(dump.find("48 65 6c 6c 6f"), std::string::npos);
+}
+
+TEST(Bytes, HexDumpHandlesPartialLastLine) {
+  const Bytes data{0x41, 0x42, 0x43};
+  const std::string dump = hex_dump(data);
+  EXPECT_NE(dump.find("|ABC|"), std::string::npos);
+}
+
+TEST(Bytes, EmptyHexDumpIsEmpty) { EXPECT_TRUE(hex_dump({}).empty()); }
+
+}  // namespace
+}  // namespace flexsfp::net

@@ -1,0 +1,101 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace flexsfp::net {
+namespace {
+
+// RFC 1071 worked example: the checksum of this sequence is well known.
+TEST(Checksum, Rfc1071Example) {
+  const Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold = 0xddf2
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const Bytes data{0x12, 0x34, 0x56};
+  // Words: 0x1234, 0x5600.
+  EXPECT_EQ(internet_checksum(data),
+            static_cast<std::uint16_t>(~((0x1234 + 0x5600) & 0xffff)));
+}
+
+TEST(Checksum, VerificationPropertyZeroSum) {
+  // Appending the checksum makes the one's-complement sum all-ones.
+  Bytes data{0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06};
+  const std::uint16_t checksum = internet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(checksum >> 8));
+  data.push_back(static_cast<std::uint8_t>(checksum & 0xff));
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Checksum, IncrementalUpdateMatchesRecompute) {
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes data(40);
+    for (auto& byte : data) {
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    const std::uint16_t before = internet_checksum(data);
+
+    const std::size_t word_index = rng.uniform(0, data.size() / 2 - 1) * 2;
+    const std::uint16_t old_word = read_be16(data, word_index);
+    const auto new_word = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+    write_be16(data, word_index, new_word);
+
+    const std::uint16_t incremental =
+        checksum_incremental_update(before, old_word, new_word);
+    EXPECT_EQ(incremental, internet_checksum(data))
+        << "trial " << trial << " word@" << word_index;
+  }
+}
+
+TEST(Checksum, Incremental32MatchesRecompute) {
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes data(20);
+    for (auto& byte : data) {
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    const std::uint16_t before = internet_checksum(data);
+    const std::uint32_t old_value = read_be32(data, 12);
+    const auto new_value = static_cast<std::uint32_t>(rng.next_u64());
+    write_be32(data, 12, new_value);
+    EXPECT_EQ(checksum_incremental_update32(before, old_value, new_value),
+              internet_checksum(data));
+  }
+}
+
+TEST(Checksum, IncrementalNoopWhenValueUnchanged) {
+  EXPECT_EQ(checksum_incremental_update(0x1234, 0xabcd, 0xabcd), 0x1234);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC32("123456789") = 0xcbf43926 (the standard check value).
+  Bytes data;
+  for (char c : std::string("123456789")) {
+    data.push_back(static_cast<std::uint8_t>(c));
+  }
+  EXPECT_EQ(crc32(data), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyInput) { EXPECT_EQ(crc32({}), 0x00000000u); }
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data(64, 0xa5);
+  const std::uint32_t before = crc32(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(crc32(data), before);
+}
+
+TEST(ChecksumPartial, AccumulatesAcrossRegions) {
+  const Bytes a{0x12, 0x34};
+  const Bytes b{0x56, 0x78};
+  Bytes joined{0x12, 0x34, 0x56, 0x78};
+  const std::uint32_t partial = checksum_partial(b, checksum_partial(a));
+  EXPECT_EQ(checksum_finish(partial), internet_checksum(joined));
+}
+
+}  // namespace
+}  // namespace flexsfp::net

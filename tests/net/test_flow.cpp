@@ -1,0 +1,116 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <set>
+
+#include "sim/random.hpp"
+
+namespace flexsfp::net {
+namespace {
+
+FiveTuple tuple(std::uint32_t src, std::uint32_t dst, std::uint16_t sport,
+                std::uint16_t dport, std::uint8_t proto = 6) {
+  return FiveTuple{Ipv4Address{src}, Ipv4Address{dst}, sport, dport, proto};
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints) {
+  const auto t = tuple(1, 2, 10, 20);
+  const auto r = t.reversed();
+  EXPECT_EQ(r.src.value(), 2u);
+  EXPECT_EQ(r.dst.value(), 1u);
+  EXPECT_EQ(r.src_port, 20);
+  EXPECT_EQ(r.dst_port, 10);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(FiveTuple, CanonicalSameForBothDirections) {
+  const auto t = tuple(99, 3, 4000, 80);
+  EXPECT_EQ(t.canonical(), t.reversed().canonical());
+}
+
+TEST(Fnv1a, StableAndSensitive) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 4};
+  EXPECT_EQ(fnv1a(a), fnv1a(a));
+  EXPECT_NE(fnv1a(a), fnv1a(b));
+}
+
+TEST(Murmur3, SeedChangesHash) {
+  const Bytes data{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_NE(murmur3_64(data, 0), murmur3_64(data, 1));
+}
+
+TEST(Murmur3, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip roughly half the output bits.
+  sim::Rng rng(5);
+  int total_flips = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    Bytes data(13);
+    for (auto& byte : data) {
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    const std::uint64_t before = murmur3_64(data);
+    data[t % data.size()] ^= 1 << (t % 8);
+    const std::uint64_t after = murmur3_64(data);
+    total_flips += std::popcount(before ^ after);
+  }
+  const double mean_flips = double(total_flips) / trials;
+  EXPECT_GT(mean_flips, 24.0);  // ideal is 32
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(Murmur3, HashTupleDistributesAcrossBuckets) {
+  // 10k flows into 64 buckets: no bucket should be grossly over-loaded.
+  std::array<int, 64> buckets{};
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    const auto h = hash_tuple(tuple(i, ~i, static_cast<std::uint16_t>(i),
+                                    static_cast<std::uint16_t>(i * 7)));
+    ++buckets[h % 64];
+  }
+  const double expected = 10000.0 / 64.0;
+  for (const int count : buckets) {
+    EXPECT_GT(count, expected * 0.5);
+    EXPECT_LT(count, expected * 1.5);
+  }
+}
+
+TEST(Toeplitz, SymmetricKeyGivesSymmetricHash) {
+  const auto hash = ToeplitzHash::symmetric();
+  for (std::uint32_t i = 1; i < 50; ++i) {
+    const auto t = tuple(i * 1000, i * 7777, static_cast<std::uint16_t>(i),
+                         static_cast<std::uint16_t>(i + 1));
+    EXPECT_EQ(hash.hash_tuple(t), hash.hash_tuple(t.reversed()))
+        << "flow " << i;
+  }
+}
+
+TEST(Toeplitz, DifferentFlowsGetDifferentHashes) {
+  const auto hash = ToeplitzHash::symmetric();
+  std::set<std::uint32_t> values;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    values.insert(hash.hash_tuple(
+        tuple(0x0a000001 + i, 0xc0a80001, 1024, 80)));
+  }
+  // Collisions are possible but should be rare.
+  EXPECT_GT(values.size(), 195u);
+}
+
+TEST(Toeplitz, DeterministicAcrossInstances) {
+  const auto a = ToeplitzHash::symmetric();
+  const auto b = ToeplitzHash::symmetric();
+  const auto t = tuple(123456, 654321, 11, 22);
+  EXPECT_EQ(a.hash_tuple(t), b.hash_tuple(t));
+}
+
+TEST(FiveTupleToString, ContainsFields) {
+  const auto s = tuple(0x0a000001, 0x0a000002, 1234, 80).to_string();
+  EXPECT_NE(s.find("10.0.0.1"), std::string::npos);
+  EXPECT_NE(s.find("1234"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexsfp::net

@@ -1,0 +1,212 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::net {
+namespace {
+
+TEST(EthernetHeader, SerializeParseRoundTrip) {
+  EthernetHeader h;
+  h.dst = *MacAddress::parse("ff:ff:ff:ff:ff:ff");
+  h.src = *MacAddress::parse("02:00:00:00:00:01");
+  h.ether_type = static_cast<std::uint16_t>(EtherType::ipv4);
+
+  Bytes buffer(EthernetHeader::size());
+  h.serialize_to(buffer, 0);
+  const auto parsed = EthernetHeader::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->ether_type, h.ether_type);
+}
+
+TEST(EthernetHeader, ParseRejectsTruncated) {
+  Bytes buffer(13);
+  EXPECT_FALSE(EthernetHeader::parse(buffer, 0).has_value());
+  EXPECT_FALSE(EthernetHeader::parse(Bytes(20), 10).has_value());
+}
+
+TEST(VlanTag, FieldPacking) {
+  VlanTag tag;
+  tag.pcp = 5;
+  tag.dei = true;
+  tag.vid = 0xabc;
+  tag.ether_type = 0x0800;
+
+  Bytes buffer(VlanTag::size());
+  tag.serialize_to(buffer, 0);
+  EXPECT_EQ(buffer[0], 0xba);  // pcp=101, dei=1, vid[11:8]=1010
+  const auto parsed = VlanTag::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->pcp, 5);
+  EXPECT_TRUE(parsed->dei);
+  EXPECT_EQ(parsed->vid, 0xabc);
+  EXPECT_EQ(parsed->ether_type, 0x0800);
+}
+
+TEST(Ipv4Header, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.dscp = 10;
+  h.ecn = 1;
+  h.total_length = 1500;
+  h.identification = 0x4242;
+  h.dont_fragment = true;
+  h.ttl = 17;
+  h.protocol = 6;
+  h.src = Ipv4Address::from_octets(10, 0, 0, 1);
+  h.dst = Ipv4Address::from_octets(10, 0, 0, 2);
+  h.checksum = h.compute_checksum();
+
+  Bytes buffer(h.size());
+  h.serialize_to(buffer, 0);
+  const auto parsed = Ipv4Header::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->dscp, 10);
+  EXPECT_EQ(parsed->ecn, 1);
+  EXPECT_EQ(parsed->total_length, 1500);
+  EXPECT_TRUE(parsed->dont_fragment);
+  EXPECT_FALSE(parsed->more_fragments);
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->checksum, h.checksum);
+  EXPECT_EQ(parsed->compute_checksum(), parsed->checksum);
+}
+
+TEST(Ipv4Header, ParseRejectsWrongVersion) {
+  Bytes buffer(20, 0);
+  buffer[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::parse(buffer, 0).has_value());
+}
+
+TEST(Ipv4Header, ParseRejectsBadIhl) {
+  Bytes buffer(20, 0);
+  buffer[0] = 0x44;  // version 4, ihl 4 (invalid, < 5)
+  EXPECT_FALSE(Ipv4Header::parse(buffer, 0).has_value());
+  buffer[0] = 0x4f;  // ihl 15 = 60 bytes but buffer is only 20
+  EXPECT_FALSE(Ipv4Header::parse(buffer, 0).has_value());
+}
+
+TEST(Ipv4Header, OptionsRoundTrip) {
+  Ipv4Header h;
+  h.ihl = 7;  // 8 bytes of options
+  h.src = Ipv4Address::from_octets(1, 2, 3, 4);
+  EXPECT_EQ(h.size(), 28u);
+  Bytes buffer(h.size());
+  h.serialize_to(buffer, 0);
+  const auto parsed = Ipv4Header::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->ihl, 7);
+}
+
+TEST(Ipv6Header, SerializeParseRoundTrip) {
+  Ipv6Header h;
+  h.traffic_class = 0x2e;
+  h.flow_label = 0xabcde;
+  h.payload_length = 512;
+  h.next_header = 17;
+  h.hop_limit = 3;
+  h.src = *Ipv6Address::parse("2001:db8::1");
+  h.dst = *Ipv6Address::parse("2001:db8::2");
+
+  Bytes buffer(Ipv6Header::size());
+  h.serialize_to(buffer, 0);
+  const auto parsed = Ipv6Header::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->traffic_class, 0x2e);
+  EXPECT_EQ(parsed->flow_label, 0xabcdeu);
+  EXPECT_EQ(parsed->payload_length, 512);
+  EXPECT_EQ(parsed->next_header, 17);
+  EXPECT_EQ(parsed->hop_limit, 3);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv6Header, ParseRejectsWrongVersion) {
+  Bytes buffer(40, 0);
+  buffer[0] = 0x45;
+  EXPECT_FALSE(Ipv6Header::parse(buffer, 0).has_value());
+}
+
+TEST(UdpHeader, SerializeParseRoundTrip) {
+  UdpHeader h{.src_port = 1234, .dst_port = 4789, .length = 100,
+              .checksum = 0xbeef};
+  Bytes buffer(UdpHeader::size());
+  h.serialize_to(buffer, 0);
+  const auto parsed = UdpHeader::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, 1234);
+  EXPECT_EQ(parsed->dst_port, 4789);
+  EXPECT_EQ(parsed->length, 100);
+  EXPECT_EQ(parsed->checksum, 0xbeef);
+}
+
+TEST(TcpHeader, SerializeParseRoundTrip) {
+  TcpHeader h;
+  h.src_port = 443;
+  h.dst_port = 51515;
+  h.seq = 0x12345678;
+  h.ack = 0x9abcdef0;
+  h.flags = TcpHeader::flag_syn | TcpHeader::flag_ack;
+  h.window = 0x7fff;
+  Bytes buffer(h.size());
+  h.serialize_to(buffer, 0);
+  const auto parsed = TcpHeader::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, 443);
+  EXPECT_EQ(parsed->seq, 0x12345678u);
+  EXPECT_EQ(parsed->ack, 0x9abcdef0u);
+  EXPECT_EQ(parsed->flags, TcpHeader::flag_syn | TcpHeader::flag_ack);
+  EXPECT_EQ(parsed->data_offset, 5);
+}
+
+TEST(TcpHeader, ParseRejectsBadDataOffset) {
+  Bytes buffer(20, 0);
+  buffer[12] = 0x40;  // data_offset 4 < 5
+  EXPECT_FALSE(TcpHeader::parse(buffer, 0).has_value());
+}
+
+TEST(GreHeader, RoundTripAndFlagsRejection) {
+  GreHeader h;
+  h.protocol = static_cast<std::uint16_t>(EtherType::ipv4);
+  Bytes buffer(GreHeader::size());
+  h.serialize_to(buffer, 0);
+  ASSERT_TRUE(GreHeader::parse(buffer, 0).has_value());
+  EXPECT_EQ(GreHeader::parse(buffer, 0)->protocol, 0x0800);
+
+  buffer[0] = 0x80;  // checksum-present flag: not base RFC 2784
+  EXPECT_FALSE(GreHeader::parse(buffer, 0).has_value());
+}
+
+TEST(VxlanHeader, RoundTripAndIFlag) {
+  VxlanHeader h;
+  h.vni = 0xabcdef;
+  Bytes buffer(VxlanHeader::size());
+  h.serialize_to(buffer, 0);
+  const auto parsed = VxlanHeader::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->vni, 0xabcdefu);
+
+  buffer[0] = 0;  // clear the I flag
+  EXPECT_FALSE(VxlanHeader::parse(buffer, 0).has_value());
+}
+
+TEST(IcmpHeader, RoundTrip) {
+  IcmpHeader h{.type = 8, .code = 0, .checksum = 0x1234, .rest = 0xdeadbeef};
+  Bytes buffer(IcmpHeader::size());
+  h.serialize_to(buffer, 0);
+  const auto parsed = IcmpHeader::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, 8);
+  EXPECT_EQ(parsed->rest, 0xdeadbeefu);
+}
+
+TEST(EnumToString, CoversKnownValues) {
+  EXPECT_EQ(to_string(EtherType::ipv4), "IPv4");
+  EXPECT_EQ(to_string(EtherType::flexsfp_mgmt), "FlexSFP-Mgmt");
+  EXPECT_EQ(to_string(IpProto::tcp), "TCP");
+  EXPECT_EQ(to_string(IpProto::gre), "GRE");
+}
+
+}  // namespace
+}  // namespace flexsfp::net

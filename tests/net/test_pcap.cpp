@@ -1,0 +1,71 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/builder.hpp"
+
+namespace flexsfp::net {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  const std::string path = temp_path("flexsfp_test_roundtrip.pcap");
+  const Bytes frame = PacketBuilder()
+                          .ethernet(MacAddress::from_u64(2),
+                                    MacAddress::from_u64(1))
+                          .ipv4(Ipv4Address::from_octets(10, 0, 0, 1),
+                                Ipv4Address::from_octets(10, 0, 0, 2),
+                                IpProto::udp)
+                          .udp(1, 2)
+                          .payload_size(11)
+                          .build();
+  {
+    PcapWriter writer(path);
+    writer.write(frame, 1'000'123);
+    writer.write(frame, 2'500'000);
+    EXPECT_EQ(writer.records_written(), 2u);
+  }
+  const auto records = read_pcap(path);
+  ASSERT_TRUE(records);
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].timestamp_us, 1'000'123);
+  EXPECT_EQ((*records)[1].timestamp_us, 2'500'000);
+  EXPECT_EQ((*records)[0].data, frame);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_pcap("/nonexistent/definitely_missing.pcap").has_value());
+}
+
+TEST(Pcap, ReadRejectsBadMagic) {
+  const std::string path = temp_path("flexsfp_test_badmagic.pcap");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a pcap file at all, not even close";
+  }
+  EXPECT_FALSE(read_pcap(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, EmptyCaptureReadsBack) {
+  const std::string path = temp_path("flexsfp_test_empty.pcap");
+  { PcapWriter writer(path); }
+  const auto records = read_pcap(path);
+  ASSERT_TRUE(records);
+  EXPECT_TRUE(records->empty());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, WriterThrowsOnBadPath) {
+  EXPECT_THROW(PcapWriter("/nonexistent_dir/x/y.pcap"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flexsfp::net

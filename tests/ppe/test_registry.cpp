@@ -1,0 +1,77 @@
+#include "ppe/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/nat.hpp"
+#include "apps/register.hpp"
+
+namespace flexsfp::ppe {
+namespace {
+
+TEST(AppRegistry, BuiltinAppsAllRegistered) {
+  apps::register_builtin_apps();
+  auto& registry = AppRegistry::instance();
+  for (const char* name : {"nat", "acl", "vlan", "tunnel", "lb", "int",
+                           "flowstats", "sampler", "ratelimit", "sanitizer",
+                           "faultmon"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+}
+
+TEST(AppRegistry, CreateWithEmptyConfigUsesDefaults) {
+  apps::register_builtin_apps();
+  const auto app = AppRegistry::instance().create("nat", {});
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->name(), "nat");
+}
+
+TEST(AppRegistry, CreateFromSerializedConfigRoundTrips) {
+  apps::register_builtin_apps();
+  apps::NatConfig config;
+  config.direction = apps::NatDirection::destination;
+  config.miss_action = apps::NatMissAction::drop;
+  config.table_capacity = 1024;
+  const auto bytes = config.serialize();
+  const auto app = AppRegistry::instance().create("nat", bytes);
+  ASSERT_NE(app, nullptr);
+  auto* nat = dynamic_cast<apps::StaticNat*>(app.get());
+  ASSERT_NE(nat, nullptr);
+  EXPECT_EQ(nat->config().direction, apps::NatDirection::destination);
+  EXPECT_EQ(nat->config().miss_action, apps::NatMissAction::drop);
+  EXPECT_EQ(nat->config().table_capacity, 1024u);
+}
+
+TEST(AppRegistry, UnknownNameReturnsNull) {
+  EXPECT_EQ(AppRegistry::instance().create("no-such-app", {}), nullptr);
+}
+
+TEST(AppRegistry, MalformedConfigReturnsNull) {
+  apps::register_builtin_apps();
+  const net::Bytes garbage{0xff, 0xff};  // direction byte 0xff is invalid
+  EXPECT_EQ(AppRegistry::instance().create("nat", garbage), nullptr);
+}
+
+TEST(AppRegistry, NamesEnumerates) {
+  apps::register_builtin_apps();
+  const auto names = AppRegistry::instance().names();
+  EXPECT_GE(names.size(), 11u);
+}
+
+TEST(AppRegistry, ReRegistrationReplaces) {
+  auto& registry = AppRegistry::instance();
+  registry.register_app("test-stub", [](net::BytesView) -> PpeAppPtr {
+    return nullptr;
+  });
+  EXPECT_TRUE(registry.contains("test-stub"));
+  int calls = 0;
+  registry.register_app("test-stub",
+                        [&calls](net::BytesView) -> PpeAppPtr {
+                          ++calls;
+                          return nullptr;
+                        });
+  (void)registry.create("test-stub", {});
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace flexsfp::ppe

@@ -1,0 +1,207 @@
+// Application-level property sweeps: tunnel identity across types and
+// sizes, Maglev balance across pool sizes, rate-limiter conformance across
+// configured rates, NAT translate-reverse identity.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/load_balancer.hpp"
+#include "apps/nat.hpp"
+#include "apps/rate_limiter.hpp"
+#include "apps/tunnel.hpp"
+#include "net/builder.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+net::Packet udp_frame(std::size_t payload) {
+  return net::PacketBuilder()
+      .ethernet(net::MacAddress::from_u64(2), net::MacAddress::from_u64(1))
+      .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+            net::Ipv4Address::from_octets(10, 0, 0, 2), net::IpProto::udp)
+      .udp(1111, 2222)
+      .payload_size(payload)
+      .build_packet();
+}
+
+ppe::Verdict run_app(ppe::PpeApp& app, net::Packet& packet) {
+  ppe::PacketContext ctx(packet);
+  return app.process(ctx);
+}
+
+// --- tunnels -----------------------------------------------------------------
+
+class TunnelProperty
+    : public ::testing::TestWithParam<std::tuple<TunnelType, std::size_t>> {};
+
+TEST_P(TunnelProperty, EncapDecapIsIdentityAndValidMidFlight) {
+  const auto [type, payload] = GetParam();
+  TunnelConfig config;
+  config.type = type;
+  config.role = TunnelRole::encap;
+  config.local = net::Ipv4Address::from_octets(172, 16, 0, 1);
+  config.remote = net::Ipv4Address::from_octets(172, 16, 0, 2);
+  config.vni = 77;
+  config.outer_dst = net::MacAddress::from_u64(0xaa);
+  config.outer_src = net::MacAddress::from_u64(0xbb);
+  TunnelApp encap(config);
+  config.role = TunnelRole::decap;
+  TunnelApp decap(config);
+
+  auto packet = udp_frame(payload);
+  const net::Bytes original = packet.data();
+  EXPECT_EQ(run_app(encap, packet), ppe::Verdict::forward);
+  EXPECT_GT(packet.size(), original.size());
+  // Mid-flight frame is structurally valid.
+  const auto parsed = net::parse_packet(packet.data());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(net::validate_packet(parsed, packet.data()).empty());
+  EXPECT_EQ(run_app(decap, packet), ppe::Verdict::forward);
+  EXPECT_EQ(packet.data(), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypesAndSizes, TunnelProperty,
+    ::testing::Combine(::testing::Values(TunnelType::gre, TunnelType::vxlan,
+                                         TunnelType::ipip),
+                       ::testing::Values<std::size_t>(0, 64, 512, 1400)));
+
+// --- Maglev balance ----------------------------------------------------------
+
+class MaglevProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaglevProperty, TableBalancedWithinTwoPercent) {
+  const int backends = GetParam();
+  LoadBalancer lb;
+  for (int i = 0; i < backends; ++i) {
+    lb.add_backend(Backend{static_cast<std::uint32_t>(i),
+                           net::MacAddress::from_u64(0x100 + i), true});
+  }
+  std::map<std::int32_t, int> slots;
+  for (const auto index : lb.lookup_table()) ++slots[index];
+  ASSERT_EQ(slots.size(), static_cast<std::size_t>(backends));
+  const double expected = double(lb.lookup_table().size()) / backends;
+  for (const auto& [index, count] : slots) {
+    EXPECT_NEAR(count, expected, std::max(expected * 0.02, 2.0))
+        << "backend " << index << " of " << backends;
+  }
+}
+
+TEST_P(MaglevProperty, RemovalDisruptionBoundedByOwnShare) {
+  const int backends = GetParam();
+  if (backends < 2) return;
+  LoadBalancer lb;
+  for (int i = 0; i < backends; ++i) {
+    lb.add_backend(Backend{static_cast<std::uint32_t>(i),
+                           net::MacAddress::from_u64(0x100 + i), true});
+  }
+  std::map<std::uint32_t, std::uint32_t> before;
+  for (std::uint32_t i = 0; i < 1500; ++i) {
+    const net::FiveTuple tuple{net::Ipv4Address{0x0a000000 + i},
+                               net::Ipv4Address{0xc0a80001}, 1000, 80, 6};
+    before[i] = lb.backend_for(tuple)->id;
+  }
+  const std::uint32_t victim = static_cast<std::uint32_t>(backends / 2);
+  ASSERT_TRUE(lb.remove_backend(victim));
+  int gratuitous = 0;
+  for (std::uint32_t i = 0; i < 1500; ++i) {
+    const net::FiveTuple tuple{net::Ipv4Address{0x0a000000 + i},
+                               net::Ipv4Address{0xc0a80001}, 1000, 80, 6};
+    const auto now = lb.backend_for(tuple)->id;
+    if (before[i] != victim && now != before[i]) ++gratuitous;
+  }
+  // Maglev's disruption beyond the victim's own share stays small.
+  EXPECT_LT(gratuitous, 1500 / backends);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, MaglevProperty,
+                         ::testing::Values(2, 3, 5, 8, 16, 32));
+
+// --- rate limiter conformance --------------------------------------------------
+
+class RateLimiterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RateLimiterProperty, LongRunConformanceWithinTenPercent) {
+  const std::uint64_t rate_bps = GetParam();
+  RateLimiter limiter;
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/8"),
+                                     {rate_bps, rate_bps / 100}));
+  // Offer ~3x the configured rate for 200 ms of simulated time.
+  const std::size_t frame_payload = 958;  // 1000 B frames
+  const double offered_bps = 3.0 * double(rate_bps);
+  const auto gap_ps =
+      static_cast<std::int64_t>(1000.0 * 8.0 / offered_bps * 1e12);
+  std::uint64_t conformed_bytes = 0;
+  std::int64_t now = 0;
+  const std::int64_t end = 200'000'000'000;
+  while (now < end) {
+    auto packet = net::PacketBuilder()
+                      .ethernet(net::MacAddress::from_u64(2),
+                                net::MacAddress::from_u64(1))
+                      .ipv4(net::Ipv4Address::from_octets(10, 1, 1, 1),
+                            net::Ipv4Address::from_octets(9, 9, 9, 9),
+                            net::IpProto::udp)
+                      .udp(1, 2)
+                      .payload_size(frame_payload)
+                      .build_packet();
+    packet.set_ingress_time_ps(now);
+    if (run_app(limiter, packet) == ppe::Verdict::forward) {
+      conformed_bytes += packet.size();
+    }
+    now += gap_ps;
+  }
+  // Over a finite horizon the bucket's initial burst rides on top of the
+  // sustained rate: expected = rate + burst_bytes*8/T.
+  const double burst_bits = double(rate_bps / 100) * 8.0;
+  const double expected = double(rate_bps) + burst_bits / 0.2;
+  const double measured = double(conformed_bytes) * 8.0 / 0.2;
+  EXPECT_NEAR(measured, expected, expected * 0.1)
+      << "configured " << rate_bps;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateLimiterProperty,
+                         ::testing::Values(1'000'000, 10'000'000,
+                                           50'000'000, 100'000'000,
+                                           500'000'000));
+
+// --- NAT bidirectional identity -------------------------------------------------
+
+class NatProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NatProperty, SourceThenReverseDestinationIsIdentity) {
+  StaticNat outbound;  // source NAT
+  NatConfig reverse_config;
+  reverse_config.direction = NatDirection::destination;
+  StaticNat inbound(reverse_config);  // destination NAT (return path)
+
+  const auto private_ip = net::Ipv4Address::from_octets(10, 0, 0, 1);
+  const auto public_ip = net::Ipv4Address::from_octets(203, 0, 113, 1);
+  ASSERT_TRUE(outbound.add_mapping(private_ip, public_ip));
+  ASSERT_TRUE(inbound.add_mapping(public_ip, private_ip));
+
+  auto packet = udp_frame(GetParam());
+  const net::Bytes original = packet.data();
+  EXPECT_EQ(run_app(outbound, packet), ppe::Verdict::forward);
+  EXPECT_EQ(net::parse_packet(packet.data()).outer.ipv4->src, public_ip);
+
+  // The "return" of the same bytes: swap perspective by applying the
+  // destination NAT to the translated address.
+  auto parsed = net::parse_packet(packet.data());
+  net::Bytes swapped = packet.data();
+  net::rewrite_ipv4_dst(swapped, parsed, public_ip);
+  net::rewrite_ipv4_src(swapped, net::parse_packet(swapped), private_ip);
+  net::Packet returning{swapped};
+  EXPECT_EQ(run_app(inbound, returning), ppe::Verdict::forward);
+  EXPECT_EQ(net::parse_packet(returning.data()).outer.ipv4->dst, private_ip);
+  EXPECT_TRUE(net::validate_packet(net::parse_packet(returning.data()),
+                                   returning.data())
+                  .empty());
+  (void)original;
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, NatProperty,
+                         ::testing::Values<std::size_t>(0, 18, 64, 512,
+                                                        1472));
+
+}  // namespace
+}  // namespace flexsfp::apps

@@ -1,0 +1,83 @@
+// Property sweeps over the checksum primitives: the invariants a hardware
+// checksum-patch unit relies on, across buffer sizes and random contents.
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "sim/random.hpp"
+
+namespace flexsfp::net {
+namespace {
+
+class ChecksumProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  [[nodiscard]] Bytes random_buffer() {
+    const auto [size, seed] = GetParam();
+    sim::Rng rng(seed);
+    Bytes data(size);
+    for (auto& byte : data) {
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    return data;
+  }
+};
+
+TEST_P(ChecksumProperty, AppendingChecksumZeroesTheSum) {
+  Bytes data = random_buffer();
+  if (data.size() % 2 != 0) data.push_back(0);  // align to 16-bit words
+  const std::uint16_t checksum = internet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(checksum >> 8));
+  data.push_back(static_cast<std::uint8_t>(checksum & 0xff));
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST_P(ChecksumProperty, IncrementalEqualsRecomputeForEveryWord) {
+  Bytes data = random_buffer();
+  if (data.size() < 2) return;
+  const auto [size, seed] = GetParam();
+  sim::Rng rng(seed ^ 0xabcdef);
+  const std::uint16_t original = internet_checksum(data);
+  for (std::size_t word = 0; word + 1 < data.size(); word += 2) {
+    const std::uint16_t old_word = read_be16(data, word);
+    const auto new_word = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+    write_be16(data, word, new_word);
+    const std::uint16_t expected = internet_checksum(data);
+    EXPECT_EQ(checksum_incremental_update(original, old_word, new_word),
+              expected)
+        << "word offset " << word;
+    write_be16(data, word, old_word);  // restore for the next iteration
+  }
+}
+
+TEST_P(ChecksumProperty, PartialSumsComposeAtAnyEvenSplit) {
+  const Bytes data = random_buffer();
+  const std::uint16_t whole = internet_checksum(data);
+  for (std::size_t split = 0; split <= data.size(); split += 2) {
+    const BytesView head{data.data(), split};
+    const BytesView tail{data.data() + split, data.size() - split};
+    const std::uint32_t composed =
+        checksum_partial(tail, checksum_partial(head));
+    EXPECT_EQ(checksum_finish(composed), whole) << "split " << split;
+  }
+}
+
+TEST_P(ChecksumProperty, Crc32DetectsEveryTestedBitFlip) {
+  Bytes data = random_buffer();
+  if (data.empty()) return;
+  const std::uint32_t original = crc32(data);
+  // Flip one bit in each byte-position class (bounded sweep).
+  for (std::size_t i = 0; i < data.size(); i += std::max<std::size_t>(1, data.size() / 16)) {
+    data[i] ^= 0x10;
+    EXPECT_NE(crc32(data), original) << "flip at " << i;
+    data[i] ^= 0x10;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, ChecksumProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 20, 40, 64, 128,
+                                                      1460),
+                       ::testing::Values<std::uint64_t>(1, 42, 991)));
+
+}  // namespace
+}  // namespace flexsfp::net

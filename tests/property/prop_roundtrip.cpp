@@ -1,0 +1,129 @@
+// Frame round-trip properties: everything the builder produces must parse
+// back cleanly, survive edit-and-restore unchanged, and keep its checksums
+// valid through every in-place datapath transformation — across protocols,
+// sizes and VLAN stacking.
+#include <gtest/gtest.h>
+
+#include "net/builder.hpp"
+
+namespace flexsfp::net {
+namespace {
+
+struct RoundTripCase {
+  IpProto proto;
+  std::size_t payload;
+  int vlan_tags;  // 0, 1 or 2 (QinQ)
+};
+
+class FrameRoundTrip : public ::testing::TestWithParam<RoundTripCase> {
+ protected:
+  [[nodiscard]] Bytes build() const {
+    const auto& param = GetParam();
+    PacketBuilder builder;
+    builder.ethernet(MacAddress::from_u64(0x20), MacAddress::from_u64(0x10));
+    if (param.vlan_tags == 1) {
+      builder.vlan(100, 3);
+    } else if (param.vlan_tags == 2) {
+      builder.qinq(200, 100);
+    }
+    builder.ipv4(Ipv4Address::from_octets(10, 1, 2, 3),
+                 Ipv4Address::from_octets(172, 16, 9, 8), param.proto);
+    switch (param.proto) {
+      case IpProto::tcp: builder.tcp(4000, 443); break;
+      case IpProto::udp: builder.udp(4000, 53); break;
+      case IpProto::icmp: builder.icmp_echo(1, 2); break;
+      default: break;
+    }
+    builder.payload_size(param.payload);
+    return builder.build();
+  }
+};
+
+TEST_P(FrameRoundTrip, ParsesCleanWithNoValidationIssues) {
+  const Bytes frame = build();
+  const auto parsed = parse_packet(frame);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.outer.ipv4);
+  EXPECT_EQ(parsed.vlan_tags.size(),
+            static_cast<std::size_t>(GetParam().vlan_tags));
+  EXPECT_TRUE(validate_packet(parsed, frame).empty());
+}
+
+TEST_P(FrameRoundTrip, SrcRewriteThereAndBackIsIdentity) {
+  Bytes frame = build();
+  const Bytes original = frame;
+  auto parsed = parse_packet(frame);
+  const Ipv4Address original_src = parsed.outer.ipv4->src;
+  ASSERT_TRUE(rewrite_ipv4_src(frame, parsed,
+                               Ipv4Address::from_octets(99, 98, 97, 96)));
+  // Still valid mid-flight...
+  parsed = parse_packet(frame);
+  EXPECT_TRUE(validate_packet(parsed, frame).empty());
+  // ...and restoring gives back the exact original bytes.
+  ASSERT_TRUE(rewrite_ipv4_src(frame, parsed, original_src));
+  EXPECT_EQ(frame, original);
+}
+
+TEST_P(FrameRoundTrip, VlanPushPopIsIdentity) {
+  Bytes frame = build();
+  const Bytes original = frame;
+  ASSERT_TRUE(push_vlan(frame, 0x5a5 & 0xfff, 2));
+  // Up to 3 stacked tags now; lift the parser's stacking limit to look in.
+  const auto tagged = parse_packet(frame, {.max_vlan_tags = 4});
+  ASSERT_TRUE(tagged.outer.ipv4);  // inner layers still reachable
+  ASSERT_TRUE(pop_vlan(frame));
+  EXPECT_EQ(frame, original);
+}
+
+TEST_P(FrameRoundTrip, GreEncapDecapIsIdentity) {
+  Bytes frame = build();
+  const Bytes original = frame;
+  ASSERT_TRUE(encapsulate_gre(frame, Ipv4Address::from_octets(1, 0, 0, 1),
+                              Ipv4Address::from_octets(1, 0, 0, 2)));
+  EXPECT_GT(frame.size(), original.size());
+  const auto outer = parse_packet(frame);
+  EXPECT_TRUE(outer.gre.has_value());
+  ASSERT_TRUE(decapsulate(frame));
+  EXPECT_EQ(frame, original);
+}
+
+TEST_P(FrameRoundTrip, VxlanEncapDecapIsIdentity) {
+  Bytes frame = build();
+  const Bytes original = frame;
+  ASSERT_TRUE(encapsulate_vxlan(frame, MacAddress::from_u64(0xa),
+                                MacAddress::from_u64(0xb),
+                                Ipv4Address::from_octets(2, 0, 0, 1),
+                                Ipv4Address::from_octets(2, 0, 0, 2), 1234));
+  ASSERT_TRUE(decapsulate(frame));
+  EXPECT_EQ(frame, original);
+}
+
+TEST_P(FrameRoundTrip, TtlDecrementKeepsHeaderValid) {
+  Bytes frame = build();
+  auto parsed = parse_packet(frame);
+  const std::uint8_t ttl = parsed.outer.ipv4->ttl;
+  ASSERT_TRUE(decrement_ttl(frame, parsed));
+  parsed = parse_packet(frame);
+  EXPECT_EQ(parsed.outer.ipv4->ttl, ttl - 1);
+  EXPECT_EQ(parsed.outer.ipv4->compute_checksum(),
+            parsed.outer.ipv4->checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsSizesTags, FrameRoundTrip,
+    ::testing::Values(RoundTripCase{IpProto::udp, 0, 0},
+                      RoundTripCase{IpProto::udp, 26, 1},
+                      RoundTripCase{IpProto::udp, 1000, 2},
+                      RoundTripCase{IpProto::tcp, 0, 0},
+                      RoundTripCase{IpProto::tcp, 512, 1},
+                      RoundTripCase{IpProto::tcp, 1400, 0},
+                      RoundTripCase{IpProto::icmp, 56, 0},
+                      RoundTripCase{IpProto::icmp, 8, 2}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return to_string(info.param.proto) + "_" +
+             std::to_string(info.param.payload) + "B_" +
+             std::to_string(info.param.vlan_tags) + "tags";
+    });
+
+}  // namespace
+}  // namespace flexsfp::net

@@ -1,0 +1,145 @@
+// Table invariants swept across geometries: an exact-match table must be a
+// faithful map under any mix of inserts/updates/erases it accepts, and the
+// TCAM range expansion must cover exactly the requested interval.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ppe/tables.hpp"
+#include "sim/random.hpp"
+
+namespace flexsfp::ppe {
+namespace {
+
+class ExactMatchProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(ExactMatchProperty, BehavesLikeAMapUnderRandomOps) {
+  const auto [capacity, ways, seed] = GetParam();
+  ExactMatchTable table("t", capacity, 32, 64, ways);
+  std::map<std::uint64_t, std::uint64_t> model;
+  sim::Rng rng(seed);
+
+  for (int op = 0; op < 4000; ++op) {
+    const std::uint64_t key = rng.uniform(0, capacity * 2);  // collisions
+    const int action = static_cast<int>(rng.uniform(0, 9));
+    if (action < 5) {
+      const std::uint64_t value = rng.next_u64();
+      if (table.insert(key, value)) {
+        model[key] = value;
+      } else {
+        // Rejection is only legal when the key is absent (an update of a
+        // resident key must always succeed).
+        EXPECT_FALSE(model.contains(key)) << "rejected update of " << key;
+      }
+    } else if (action < 8) {
+      const auto hit = table.lookup(key);
+      const auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(hit.has_value()) << key;
+      } else {
+        ASSERT_TRUE(hit.has_value()) << key;
+        EXPECT_EQ(*hit, it->second) << key;
+      }
+    } else {
+      EXPECT_EQ(table.erase(key), model.erase(key) > 0) << key;
+    }
+    ASSERT_EQ(table.size(), model.size());
+  }
+
+  // Final sweep: every model entry is present and correct.
+  for (const auto& [key, value] : model) {
+    const auto hit = table.lookup(key);
+    ASSERT_TRUE(hit.has_value()) << key;
+    EXPECT_EQ(*hit, value) << key;
+  }
+  // And for_each visits exactly the model.
+  std::size_t visited = 0;
+  table.for_each([&](std::uint64_t key, std::uint64_t value) {
+    ++visited;
+    const auto it = model.find(key);
+    ASSERT_NE(it, model.end()) << key;
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ExactMatchProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(16, 256, 1024),
+                       ::testing::Values<std::size_t>(1, 2, 4),
+                       ::testing::Values<std::uint64_t>(3, 17)));
+
+class RangeExpansionProperty
+    : public ::testing::TestWithParam<std::pair<std::uint16_t, std::uint16_t>> {
+};
+
+TEST_P(RangeExpansionProperty, CoversExactlyTheInterval) {
+  const auto [lo, hi] = GetParam();
+  const auto pairs = expand_port_range(lo, hi);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_LE(pairs.size(), 30u);  // the classic 2*16-2 worst-case bound
+  for (std::uint32_t port = 0; port <= 0xffff; ++port) {
+    int matches = 0;
+    for (const auto& [value, mask] : pairs) {
+      if ((port & mask) == (value & mask)) ++matches;
+    }
+    const bool inside = port >= lo && port <= hi;
+    ASSERT_EQ(matches, inside ? 1 : 0) << "port " << port;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RangeExpansionProperty,
+    ::testing::Values(std::pair<std::uint16_t, std::uint16_t>{0, 0},
+                      std::pair<std::uint16_t, std::uint16_t>{65535, 65535},
+                      std::pair<std::uint16_t, std::uint16_t>{0, 1023},
+                      std::pair<std::uint16_t, std::uint16_t>{1, 65534},
+                      std::pair<std::uint16_t, std::uint16_t>{1024, 49151},
+                      std::pair<std::uint16_t, std::uint16_t>{33, 8191},
+                      std::pair<std::uint16_t, std::uint16_t>{443, 444},
+                      std::pair<std::uint16_t, std::uint16_t>{9999, 10001}));
+
+class LpmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmProperty, AgreesWithLinearLongestMatch) {
+  sim::Rng rng(GetParam());
+  LpmTable table("t", 64);
+  std::vector<std::pair<net::Ipv4Prefix, std::uint64_t>> reference;
+  for (int i = 0; i < 40; ++i) {
+    const auto length = static_cast<std::uint8_t>(rng.uniform(0, 32));
+    const net::Ipv4Prefix prefix{
+        net::Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())}, length};
+    const std::uint64_t value = rng.uniform(1, 1000);
+    if (table.insert(prefix, value)) {
+      // Mirror update-or-insert semantics in the reference list.
+      bool updated = false;
+      for (auto& [existing, existing_value] : reference) {
+        if (existing == prefix) {
+          existing_value = value;
+          updated = true;
+        }
+      }
+      if (!updated) reference.emplace_back(prefix, value);
+    }
+  }
+  for (int probe = 0; probe < 500; ++probe) {
+    const net::Ipv4Address addr{static_cast<std::uint32_t>(rng.next_u64())};
+    std::optional<std::uint64_t> expected;
+    int best_length = -1;
+    for (const auto& [prefix, value] : reference) {
+      if (prefix.contains(addr) && int(prefix.length()) > best_length) {
+        best_length = prefix.length();
+        expected = value;
+      }
+    }
+    EXPECT_EQ(table.lookup(addr), expected) << addr.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmProperty,
+                         ::testing::Values(1, 7, 23, 99, 1234));
+
+}  // namespace
+}  // namespace flexsfp::ppe

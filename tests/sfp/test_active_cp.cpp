@@ -1,0 +1,222 @@
+// Active-CP services: ICMP termination and control-plane-originated flow
+// export — §4.1's third architecture, where the SFP becomes "an active
+// network component capable of generating traffic".
+#include <gtest/gtest.h>
+
+#include "apps/telemetry.hpp"
+#include "fabric/traffic_gen.hpp"
+#include "net/builder.hpp"
+#include "net/checksum.hpp"
+#include "sfp/exporter.hpp"
+#include "sfp/flexsfp.hpp"
+
+namespace flexsfp::sfp {
+namespace {
+
+using namespace sim;  // time literals
+
+FlexSfpConfig active_config() {
+  FlexSfpConfig config;
+  config.boot_at_start = false;
+  config.shell.kind = ShellKind::active_cp;
+  config.shell.module_mac = net::MacAddress::from_u64(0x02ee);
+  config.cp_ip = net::Ipv4Address::parse("192.0.2.10");
+  return config;
+}
+
+net::PacketPtr echo_request(net::Ipv4Address target,
+                            std::uint16_t id = 7, std::uint16_t seq = 1) {
+  return std::make_shared<net::Packet>(
+      net::PacketBuilder()
+          .ethernet(net::MacAddress::from_u64(0x02ee),
+                    net::MacAddress::from_u64(0x11))
+          .ipv4(*net::Ipv4Address::parse("192.0.2.1"), target,
+                net::IpProto::icmp)
+          .icmp_echo(id, seq)
+          .payload_size(32)
+          .build_packet());
+}
+
+TEST(ActiveCp, AnswersIcmpEchoToItsOwnIp) {
+  Simulation sim;
+  const auto config = active_config();
+  FlexSfpModule module(sim, std::make_unique<apps::FlowStats>(), config);
+
+  std::vector<net::PacketPtr> edge_out;
+  module.set_egress_handler(FlexSfpModule::edge_port,
+                            [&edge_out](net::PacketPtr p) {
+                              edge_out.push_back(std::move(p));
+                            });
+
+  module.inject(FlexSfpModule::edge_port, echo_request(*config.cp_ip));
+  sim.run();
+
+  ASSERT_EQ(edge_out.size(), 1u);
+  const auto parsed = net::parse_packet(edge_out[0]->data());
+  ASSERT_TRUE(parsed.outer.icmp);
+  EXPECT_EQ(parsed.outer.icmp->type, 0);  // echo reply
+  EXPECT_EQ(parsed.outer.ipv4->src, *config.cp_ip);
+  EXPECT_EQ(parsed.outer.ipv4->dst, *net::Ipv4Address::parse("192.0.2.1"));
+  EXPECT_EQ(parsed.eth.src, net::MacAddress::from_u64(0x02ee));
+  // ICMP checksum remains valid after the incremental type patch.
+  const std::size_t l4 = parsed.outer.l4_offset;
+  const net::BytesView covered{edge_out[0]->data().data() + l4,
+                               edge_out[0]->data().size() - l4};
+  EXPECT_EQ(net::internet_checksum(covered), 0);
+  EXPECT_EQ(module.control_plane().pings_answered(), 1u);
+}
+
+TEST(ActiveCp, IgnoresEchoToOtherAddresses) {
+  Simulation sim;
+  const auto config = active_config();
+  FlexSfpModule module(sim, std::make_unique<apps::FlowStats>(), config);
+  int replies = 0;
+  module.set_egress_handler(FlexSfpModule::edge_port,
+                            [&replies](net::PacketPtr) { ++replies; });
+  // Addressed to the module MAC but a different IP: terminated, no answer.
+  module.inject(FlexSfpModule::edge_port,
+                echo_request(*net::Ipv4Address::parse("192.0.2.99")));
+  sim.run();
+  EXPECT_EQ(replies, 0);
+  EXPECT_EQ(module.control_plane().pings_answered(), 0u);
+}
+
+TEST(ActiveCp, NonActiveShellsDoNotTerminateIcmp) {
+  Simulation sim;
+  auto config = active_config();
+  config.shell.kind = ShellKind::one_way_filter;
+  FlexSfpModule module(sim, std::make_unique<apps::FlowStats>(), config);
+  int optical_out = 0;
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [&optical_out](net::PacketPtr) { ++optical_out; });
+  module.inject(FlexSfpModule::edge_port, echo_request(*config.cp_ip));
+  sim.run();
+  EXPECT_EQ(optical_out, 1);  // forwarded like any other frame
+}
+
+TEST(ExportRecord, SerializeParseRoundTrip) {
+  apps::FlowRecord flow;
+  flow.tuple = {net::Ipv4Address{0x0a000001}, net::Ipv4Address{0xc0a80001},
+                1234, 443, 6};
+  flow.packets = 99;
+  flow.bytes = 123456;
+  flow.first_seen_ps = 5'000'000'000;  // 5 ms
+  flow.last_seen_ps = 9'000'000'000;
+  flow.tcp_flags_seen = 0x12;
+
+  const auto record = ExportRecord::from_flow(flow);
+  net::Bytes buffer(ExportRecord::size());
+  record.serialize_to(buffer, 0);
+  const auto parsed = ExportRecord::parse(buffer, 0);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tuple, flow.tuple);
+  EXPECT_EQ(parsed->packets, 99u);
+  EXPECT_EQ(parsed->bytes, 123456u);
+  EXPECT_EQ(parsed->first_seen_us, 5000u);
+  EXPECT_EQ(parsed->last_seen_us, 9000u);
+  EXPECT_EQ(parsed->tcp_flags, 0x12);
+}
+
+TEST(FlowExporter, ExportsSweptFlowsAsUdpDatagrams) {
+  Simulation sim;
+  auto config = active_config();
+  config.shell.kind = ShellKind::one_way_filter;
+
+  apps::FlowStatsConfig stats_config;
+  stats_config.idle_timeout_ps = 500'000'000;  // 0.5 ms idle -> export fast
+  FlexSfpModule module(
+      sim, std::make_unique<apps::FlowStats>(stats_config), config);
+
+  // Collector behind the edge port.
+  std::vector<ExportRecord> collected;
+  module.set_egress_handler(
+      FlexSfpModule::edge_port, [&collected](net::PacketPtr packet) {
+        if (const auto records = FlowExporter::decode(*packet)) {
+          collected.insert(collected.end(), records->begin(), records->end());
+        }
+      });
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [](net::PacketPtr) {});
+
+  FlowExporterConfig exporter_config;
+  exporter_config.interval_ps = 2'000'000'000;  // sweep every 2 ms
+  exporter_config.collector_mac = net::MacAddress::from_u64(0xc0);
+  exporter_config.collector_ip = *net::Ipv4Address::parse("198.51.100.9");
+  exporter_config.exporter_ip = *config.cp_ip;
+  FlowExporter exporter(sim, module, exporter_config);
+  exporter.start();
+
+  // A burst of traffic across 20 flows, then silence.
+  sim::LambdaHandler into([&module](net::PacketPtr p) {
+    module.inject(FlexSfpModule::edge_port, std::move(p));
+  });
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::gbps(1);
+  spec.duration = 1'000'000'000;  // 1 ms
+  spec.flow_count = 20;
+  spec.zipf_skew = 0.0;
+  fabric::TrafficGen gen(sim, spec, into);
+  gen.start();
+
+  sim.run_until(10'000'000'000);  // 10 ms: several sweeps
+
+  EXPECT_GT(exporter.datagrams_sent(), 0u);
+  EXPECT_GT(exporter.records_exported(), 0u);
+  EXPECT_EQ(collected.size(), exporter.records_exported());
+  // Accounting conservation: exported packet counts equal generated.
+  std::uint64_t exported_packets = 0;
+  for (const auto& record : collected) exported_packets += record.packets;
+  EXPECT_EQ(exported_packets, gen.emitted().packets());
+}
+
+TEST(FlowExporter, SplitsLargeSweepsAcrossDatagrams) {
+  Simulation sim;
+  auto config = active_config();
+  config.shell.kind = ShellKind::one_way_filter;
+  apps::FlowStatsConfig stats_config;
+  stats_config.idle_timeout_ps = 1;  // everything is idle at sweep time
+  FlexSfpModule module(
+      sim, std::make_unique<apps::FlowStats>(stats_config), config);
+
+  int datagrams = 0;
+  module.set_egress_handler(FlexSfpModule::edge_port,
+                            [&datagrams](net::PacketPtr packet) {
+                              if (FlowExporter::decode(*packet)) ++datagrams;
+                            });
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [](net::PacketPtr) {});
+
+  FlowExporterConfig exporter_config;
+  exporter_config.interval_ps = 5'000'000'000;
+  exporter_config.max_records_per_packet = 8;
+  FlowExporter exporter(sim, module, exporter_config);
+  exporter.start();
+
+  sim::LambdaHandler into([&module](net::PacketPtr p) {
+    module.inject(FlexSfpModule::edge_port, std::move(p));
+  });
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::gbps(1);
+  spec.duration = 1'000'000'000;
+  spec.flow_count = 40;
+  spec.zipf_skew = 0.0;
+  fabric::TrafficGen gen(sim, spec, into);
+  gen.start();
+  sim.run_until(6'000'000'000);
+
+  EXPECT_GT(datagrams, 1);  // > 8 flows -> several datagrams
+}
+
+TEST(FlowExporter, NoFlowStatsStageMeansNoExports) {
+  Simulation sim;
+  auto config = active_config();
+  config.shell.kind = ShellKind::one_way_filter;
+  FlexSfpModule module(sim, std::make_unique<apps::Sampler>(), config);
+  FlowExporter exporter(sim, module, FlowExporterConfig{});
+  exporter.start();
+  sim.run_until(3'000'000'000'000);
+  EXPECT_EQ(exporter.datagrams_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace flexsfp::sfp

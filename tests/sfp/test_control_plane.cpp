@@ -1,0 +1,173 @@
+#include "sfp/control_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/nat.hpp"
+
+namespace flexsfp::sfp {
+namespace {
+
+const hw::AuthKey key{0xabcdef0123456789};
+
+struct CpFixture {
+  CpFixture() : cp(sim, ControlPlaneConfig{.key = key,
+                               .mac = net::MacAddress::from_u64(0xee),
+                               .ip = std::nullopt}) {
+    cp.set_app_provider([this]() -> ppe::PpeApp* { return &nat; });
+    cp.set_transmit([this](net::PacketPtr packet) {
+      const auto body = mgmt_body(*packet);
+      ASSERT_TRUE(body);
+      const auto response = MgmtResponse::parse(*body);
+      ASSERT_TRUE(response);
+      responses.push_back(*response);
+    });
+  }
+
+  /// Send a request and return the response.
+  MgmtResponse roundtrip(const MgmtRequest& request, bool sign = true) {
+    const auto body = sign ? request.serialize(key)
+                           : request.serialize(hw::AuthKey{0xbad});
+    auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+        net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
+        body));
+    cp.handle_packet(std::move(frame));
+    sim.run();
+    EXPECT_FALSE(responses.empty());
+    const auto response = responses.back();
+    return response;
+  }
+
+  sim::Simulation sim;
+  apps::StaticNat nat;
+  ControlPlane cp;
+  std::vector<MgmtResponse> responses;
+};
+
+TEST(ControlPlane, PingEchoes) {
+  CpFixture fx;
+  MgmtRequest request;
+  request.seq = 5;
+  request.op = MgmtOp::ping;
+  request.value = 0x1234;
+  const auto response = fx.roundtrip(request);
+  EXPECT_EQ(response.seq, 5u);
+  EXPECT_EQ(response.status, MgmtStatus::ok);
+  EXPECT_EQ(response.value, 0x1234u);
+}
+
+TEST(ControlPlane, BadSignatureRejected) {
+  CpFixture fx;
+  MgmtRequest request;
+  request.op = MgmtOp::ping;
+  const auto response = fx.roundtrip(request, /*sign=*/false);
+  EXPECT_EQ(response.status, MgmtStatus::auth_failed);
+  EXPECT_EQ(fx.cp.auth_failures(), 1u);
+}
+
+TEST(ControlPlane, TableInsertLookupEraseCycle) {
+  CpFixture fx;
+  MgmtRequest insert;
+  insert.op = MgmtOp::table_insert;
+  insert.table = "nat";
+  insert.key = 0x0a000001;
+  insert.value = 0x63000001;
+  EXPECT_EQ(fx.roundtrip(insert).status, MgmtStatus::ok);
+  // The datapath sees the new entry immediately (runtime update).
+  EXPECT_EQ(fx.nat.translation_for(net::Ipv4Address{0x0a000001}),
+            net::Ipv4Address{0x63000001});
+
+  MgmtRequest lookup;
+  lookup.op = MgmtOp::table_lookup;
+  lookup.table = "nat";
+  lookup.key = 0x0a000001;
+  const auto found = fx.roundtrip(lookup);
+  EXPECT_EQ(found.status, MgmtStatus::ok);
+  EXPECT_EQ(found.value, 0x63000001u);
+
+  MgmtRequest erase;
+  erase.op = MgmtOp::table_erase;
+  erase.table = "nat";
+  erase.key = 0x0a000001;
+  EXPECT_EQ(fx.roundtrip(erase).status, MgmtStatus::ok);
+  EXPECT_EQ(fx.roundtrip(lookup).status, MgmtStatus::not_found);
+}
+
+TEST(ControlPlane, UnknownTableReported) {
+  CpFixture fx;
+  MgmtRequest request;
+  request.op = MgmtOp::table_insert;
+  request.table = "wrong";
+  EXPECT_EQ(fx.roundtrip(request).status, MgmtStatus::unknown_table);
+}
+
+TEST(ControlPlane, CounterReadReturnsPacketsAndBytes) {
+  CpFixture fx;
+  MgmtRequest request;
+  request.op = MgmtOp::counter_read;
+  request.key = 0;  // first counter snapshot
+  const auto response = fx.roundtrip(request);
+  EXPECT_EQ(response.status, MgmtStatus::ok);
+  ASSERT_EQ(response.payload.size(), 16u);
+
+  MgmtRequest out_of_range;
+  out_of_range.op = MgmtOp::counter_read;
+  out_of_range.key = 999;
+  EXPECT_EQ(fx.roundtrip(out_of_range).status, MgmtStatus::not_found);
+}
+
+TEST(ControlPlane, OpLatencyIsModeled) {
+  CpFixture fx;
+  MgmtRequest request;
+  request.op = MgmtOp::ping;
+  const auto body = request.serialize(key);
+  auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+      net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
+      body));
+  fx.cp.handle_packet(std::move(frame));
+  EXPECT_TRUE(fx.responses.empty());  // nothing until the softcore runs
+  fx.sim.run();
+  EXPECT_EQ(fx.responses.size(), 1u);
+  EXPECT_GE(fx.sim.now(), 2'000'000);  // >= 2 us op latency
+}
+
+TEST(ControlPlane, MalformedBodyAnswersMalformed) {
+  CpFixture fx;
+  auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+      net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
+      net::Bytes{0xde, 0xad}));
+  fx.cp.handle_packet(std::move(frame));
+  fx.sim.run();
+  ASSERT_EQ(fx.responses.size(), 1u);
+  EXPECT_EQ(fx.responses[0].status, MgmtStatus::malformed);
+}
+
+TEST(ControlPlane, NonMgmtFrameIgnored) {
+  CpFixture fx;
+  net::Bytes raw(60, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::ipv4);
+  eth.serialize_to(raw, 0);
+  fx.cp.handle_packet(std::make_shared<net::Packet>(net::Packet{raw}));
+  fx.sim.run();
+  EXPECT_TRUE(fx.responses.empty());
+}
+
+TEST(BootSequence, CoversPaperStartupTasks) {
+  const auto steps = default_boot_sequence();
+  ASSERT_GE(steps.size(), 4u);
+  bool transceiver = false;
+  bool laser = false;
+  bool amplifier = false;
+  bool tables = false;
+  for (const auto& step : steps) {
+    transceiver |= step.name.find("transceiver") != std::string::npos;
+    laser |= step.name.find("laser") != std::string::npos;
+    amplifier |= step.name.find("amplifier") != std::string::npos;
+    tables |= step.name.find("table") != std::string::npos;
+  }
+  EXPECT_TRUE(transceiver && laser && amplifier && tables);
+  EXPECT_GT(boot_duration(steps), 0);
+}
+
+}  // namespace
+}  // namespace flexsfp::sfp

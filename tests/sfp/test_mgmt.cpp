@@ -1,0 +1,113 @@
+#include "sfp/mgmt_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/headers.hpp"
+
+namespace flexsfp::sfp {
+namespace {
+
+const hw::AuthKey key{0xfeedfacecafebeef};
+
+MgmtRequest sample_request() {
+  MgmtRequest request;
+  request.seq = 42;
+  request.op = MgmtOp::table_insert;
+  request.table = "nat";
+  request.key = 0x0a000001;
+  request.value = 0x01020304;
+  request.payload = {1, 2, 3};
+  return request;
+}
+
+TEST(MgmtRequest, SerializeParseRoundTrip) {
+  const auto wire = sample_request().serialize(key);
+  const auto parsed = MgmtRequest::parse(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_EQ(parsed->op, MgmtOp::table_insert);
+  EXPECT_EQ(parsed->table, "nat");
+  EXPECT_EQ(parsed->key, 0x0a000001u);
+  EXPECT_EQ(parsed->value, 0x01020304u);
+  EXPECT_EQ(parsed->payload, (net::Bytes{1, 2, 3}));
+  EXPECT_TRUE(parsed->verify(key));
+}
+
+TEST(MgmtRequest, WrongKeyFailsVerification) {
+  const auto wire = sample_request().serialize(key);
+  const auto parsed = MgmtRequest::parse(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_FALSE(parsed->verify(hw::AuthKey{0x1111}));
+}
+
+TEST(MgmtRequest, TamperedFieldFailsVerification) {
+  auto wire = sample_request().serialize(key);
+  wire[10] ^= 0x01;  // flip a bit inside the signed region
+  const auto parsed = MgmtRequest::parse(wire);
+  if (parsed) {  // may also fail parsing, both are acceptable rejections
+    EXPECT_FALSE(parsed->verify(key));
+  }
+}
+
+TEST(MgmtRequest, ParseRejectsTruncatedAndGarbage) {
+  EXPECT_FALSE(MgmtRequest::parse(net::Bytes{}).has_value());
+  EXPECT_FALSE(MgmtRequest::parse(net::Bytes(8, 0)).has_value());
+  auto wire = sample_request().serialize(key);
+  wire.resize(wire.size() - 10);
+  EXPECT_FALSE(MgmtRequest::parse(wire).has_value());
+  wire = sample_request().serialize(key);
+  wire[5] = 0x7f;  // invalid op
+  EXPECT_FALSE(MgmtRequest::parse(wire).has_value());
+}
+
+TEST(MgmtResponse, SerializeParseRoundTrip) {
+  MgmtResponse response;
+  response.seq = 7;
+  response.status = MgmtStatus::table_full;
+  response.value = 0xdeadbeef;
+  response.payload = {9, 8, 7};
+  const auto parsed = MgmtResponse::parse(response.serialize());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->seq, 7u);
+  EXPECT_EQ(parsed->status, MgmtStatus::table_full);
+  EXPECT_EQ(parsed->value, 0xdeadbeefu);
+  EXPECT_EQ(parsed->payload, (net::Bytes{9, 8, 7}));
+}
+
+TEST(MgmtResponse, ParseRejectsRequestMarker) {
+  const auto wire = sample_request().serialize(key);
+  EXPECT_FALSE(MgmtResponse::parse(wire).has_value());
+}
+
+TEST(MgmtFrame, RoundTripThroughEthernet) {
+  const auto body = sample_request().serialize(key);
+  const auto frame = make_mgmt_frame(net::MacAddress::from_u64(0xaa),
+                                     net::MacAddress::from_u64(0xbb), body);
+  EXPECT_TRUE(is_mgmt_frame(frame));
+  const auto extracted = mgmt_body(frame);
+  ASSERT_TRUE(extracted);
+  // Frames are padded to 60 B; the body is a prefix.
+  ASSERT_GE(extracted->size(), body.size());
+  EXPECT_TRUE(std::equal(body.begin(), body.end(), extracted->begin()));
+  const auto reparsed = MgmtRequest::parse(*extracted);
+  ASSERT_TRUE(reparsed);
+  EXPECT_TRUE(reparsed->verify(key));
+}
+
+TEST(MgmtFrame, NonMgmtFrameRejected) {
+  net::Bytes raw(60, 0);
+  net::EthernetHeader eth;
+  eth.ether_type = static_cast<std::uint16_t>(net::EtherType::ipv4);
+  eth.serialize_to(raw, 0);
+  const net::Packet packet{raw};
+  EXPECT_FALSE(is_mgmt_frame(packet));
+  EXPECT_FALSE(mgmt_body(packet).has_value());
+}
+
+TEST(MgmtStrings, Coverage) {
+  EXPECT_EQ(to_string(MgmtOp::reconfig_commit), "reconfig-commit");
+  EXPECT_EQ(to_string(MgmtStatus::verify_failed), "verify-failed");
+}
+
+}  // namespace
+}  // namespace flexsfp::sfp

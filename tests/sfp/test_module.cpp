@@ -1,0 +1,161 @@
+#include "sfp/flexsfp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/nat.hpp"
+#include "net/builder.hpp"
+
+namespace flexsfp::sfp {
+namespace {
+
+using namespace sim;  // time literals
+
+net::PacketPtr data_packet() {
+  return std::make_shared<net::Packet>(
+      net::PacketBuilder()
+          .ethernet(net::MacAddress::from_u64(0xbb),
+                    net::MacAddress::from_u64(0xaa))
+          .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+                net::Ipv4Address::from_octets(10, 0, 0, 2), net::IpProto::udp)
+          .udp(1, 2)
+          .payload_size(40)
+          .build_packet());
+}
+
+FlexSfpConfig instant_config() {
+  FlexSfpConfig config;
+  config.boot_at_start = false;
+  return config;
+}
+
+TEST(FlexSfpModule, ForwardsThroughPpeWhenRunning) {
+  Simulation sim;
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(),
+                       instant_config());
+  int out = 0;
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [&out](net::PacketPtr) { ++out; });
+  module.inject(FlexSfpModule::edge_port, data_packet());
+  sim.run();
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(module.state(), ModuleState::running);
+}
+
+TEST(FlexSfpModule, BootSequenceDarkensDatapath) {
+  Simulation sim;
+  FlexSfpConfig config;  // boots at start
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(), config);
+  EXPECT_EQ(module.state(), ModuleState::booting);
+  int out = 0;
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [&out](net::PacketPtr) { ++out; });
+  module.inject(FlexSfpModule::edge_port, data_packet());  // lost: booting
+  sim.run_until(boot_duration(default_boot_sequence()) + 1_us);
+  EXPECT_EQ(module.state(), ModuleState::running);
+  EXPECT_EQ(module.packets_lost_while_dark(), 1u);
+  module.inject(FlexSfpModule::edge_port, data_packet());
+  sim.run();
+  EXPECT_EQ(out, 1);
+}
+
+TEST(FlexSfpModule, ResourceReportIsTable1Shaped) {
+  Simulation sim;
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(),
+                       instant_config());
+  const auto report = module.resource_report();
+  ASSERT_EQ(report.components().size(), 4u);
+  EXPECT_EQ(report.components()[0].name, "Mi-V");
+  EXPECT_EQ(report.components()[1].name, "Elec. I/F");
+  EXPECT_EQ(report.components()[2].name, "Opt. I/F");
+  EXPECT_EQ(report.components()[3].name, "nat app");
+  const auto total = report.total();
+  EXPECT_EQ(total.usram_blocks, 278u);  // paper "Used" row
+  EXPECT_EQ(total.lsram_blocks, 164u);
+  EXPECT_NEAR(double(total.luts), 31455, 40);
+  EXPECT_NEAR(double(total.ffs), 25518, 40);
+  EXPECT_TRUE(module.design_fits());
+}
+
+TEST(FlexSfpModule, GoldenImageSeededInFlashSlot0) {
+  Simulation sim;
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(),
+                       instant_config());
+  const auto golden = module.flash().read(0);
+  ASSERT_TRUE(golden);
+  EXPECT_EQ(golden->app_name(), "nat");
+  EXPECT_TRUE(golden->verify(instant_config().auth_key));
+}
+
+TEST(FlexSfpModule, PowerWithinTransceiverEnvelope) {
+  Simulation sim;
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(),
+                       instant_config());
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [](net::PacketPtr) {});
+  for (int i = 0; i < 100; ++i) {
+    module.inject(FlexSfpModule::edge_port, data_packet());
+  }
+  sim.run();
+  const auto power = module.power(sim.now());
+  EXPECT_GT(power.total(), 0.7);
+  EXPECT_LT(power.total(), 3.0);  // §2 envelope
+}
+
+TEST(FlexSfpModule, LaserWearoutFailsModule) {
+  Simulation sim;
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(),
+                       instant_config());
+  const double ttf = module.vcsel().time_to_failure_hours();
+  EXPECT_EQ(module.check_laser(ttf * 0.5), LaserHealth::nominal);
+  EXPECT_EQ(module.state(), ModuleState::running);
+  EXPECT_EQ(module.check_laser(ttf + 1), LaserHealth::failed);
+  EXPECT_EQ(module.state(), ModuleState::failed);
+  // A failed module drops traffic.
+  module.inject(FlexSfpModule::edge_port, data_packet());
+  EXPECT_EQ(module.packets_lost_while_dark(), 1u);
+}
+
+TEST(FlexSfpModule, MgmtFrameReachesControlPlaneAndAnswers) {
+  Simulation sim;
+  FlexSfpConfig config = instant_config();
+  config.shell.module_mac = net::MacAddress::from_u64(0xee);
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(), config);
+
+  std::vector<net::PacketPtr> edge_out;
+  module.set_egress_handler(FlexSfpModule::edge_port,
+                            [&edge_out](net::PacketPtr p) {
+                              edge_out.push_back(std::move(p));
+                            });
+
+  MgmtRequest request;
+  request.seq = 9;
+  request.op = MgmtOp::table_insert;
+  request.table = "nat";
+  request.key = 0x0a000001;
+  request.value = 0x01010101;
+  auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+      config.shell.module_mac, net::MacAddress::from_u64(0x11),
+      request.serialize(config.auth_key)));
+  module.inject(FlexSfpModule::edge_port, std::move(frame));
+  sim.run();
+
+  ASSERT_EQ(edge_out.size(), 1u);
+  const auto body = mgmt_body(*edge_out[0]);
+  ASSERT_TRUE(body);
+  const auto response = MgmtResponse::parse(*body);
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->seq, 9u);
+  EXPECT_EQ(response->status, MgmtStatus::ok);
+  // And the table really changed.
+  auto* nat = dynamic_cast<apps::StaticNat*>(&module.app());
+  ASSERT_NE(nat, nullptr);
+  EXPECT_TRUE(nat->translation_for(net::Ipv4Address{0x0a000001}).has_value());
+}
+
+TEST(ModuleStateStrings, Names) {
+  EXPECT_EQ(to_string(ModuleState::running), "running");
+  EXPECT_EQ(to_string(ModuleState::rebooting), "rebooting");
+}
+
+}  // namespace
+}  // namespace flexsfp::sfp

@@ -1,0 +1,231 @@
+// End-to-end tests of §4.2's over-the-network reprogramming: authenticated
+// reconfiguration packets carry a new bitstream; an FSM stages it to SPI
+// flash and reboots the module into the new application.
+#include <gtest/gtest.h>
+
+#include "apps/acl.hpp"
+#include "apps/nat.hpp"
+#include "sfp/flexsfp.hpp"
+
+namespace flexsfp::sfp {
+namespace {
+
+using namespace sim;  // time literals
+
+struct ReconfigFixture {
+  ReconfigFixture() {
+    config.boot_at_start = false;
+    config.shell.module_mac = net::MacAddress::from_u64(0xee);
+    module = std::make_unique<FlexSfpModule>(
+        sim, std::make_unique<apps::StaticNat>(), config);
+    module->set_egress_handler(FlexSfpModule::edge_port,
+                               [this](net::PacketPtr p) {
+                                 auto body = mgmt_body(*p);
+                                 if (!body) return;
+                                 auto response = MgmtResponse::parse(*body);
+                                 if (response) responses.push_back(*response);
+                               });
+    module->set_egress_handler(FlexSfpModule::optical_port,
+                               [](net::PacketPtr) {});
+  }
+
+  void send(const MgmtRequest& request, hw::AuthKey sign_key) {
+    auto frame = std::make_shared<net::Packet>(
+        make_mgmt_frame(config.shell.module_mac,
+                        net::MacAddress::from_u64(0x11),
+                        request.serialize(sign_key)));
+    module->inject(FlexSfpModule::edge_port, std::move(frame));
+    sim.run();
+  }
+
+  /// Split `image` into chunks and drive the full transfer.
+  std::vector<MgmtStatus> transfer(const net::Bytes& image,
+                                   std::size_t chunk_size,
+                                   hw::AuthKey sign_key) {
+    std::vector<MgmtStatus> statuses;
+    const std::size_t chunk_count =
+        (image.size() + chunk_size - 1) / chunk_size;
+
+    MgmtRequest begin;
+    begin.seq = 1;
+    begin.op = MgmtOp::reconfig_begin;
+    begin.payload.resize(2);
+    net::write_be16(begin.payload, 0,
+                    static_cast<std::uint16_t>(chunk_count));
+    send(begin, sign_key);
+    statuses.push_back(responses.back().status);
+
+    for (std::size_t i = 0; i < chunk_count; ++i) {
+      MgmtRequest chunk;
+      chunk.seq = static_cast<std::uint32_t>(2 + i);
+      chunk.op = MgmtOp::reconfig_chunk;
+      chunk.payload.resize(2);
+      net::write_be16(chunk.payload, 0, static_cast<std::uint16_t>(i));
+      const std::size_t offset = i * chunk_size;
+      const std::size_t len = std::min(chunk_size, image.size() - offset);
+      chunk.payload.insert(chunk.payload.end(), image.begin() + offset,
+                           image.begin() + offset + len);
+      send(chunk, sign_key);
+      statuses.push_back(responses.back().status);
+    }
+
+    MgmtRequest commit;
+    commit.seq = 1000;
+    commit.op = MgmtOp::reconfig_commit;
+    send(commit, sign_key);
+    statuses.push_back(responses.back().status);
+    return statuses;
+  }
+
+  Simulation sim;
+  FlexSfpConfig config;
+  std::unique_ptr<FlexSfpModule> module;
+  std::vector<MgmtResponse> responses;
+};
+
+TEST(Reconfig, InBandBitstreamSwapsApplication) {
+  ReconfigFixture fx;
+  EXPECT_EQ(fx.module->app().name(), "nat");
+
+  apps::AclConfig acl_config;
+  acl_config.default_action = apps::AclAction::deny;
+  const auto bitstream = hw::Bitstream::create(
+      "acl", acl_config.serialize(), fx.config.auth_key);
+  const auto statuses =
+      fx.transfer(bitstream.serialize(), 64, fx.config.auth_key);
+  for (const auto status : statuses) {
+    EXPECT_EQ(status, MgmtStatus::ok);
+  }
+
+  // Flash + reboot happen on simulated time; run to completion.
+  fx.sim.run();
+  EXPECT_EQ(fx.module->state(), ModuleState::running);
+  EXPECT_EQ(fx.module->app().name(), "acl");
+  EXPECT_EQ(fx.module->reconfigurations(), 1u);
+  // The new image landed in the staging slot.
+  const auto staged = fx.module->flash().read(fx.config.staging_slot);
+  ASSERT_TRUE(staged);
+  EXPECT_EQ(staged->app_name(), "acl");
+}
+
+TEST(Reconfig, WrongKeyRejectedBeforeFlashing) {
+  ReconfigFixture fx;
+  const auto bitstream =
+      hw::Bitstream::create("acl", apps::AclConfig{}.serialize(),
+                            hw::AuthKey{0xbadbadbad});  // wrong signer
+  const auto statuses =
+      fx.transfer(bitstream.serialize(), 64, fx.config.auth_key);
+  EXPECT_EQ(statuses.back(), MgmtStatus::verify_failed);
+  fx.sim.run();
+  EXPECT_EQ(fx.module->app().name(), "nat");  // unchanged
+  EXPECT_EQ(fx.module->reconfigurations(), 0u);
+  EXPECT_FALSE(fx.module->flash().read(fx.config.staging_slot).has_value());
+}
+
+TEST(Reconfig, CorruptedChunkFailsCommit) {
+  ReconfigFixture fx;
+  auto image = hw::Bitstream::create("acl", apps::AclConfig{}.serialize(),
+                                     fx.config.auth_key)
+                   .serialize();
+  image[image.size() / 2] ^= 0xff;  // corrupt mid-transfer
+  const auto statuses = fx.transfer(image, 64, fx.config.auth_key);
+  EXPECT_EQ(statuses.back(), MgmtStatus::verify_failed);
+  EXPECT_EQ(fx.module->app().name(), "nat");
+}
+
+TEST(Reconfig, ChunkWithoutBeginIsBadState) {
+  ReconfigFixture fx;
+  MgmtRequest chunk;
+  chunk.op = MgmtOp::reconfig_chunk;
+  chunk.payload = {0, 0, 1, 2, 3};
+  fx.send(chunk, fx.config.auth_key);
+  EXPECT_EQ(fx.responses.back().status, MgmtStatus::bad_state);
+}
+
+TEST(Reconfig, CommitWithMissingChunksIsBadState) {
+  ReconfigFixture fx;
+  MgmtRequest begin;
+  begin.op = MgmtOp::reconfig_begin;
+  begin.payload.resize(2);
+  net::write_be16(begin.payload, 0, 3);  // declare 3 chunks, send none
+  fx.send(begin, fx.config.auth_key);
+  MgmtRequest commit;
+  commit.op = MgmtOp::reconfig_commit;
+  fx.send(commit, fx.config.auth_key);
+  EXPECT_EQ(fx.responses.back().status, MgmtStatus::bad_state);
+}
+
+TEST(Reconfig, AbortResetsFsm) {
+  ReconfigFixture fx;
+  MgmtRequest begin;
+  begin.op = MgmtOp::reconfig_begin;
+  begin.payload.resize(2);
+  net::write_be16(begin.payload, 0, 2);
+  fx.send(begin, fx.config.auth_key);
+  EXPECT_EQ(fx.module->control_plane().reconfig_state(),
+            ReconfigState::receiving);
+  MgmtRequest abort;
+  abort.op = MgmtOp::reconfig_abort;
+  fx.send(abort, fx.config.auth_key);
+  EXPECT_EQ(fx.module->control_plane().reconfig_state(), ReconfigState::idle);
+  // A fresh begin now succeeds.
+  fx.send(begin, fx.config.auth_key);
+  EXPECT_EQ(fx.responses.back().status, MgmtStatus::ok);
+}
+
+TEST(Reconfig, RetransmittedChunkIsIdempotent) {
+  ReconfigFixture fx;
+  const auto image = hw::Bitstream::create(
+                         "acl", apps::AclConfig{}.serialize(),
+                         fx.config.auth_key)
+                         .serialize();
+  MgmtRequest begin;
+  begin.op = MgmtOp::reconfig_begin;
+  begin.payload.resize(2);
+  net::write_be16(begin.payload, 0, 1);
+  fx.send(begin, fx.config.auth_key);
+
+  MgmtRequest chunk;
+  chunk.op = MgmtOp::reconfig_chunk;
+  chunk.payload.resize(2);
+  net::write_be16(chunk.payload, 0, 0);
+  chunk.payload.insert(chunk.payload.end(), image.begin(), image.end());
+  fx.send(chunk, fx.config.auth_key);
+  fx.send(chunk, fx.config.auth_key);  // retransmit
+
+  MgmtRequest commit;
+  commit.op = MgmtOp::reconfig_commit;
+  fx.send(commit, fx.config.auth_key);
+  EXPECT_EQ(fx.responses.back().status, MgmtStatus::ok);
+  fx.sim.run();
+  EXPECT_EQ(fx.module->app().name(), "acl");
+}
+
+TEST(Reconfig, DatapathDarkDuringReboot) {
+  ReconfigFixture fx;
+  const auto bitstream = hw::Bitstream::create(
+      "acl", apps::AclConfig{}.serialize(), fx.config.auth_key);
+  ASSERT_TRUE(fx.module->reconfigure(bitstream));
+  // Run until mid-reboot: flash programming finishes first, then the FPGA
+  // reload darkens the module.
+  const auto flash_time =
+      hw::SpiFlash::program_time(bitstream.flash_size_bytes());
+  fx.sim.run_until(flash_time + fx.config.fpga_reload_ps / 2);
+  EXPECT_EQ(fx.module->state(), ModuleState::rebooting);
+  fx.module->inject(FlexSfpModule::edge_port,
+                    std::make_shared<net::Packet>(net::Bytes(64, 0)));
+  EXPECT_EQ(fx.module->packets_lost_while_dark(), 1u);
+  fx.sim.run();
+  EXPECT_EQ(fx.module->state(), ModuleState::running);
+  EXPECT_GT(fx.module->last_outage_ps(), 0);
+}
+
+TEST(Reconfig, DirectReconfigureRejectsUnknownApp) {
+  ReconfigFixture fx;
+  const auto bitstream =
+      hw::Bitstream::create("unknown-app", {}, fx.config.auth_key);
+  EXPECT_FALSE(fx.module->reconfigure(bitstream));
+}
+
+}  // namespace
+}  // namespace flexsfp::sfp

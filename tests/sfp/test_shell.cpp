@@ -1,0 +1,192 @@
+#include "sfp/shell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/nat.hpp"
+#include "net/builder.hpp"
+
+namespace flexsfp::sfp {
+namespace {
+
+using namespace sim;  // time literals
+
+// Forward-everything stub.
+class PassApp final : public ppe::PpeApp {
+ public:
+  std::string name() const override { return "pass"; }
+  ppe::Verdict process(ppe::PacketContext&) override {
+    ++processed;
+    return ppe::Verdict::forward;
+  }
+  hw::ResourceUsage resource_usage(const hw::DatapathConfig&) const override {
+    return {};
+  }
+  int processed = 0;
+};
+
+net::PacketPtr data_packet() {
+  return std::make_shared<net::Packet>(
+      net::PacketBuilder()
+          .ethernet(net::MacAddress::from_u64(0xbb),
+                    net::MacAddress::from_u64(0xaa))
+          .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+                net::Ipv4Address::from_octets(10, 0, 0, 2), net::IpProto::udp)
+          .udp(1, 2)
+          .payload_size(30)
+          .build_packet());
+}
+
+net::PacketPtr mgmt_packet() {
+  MgmtRequest request;
+  request.op = MgmtOp::ping;
+  return std::make_shared<net::Packet>(
+      make_mgmt_frame(net::MacAddress::from_u64(0xcc),
+                      net::MacAddress::from_u64(0xdd),
+                      request.serialize(hw::AuthKey{1})));
+}
+
+struct ShellFixture {
+  explicit ShellFixture(ShellKind kind,
+                        PpeDirection direction = PpeDirection::edge_to_optical) {
+    ShellConfig config;
+    config.kind = kind;
+    config.direction = direction;
+    config.module_mac = net::MacAddress::from_u64(0xee);
+    auto app = std::make_unique<PassApp>();
+    app_ = app.get();
+    shell = std::make_unique<ArchitectureShell>(sim, std::move(app), config);
+    shell->set_egress_handler(ArchitectureShell::edge_port,
+                              [this](net::PacketPtr) { ++edge_out; });
+    shell->set_egress_handler(ArchitectureShell::optical_port,
+                              [this](net::PacketPtr) { ++optical_out; });
+    shell->set_control_rx([this](net::PacketPtr) { ++control_rx; });
+  }
+
+  Simulation sim;
+  std::unique_ptr<ArchitectureShell> shell;
+  PassApp* app_ = nullptr;
+  int edge_out = 0;
+  int optical_out = 0;
+  int control_rx = 0;
+};
+
+TEST(OneWayFilter, ForwardDirectionGoesThroughPpe) {
+  ShellFixture fx(ShellKind::one_way_filter);
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.sim.run();
+  EXPECT_EQ(fx.app_->processed, 1);
+  EXPECT_EQ(fx.optical_out, 1);
+  EXPECT_EQ(fx.edge_out, 0);
+}
+
+TEST(OneWayFilter, ReverseDirectionBypassesPpe) {
+  ShellFixture fx(ShellKind::one_way_filter);
+  fx.shell->inject(ArchitectureShell::optical_port, data_packet());
+  fx.sim.run();
+  EXPECT_EQ(fx.app_->processed, 0);  // figure 1a: reverse path is a wire
+  EXPECT_EQ(fx.edge_out, 1);
+}
+
+TEST(OneWayFilter, DirectionConfigurable) {
+  ShellFixture fx(ShellKind::one_way_filter, PpeDirection::optical_to_edge);
+  fx.shell->inject(ArchitectureShell::optical_port, data_packet());
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.sim.run();
+  EXPECT_EQ(fx.app_->processed, 1);  // only the optical->edge packet
+  EXPECT_EQ(fx.edge_out, 1);
+  EXPECT_EQ(fx.optical_out, 1);
+}
+
+TEST(TwoWayCore, BothDirectionsShareThePpe) {
+  ShellFixture fx(ShellKind::two_way_core);
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.shell->inject(ArchitectureShell::optical_port, data_packet());
+  fx.sim.run();
+  EXPECT_EQ(fx.app_->processed, 2);
+  EXPECT_EQ(fx.edge_out, 1);
+  EXPECT_EQ(fx.optical_out, 1);
+}
+
+TEST(Shell, MgmtFramesPuntToControlPlane) {
+  ShellFixture fx(ShellKind::one_way_filter);
+  fx.shell->inject(ArchitectureShell::edge_port, mgmt_packet());
+  fx.sim.run();
+  EXPECT_EQ(fx.control_rx, 1);
+  EXPECT_EQ(fx.app_->processed, 0);
+  EXPECT_EQ(fx.shell->control_punts(), 1u);
+}
+
+TEST(ActiveCp, FramesToModuleMacTerminateLocally) {
+  ShellFixture fx(ShellKind::active_cp);
+  auto packet = std::make_shared<net::Packet>(
+      net::PacketBuilder()
+          .ethernet(net::MacAddress::from_u64(0xee),  // the module's MAC
+                    net::MacAddress::from_u64(0xaa))
+          .ipv4(net::Ipv4Address::from_octets(10, 0, 0, 1),
+                net::Ipv4Address::from_octets(10, 0, 0, 2), net::IpProto::udp)
+          .udp(1, 2)
+          .build_packet());
+  fx.shell->inject(ArchitectureShell::edge_port, std::move(packet));
+  fx.sim.run();
+  EXPECT_EQ(fx.control_rx, 1);
+  EXPECT_EQ(fx.optical_out, 0);
+}
+
+TEST(TwoWayCore, FramesToOtherMacsPassThrough) {
+  ShellFixture fx(ShellKind::two_way_core);
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.sim.run();
+  EXPECT_EQ(fx.control_rx, 0);
+  EXPECT_EQ(fx.optical_out, 1);
+}
+
+TEST(Shell, ControlPlaneTrafficMergesAtEgress) {
+  ShellFixture fx(ShellKind::one_way_filter);
+  fx.shell->send_from_control(ArchitectureShell::edge_port, data_packet());
+  fx.sim.run();
+  EXPECT_EQ(fx.edge_out, 1);
+}
+
+TEST(Shell, IngressMetersPerPort) {
+  ShellFixture fx(ShellKind::two_way_core);
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.shell->inject(ArchitectureShell::optical_port, data_packet());
+  fx.sim.run();
+  EXPECT_EQ(fx.shell->ingress_meter(ArchitectureShell::edge_port).packets(),
+            2u);
+  EXPECT_EQ(fx.shell->ingress_meter(ArchitectureShell::optical_port).packets(),
+            1u);
+}
+
+TEST(Shell, InterfaceLatencyAppliedBothWays) {
+  ShellFixture fx(ShellKind::one_way_filter);
+  TimePs delivered_at = -1;
+  fx.shell->set_egress_handler(ArchitectureShell::optical_port,
+                               [&](net::PacketPtr) {
+                                 delivered_at = fx.sim.now();
+                               });
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.sim.run();
+  // 2 x 100 ns interface latency + PPE + arbiter serialization > 200 ns.
+  EXPECT_GE(delivered_at, 200'000);
+}
+
+TEST(Shell, TwoWayCoreHasMoreGlueThanOneWay) {
+  ShellFixture one(ShellKind::one_way_filter);
+  ShellFixture two(ShellKind::two_way_core);
+  const auto one_glue = one.shell->shell_overhead_resources();
+  const auto two_glue = two.shell->shell_overhead_resources();
+  EXPECT_GT(two_glue.luts, one_glue.luts);
+  // But far from double: the shared-PPE argument of §4.1.
+  EXPECT_LT(two_glue.luts, 2 * one_glue.luts);
+}
+
+TEST(ShellKindStrings, Names) {
+  EXPECT_EQ(to_string(ShellKind::one_way_filter), "One-Way-Filter");
+  EXPECT_EQ(to_string(ShellKind::two_way_core), "Two-Way-Core");
+  EXPECT_EQ(to_string(ShellKind::active_cp), "Active-CP");
+}
+
+}  // namespace
+}  // namespace flexsfp::sfp

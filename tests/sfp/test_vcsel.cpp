@@ -1,0 +1,90 @@
+#include "sfp/vcsel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace flexsfp::sfp {
+namespace {
+
+VcselModel make(std::uint64_t seed = 1) {
+  sim::Rng rng(seed);
+  return VcselModel(VcselParams{}, rng);
+}
+
+TEST(Vcsel, NewLaserIsNominalAtFullPower) {
+  const auto laser = make();
+  EXPECT_EQ(laser.health(0), LaserHealth::nominal);
+  EXPECT_DOUBLE_EQ(laser.power_mw(0), 1.0);
+}
+
+TEST(Vcsel, PowerDeclinesMonotonically) {
+  const auto laser = make();
+  const double ttf = laser.time_to_failure_hours();
+  double previous = laser.power_mw(0);
+  for (int i = 1; i <= 10; ++i) {
+    const double power = laser.power_mw(ttf / 10 * i);
+    EXPECT_LE(power, previous);
+    previous = power;
+  }
+}
+
+TEST(Vcsel, FailsExactlyAtWearOutLife) {
+  const auto laser = make();
+  const double ttf = laser.time_to_failure_hours();
+  EXPECT_NE(laser.health(ttf / 2), LaserHealth::failed);
+  EXPECT_EQ(laser.health(ttf), LaserHealth::failed);
+  EXPECT_DOUBLE_EQ(laser.power_mw(ttf), 0.0);
+}
+
+TEST(Vcsel, DegradingStateBeforeFailure) {
+  const auto laser = make();
+  const double ttf = laser.time_to_failure_hours();
+  // Power hits the 0.8 warning threshold at x where 1 - 0.5 x^2 = 0.8
+  // -> x ~ 0.632 of life.
+  EXPECT_EQ(laser.health(ttf * 0.7), LaserHealth::degrading);
+  EXPECT_EQ(laser.health(ttf * 0.5), LaserHealth::nominal);
+}
+
+TEST(Vcsel, TtfIsLognormalAcrossPopulation) {
+  // Median over many sampled lasers should be near e^mu hours.
+  std::vector<double> ttf_hours;
+  for (std::uint64_t seed = 0; seed < 501; ++seed) {
+    sim::Rng rng(seed);
+    const VcselModel laser(VcselParams{}, rng);
+    ttf_hours.push_back(laser.time_to_failure_hours());
+  }
+  std::nth_element(ttf_hours.begin(), ttf_hours.begin() + 250,
+                   ttf_hours.end());
+  const double expected_median = std::exp(11.68);
+  EXPECT_NEAR(ttf_hours[250], expected_median, expected_median * 0.15);
+}
+
+TEST(Vcsel, LifetimesAreYearsNotDays) {
+  // Sanity on the scale the paper's reliability argument assumes.
+  const auto laser = make();
+  EXPECT_GT(laser.time_to_failure_hours(), 365.0 * 24.0);  // > 1 year
+}
+
+TEST(Vcsel, DiagnosisDistinguishesLaserFromDriver) {
+  auto healthy = make();
+  EXPECT_EQ(healthy.diagnose(0), OpticalFault::none);
+
+  // Aged laser -> laser degradation.
+  const double ttf = healthy.time_to_failure_hours();
+  EXPECT_EQ(healthy.diagnose(ttf * 0.9), OpticalFault::laser_degradation);
+
+  // Driver fault dominates the diagnosis even on a young laser.
+  auto faulty = make(2);
+  faulty.inject_driver_fault();
+  EXPECT_EQ(faulty.diagnose(0), OpticalFault::driver_fault);
+}
+
+TEST(Vcsel, DifferentSeedsGiveDifferentLifetimes) {
+  EXPECT_NE(make(1).time_to_failure_hours(), make(99).time_to_failure_hours());
+}
+
+}  // namespace
+}  // namespace flexsfp::sfp

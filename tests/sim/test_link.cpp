@@ -1,0 +1,134 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::sim {
+namespace {
+
+net::PacketPtr packet_of(std::size_t size) {
+  return net::make_packet(net::Bytes(size, 0));
+}
+
+class Collector final : public PacketHandler {
+ public:
+  explicit Collector(Simulation& sim) : sim_(sim) {}
+  void handle_packet(net::PacketPtr packet) override {
+    arrivals.emplace_back(sim_.now(), std::move(packet));
+  }
+  std::vector<std::pair<TimePs, net::PacketPtr>> arrivals;
+
+ private:
+  Simulation& sim_;
+};
+
+TEST(Link, SerializationPlusPropagation) {
+  Simulation sim;
+  Collector sink(sim);
+  Link link(sim, line_rate_10g, 5_ns, sink);
+  link.handle_packet(packet_of(64));  // wire 88 B -> 70.4 ns
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first, 70'400_ps + 5_ns);
+}
+
+TEST(Link, BackToBackPacketsQueueBehindTransmitter) {
+  Simulation sim;
+  Collector sink(sim);
+  Link link(sim, line_rate_10g, 0, sink);
+  link.handle_packet(packet_of(64));
+  link.handle_packet(packet_of(64));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, 70'400_ps);
+  EXPECT_EQ(sink.arrivals[1].first, 140'800_ps);
+}
+
+TEST(Link, UtilizationAccountsBusyTime) {
+  Simulation sim;
+  Collector sink(sim);
+  Link link(sim, line_rate_10g, 0, sink);
+  link.handle_packet(packet_of(64));
+  sim.run();
+  EXPECT_EQ(link.busy_time(), 70'400_ps);
+  EXPECT_NEAR(link.utilization(140'800_ps), 0.5, 1e-9);
+  EXPECT_EQ(link.meter().packets(), 1u);
+  EXPECT_EQ(link.meter().bytes(), 64u);
+}
+
+TEST(BoundedQueue, DropsWhenFull) {
+  BoundedQueue queue(2);
+  EXPECT_TRUE(queue.push(packet_of(1)));
+  EXPECT_TRUE(queue.push(packet_of(2)));
+  EXPECT_FALSE(queue.push(packet_of(3)));
+  EXPECT_EQ(queue.drops(), 1u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.high_watermark(), 2u);
+}
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue queue(4);
+  auto a = packet_of(1);
+  auto b = packet_of(2);
+  queue.push(a);
+  queue.push(b);
+  EXPECT_EQ(queue.pop(), a);
+  EXPECT_EQ(queue.pop(), b);
+  EXPECT_EQ(queue.pop(), nullptr);
+}
+
+// A server taking a fixed 100 ns per packet.
+class FixedServer final : public QueuedServer {
+ public:
+  FixedServer(Simulation& sim, std::size_t capacity, Collector& out)
+      : QueuedServer(sim, capacity), out_(out) {}
+
+ protected:
+  TimePs service_time(const net::Packet&) override { return 100_ns; }
+  void finish(net::PacketPtr packet) override {
+    out_.handle_packet(std::move(packet));
+  }
+
+ private:
+  Collector& out_;
+};
+
+TEST(QueuedServer, ServesSequentially) {
+  Simulation sim;
+  Collector sink(sim);
+  FixedServer server(sim, 16, sink);
+  for (int i = 0; i < 3; ++i) server.handle_packet(packet_of(64));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(sink.arrivals[0].first, 100_ns);
+  EXPECT_EQ(sink.arrivals[1].first, 200_ns);
+  EXPECT_EQ(sink.arrivals[2].first, 300_ns);
+  EXPECT_EQ(server.busy_time(), 300_ns);
+}
+
+TEST(QueuedServer, OverflowCountsDrops) {
+  Simulation sim;
+  Collector sink(sim);
+  FixedServer server(sim, 2, sink);
+  // One in service + 2 queued fit; the 4th (while the 1st is in service)
+  // overflows.
+  for (int i = 0; i < 4; ++i) server.handle_packet(packet_of(64));
+  sim.run();
+  EXPECT_EQ(server.drops(), 1u);
+  EXPECT_EQ(sink.arrivals.size(), 3u);
+}
+
+TEST(QueuedServer, ResumesAfterIdle) {
+  Simulation sim;
+  Collector sink(sim);
+  FixedServer server(sim, 16, sink);
+  server.handle_packet(packet_of(64));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  server.handle_packet(packet_of(64));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[1].first, sink.arrivals[0].first + 100_ns);
+}
+
+}  // namespace
+}  // namespace flexsfp::sim

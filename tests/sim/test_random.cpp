@@ -1,0 +1,91 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace flexsfp::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(1.5, 10.0), 10.0);
+  }
+}
+
+TEST(Rng, LognormalMedianConverges) {
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 10001; ++i) samples.push_back(rng.lognormal(2.0, 0.5));
+  std::nth_element(samples.begin(), samples.begin() + 5000, samples.end());
+  // Median of lognormal(mu, sigma) = e^mu ~ 7.389.
+  EXPECT_NEAR(samples[5000], std::exp(2.0), 0.35);
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  Rng rng(5);
+  ZipfDistribution dist(10, 0.0);
+  std::array<int, 11> counts{};
+  for (int i = 0; i < 20000; ++i) ++counts[dist.sample(rng)];
+  for (std::size_t rank = 1; rank <= 10; ++rank) {
+    EXPECT_NEAR(counts[rank], 2000, 250) << "rank " << rank;
+  }
+}
+
+TEST(Zipf, HighSkewConcentratesOnRankOne) {
+  Rng rng(5);
+  ZipfDistribution dist(1000, 1.2);
+  int rank_one = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.sample(rng) == 1) ++rank_one;
+  }
+  EXPECT_GT(rank_one, n / 10);  // far above the uniform 1/1000
+}
+
+TEST(Zipf, SamplesAlwaysInRange) {
+  Rng rng(8);
+  ZipfDistribution dist(50, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    const auto rank = dist.sample(rng);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 50u);
+  }
+}
+
+}  // namespace
+}  // namespace flexsfp::sim

@@ -1,0 +1,119 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace flexsfp::sim {
+namespace {
+
+TEST(Time, LiteralsAndConversions) {
+  EXPECT_EQ(1_ns, 1000_ps);
+  EXPECT_EQ(1_us, 1000_ns);
+  EXPECT_EQ(1_ms, 1000_us);
+  EXPECT_EQ(1_s, 1000_ms);
+  EXPECT_DOUBLE_EQ(to_seconds(1_s), 1.0);
+  EXPECT_DOUBLE_EQ(to_nanos(2500_ps), 2.5);
+  EXPECT_EQ(from_seconds(0.5), 500_ms);
+}
+
+TEST(Time, FormatPicksUnit) {
+  EXPECT_EQ(format_time(500_ps), "500 ps");
+  EXPECT_EQ(format_time(1500_ps), "1.500 ns");
+  EXPECT_EQ(format_time(2_us), "2.000 us");
+  EXPECT_EQ(format_time(3_ms), "3.000 ms");
+  EXPECT_EQ(format_time(4_s), "4.000 s");
+}
+
+TEST(DataRate, SerializationTime) {
+  // 64+24 wire bytes at 10G: 88 * 8 / 1e10 s = 70.4 ns.
+  EXPECT_EQ(line_rate_10g.serialization_time(88), 70'400_ps);
+  // 1 byte at 1 Gb/s = 8 ns.
+  EXPECT_EQ(DataRate::gbps(1).serialization_time(1), 8_ns);
+}
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&order]() { order.push_back(3); });
+  sim.schedule_at(10, [&order]() { order.push_back(1); });
+  sim.schedule_at(20, [&order]() { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulation, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(100, [&order, i]() { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) sim.schedule_in(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulation, PastEventsClampToNow) {
+  Simulation sim;
+  sim.schedule_at(100, []() {});
+  sim.run();
+  TimePs fired_at = -1;
+  sim.schedule_at(50, [&]() { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(10, [&fired]() { ++fired; });
+  sim.schedule_at(20, [&fired]() { ++fired; });
+  sim.schedule_at(30, [&fired]() { ++fired; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Simulation sim;
+  sim.run_until(12345);
+  EXPECT_EQ(sim.now(), 12345);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulation, PacketIdsAreUnique) {
+  Simulation sim;
+  const auto a = sim.next_packet_id();
+  const auto b = sim.next_packet_id();
+  EXPECT_NE(a, b);
+}
+
+TEST(LambdaHandler, ForwardsPackets) {
+  int count = 0;
+  LambdaHandler handler([&count](net::PacketPtr) { ++count; });
+  handler.handle_packet(net::make_packet({}));
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace flexsfp::sim

@@ -1,0 +1,99 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::sim {
+namespace {
+
+TEST(TrafficMeter, RatesFromSpan) {
+  TrafficMeter meter;
+  meter.record(1000);
+  meter.record(1000);
+  // 2000 bytes over 1 ms -> 16 Mb/s, 2000 pps.
+  EXPECT_DOUBLE_EQ(meter.bits_per_second(1_ms), 16e6);
+  EXPECT_DOUBLE_EQ(meter.packets_per_second(1_ms), 2000.0);
+  EXPECT_EQ(meter.packets(), 2u);
+  meter.reset();
+  EXPECT_EQ(meter.bytes(), 0u);
+}
+
+TEST(TrafficMeter, ZeroSpanGivesZeroRate) {
+  TrafficMeter meter;
+  meter.record(100);
+  EXPECT_DOUBLE_EQ(meter.bits_per_second(0), 0.0);
+}
+
+TEST(LatencyHistogram, BasicStats) {
+  LatencyHistogram hist;
+  hist.record(100_ns);
+  hist.record(200_ns);
+  hist.record(300_ns);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.min(), 100_ns);
+  EXPECT_EQ(hist.max(), 300_ns);
+  EXPECT_NEAR(hist.mean_ns(), 200.0, 1.0);
+}
+
+TEST(LatencyHistogram, PercentilesWithinBucketResolution) {
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.record(TimePs(i) * 1_us / 1000);  // 1 ns .. 1 us uniformly
+  }
+  // ~4% geometric bucket resolution.
+  EXPECT_NEAR(to_nanos(hist.percentile(50)), 500.0, 35.0);
+  EXPECT_NEAR(to_nanos(hist.percentile(99)), 990.0, 60.0);
+  EXPECT_LE(hist.percentile(0), hist.percentile(50));
+  EXPECT_LE(hist.percentile(50), hist.percentile(100));
+}
+
+TEST(LatencyHistogram, EmptyIsSafe) {
+  const LatencyHistogram hist;
+  EXPECT_EQ(hist.percentile(50), 0);
+  EXPECT_EQ(hist.min(), 0);
+  EXPECT_EQ(hist.max(), 0);
+  EXPECT_DOUBLE_EQ(hist.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, SubNanosecondClampsToFirstBucket) {
+  LatencyHistogram hist;
+  hist.record(100_ps);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_GT(hist.percentile(50), 0);
+}
+
+TEST(LatencyHistogram, SummaryMentionsPercentiles) {
+  LatencyHistogram hist;
+  hist.record(1_us);
+  const auto s = hist.summary();
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram hist;
+  hist.record(1_us);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.max(), 0);
+}
+
+TEST(WindowedRate, ReportsCompletedWindows) {
+  WindowedRate rate(1_ms);
+  // 125 kB in the first window = 1 Gb/s.
+  rate.record(0, 125'000);
+  EXPECT_DOUBLE_EQ(rate.last_window_bps(), 0.0);  // window not complete
+  rate.record(1_ms + 1, 1);                       // rolls the window
+  EXPECT_NEAR(rate.last_window_bps(), 1e9, 1e3);
+  EXPECT_NEAR(rate.peak_bps(), 1e9, 1e3);
+}
+
+TEST(WindowedRate, QuietWindowsDropRateToZero) {
+  WindowedRate rate(1_ms);
+  rate.record(0, 125'000);
+  rate.record(10_ms, 1);  // several empty windows in between
+  EXPECT_DOUBLE_EQ(rate.last_window_bps(), 0.0);
+  EXPECT_NEAR(rate.peak_bps(), 1e9, 1e3);  // peak remembers the burst
+}
+
+}  // namespace
+}  // namespace flexsfp::sim
