@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_depth.dir/chain_depth.cpp.o"
+  "CMakeFiles/chain_depth.dir/chain_depth.cpp.o.d"
+  "chain_depth"
+  "chain_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

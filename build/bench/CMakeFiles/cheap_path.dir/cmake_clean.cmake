@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheap_path.dir/cheap_path.cpp.o"
+  "CMakeFiles/cheap_path.dir/cheap_path.cpp.o.d"
+  "cheap_path"
+  "cheap_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheap_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

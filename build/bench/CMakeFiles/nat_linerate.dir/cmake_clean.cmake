@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_linerate.dir/nat_linerate.cpp.o"
+  "CMakeFiles/nat_linerate.dir/nat_linerate.cpp.o.d"
+  "nat_linerate"
+  "nat_linerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_linerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_measurement.dir/power_measurement.cpp.o"
+  "CMakeFiles/power_measurement.dir/power_measurement.cpp.o.d"
+  "power_measurement"
+  "power_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig.dir/reconfig.cpp.o"
+  "CMakeFiles/reconfig.dir/reconfig.cpp.o.d"
+  "reconfig"
+  "reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

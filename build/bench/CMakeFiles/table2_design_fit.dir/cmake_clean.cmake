@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_design_fit.dir/table2_design_fit.cpp.o"
+  "CMakeFiles/table2_design_fit.dir/table2_design_fit.cpp.o.d"
+  "table2_design_fit"
+  "table2_design_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_design_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_scaling.dir/table_scaling.cpp.o"
+  "CMakeFiles/table_scaling.dir/table_scaling.cpp.o.d"
+  "table_scaling"
+  "table_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

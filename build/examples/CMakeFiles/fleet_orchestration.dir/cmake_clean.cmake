@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_orchestration.dir/fleet_orchestration.cpp.o"
+  "CMakeFiles/fleet_orchestration.dir/fleet_orchestration.cpp.o.d"
+  "fleet_orchestration"
+  "fleet_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

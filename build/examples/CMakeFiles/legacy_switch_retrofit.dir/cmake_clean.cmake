@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_switch_retrofit.dir/legacy_switch_retrofit.cpp.o"
+  "CMakeFiles/legacy_switch_retrofit.dir/legacy_switch_retrofit.cpp.o.d"
+  "legacy_switch_retrofit"
+  "legacy_switch_retrofit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_switch_retrofit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_load_balancer.dir/optical_load_balancer.cpp.o"
+  "CMakeFiles/optical_load_balancer.dir/optical_load_balancer.cpp.o.d"
+  "optical_load_balancer"
+  "optical_load_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

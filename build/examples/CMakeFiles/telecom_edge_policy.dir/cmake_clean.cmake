@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_edge_policy.dir/telecom_edge_policy.cpp.o"
+  "CMakeFiles/telecom_edge_policy.dir/telecom_edge_policy.cpp.o.d"
+  "telecom_edge_policy"
+  "telecom_edge_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_edge_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

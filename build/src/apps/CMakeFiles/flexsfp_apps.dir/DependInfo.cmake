@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/acl.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/acl.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/acl.cpp.o.d"
+  "/root/repo/src/apps/bpf_filter.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/bpf_filter.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/bpf_filter.cpp.o.d"
+  "/root/repo/src/apps/chain.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/chain.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/chain.cpp.o.d"
+  "/root/repo/src/apps/fault_monitor.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/fault_monitor.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/fault_monitor.cpp.o.d"
+  "/root/repo/src/apps/ipv6_filter.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/ipv6_filter.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/ipv6_filter.cpp.o.d"
+  "/root/repo/src/apps/load_balancer.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/load_balancer.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/apps/nat.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/nat.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/nat.cpp.o.d"
+  "/root/repo/src/apps/rate_limiter.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/rate_limiter.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/apps/register.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/register.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/register.cpp.o.d"
+  "/root/repo/src/apps/sanitizer.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/sanitizer.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/sanitizer.cpp.o.d"
+  "/root/repo/src/apps/telemetry.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/telemetry.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/telemetry.cpp.o.d"
+  "/root/repo/src/apps/tunnel.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/tunnel.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/tunnel.cpp.o.d"
+  "/root/repo/src/apps/vlan.cpp" "src/apps/CMakeFiles/flexsfp_apps.dir/vlan.cpp.o" "gcc" "src/apps/CMakeFiles/flexsfp_apps.dir/vlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppe/CMakeFiles/flexsfp_ppe.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/flexsfp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexsfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsfp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsfp_apps.dir/acl.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/acl.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/bpf_filter.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/bpf_filter.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/chain.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/chain.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/fault_monitor.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/fault_monitor.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/ipv6_filter.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/ipv6_filter.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/load_balancer.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/nat.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/nat.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/rate_limiter.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/register.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/register.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/sanitizer.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/sanitizer.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/telemetry.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/telemetry.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/tunnel.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/tunnel.cpp.o.d"
+  "CMakeFiles/flexsfp_apps.dir/vlan.cpp.o"
+  "CMakeFiles/flexsfp_apps.dir/vlan.cpp.o.d"
+  "libflexsfp_apps.a"
+  "libflexsfp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsfp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/apps/CMakeFiles/flexsfp_apps.dir/register.cpp.o: \
+ /root/repo/src/apps/register.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/apps/register.hpp

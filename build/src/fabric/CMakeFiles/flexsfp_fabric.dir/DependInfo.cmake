@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/baselines.cpp" "src/fabric/CMakeFiles/flexsfp_fabric.dir/baselines.cpp.o" "gcc" "src/fabric/CMakeFiles/flexsfp_fabric.dir/baselines.cpp.o.d"
+  "/root/repo/src/fabric/legacy_switch.cpp" "src/fabric/CMakeFiles/flexsfp_fabric.dir/legacy_switch.cpp.o" "gcc" "src/fabric/CMakeFiles/flexsfp_fabric.dir/legacy_switch.cpp.o.d"
+  "/root/repo/src/fabric/orchestrator.cpp" "src/fabric/CMakeFiles/flexsfp_fabric.dir/orchestrator.cpp.o" "gcc" "src/fabric/CMakeFiles/flexsfp_fabric.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/fabric/testbed.cpp" "src/fabric/CMakeFiles/flexsfp_fabric.dir/testbed.cpp.o" "gcc" "src/fabric/CMakeFiles/flexsfp_fabric.dir/testbed.cpp.o.d"
+  "/root/repo/src/fabric/traffic_gen.cpp" "src/fabric/CMakeFiles/flexsfp_fabric.dir/traffic_gen.cpp.o" "gcc" "src/fabric/CMakeFiles/flexsfp_fabric.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sfp/CMakeFiles/flexsfp_sfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/flexsfp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppe/CMakeFiles/flexsfp_ppe.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/flexsfp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexsfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsfp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

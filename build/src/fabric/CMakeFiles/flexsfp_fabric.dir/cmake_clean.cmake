@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsfp_fabric.dir/baselines.cpp.o"
+  "CMakeFiles/flexsfp_fabric.dir/baselines.cpp.o.d"
+  "CMakeFiles/flexsfp_fabric.dir/legacy_switch.cpp.o"
+  "CMakeFiles/flexsfp_fabric.dir/legacy_switch.cpp.o.d"
+  "CMakeFiles/flexsfp_fabric.dir/orchestrator.cpp.o"
+  "CMakeFiles/flexsfp_fabric.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/flexsfp_fabric.dir/testbed.cpp.o"
+  "CMakeFiles/flexsfp_fabric.dir/testbed.cpp.o.d"
+  "CMakeFiles/flexsfp_fabric.dir/traffic_gen.cpp.o"
+  "CMakeFiles/flexsfp_fabric.dir/traffic_gen.cpp.o.d"
+  "libflexsfp_fabric.a"
+  "libflexsfp_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsfp_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

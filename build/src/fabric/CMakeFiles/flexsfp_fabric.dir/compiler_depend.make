@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flexsfp_fabric.
+# This may be replaced when dependencies are built.

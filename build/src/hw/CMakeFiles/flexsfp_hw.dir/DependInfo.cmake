@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/bitstream.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/bitstream.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/bitstream.cpp.o.d"
+  "/root/repo/src/hw/clock.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/clock.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/clock.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/cost_model.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hw/design_catalog.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/design_catalog.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/design_catalog.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/form_factor.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/form_factor.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/form_factor.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/power_model.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/power_model.cpp.o.d"
+  "/root/repo/src/hw/resource_model.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/resource_model.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/resource_model.cpp.o.d"
+  "/root/repo/src/hw/resources.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/resources.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/resources.cpp.o.d"
+  "/root/repo/src/hw/spi_flash.cpp" "src/hw/CMakeFiles/flexsfp_hw.dir/spi_flash.cpp.o" "gcc" "src/hw/CMakeFiles/flexsfp_hw.dir/spi_flash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/flexsfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsfp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsfp_hw.dir/bitstream.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/bitstream.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/clock.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/clock.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/design_catalog.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/design_catalog.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/device.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/device.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/form_factor.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/form_factor.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/power_model.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/resource_model.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/resource_model.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/resources.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/resources.cpp.o.d"
+  "CMakeFiles/flexsfp_hw.dir/spi_flash.cpp.o"
+  "CMakeFiles/flexsfp_hw.dir/spi_flash.cpp.o.d"
+  "libflexsfp_hw.a"
+  "libflexsfp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsfp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexsfp_hw.a"
+)

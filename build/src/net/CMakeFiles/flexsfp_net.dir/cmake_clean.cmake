@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsfp_net.dir/addresses.cpp.o"
+  "CMakeFiles/flexsfp_net.dir/addresses.cpp.o.d"
+  "CMakeFiles/flexsfp_net.dir/builder.cpp.o"
+  "CMakeFiles/flexsfp_net.dir/builder.cpp.o.d"
+  "CMakeFiles/flexsfp_net.dir/bytes.cpp.o"
+  "CMakeFiles/flexsfp_net.dir/bytes.cpp.o.d"
+  "CMakeFiles/flexsfp_net.dir/checksum.cpp.o"
+  "CMakeFiles/flexsfp_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/flexsfp_net.dir/flow.cpp.o"
+  "CMakeFiles/flexsfp_net.dir/flow.cpp.o.d"
+  "CMakeFiles/flexsfp_net.dir/headers.cpp.o"
+  "CMakeFiles/flexsfp_net.dir/headers.cpp.o.d"
+  "CMakeFiles/flexsfp_net.dir/parser.cpp.o"
+  "CMakeFiles/flexsfp_net.dir/parser.cpp.o.d"
+  "CMakeFiles/flexsfp_net.dir/pcap.cpp.o"
+  "CMakeFiles/flexsfp_net.dir/pcap.cpp.o.d"
+  "libflexsfp_net.a"
+  "libflexsfp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsfp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppe/app.cpp" "src/ppe/CMakeFiles/flexsfp_ppe.dir/app.cpp.o" "gcc" "src/ppe/CMakeFiles/flexsfp_ppe.dir/app.cpp.o.d"
+  "/root/repo/src/ppe/counters.cpp" "src/ppe/CMakeFiles/flexsfp_ppe.dir/counters.cpp.o" "gcc" "src/ppe/CMakeFiles/flexsfp_ppe.dir/counters.cpp.o.d"
+  "/root/repo/src/ppe/engine.cpp" "src/ppe/CMakeFiles/flexsfp_ppe.dir/engine.cpp.o" "gcc" "src/ppe/CMakeFiles/flexsfp_ppe.dir/engine.cpp.o.d"
+  "/root/repo/src/ppe/registry.cpp" "src/ppe/CMakeFiles/flexsfp_ppe.dir/registry.cpp.o" "gcc" "src/ppe/CMakeFiles/flexsfp_ppe.dir/registry.cpp.o.d"
+  "/root/repo/src/ppe/tables.cpp" "src/ppe/CMakeFiles/flexsfp_ppe.dir/tables.cpp.o" "gcc" "src/ppe/CMakeFiles/flexsfp_ppe.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/flexsfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/flexsfp_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

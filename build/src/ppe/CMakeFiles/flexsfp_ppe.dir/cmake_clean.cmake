@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsfp_ppe.dir/app.cpp.o"
+  "CMakeFiles/flexsfp_ppe.dir/app.cpp.o.d"
+  "CMakeFiles/flexsfp_ppe.dir/counters.cpp.o"
+  "CMakeFiles/flexsfp_ppe.dir/counters.cpp.o.d"
+  "CMakeFiles/flexsfp_ppe.dir/engine.cpp.o"
+  "CMakeFiles/flexsfp_ppe.dir/engine.cpp.o.d"
+  "CMakeFiles/flexsfp_ppe.dir/registry.cpp.o"
+  "CMakeFiles/flexsfp_ppe.dir/registry.cpp.o.d"
+  "CMakeFiles/flexsfp_ppe.dir/tables.cpp.o"
+  "CMakeFiles/flexsfp_ppe.dir/tables.cpp.o.d"
+  "libflexsfp_ppe.a"
+  "libflexsfp_ppe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsfp_ppe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfp/arbiter.cpp" "src/sfp/CMakeFiles/flexsfp_sfp.dir/arbiter.cpp.o" "gcc" "src/sfp/CMakeFiles/flexsfp_sfp.dir/arbiter.cpp.o.d"
+  "/root/repo/src/sfp/control_plane.cpp" "src/sfp/CMakeFiles/flexsfp_sfp.dir/control_plane.cpp.o" "gcc" "src/sfp/CMakeFiles/flexsfp_sfp.dir/control_plane.cpp.o.d"
+  "/root/repo/src/sfp/exporter.cpp" "src/sfp/CMakeFiles/flexsfp_sfp.dir/exporter.cpp.o" "gcc" "src/sfp/CMakeFiles/flexsfp_sfp.dir/exporter.cpp.o.d"
+  "/root/repo/src/sfp/flexsfp.cpp" "src/sfp/CMakeFiles/flexsfp_sfp.dir/flexsfp.cpp.o" "gcc" "src/sfp/CMakeFiles/flexsfp_sfp.dir/flexsfp.cpp.o.d"
+  "/root/repo/src/sfp/mgmt_protocol.cpp" "src/sfp/CMakeFiles/flexsfp_sfp.dir/mgmt_protocol.cpp.o" "gcc" "src/sfp/CMakeFiles/flexsfp_sfp.dir/mgmt_protocol.cpp.o.d"
+  "/root/repo/src/sfp/shell.cpp" "src/sfp/CMakeFiles/flexsfp_sfp.dir/shell.cpp.o" "gcc" "src/sfp/CMakeFiles/flexsfp_sfp.dir/shell.cpp.o.d"
+  "/root/repo/src/sfp/standard_sfp.cpp" "src/sfp/CMakeFiles/flexsfp_sfp.dir/standard_sfp.cpp.o" "gcc" "src/sfp/CMakeFiles/flexsfp_sfp.dir/standard_sfp.cpp.o.d"
+  "/root/repo/src/sfp/vcsel.cpp" "src/sfp/CMakeFiles/flexsfp_sfp.dir/vcsel.cpp.o" "gcc" "src/sfp/CMakeFiles/flexsfp_sfp.dir/vcsel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppe/CMakeFiles/flexsfp_ppe.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/flexsfp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/flexsfp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexsfp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsfp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsfp_sfp.dir/arbiter.cpp.o"
+  "CMakeFiles/flexsfp_sfp.dir/arbiter.cpp.o.d"
+  "CMakeFiles/flexsfp_sfp.dir/control_plane.cpp.o"
+  "CMakeFiles/flexsfp_sfp.dir/control_plane.cpp.o.d"
+  "CMakeFiles/flexsfp_sfp.dir/exporter.cpp.o"
+  "CMakeFiles/flexsfp_sfp.dir/exporter.cpp.o.d"
+  "CMakeFiles/flexsfp_sfp.dir/flexsfp.cpp.o"
+  "CMakeFiles/flexsfp_sfp.dir/flexsfp.cpp.o.d"
+  "CMakeFiles/flexsfp_sfp.dir/mgmt_protocol.cpp.o"
+  "CMakeFiles/flexsfp_sfp.dir/mgmt_protocol.cpp.o.d"
+  "CMakeFiles/flexsfp_sfp.dir/shell.cpp.o"
+  "CMakeFiles/flexsfp_sfp.dir/shell.cpp.o.d"
+  "CMakeFiles/flexsfp_sfp.dir/standard_sfp.cpp.o"
+  "CMakeFiles/flexsfp_sfp.dir/standard_sfp.cpp.o.d"
+  "CMakeFiles/flexsfp_sfp.dir/vcsel.cpp.o"
+  "CMakeFiles/flexsfp_sfp.dir/vcsel.cpp.o.d"
+  "libflexsfp_sfp.a"
+  "libflexsfp_sfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsfp_sfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

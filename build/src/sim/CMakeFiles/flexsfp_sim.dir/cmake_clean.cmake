@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexsfp_sim.dir/link.cpp.o"
+  "CMakeFiles/flexsfp_sim.dir/link.cpp.o.d"
+  "CMakeFiles/flexsfp_sim.dir/random.cpp.o"
+  "CMakeFiles/flexsfp_sim.dir/random.cpp.o.d"
+  "CMakeFiles/flexsfp_sim.dir/simulation.cpp.o"
+  "CMakeFiles/flexsfp_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/flexsfp_sim.dir/stats.cpp.o"
+  "CMakeFiles/flexsfp_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/flexsfp_sim.dir/time.cpp.o"
+  "CMakeFiles/flexsfp_sim.dir/time.cpp.o.d"
+  "libflexsfp_sim.a"
+  "libflexsfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexsfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

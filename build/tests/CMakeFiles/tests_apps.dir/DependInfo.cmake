@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_acl.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_acl.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_acl.cpp.o.d"
+  "/root/repo/tests/apps/test_bpf.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_bpf.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_bpf.cpp.o.d"
+  "/root/repo/tests/apps/test_chain.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_chain.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_chain.cpp.o.d"
+  "/root/repo/tests/apps/test_faultmon.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_faultmon.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_faultmon.cpp.o.d"
+  "/root/repo/tests/apps/test_ipv6_filter.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_ipv6_filter.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_ipv6_filter.cpp.o.d"
+  "/root/repo/tests/apps/test_lb.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_lb.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_lb.cpp.o.d"
+  "/root/repo/tests/apps/test_nat.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_nat.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_nat.cpp.o.d"
+  "/root/repo/tests/apps/test_ratelimit.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_ratelimit.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_ratelimit.cpp.o.d"
+  "/root/repo/tests/apps/test_sanitizer.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_sanitizer.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_sanitizer.cpp.o.d"
+  "/root/repo/tests/apps/test_telemetry.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_telemetry.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_telemetry.cpp.o.d"
+  "/root/repo/tests/apps/test_tunnel.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_tunnel.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_tunnel.cpp.o.d"
+  "/root/repo/tests/apps/test_vlan.cpp" "tests/CMakeFiles/tests_apps.dir/apps/test_vlan.cpp.o" "gcc" "tests/CMakeFiles/tests_apps.dir/apps/test_vlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/flexsfp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfp/CMakeFiles/flexsfp_sfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/flexsfp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppe/CMakeFiles/flexsfp_ppe.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/flexsfp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flexsfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flexsfp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_apps.dir/apps/test_acl.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_acl.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_bpf.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_bpf.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_chain.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_chain.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_faultmon.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_faultmon.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_ipv6_filter.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_ipv6_filter.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_lb.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_lb.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_nat.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_nat.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_ratelimit.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_ratelimit.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_sanitizer.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_sanitizer.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_telemetry.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_telemetry.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_tunnel.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_tunnel.cpp.o.d"
+  "CMakeFiles/tests_apps.dir/apps/test_vlan.cpp.o"
+  "CMakeFiles/tests_apps.dir/apps/test_vlan.cpp.o.d"
+  "tests_apps"
+  "tests_apps.pdb"
+  "tests_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_fabric.dir/fabric/test_baselines.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/test_baselines.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/test_orchestrator.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/test_orchestrator.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/test_switch.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/test_switch.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/test_testbed.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/test_testbed.cpp.o.d"
+  "CMakeFiles/tests_fabric.dir/fabric/test_traffic.cpp.o"
+  "CMakeFiles/tests_fabric.dir/fabric/test_traffic.cpp.o.d"
+  "tests_fabric"
+  "tests_fabric.pdb"
+  "tests_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_hw.dir/hw/test_bitstream_flash.cpp.o"
+  "CMakeFiles/tests_hw.dir/hw/test_bitstream_flash.cpp.o.d"
+  "CMakeFiles/tests_hw.dir/hw/test_clock.cpp.o"
+  "CMakeFiles/tests_hw.dir/hw/test_clock.cpp.o.d"
+  "CMakeFiles/tests_hw.dir/hw/test_device.cpp.o"
+  "CMakeFiles/tests_hw.dir/hw/test_device.cpp.o.d"
+  "CMakeFiles/tests_hw.dir/hw/test_form_factor.cpp.o"
+  "CMakeFiles/tests_hw.dir/hw/test_form_factor.cpp.o.d"
+  "CMakeFiles/tests_hw.dir/hw/test_power_cost.cpp.o"
+  "CMakeFiles/tests_hw.dir/hw/test_power_cost.cpp.o.d"
+  "CMakeFiles/tests_hw.dir/hw/test_resources.cpp.o"
+  "CMakeFiles/tests_hw.dir/hw/test_resources.cpp.o.d"
+  "tests_hw"
+  "tests_hw.pdb"
+  "tests_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_net.dir/net/test_addresses.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_addresses.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_builder.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_builder.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_bytes.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_bytes.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_checksum.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_checksum.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_flow.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_flow.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_headers.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_headers.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_parser.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_parser.cpp.o.d"
+  "CMakeFiles/tests_net.dir/net/test_pcap.cpp.o"
+  "CMakeFiles/tests_net.dir/net/test_pcap.cpp.o.d"
+  "tests_net"
+  "tests_net.pdb"
+  "tests_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_ppe.dir/ppe/test_counters.cpp.o"
+  "CMakeFiles/tests_ppe.dir/ppe/test_counters.cpp.o.d"
+  "CMakeFiles/tests_ppe.dir/ppe/test_engine.cpp.o"
+  "CMakeFiles/tests_ppe.dir/ppe/test_engine.cpp.o.d"
+  "CMakeFiles/tests_ppe.dir/ppe/test_registry.cpp.o"
+  "CMakeFiles/tests_ppe.dir/ppe/test_registry.cpp.o.d"
+  "CMakeFiles/tests_ppe.dir/ppe/test_tables.cpp.o"
+  "CMakeFiles/tests_ppe.dir/ppe/test_tables.cpp.o.d"
+  "tests_ppe"
+  "tests_ppe.pdb"
+  "tests_ppe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_ppe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_property.dir/property/prop_apps.cpp.o"
+  "CMakeFiles/tests_property.dir/property/prop_apps.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/prop_checksum.cpp.o"
+  "CMakeFiles/tests_property.dir/property/prop_checksum.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/prop_linerate.cpp.o"
+  "CMakeFiles/tests_property.dir/property/prop_linerate.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/prop_roundtrip.cpp.o"
+  "CMakeFiles/tests_property.dir/property/prop_roundtrip.cpp.o.d"
+  "CMakeFiles/tests_property.dir/property/prop_tables.cpp.o"
+  "CMakeFiles/tests_property.dir/property/prop_tables.cpp.o.d"
+  "tests_property"
+  "tests_property.pdb"
+  "tests_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

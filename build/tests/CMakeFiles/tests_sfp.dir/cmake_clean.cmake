@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sfp.dir/sfp/test_active_cp.cpp.o"
+  "CMakeFiles/tests_sfp.dir/sfp/test_active_cp.cpp.o.d"
+  "CMakeFiles/tests_sfp.dir/sfp/test_control_plane.cpp.o"
+  "CMakeFiles/tests_sfp.dir/sfp/test_control_plane.cpp.o.d"
+  "CMakeFiles/tests_sfp.dir/sfp/test_mgmt.cpp.o"
+  "CMakeFiles/tests_sfp.dir/sfp/test_mgmt.cpp.o.d"
+  "CMakeFiles/tests_sfp.dir/sfp/test_module.cpp.o"
+  "CMakeFiles/tests_sfp.dir/sfp/test_module.cpp.o.d"
+  "CMakeFiles/tests_sfp.dir/sfp/test_reconfig.cpp.o"
+  "CMakeFiles/tests_sfp.dir/sfp/test_reconfig.cpp.o.d"
+  "CMakeFiles/tests_sfp.dir/sfp/test_shell.cpp.o"
+  "CMakeFiles/tests_sfp.dir/sfp/test_shell.cpp.o.d"
+  "CMakeFiles/tests_sfp.dir/sfp/test_vcsel.cpp.o"
+  "CMakeFiles/tests_sfp.dir/sfp/test_vcsel.cpp.o.d"
+  "tests_sfp"
+  "tests_sfp.pdb"
+  "tests_sfp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

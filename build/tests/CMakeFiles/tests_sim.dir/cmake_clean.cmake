@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/sim/test_link.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_link.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_random.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_random.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_simulation.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_simulation.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/test_stats.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_net[1]_include.cmake")
+include("/root/repo/build/tests/tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/tests_hw[1]_include.cmake")
+include("/root/repo/build/tests/tests_ppe[1]_include.cmake")
+include("/root/repo/build/tests/tests_apps[1]_include.cmake")
+include("/root/repo/build/tests/tests_sfp[1]_include.cmake")
+include("/root/repo/build/tests/tests_fabric[1]_include.cmake")
+include("/root/repo/build/tests/tests_integration[1]_include.cmake")
+include("/root/repo/build/tests/tests_property[1]_include.cmake")
