@@ -123,7 +123,10 @@ void FleetOrchestrator::deploy_bitstream(const std::string& module,
   const std::size_t chunks = (image->size() + chunk_size - 1) / chunk_size;
 
   // Sequential state machine over completions: begin -> chunk i -> commit.
-  // shared_ptr'd recursive lambda keeps the chain alive across events.
+  // shared_ptr'd recursive lambda keeps the chain alive across events. The
+  // stored function must capture itself only weakly — a strong self-capture
+  // is a reference cycle the chain would leak on every deployment — while
+  // each in-flight completion holds a strong ref to keep the chain alive.
   auto step = std::make_shared<std::function<void(std::size_t)>>();
   auto final_done = std::make_shared<Completion>(std::move(done));
 
@@ -131,7 +134,8 @@ void FleetOrchestrator::deploy_bitstream(const std::string& module,
     if (*final_done) (*final_done)(std::move(response));
   };
 
-  *step = [this, module, image, chunks, chunk_size, step, final_done,
+  const std::weak_ptr<std::function<void(std::size_t)>> weak_step = step;
+  *step = [this, module, image, chunks, chunk_size, weak_step, final_done,
            fail](std::size_t index) {
     if (index < chunks) {
       sfp::MgmtRequest request;
@@ -142,13 +146,14 @@ void FleetOrchestrator::deploy_bitstream(const std::string& module,
       const std::size_t len = std::min(chunk_size, image->size() - offset);
       request.payload.insert(request.payload.end(), image->begin() + offset,
                              image->begin() + offset + len);
+      auto self = weak_step.lock();  // we are running, so the chain is alive
       submit(module, std::move(request),
-             [step, index, fail](std::optional<sfp::MgmtResponse> response) {
+             [self, index, fail](std::optional<sfp::MgmtResponse> response) {
                if (!response || response->status != sfp::MgmtStatus::ok) {
                  fail(std::move(response));
                  return;
                }
-               (*step)(index + 1);
+               (*self)(index + 1);
              });
       return;
     }

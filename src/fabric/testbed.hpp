@@ -59,6 +59,11 @@ class ModuleTestbed {
   [[nodiscard]] sfp::FlexSfpModule& module() { return *module_; }
   [[nodiscard]] Sink& edge_sink() { return *edge_sink_; }
   [[nodiscard]] Sink& optical_sink() { return *optical_sink_; }
+  /// Configured generators; nullptr when the direction carries no traffic.
+  [[nodiscard]] const TrafficGen* edge_gen() const { return edge_gen_.get(); }
+  [[nodiscard]] const TrafficGen* optical_gen() const {
+    return optical_gen_.get();
+  }
 
   /// Start the configured sources, run to quiescence, collect results.
   [[nodiscard]] TestbedResult run();

@@ -1,0 +1,27 @@
+// Deterministic fan-out for shard-parallel experiments.
+//
+// Shards in this codebase share no state (one FlexSFP module per shard, one
+// Simulation each), so parallelism is embarrassingly simple: run each
+// shard's closure on some worker thread, join, then merge results *by shard
+// index* on the caller thread. Scheduling order affects only wall-clock
+// time, never results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace flexsfp::sim {
+
+/// Run `body(0) .. body(jobs-1)`, each exactly once, on up to `workers`
+/// threads. `workers <= 1` runs everything on the caller thread in index
+/// order — the sequential oracle. Jobs must not share mutable state.
+/// Exceptions thrown by a job are rethrown on the caller thread after all
+/// workers join (the first one, by shard index).
+void parallel_for_each_shard(std::size_t jobs, unsigned workers,
+                             const std::function<void(std::size_t)>& body);
+
+/// Worker count actually used for a request: 0 means "one per job, capped
+/// by the hardware"; anything else is capped by the job count.
+[[nodiscard]] unsigned resolve_workers(std::size_t jobs, unsigned requested);
+
+}  // namespace flexsfp::sim

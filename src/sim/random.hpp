@@ -7,11 +7,36 @@
 
 namespace flexsfp::sim {
 
+/// SplitMix64 finalizer (Steele et al.): a full-avalanche 64-bit hash.
+/// Nearby inputs produce statistically independent outputs, which is what
+/// makes it safe for deriving per-shard seed streams.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Seed for stream `stream_id` of a run keyed by `base_seed`. Never
+/// `base_seed + stream_id`: sequential seeds into the same engine family
+/// yield correlated streams, so both inputs go through the hash.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(
+    std::uint64_t base_seed, std::uint64_t stream_id) {
+  return splitmix64(splitmix64(base_seed) + stream_id);
+}
+
 /// Seeded PRNG wrapper. Every generator in a run derives from an explicit
 /// seed so experiments are reproducible bit-for-bit.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Independent generator for stream `stream_id` of a run keyed by
+  /// `base_seed` — one per shard/worker in parallel experiments.
+  [[nodiscard]] static Rng for_stream(std::uint64_t base_seed,
+                                      std::uint64_t stream_id) {
+    return Rng(derive_stream_seed(base_seed, stream_id));
+  }
 
   [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
   /// Uniform integer in [lo, hi] inclusive.

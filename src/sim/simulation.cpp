@@ -32,6 +32,7 @@ bool Simulation::step() {
   Entry entry = queue_.top();
   queue_.pop();
   now_ = entry.at;
+  ++executed_;
   entry.fn();
   return true;
 }

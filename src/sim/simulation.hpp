@@ -38,6 +38,9 @@ class Simulation {
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Events executed since construction (across run/run_until/step) — the
+  /// work metric shard-parallel runs merge and report.
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
   /// Fresh packet identity for tracing.
   [[nodiscard]] net::PacketId next_packet_id() { return ++last_packet_id_; }
@@ -57,6 +60,7 @@ class Simulation {
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   TimePs now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
   net::PacketId last_packet_id_ = 0;
 };
 

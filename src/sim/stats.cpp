@@ -59,6 +59,27 @@ std::string LatencyHistogram::summary() const {
   return buffer;
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Stats::merge(const Stats& other) {
+  sent.merge(other.sent);
+  received.merge(other.received);
+  latency.merge(other.latency);
+  queue_drops += other.queue_drops;
+  app_drops += other.app_drops;
+  dark_drops += other.dark_drops;
+  events += other.events;
+}
+
 void LatencyHistogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

@@ -27,6 +27,11 @@ class TrafficMeter {
   [[nodiscard]] double packets_per_second(TimePs span) const {
     return span > 0 ? double(packets_) / to_seconds(span) : 0.0;
   }
+  /// Fold another meter in (shard merge). Order-independent.
+  void merge(const TrafficMeter& other) {
+    packets_ += other.packets_;
+    bytes_ += other.bytes_;
+  }
   void reset() {
     packets_ = 0;
     bytes_ = 0;
@@ -55,6 +60,11 @@ class LatencyHistogram {
   /// containing the requested rank.
   [[nodiscard]] TimePs percentile(double p) const;
   [[nodiscard]] std::string summary() const;
+  /// Fold another histogram in (shard merge): buckets add element-wise, so
+  /// percentiles of the merge equal percentiles of the union of samples.
+  /// Merge shards in a fixed order when bit-identical means are required —
+  /// sum_ns_ is floating point and addition is not associative.
+  void merge(const LatencyHistogram& other);
   void reset();
 
  private:
@@ -66,6 +76,33 @@ class LatencyHistogram {
   double sum_ns_ = 0;
   TimePs min_ = 0;
   TimePs max_ = 0;
+};
+
+/// The canonical mergeable bundle of run statistics: everything a testbed
+/// shard measures, foldable across shards at a barrier so a parallel run
+/// reports exactly what the sequential run would.
+struct Stats {
+  TrafficMeter sent;
+  TrafficMeter received;
+  LatencyHistogram latency;
+  std::uint64_t queue_drops = 0;  // engine ingress FIFO overflows
+  std::uint64_t app_drops = 0;    // Verdict::drop from the app
+  std::uint64_t dark_drops = 0;   // lost while booting/rebooting/failed
+  std::uint64_t events = 0;       // simulation events executed
+
+  /// Fold `other` in. Counter fields are order-independent; latency means
+  /// are bit-identical only when shards merge in a fixed order (see
+  /// LatencyHistogram::merge).
+  void merge(const Stats& other);
+
+  [[nodiscard]] std::uint64_t total_drops() const {
+    return queue_drops + app_drops + dark_drops;
+  }
+  [[nodiscard]] double loss_rate() const {
+    return sent.packets() > 0
+               ? 1.0 - double(received.packets()) / double(sent.packets())
+               : 0.0;
+  }
 };
 
 /// Sliding-window rate estimator used by the microburst detector: counts

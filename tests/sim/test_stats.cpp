@@ -77,6 +77,110 @@ TEST(LatencyHistogram, ResetClears) {
   EXPECT_EQ(hist.max(), 0);
 }
 
+TEST(TrafficMeter, MergeAddsCounts) {
+  TrafficMeter a, b;
+  a.record(100);
+  b.record(200);
+  b.record(300);
+  a.merge(b);
+  EXPECT_EQ(a.packets(), 3u);
+  EXPECT_EQ(a.bytes(), 600u);
+  EXPECT_EQ(b.packets(), 2u);  // the source is untouched
+}
+
+TEST(LatencyHistogram, MergeEqualsUnionOfSamples) {
+  // Record the same samples split across two histograms and all in one;
+  // the merge must be indistinguishable from the union.
+  LatencyHistogram left, right, whole;
+  for (int i = 1; i <= 500; ++i) {
+    const TimePs sample = TimePs(i) * 2_ns;
+    (i % 2 == 0 ? left : right).record(sample);
+    whole.record(sample);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+  EXPECT_EQ(left.percentile(50), whole.percentile(50));
+  EXPECT_EQ(left.percentile(99), whole.percentile(99));
+  EXPECT_NEAR(left.mean_ns(), whole.mean_ns(), 1e-9);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram hist, empty;
+  hist.record(1_us);
+  hist.merge(empty);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.min(), 1_us);
+
+  empty.merge(hist);  // empty picks up the other side's min/max
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 1_us);
+  EXPECT_EQ(empty.max(), 1_us);
+}
+
+TEST(Stats, MergeFoldsEveryField) {
+  Stats a, b;
+  a.sent.record(64);
+  a.received.record(64);
+  a.latency.record(100_ns);
+  a.queue_drops = 1;
+  a.app_drops = 2;
+  a.dark_drops = 3;
+  a.events = 10;
+
+  b.sent.record(1518);
+  b.sent.record(1518);
+  b.latency.record(900_ns);
+  b.queue_drops = 10;
+  b.app_drops = 20;
+  b.dark_drops = 30;
+  b.events = 100;
+
+  a.merge(b);
+  EXPECT_EQ(a.sent.packets(), 3u);
+  EXPECT_EQ(a.sent.bytes(), 64u + 2 * 1518u);
+  EXPECT_EQ(a.received.packets(), 1u);
+  EXPECT_EQ(a.latency.count(), 2u);
+  EXPECT_EQ(a.latency.min(), 100_ns);
+  EXPECT_EQ(a.latency.max(), 900_ns);
+  EXPECT_EQ(a.queue_drops, 11u);
+  EXPECT_EQ(a.app_drops, 22u);
+  EXPECT_EQ(a.dark_drops, 33u);
+  EXPECT_EQ(a.events, 110u);
+  EXPECT_EQ(a.total_drops(), 66u);
+}
+
+TEST(Stats, MergeIsAssociativeOnCounters) {
+  Stats shard[3];
+  for (int i = 0; i < 3; ++i) {
+    for (int p = 0; p <= i; ++p) shard[i].sent.record(64);
+    shard[i].queue_drops = std::uint64_t(i);
+  }
+  Stats left_fold;  // (s0 + s1) + s2
+  left_fold.merge(shard[0]);
+  left_fold.merge(shard[1]);
+  left_fold.merge(shard[2]);
+
+  Stats pair;  // s0 + (s1 + s2)
+  pair.merge(shard[1]);
+  pair.merge(shard[2]);
+  Stats right_fold;
+  right_fold.merge(shard[0]);
+  right_fold.merge(pair);
+
+  EXPECT_EQ(left_fold.sent.packets(), right_fold.sent.packets());
+  EXPECT_EQ(left_fold.queue_drops, right_fold.queue_drops);
+}
+
+TEST(Stats, LossRateFromMeters) {
+  Stats stats;
+  EXPECT_DOUBLE_EQ(stats.loss_rate(), 0.0);  // nothing sent
+  for (int i = 0; i < 4; ++i) stats.sent.record(64);
+  for (int i = 0; i < 3; ++i) stats.received.record(64);
+  EXPECT_DOUBLE_EQ(stats.loss_rate(), 0.25);
+}
+
 TEST(WindowedRate, ReportsCompletedWindows) {
   WindowedRate rate(1_ms);
   // 125 kB in the first window = 1 Gb/s.
