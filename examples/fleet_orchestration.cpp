@@ -74,9 +74,13 @@ int main() {
   std::printf("per-port NAT entries installed: %d/3\n", installs);
 
   // 3. Fleet-wide application rollout: deploy a telnet-blocking BPF filter
-  //    to every port, over the wire, with the full chunked protocol.
+  //    to every port, over the wire, with the full chunked protocol. The
+  //    compact program matters: the orchestrator statically verifies every
+  //    bitstream before pushing it, and the general (IHL-parsing) variant
+  //    needs more cycles per 64 B packet than 10 Gb/s line rate allows, so
+  //    the gate would refuse it (rule FSL002).
   const auto bitstream = hw::Bitstream::create(
-      "bpf", apps::bpf_programs::drop_tcp_dport(23).serialize(),
+      "bpf", apps::bpf_programs::drop_tcp_dport_compact(23).serialize(),
       sfp::FlexSfpConfig{}.auth_key, /*version=*/2);
   int deployed = 0;
   for (int i = 0; i < 3; ++i) {

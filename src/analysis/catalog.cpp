@@ -1,0 +1,127 @@
+#include "analysis/catalog.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "apps/acl.hpp"
+#include "apps/bpf_filter.hpp"
+#include "apps/chain.hpp"
+#include "apps/nat.hpp"
+#include "apps/telemetry.hpp"
+
+namespace flexsfp::analysis {
+
+namespace {
+
+ppe::PpeAppPtr build_acl_edge() {
+  auto acl = std::make_unique<apps::AclFirewall>();
+  // Block telnet and legacy SMB from anywhere; everything else permitted
+  // by the default action.
+  apps::AclRuleSpec telnet;
+  telnet.protocol = 6;
+  telnet.dst_port_range = {{23, 23}};
+  telnet.action = apps::AclAction::deny;
+  telnet.priority = 100;
+  (void)acl->add_rule(telnet);
+  apps::AclRuleSpec smb;
+  smb.protocol = 6;
+  smb.dst_port_range = {{445, 445}};
+  smb.action = apps::AclAction::deny;
+  smb.priority = 90;
+  (void)acl->add_rule(smb);
+  return acl;
+}
+
+ppe::PpeAppPtr build_telemetry_chain() {
+  auto chain = std::make_unique<apps::AppChain>();
+  chain->append(std::make_unique<apps::IntStamper>(
+      apps::IntStamperConfig{.role = apps::StamperRole::source}));
+  chain->append(std::make_unique<apps::FlowStats>());
+  chain->append(std::make_unique<apps::Sampler>());
+  return chain;
+}
+
+/// A soft-core program far past the per-packet cycle budget: 47 ALU steps
+/// before the terminal — every packet takes 48 sequential cycles.
+apps::BpfProgram heavy_program() {
+  std::vector<apps::BpfInsn> code;
+  for (int i = 0; i < 47; ++i) {
+    code.push_back({apps::BpfOp::alu_add, 1, 0, 0});
+  }
+  code.push_back({apps::BpfOp::ret_accept, 0, 0, 0});
+  return *apps::BpfProgram::assemble(std::move(code));
+}
+
+ppe::PpeAppPtr build_dead_chain() {
+  auto chain = std::make_unique<apps::AppChain>();
+  chain->append(std::make_unique<apps::BpfFilter>(
+      *apps::BpfProgram::assemble({{apps::BpfOp::ret_drop, 0, 0, 0}})));
+  chain->append(std::make_unique<apps::AclFirewall>());
+  return chain;
+}
+
+std::vector<DeployableDesign> make_catalog() {
+  std::vector<DeployableDesign> designs;
+  designs.push_back(
+      {"nat-paper",
+       "the paper's §5.1 case study: static source NAT, 32768 flows in LSRAM",
+       true, [] { return std::make_unique<apps::StaticNat>(); }});
+  designs.push_back({"acl-edge",
+                     "5-tuple edge firewall with telnet/SMB deny rules",
+                     true, build_acl_edge});
+  designs.push_back(
+      {"telnet-filter",
+       "BPF soft-core telnet blocker (compact program, fits the cycle budget)",
+       true, [] {
+         return std::make_unique<apps::BpfFilter>(
+             apps::bpf_programs::drop_tcp_dport_compact(23));
+       }});
+  designs.push_back({"telemetry-chain",
+                     "INT source -> flow statistics -> 1-in-N sampler chain",
+                     true, build_telemetry_chain});
+  designs.push_back(
+      {"int-sink-edge",
+       "INT sink deployed alone: warns that the shim must arrive from the "
+       "wire, but stays deployable",
+       true, [] {
+         return std::make_unique<apps::IntStamper>(
+             apps::IntStamperConfig{.role = apps::StamperRole::sink});
+       }});
+  designs.push_back(
+      {"nat-oversized",
+       "NAT with a 524288-flow table: 16x the paper's build, several times "
+       "the MPF200T's LSRAM — must be rejected",
+       false, [] {
+         return std::make_unique<apps::StaticNat>(
+             apps::NatConfig{.table_capacity = 524288});
+       }});
+  designs.push_back(
+      {"bpf-heavy-program",
+       "48-instruction soft-core program: over the min-size-packet cycle "
+       "budget at 10 Gb/s — must be rejected",
+       false, [] {
+         return std::make_unique<apps::BpfFilter>(heavy_program());
+       }});
+  designs.push_back(
+      {"dead-chain",
+       "drop-everything filter in front of an ACL: downstream stage is "
+       "unreachable — must be rejected",
+       false, build_dead_chain});
+  return designs;
+}
+
+}  // namespace
+
+const std::vector<DeployableDesign>& deployable_designs() {
+  static const std::vector<DeployableDesign> catalog = make_catalog();
+  return catalog;
+}
+
+const DeployableDesign* find_design(std::string_view name) {
+  for (const DeployableDesign& design : deployable_designs()) {
+    if (design.name == name) return &design;
+  }
+  return nullptr;
+}
+
+}  // namespace flexsfp::analysis

@@ -1,0 +1,33 @@
+// Deployable-design catalog: named, buildable pipeline configurations with
+// their expected static-verification verdict. The lint tool iterates this
+// catalog (CI runs it with --check-expectations, so a feasible design going
+// red AND an infeasible one going green both fail the build); the
+// deliberately broken entries double as golden inputs for the rule tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ppe/app.hpp"
+
+namespace flexsfp::analysis {
+
+struct DeployableDesign {
+  std::string name;
+  std::string description;
+  /// Expected verdict: true = verification must produce no error-severity
+  /// diagnostics; false = it must produce at least one.
+  bool expect_feasible = true;
+  /// Build a fresh instance of the composed pipeline.
+  std::function<ppe::PpeAppPtr()> build;
+};
+
+/// Every catalogued design, feasible and deliberately infeasible.
+[[nodiscard]] const std::vector<DeployableDesign>& deployable_designs();
+
+/// Catalog lookup; nullptr when `name` is not catalogued.
+[[nodiscard]] const DeployableDesign* find_design(std::string_view name);
+
+}  // namespace flexsfp::analysis

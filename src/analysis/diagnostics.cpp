@@ -1,0 +1,120 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+namespace flexsfp::analysis {
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::note: return "note";
+    case Severity::warning: return "warning";
+    case Severity::error: return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticReport::add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticReport::note(std::string rule, std::string component,
+                            std::string message, std::string hint) {
+  add({std::move(rule), Severity::note, std::move(component),
+       std::move(message), std::move(hint)});
+}
+
+void DiagnosticReport::warning(std::string rule, std::string component,
+                               std::string message, std::string hint) {
+  add({std::move(rule), Severity::warning, std::move(component),
+       std::move(message), std::move(hint)});
+}
+
+void DiagnosticReport::error(std::string rule, std::string component,
+                             std::string message, std::string hint) {
+  add({std::move(rule), Severity::error, std::move(component),
+       std::move(message), std::move(hint)});
+}
+
+void DiagnosticReport::merge(std::string_view prefix,
+                             const DiagnosticReport& other) {
+  for (const Diagnostic& diagnostic : other.diagnostics_) {
+    Diagnostic copy = diagnostic;
+    copy.component = std::string(prefix) + "/" + copy.component;
+    diagnostics_.push_back(std::move(copy));
+  }
+}
+
+std::size_t DiagnosticReport::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [severity](const Diagnostic& diagnostic) {
+                      return diagnostic.severity == severity;
+                    }));
+}
+
+std::vector<Diagnostic> DiagnosticReport::by_rule(std::string_view rule) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    if (diagnostic.rule == rule) out.push_back(diagnostic);
+  }
+  return out;
+}
+
+std::string DiagnosticReport::to_text() const {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    out += to_string(diagnostic.severity);
+    out += "[" + diagnostic.rule + "] ";
+    out += diagnostic.component + ": " + diagnostic.message + "\n";
+    if (!diagnostic.hint.empty()) {
+      out += "    hint: " + diagnostic.hint + "\n";
+    }
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticReport::to_json() const {
+  std::string out = "{\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& diagnostic = diagnostics_[i];
+    if (i != 0) out += ",";
+    out += "{\"rule\":\"" + json_escape(diagnostic.rule) + "\"";
+    out += ",\"severity\":\"" + to_string(diagnostic.severity) + "\"";
+    out += ",\"component\":\"" + json_escape(diagnostic.component) + "\"";
+    out += ",\"message\":\"" + json_escape(diagnostic.message) + "\"";
+    out += ",\"hint\":\"" + json_escape(diagnostic.hint) + "\"}";
+  }
+  out += "],\"errors\":" + std::to_string(count(Severity::error));
+  out += ",\"warnings\":" + std::to_string(count(Severity::warning));
+  out += ",\"notes\":" + std::to_string(count(Severity::note));
+  out += "}";
+  return out;
+}
+
+}  // namespace flexsfp::analysis

@@ -1,0 +1,82 @@
+// Structured diagnostics for deploy-time static verification.
+//
+// Every finding carries a stable rule id ("FSL001", ...) so CI gates and
+// golden tests can match on identity rather than message text, a severity,
+// the design component it is anchored to, and a fix-it hint. A report is an
+// ordered collection with both a human rendering (compiler-style lines) and
+// a machine-readable JSON rendering for CI consumption.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexsfp::analysis {
+
+enum class Severity : std::uint8_t {
+  note = 0,
+  warning = 1,
+  error = 2,
+};
+
+[[nodiscard]] std::string to_string(Severity severity);
+
+struct Diagnostic {
+  /// Stable rule id, e.g. "FSL001". Never renumbered.
+  std::string rule;
+  Severity severity = Severity::note;
+  /// Design element the finding is anchored to ("nat", "acl/table:acl",
+  /// "device", ...).
+  std::string component;
+  /// One-line statement of the finding.
+  std::string message;
+  /// Actionable fix-it hint; may be empty.
+  std::string hint;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Ordered diagnostic collection produced by one verification run.
+class DiagnosticReport {
+ public:
+  void add(Diagnostic diagnostic);
+  void note(std::string rule, std::string component, std::string message,
+            std::string hint = {});
+  void warning(std::string rule, std::string component, std::string message,
+               std::string hint = {});
+  void error(std::string rule, std::string component, std::string message,
+             std::string hint = {});
+
+  /// Append every diagnostic of `other`, prefixing components with
+  /// "<prefix>/" (used when verifying several designs in one run).
+  void merge(std::string_view prefix, const DiagnosticReport& other);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  [[nodiscard]] bool empty() const { return diagnostics_.empty(); }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::error) > 0; }
+  [[nodiscard]] bool has_warnings() const {
+    return count(Severity::warning) > 0;
+  }
+  /// Diagnostics matching one rule id.
+  [[nodiscard]] std::vector<Diagnostic> by_rule(std::string_view rule) const;
+
+  /// Compiler-style human rendering, one line per diagnostic:
+  ///   error[FSL001] nat: LUT demand 210% of MPF200T budget
+  ///       hint: shrink the table or target a larger device
+  [[nodiscard]] std::string to_text() const;
+  /// Machine-readable rendering for CI:
+  ///   {"diagnostics":[{"rule":...}], "errors":N, "warnings":N, "notes":N}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// JSON string escaping helper shared by the report and the lint tool.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace flexsfp::analysis

@@ -1,0 +1,383 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "hw/bitstream.hpp"
+#include "hw/resource_model.hpp"
+#include "ppe/app.hpp"
+#include "ppe/registry.hpp"
+
+namespace flexsfp::analysis {
+
+namespace {
+
+std::string pct(double value) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.1f%%", value);
+  return buf.data();
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += "+";
+    out += parts[i];
+  }
+  return out;
+}
+
+/// "acl/table:acl" — anchors a table diagnostic inside its stage.
+std::string table_component(const ppe::StageProfile& stage,
+                            const ppe::TableProfile& table) {
+  return stage.stage + "/table:" + table.name;
+}
+
+std::string bank_component(const ppe::StageProfile& stage,
+                           const ppe::CounterBankProfile& bank) {
+  return stage.stage + "/counters:" + bank.name;
+}
+
+}  // namespace
+
+PipelineVerifier::PipelineVerifier(VerifierOptions options)
+    : options_(std::move(options)) {}
+
+DiagnosticReport PipelineVerifier::verify(const ppe::PpeApp& app) const {
+  DiagnosticReport report;
+  const std::vector<ppe::StageProfile> stages = app.stage_profiles();
+  check_resources(app, report);
+  check_line_rate(stages, report);
+  check_tables(stages, report);
+  check_pipeline_shape(stages, report);
+  return report;
+}
+
+DiagnosticReport PipelineVerifier::verify_bitstream(
+    const hw::Bitstream& bitstream) const {
+  DiagnosticReport report;
+  const ppe::AppRegistry& registry = ppe::AppRegistry::instance();
+  if (!registry.contains(bitstream.app_name())) {
+    report.error("FSL000", bitstream.app_name(),
+                 "bitstream names an application with no registered factory",
+                 "register the app (apps::register_builtin_apps) or fix the "
+                 "bitstream's app name");
+    return report;
+  }
+  const ppe::PpeAppPtr app =
+      registry.create(bitstream.app_name(), bitstream.config());
+  if (app == nullptr) {
+    report.error("FSL000", bitstream.app_name(),
+                 "application factory rejected the serialized configuration",
+                 "rebuild the bitstream from a configuration the app's "
+                 "parse() accepts");
+    return report;
+  }
+  return verify(*app);
+}
+
+void PipelineVerifier::check_resources(const ppe::PpeApp& app,
+                                       DiagnosticReport& report) const {
+  using RM = hw::ResourceModel;
+  hw::ResourceUsage usage = app.resource_usage(options_.datapath);
+  if (options_.include_shell) {
+    usage += RM::miv_rv32();
+    usage += RM::ethernet_iface_electrical();
+    usage += RM::ethernet_iface_optical();
+  }
+  const hw::DeviceCapacity& budget = options_.device.capacity();
+  const hw::UtilizationReport util = options_.device.utilization(usage);
+
+  report.note("FSL001", "device",
+              options_.device.name() + " utilization: " +
+                  std::to_string(usage.luts) + "/" +
+                  std::to_string(budget.luts) + " LUTs (" + pct(util.luts_pct) +
+                  "), " + std::to_string(usage.ffs) + "/" +
+                  std::to_string(budget.ffs) + " FFs (" + pct(util.ffs_pct) +
+                  "), " + std::to_string(usage.usram_blocks) + "/" +
+                  std::to_string(budget.usram_blocks) + " uSRAM (" +
+                  pct(util.usram_pct) + "), " +
+                  std::to_string(usage.lsram_blocks) + "/" +
+                  std::to_string(budget.lsram_blocks) + " LSRAM (" +
+                  pct(util.lsram_pct) + ")" +
+                  (options_.include_shell ? ", shell IP included" : ""));
+
+  struct Dimension {
+    const char* name;
+    std::uint64_t used;
+    std::uint64_t available;
+    double used_pct;
+  };
+  const std::array<Dimension, 4> dimensions{{
+      {"LUT", usage.luts, budget.luts, util.luts_pct},
+      {"FF", usage.ffs, budget.ffs, util.ffs_pct},
+      {"uSRAM block", usage.usram_blocks, budget.usram_blocks,
+       util.usram_pct},
+      {"LSRAM block", usage.lsram_blocks, budget.lsram_blocks,
+       util.lsram_pct},
+  }};
+  for (const Dimension& dim : dimensions) {
+    if (dim.used > dim.available) {
+      report.error(
+          "FSL001", "device",
+          std::string(dim.name) + " demand " + std::to_string(dim.used) +
+              " exceeds the " + options_.device.name() + " budget of " +
+              std::to_string(dim.available) + " (" + pct(dim.used_pct) + ")",
+          "shrink table capacities or target a larger device "
+          "(MPF300T/MPF500T)");
+    }
+  }
+  if (options_.device.fits(usage) &&
+      util.worst() >= options_.utilization_warning_pct) {
+    report.warning("FSL001", "device",
+                   "design fits but worst-dimension utilization is " +
+                       pct(util.worst()),
+                   "leave headroom for routing congestion and future "
+                   "control-plane features");
+  }
+}
+
+void PipelineVerifier::check_line_rate(
+    const std::vector<ppe::StageProfile>& stages,
+    DiagnosticReport& report) const {
+  const hw::DatapathConfig& datapath = options_.datapath;
+  const std::uint64_t beats = datapath.beats_for(options_.min_packet_bytes);
+  // Wire time of the worst-case packet, incl. preamble/SFD + FCS + IPG —
+  // the same 24 bytes DatapathConfig::sustains_line_rate charges.
+  const double wire_time_s = double(options_.min_packet_bytes + 24) * 8.0 /
+                             double(options_.line_rate_bps);
+  const double cycles_available = wire_time_s * double(datapath.clock.hz());
+
+  // Stages overlap in a pipeline, so throughput is set per stage: each one
+  // must individually clear the per-packet budget; the slowest over-budget
+  // stage is the bottleneck.
+  std::uint64_t worst_occupancy = 0;
+  for (const ppe::StageProfile& stage : stages) {
+    worst_occupancy =
+        std::max(worst_occupancy,
+                 std::max<std::uint64_t>(beats, stage.match_action_cycles));
+  }
+  for (const ppe::StageProfile& stage : stages) {
+    const std::uint64_t occupancy =
+        std::max<std::uint64_t>(beats, stage.match_action_cycles);
+    if (datapath.sustains_line_rate(options_.line_rate_bps,
+                                    options_.min_packet_bytes,
+                                    occupancy - beats)) {
+      continue;
+    }
+    std::array<char, 96> detail{};
+    std::snprintf(detail.data(), detail.size(),
+                  "but at %llu Gb/s the %u b x %.2f MHz datapath affords "
+                  "only %.1f cycles",
+                  static_cast<unsigned long long>(options_.line_rate_bps /
+                                                  1'000'000'000),
+                  datapath.width_bits, datapath.clock.mhz_value(),
+                  cycles_available);
+    std::string message = "needs " + std::to_string(occupancy) +
+                          " cycles per " +
+                          std::to_string(options_.min_packet_bytes) +
+                          " B packet, " + detail.data();
+    if (occupancy == worst_occupancy) message += " (pipeline bottleneck)";
+    report.error("FSL002", stage.stage, std::move(message),
+                 "reduce per-packet work (shorter program, fewer sequential "
+                 "lookups) or widen/overclock the datapath");
+  }
+}
+
+void PipelineVerifier::check_tables(
+    const std::vector<ppe::StageProfile>& stages,
+    DiagnosticReport& report) const {
+  const hw::DeviceCapacity& budget = options_.device.capacity();
+  for (const ppe::StageProfile& stage : stages) {
+    for (const ppe::TableProfile& table : stage.tables) {
+      const std::string component = table_component(stage, table);
+
+      // FSL003: key geometry vs the header fields it is drawn from.
+      if (table.capacity > 0 && table.key_bits == 0) {
+        report.warning("FSL003", component,
+                       "table declares a zero-width match key",
+                       "declare the real key width so placement and timing "
+                       "estimates are meaningful");
+      }
+      if (table.key_sources != 0) {
+        std::uint32_t available_bits = 0;
+        for (std::size_t i = 0; i < ppe::header_kind_count; ++i) {
+          const auto kind = static_cast<ppe::HeaderKind>(i);
+          if ((table.key_sources & ppe::header_bit(kind)) != 0) {
+            available_bits += ppe::header_field_bits(kind);
+          }
+        }
+        if (table.key_bits > available_bits) {
+          report.error(
+              "FSL003", component,
+              "match key is " + std::to_string(table.key_bits) +
+                  " bits but its source headers (" +
+                  join(ppe::header_set_names(table.key_sources)) +
+                  ") carry only " + std::to_string(available_bits) +
+                  " field bits",
+              "add the missing header layers to the key sources or shrink "
+              "the key");
+        }
+      }
+
+      // FSL004: per-table placement and capacity.
+      if (table.capacity == 0) {
+        report.warning("FSL004", component,
+                       "table has zero capacity; every lookup will miss",
+                       "size the table for the expected flow count");
+      }
+      switch (table.kind) {
+        case ppe::TableKind::exact_match: {
+          // Entry layout mirrors ResourceModel::exact_match_table:
+          // key + value + 4 bits valid/version, LSRAM-resident.
+          const std::uint64_t bits =
+              table.capacity *
+              (std::uint64_t{table.key_bits} + table.value_bits + 4);
+          const std::uint64_t blocks = hw::lsram_blocks_for_bits(bits);
+          if (blocks > budget.lsram_blocks) {
+            report.error(
+                "FSL004", component,
+                "exact-match entries need " + std::to_string(blocks) +
+                    " LSRAM blocks; the " + options_.device.name() +
+                    " has " + std::to_string(budget.lsram_blocks) +
+                    " in total",
+                "reduce capacity or move cold entries to the control plane");
+          }
+          break;
+        }
+        case ppe::TableKind::lpm: {
+          // Multi-stride trie: ~3 nodes x 40 bits per entry
+          // (ResourceModel::lpm_table), LSRAM-resident.
+          const std::uint64_t bits = table.capacity * 3 * 40;
+          const std::uint64_t blocks = hw::lsram_blocks_for_bits(bits);
+          if (blocks > budget.lsram_blocks) {
+            report.error(
+                "FSL004", component,
+                "LPM trie needs " + std::to_string(blocks) +
+                    " LSRAM blocks; the " + options_.device.name() +
+                    " has " + std::to_string(budget.lsram_blocks) +
+                    " in total",
+                "reduce the prefix count or aggregate routes upstream");
+          }
+          break;
+        }
+        case ppe::TableKind::ternary: {
+          // TCAM emulation keeps rule+mask in FFs: 2 FFs per key bit per
+          // rule (ResourceModel::ternary_table).
+          const std::uint64_t ffs =
+              2 * std::uint64_t{table.key_bits} * table.capacity;
+          if (ffs > budget.ffs) {
+            report.error(
+                "FSL004", component,
+                "TCAM emulation needs " + std::to_string(ffs) +
+                    " FFs for rule storage alone; the " +
+                    options_.device.name() + " has " +
+                    std::to_string(budget.ffs),
+                "cut the rule capacity or recast the match as exact/LPM");
+          } else if (table.capacity > 1024) {
+            report.warning(
+                "FSL004", component,
+                "ternary capacity of " + std::to_string(table.capacity) +
+                    " rules is costly to emulate in fabric (" +
+                    std::to_string(ffs) + " FFs of rule storage)",
+                "large rule sets fit better as exact-match or LPM tables");
+          }
+          break;
+        }
+      }
+
+      // FSL005: installed entries that can never match.
+      if (table.shadowed_entries > 0) {
+        report.warning(
+            "FSL005", component,
+            std::to_string(table.shadowed_entries) +
+                " installed entr" +
+                (table.shadowed_entries == 1 ? "y is" : "ies are") +
+                " shadowed by higher-priority rules and can never match",
+            "remove or reprioritize the shadowed rules");
+      }
+      if (table.duplicate_entries > 0) {
+        report.warning("FSL005", component,
+                       std::to_string(table.duplicate_entries) +
+                           " exactly duplicated entr" +
+                           (table.duplicate_entries == 1 ? "y is" : "ies are") +
+                           " installed",
+                       "deduplicate the control plane's rule pushes");
+      }
+    }
+  }
+}
+
+void PipelineVerifier::check_pipeline_shape(
+    const std::vector<ppe::StageProfile>& stages,
+    DiagnosticReport& report) const {
+  // FSL006: walk the set of header layers available at each stage. A frame
+  // from the wire may carry any non-synthetic layer; producers extend the
+  // set, consumers shrink it.
+  ppe::HeaderSet available = ppe::wire_header_set();
+  for (const ppe::StageProfile& stage : stages) {
+    const ppe::HeaderSet missing = stage.reads & ~available;
+    if (missing != 0) {
+      report.warning(
+          "FSL006", stage.stage,
+          "reads header(s) " + join(ppe::header_set_names(missing)) +
+              " that no upstream stage produces",
+          "insert the producing stage upstream (e.g. an INT source before "
+          "an INT sink), or confirm another module on the path inserts it");
+    }
+    available = (available & ~stage.consumes) | stage.produces;
+  }
+
+  // FSL007: reachability behind constant verdicts.
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const ppe::StageProfile& stage = stages[i];
+    if (!stage.constant_verdict.has_value()) continue;
+    const ppe::Verdict verdict = *stage.constant_verdict;
+    if (verdict == ppe::Verdict::forward) {
+      report.note("FSL007", stage.stage,
+                  "configuration makes this stage forward every packet "
+                  "unconditionally (a no-op filter)",
+                  "load a real program/ruleset before deploying");
+    } else if (i + 1 < stages.size()) {
+      report.error(
+          "FSL007", stage.stage,
+          "every packet gets verdict '" + ppe::to_string(verdict) +
+              "' here, making the " + std::to_string(stages.size() - i - 1) +
+              " downstream stage(s) unreachable",
+          "drop the dead stages from the chain or fix this stage's "
+          "configuration");
+    } else {
+      report.warning("FSL007", stage.stage,
+                     "every packet gets verdict '" + ppe::to_string(verdict) +
+                         "'; the design processes no traffic",
+                     "confirm a constant " + ppe::to_string(verdict) +
+                         " policy is intended");
+    }
+  }
+
+  // FSL008: counter indices the datapath can address must exist.
+  for (const ppe::StageProfile& stage : stages) {
+    for (const ppe::CounterBankProfile& bank : stage.counter_banks) {
+      const std::string component = bank_component(stage, bank);
+      if (bank.slots == 0) {
+        report.warning("FSL008", component,
+                       "counter bank has zero slots; any update would throw",
+                       "size the bank for the stage's counter indices");
+        continue;
+      }
+      if (bank.max_index_used >= bank.slots) {
+        report.error(
+            "FSL008", component,
+            "datapath addresses counter index " +
+                std::to_string(bank.max_index_used) + " but the bank has " +
+                std::to_string(bank.slots) +
+                " slots (CounterBank::add would throw)",
+            "size the bank to at least " +
+                std::to_string(bank.max_index_used + 1) + " slots");
+      }
+    }
+  }
+}
+
+}  // namespace flexsfp::analysis

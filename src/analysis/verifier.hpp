@@ -1,0 +1,87 @@
+// Deploy-time static pipeline verifier.
+//
+// Reproduces the paper's feasibility arithmetic (§5, Tables 1/2) — resource
+// fit against a device budget and the width x f_clk >= line-rate inequality
+// at minimum-size packets — plus structural sanity of the composed pipeline
+// (table geometry, header availability, reachability, counter indexing),
+// all from the apps' StageProfile introspection. No simulated cycle runs.
+//
+// Rule catalog (stable ids; severity is the rule's *maximum*):
+//   FSL000 error    bitstream names an unknown app / unbuildable config
+//   FSL001 error    aggregate resources exceed the device budget
+//                   (note: always reports per-resource utilization)
+//   FSL002 error    a stage's per-packet cycle cost breaks line rate at
+//                   min-size packets (the bottleneck stage is flagged)
+//   FSL003 error    table key wider than the header fields it is built from
+//   FSL004 error    a single table outgrows the device's SRAM/FF budget
+//                   (warning: zero capacity, oversized TCAM emulation)
+//   FSL005 warning  shadowed / duplicate ternary entries that cannot match
+//   FSL006 warning  stage reads a header no upstream stage or the wire
+//                   provides
+//   FSL007 error    stages unreachable behind a constant non-forward verdict
+//                   (warning/note: constant verdict with nothing downstream)
+//   FSL008 error    counter-bank index beyond the bank's slot count
+//                   (CounterBank::add would throw at runtime)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "hw/clock.hpp"
+#include "hw/device.hpp"
+#include "ppe/introspect.hpp"
+
+namespace flexsfp::hw {
+class Bitstream;
+}
+namespace flexsfp::ppe {
+class PpeApp;
+}
+
+namespace flexsfp::analysis {
+
+struct VerifierOptions {
+  /// Deployment target; the paper's prototype device by default.
+  hw::FpgaDevice device = hw::FpgaDevice::mpf200t();
+  /// Bus geometry: 64 bit at 156.25 MHz, the prototype datapath.
+  hw::DatapathConfig datapath;
+  /// Line rate the design must sustain, in bits/second.
+  std::uint64_t line_rate_bps = 10'000'000'000ull;
+  /// Worst-case (smallest) packet the line-rate inequality is evaluated at.
+  std::size_t min_packet_bytes = 64;
+  /// Charge the fixed shell IP (Mi-V soft core + both 10G Ethernet
+  /// interfaces) against the budget, mirroring the paper's Table 1.
+  bool include_shell = true;
+  /// Resource fit above this percentage (but still fitting) is a warning.
+  double utilization_warning_pct = 90.0;
+};
+
+class PipelineVerifier {
+ public:
+  explicit PipelineVerifier(VerifierOptions options = VerifierOptions{});
+
+  [[nodiscard]] const VerifierOptions& options() const { return options_; }
+
+  /// Verify a composed application (a single app or an AppChain).
+  [[nodiscard]] DiagnosticReport verify(const ppe::PpeApp& app) const;
+
+  /// Verify what a bitstream would deploy: resolve the app through the
+  /// registry (FSL000 on failure), rebuild it from the carried
+  /// configuration, then run `verify` on the result.
+  [[nodiscard]] DiagnosticReport verify_bitstream(
+      const hw::Bitstream& bitstream) const;
+
+ private:
+  void check_resources(const ppe::PpeApp& app, DiagnosticReport& report) const;
+  void check_line_rate(const std::vector<ppe::StageProfile>& stages,
+                       DiagnosticReport& report) const;
+  void check_tables(const std::vector<ppe::StageProfile>& stages,
+                    DiagnosticReport& report) const;
+  void check_pipeline_shape(const std::vector<ppe::StageProfile>& stages,
+                            DiagnosticReport& report) const;
+
+  VerifierOptions options_;
+};
+
+}  // namespace flexsfp::analysis

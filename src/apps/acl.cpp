@@ -145,6 +145,28 @@ std::vector<ppe::CounterSnapshot> AclFirewall::counters() const {
   return out;
 }
 
+ppe::StageProfile AclFirewall::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_set(
+      {HeaderKind::ethernet, HeaderKind::ipv4, HeaderKind::tcp,
+       HeaderKind::udp});
+  profile.tables.push_back(ppe::TableProfile{
+      .name = table_.name(),
+      .kind = ppe::TableKind::ternary,
+      .capacity = table_.capacity(),
+      .key_bits = 104,  // the packed 5-tuple layout (see pack_key)
+      .value_bits = 64,
+      .key_sources = ppe::header_set(
+          {HeaderKind::ipv4, HeaderKind::tcp, HeaderKind::udp}),
+      .shadowed_entries = table_.shadowed_rule_count(),
+      .duplicate_entries = table_.duplicate_rule_count()});
+  profile.counter_banks.push_back({"acl_stats", stats_.size(), 3});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 namespace {
 const bool registered = ppe::register_ppe_app(
     "acl", [](net::BytesView config) -> ppe::PpeAppPtr {

@@ -49,6 +49,7 @@ class AclFirewall final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   /// Install a rule; returns the number of ternary entries it expanded to,
   /// or 0 when the TCAM lacks space for the full expansion (all-or-nothing).

@@ -1,5 +1,7 @@
 #include "apps/bpf_filter.hpp"
 
+#include <algorithm>
+
 #include "hw/resource_model.hpp"
 #include "net/headers.hpp"
 #include "ppe/registry.hpp"
@@ -45,6 +47,16 @@ std::optional<BpfProgram> BpfProgram::assemble(std::vector<BpfInsn> code) {
     return std::nullopt;
   }
   return BpfProgram(std::move(code));
+}
+
+std::optional<ppe::Verdict> BpfProgram::constant_verdict() const {
+  if (code_.empty()) return std::nullopt;
+  switch (code_.front().op) {
+    case BpfOp::ret_accept: return ppe::Verdict::forward;
+    case BpfOp::ret_drop: return ppe::Verdict::drop;
+    case BpfOp::ret_punt: return ppe::Verdict::to_control_plane;
+    default: return std::nullopt;
+  }
 }
 
 ppe::Verdict BpfProgram::run(net::BytesView packet) const {
@@ -162,6 +174,22 @@ BpfProgram drop_tcp_dport(std::uint16_t dport) {
   });
 }
 
+BpfProgram drop_tcp_dport_compact(std::uint16_t dport) {
+  // Fixed offsets (12=ethertype, 23=proto, 36=dst port with IHL=5): 8
+  // instructions, inside the 11-cycle budget a 64 B packet leaves at
+  // 10 Gb/s on the 64 b x 156.25 MHz datapath.
+  return *BpfProgram::assemble({
+      {BpfOp::ld_abs_u16, 12, 0, 0},  // 0: A = ethertype
+      {BpfOp::jeq, 0x0800, 0, 5},     // 1: IPv4? else accept@7
+      {BpfOp::ld_abs_u8, 23, 0, 0},   // 2: A = protocol
+      {BpfOp::jeq, 6, 0, 3},          // 3: TCP? else accept@7
+      {BpfOp::ld_abs_u16, 36, 0, 0},  // 4: A = dst port (14 + 20 + 2)
+      {BpfOp::jeq, dport, 0, 1},      // 5: match? else accept@7
+      {BpfOp::ret_drop, 0, 0, 0},     // 6
+      {BpfOp::ret_accept, 0, 0, 0},   // 7
+  });
+}
+
 BpfProgram allow_src_net(std::uint32_t value, std::uint32_t mask) {
   return *BpfProgram::assemble({
       {BpfOp::ld_abs_u16, 12, 0, 0},     // ethertype
@@ -226,6 +254,20 @@ std::vector<ppe::CounterSnapshot> BpfFilter::counters() const {
       {"bpf_stats", 1, stats_.packets(1), stats_.bytes(1)},
       {"bpf_stats", 2, stats_.packets(2), stats_.bytes(2)},
   };
+}
+
+ppe::StageProfile BpfFilter::profile() const {
+  ppe::StageProfile profile;
+  profile.stage = name();
+  // Absolute/indexed byte loads can touch any layer of the frame.
+  profile.reads = ppe::wire_header_set();
+  // Sequential soft core, one instruction per cycle (hXDP-style): the
+  // program length is per-packet occupancy, not overlapped pipeline depth.
+  profile.match_action_cycles = std::max<std::uint64_t>(program_.size(), 1);
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  profile.constant_verdict = program_.constant_verdict();
+  profile.counter_banks.push_back({"bpf_stats", stats_.size(), 2});
+  return profile;
 }
 
 namespace {

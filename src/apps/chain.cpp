@@ -1,6 +1,7 @@
 #include "apps/chain.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "hw/resource_model.hpp"
 
@@ -51,6 +52,45 @@ std::uint64_t AppChain::pipeline_latency_cycles() const {
     total += stage->pipeline_latency_cycles();
   }
   return std::max<std::uint64_t>(total, 1);
+}
+
+std::vector<ppe::StageProfile> AppChain::stage_profiles() const {
+  std::vector<ppe::StageProfile> profiles;
+  for (const auto& stage : stages_) {
+    auto stage_list = stage->stage_profiles();
+    profiles.insert(profiles.end(),
+                    std::make_move_iterator(stage_list.begin()),
+                    std::make_move_iterator(stage_list.end()));
+  }
+  return profiles;
+}
+
+ppe::StageProfile AppChain::profile() const {
+  ppe::StageProfile merged;
+  merged.stage = name();
+  merged.match_action_cycles = 1;
+  for (const ppe::StageProfile& stage : stage_profiles()) {
+    merged.reads |= stage.reads;
+    merged.writes |= stage.writes;
+    merged.produces |= stage.produces;
+    merged.consumes |= stage.consumes;
+    merged.tables.insert(merged.tables.end(), stage.tables.begin(),
+                         stage.tables.end());
+    merged.counter_banks.insert(merged.counter_banks.end(),
+                                stage.counter_banks.begin(),
+                                stage.counter_banks.end());
+    // Stages overlap in the pipeline: occupancy is set by the slowest one.
+    merged.match_action_cycles =
+        std::max(merged.match_action_cycles, stage.match_action_cycles);
+    merged.pipeline_depth_cycles += stage.pipeline_depth_cycles;
+  }
+  // The chain's verdict is constant only when its very first stage already
+  // short-circuits every packet.
+  if (!stages_.empty()) {
+    const auto first = stages_.front()->profile().constant_verdict;
+    if (first && *first != ppe::Verdict::forward) merged.constant_verdict = first;
+  }
+  return merged;
 }
 
 std::vector<std::string> AppChain::table_names() const {

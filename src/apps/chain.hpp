@@ -28,6 +28,10 @@ class AppChain final : public ppe::PpeApp {
       const hw::DatapathConfig& datapath) const override;
   /// Pipeline depths add up stage by stage.
   [[nodiscard]] std::uint64_t pipeline_latency_cycles() const override;
+  /// Aggregate view of the whole chain as one stage.
+  [[nodiscard]] ppe::StageProfile profile() const override;
+  /// One profile per stage, in pipeline order (nested chains flattened).
+  [[nodiscard]] std::vector<ppe::StageProfile> stage_profiles() const override;
 
   // Control-plane ops address tables as "<stage-name>.<table>"; a bare
   // table name is routed to the first stage that owns it.

@@ -72,6 +72,15 @@ std::vector<ppe::CounterSnapshot> FaultMonitor::counters() const {
   };
 }
 
+ppe::StageProfile FaultMonitor::profile() const {
+  ppe::StageProfile profile;
+  profile.stage = name();
+  // Watches sizes and timestamps only; no header dependence.
+  profile.counter_banks.push_back({"faultmon_stats", stats_.size(), 0});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 namespace {
 const bool registered = ppe::register_ppe_app(
     "faultmon", [](net::BytesView config) -> ppe::PpeAppPtr {

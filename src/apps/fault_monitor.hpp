@@ -41,6 +41,7 @@ class FaultMonitor final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   [[nodiscard]] std::uint64_t microbursts_detected() const {
     return microbursts_;

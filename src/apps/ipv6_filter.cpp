@@ -97,6 +97,23 @@ std::vector<ppe::CounterSnapshot> Ipv6Filter::counters() const {
   };
 }
 
+ppe::StageProfile Ipv6Filter::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_set({HeaderKind::ethernet, HeaderKind::ipv6});
+  profile.tables.push_back(ppe::TableProfile{
+      .name = "ipv6_rules",
+      .kind = ppe::TableKind::ternary,
+      .capacity = config_.rule_capacity,
+      .key_bits = 128,
+      .value_bits = 8,
+      .key_sources = ppe::header_bit(HeaderKind::ipv6)});
+  profile.counter_banks.push_back({"ipv6_stats", stats_.size(), 2});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 namespace {
 const bool registered = ppe::register_ppe_app(
     "ipv6filter", [](net::BytesView config) -> ppe::PpeAppPtr {

@@ -51,6 +51,7 @@ class Ipv6Filter final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   /// Longest prefix wins; equal lengths: first added wins. False when at
   /// capacity.

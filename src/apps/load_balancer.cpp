@@ -174,6 +174,29 @@ std::vector<ppe::CounterSnapshot> LoadBalancer::counters() const {
   return out;
 }
 
+ppe::StageProfile LoadBalancer::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_set(
+      {HeaderKind::ethernet, HeaderKind::ipv4, HeaderKind::tcp,
+       HeaderKind::udp});
+  profile.writes = ppe::header_bit(HeaderKind::ethernet);  // next-hop MAC
+  profile.tables.push_back(ppe::TableProfile{
+      .name = "maglev",
+      .kind = ppe::TableKind::exact_match,
+      .capacity = config_.table_size,
+      .key_bits = 64,  // pre-hashed canonical 5-tuple
+      .value_bits = 8,
+      .key_sources = ppe::header_set(
+          {HeaderKind::ipv4, HeaderKind::tcp, HeaderKind::udp})});
+  // Backend ids above the tracked range are clamped into the last slot.
+  profile.counter_banks.push_back(
+      {"lb_stats", stats_.size(), stats_.size() - 1});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 namespace {
 const bool registered = ppe::register_ppe_app(
     "lb", [](net::BytesView config) -> ppe::PpeAppPtr {

@@ -44,6 +44,7 @@ class LoadBalancer final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   /// Membership updates rebuild the Maglev table (a control-plane
   /// operation; the datapath sees one atomic pointer swap).

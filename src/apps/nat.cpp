@@ -89,6 +89,28 @@ hw::ResourceUsage StaticNat::resource_usage(
   return resource_breakdown(datapath).total();
 }
 
+ppe::StageProfile StaticNat::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_set(
+      {HeaderKind::ethernet, HeaderKind::ipv4, HeaderKind::tcp,
+       HeaderKind::udp});
+  // Address rewrite plus incremental IPv4/L4 checksum patches.
+  profile.writes = ppe::header_set(
+      {HeaderKind::ipv4, HeaderKind::tcp, HeaderKind::udp});
+  profile.tables.push_back(ppe::TableProfile{
+      .name = table_.name(),
+      .kind = ppe::TableKind::exact_match,
+      .capacity = table_.capacity(),
+      .key_bits = table_.key_bits(),
+      .value_bits = table_.value_bits(),
+      .key_sources = ppe::header_bit(HeaderKind::ipv4)});
+  profile.counter_banks.push_back({"nat_stats", stats_.size(), 2});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 bool StaticNat::add_mapping(net::Ipv4Address original,
                             net::Ipv4Address translated) {
   return table_.insert(original.value(), translated.value());

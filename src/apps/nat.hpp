@@ -52,6 +52,7 @@ class StaticNat final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   /// Add a translation original -> translated.
   bool add_mapping(net::Ipv4Address original, net::Ipv4Address translated);

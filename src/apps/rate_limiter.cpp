@@ -125,6 +125,25 @@ std::vector<ppe::CounterSnapshot> RateLimiter::counters() const {
   return out;
 }
 
+ppe::StageProfile RateLimiter::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_set({HeaderKind::ethernet, HeaderKind::ipv4});
+  profile.tables.push_back(ppe::TableProfile{
+      .name = subscribers_.name(),
+      .kind = ppe::TableKind::lpm,
+      .capacity = subscribers_.capacity(),
+      .key_bits = 32,
+      .value_bits = 32,
+      .key_sources = ppe::header_bit(HeaderKind::ipv4)});
+  // LPM walk + token-bucket read-modify-write.
+  profile.match_action_cycles = 2;
+  profile.counter_banks.push_back({"ratelimit_stats", stats_.size(), 2});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 namespace {
 const bool registered = ppe::register_ppe_app(
     "ratelimit", [](net::BytesView config) -> ppe::PpeAppPtr {

@@ -43,6 +43,7 @@ class RateLimiter final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   /// Register a subscriber prefix with its bucket; false when full.
   bool add_subscriber(net::Ipv4Prefix prefix, TokenBucketSpec spec);

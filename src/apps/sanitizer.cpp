@@ -155,6 +155,34 @@ std::vector<ppe::CounterSnapshot> Sanitizer::counters() const {
   return out;
 }
 
+ppe::StageProfile Sanitizer::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  // Structural validation inspects every wire layer.
+  profile.reads = ppe::wire_header_set();
+  if (config_.strip_ipv4_options) {
+    profile.writes = ppe::header_bit(HeaderKind::ipv4);
+    // Option stripping realigns everything behind the IPv4 header.
+    profile.match_action_cycles = 2;
+  }
+  if (config_.block_doh) {
+    profile.tables.push_back(ppe::TableProfile{
+        .name = doh_resolvers_.name(),
+        .kind = ppe::TableKind::exact_match,
+        .capacity = doh_resolvers_.capacity(),
+        .key_bits = doh_resolvers_.key_bits(),
+        .value_bits = doh_resolvers_.value_bits(),
+        .key_sources = ppe::header_bit(HeaderKind::ipv4)});
+  }
+  profile.counter_banks.push_back({"sanitizer_stats", stats_.size(), 3});
+  profile.counter_banks.push_back(
+      {"issue_stats", issues_.size(),
+       static_cast<std::size_t>(net::ValidationIssue::frame_undersized)});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 namespace {
 const bool registered = ppe::register_ppe_app(
     "sanitizer", [](net::BytesView config) -> ppe::PpeAppPtr {

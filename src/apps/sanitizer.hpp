@@ -50,6 +50,7 @@ class Sanitizer final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   /// Register a DoH resolver address to block.
   bool add_doh_resolver(net::Ipv4Address resolver);

@@ -132,6 +132,24 @@ std::vector<ppe::CounterSnapshot> IntStamper::counters() const {
   };
 }
 
+ppe::StageProfile IntStamper::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_bit(HeaderKind::ethernet);
+  if (config_.role == StamperRole::source) {
+    profile.produces = ppe::header_bit(HeaderKind::telemetry_shim);
+  } else {
+    profile.reads |= ppe::header_bit(HeaderKind::telemetry_shim);
+    profile.consumes = ppe::header_bit(HeaderKind::telemetry_shim);
+  }
+  // Shim insertion/removal shifts the stream behind the Ethernet header.
+  profile.match_action_cycles = 2;
+  profile.counter_banks.push_back({"int_stats", stats_.size(), 1});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 // --- FlowStats --------------------------------------------------------------
 
 net::Bytes FlowStatsConfig::serialize() const {
@@ -266,6 +284,26 @@ std::vector<ppe::CounterSnapshot> FlowStats::counters() const {
   };
 }
 
+ppe::StageProfile FlowStats::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_set(
+      {HeaderKind::ethernet, HeaderKind::ipv4, HeaderKind::tcp,
+       HeaderKind::udp});
+  profile.tables.push_back(ppe::TableProfile{
+      .name = index_.name(),
+      .kind = ppe::TableKind::exact_match,
+      .capacity = index_.capacity(),
+      .key_bits = index_.key_bits(),
+      .value_bits = index_.value_bits(),
+      .key_sources = ppe::header_set(
+          {HeaderKind::ipv4, HeaderKind::tcp, HeaderKind::udp})});
+  profile.counter_banks.push_back({"flow_stats", stats_.size(), 1});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 // --- Sampler ----------------------------------------------------------------
 
 net::Bytes SamplerConfig::serialize() const {
@@ -302,6 +340,14 @@ hw::ResourceUsage Sampler::resource_usage(
   usage += RM::control_fsm(4, w);
   usage += RM::stream_fifo(128, 72);
   return usage;
+}
+
+ppe::StageProfile Sampler::profile() const {
+  ppe::StageProfile profile;
+  profile.stage = name();
+  // Pure packet-count sampling: no header dependence at all.
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
 }
 
 // --- registration -----------------------------------------------------------

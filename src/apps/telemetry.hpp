@@ -66,6 +66,7 @@ class IntStamper final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   [[nodiscard]] std::uint64_t stamped() const { return stats_.packets(0); }
   /// Sink side: count and sum of one-way shim latencies seen.
@@ -119,6 +120,7 @@ class FlowStats final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   [[nodiscard]] std::size_t active_flows() const;
   /// Remove and return flows that hit the idle/active timeouts at `now`
@@ -162,6 +164,7 @@ class Sampler final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   [[nodiscard]] std::uint64_t sampled() const { return sampled_; }
 

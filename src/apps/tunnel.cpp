@@ -89,6 +89,37 @@ std::vector<ppe::CounterSnapshot> TunnelApp::counters() const {
   };
 }
 
+ppe::StageProfile TunnelApp::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_set({HeaderKind::ethernet, HeaderKind::ipv4});
+  ppe::HeaderSet shim = 0;
+  switch (config_.type) {
+    case TunnelType::gre:
+      shim = ppe::header_bit(HeaderKind::gre);
+      break;
+    case TunnelType::vxlan:
+      shim = ppe::header_set({HeaderKind::udp, HeaderKind::vxlan});
+      break;
+    case TunnelType::ipip:
+      shim = ppe::header_bit(HeaderKind::ipv4);
+      break;
+  }
+  if (config_.role == TunnelRole::encap) {
+    profile.writes = ppe::header_set({HeaderKind::ethernet, HeaderKind::ipv4});
+    profile.produces = shim;
+  } else {
+    profile.reads |= shim;
+    profile.consumes = shim & ~ppe::header_bit(HeaderKind::ipv4);
+  }
+  // Shim insertion/removal realigns the whole stream behind the header.
+  profile.match_action_cycles = 2;
+  profile.counter_banks.push_back({"tunnel_stats", stats_.size(), 1});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 namespace {
 const bool registered = ppe::register_ppe_app(
     "tunnel", [](net::BytesView config) -> ppe::PpeAppPtr {

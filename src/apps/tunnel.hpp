@@ -46,6 +46,7 @@ class TunnelApp final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   [[nodiscard]] const TunnelConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t transformed() const { return stats_.packets(0); }

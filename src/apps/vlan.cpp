@@ -136,6 +136,37 @@ std::vector<ppe::CounterSnapshot> VlanTagger::counters() const {
   return out;
 }
 
+ppe::StageProfile VlanTagger::profile() const {
+  using ppe::HeaderKind;
+  ppe::StageProfile profile;
+  profile.stage = name();
+  profile.reads = ppe::header_set({HeaderKind::ethernet, HeaderKind::vlan});
+  switch (config_.mode) {
+    case VlanMode::push:
+    case VlanMode::qinq_push:
+      profile.produces = ppe::header_bit(HeaderKind::vlan);
+      break;
+    case VlanMode::pop:
+      profile.consumes = ppe::header_bit(HeaderKind::vlan);
+      break;
+    case VlanMode::rewrite:
+      profile.writes = ppe::header_bit(HeaderKind::vlan);
+      profile.tables.push_back(ppe::TableProfile{
+          .name = translation_.name(),
+          .kind = ppe::TableKind::exact_match,
+          .capacity = translation_.capacity(),
+          .key_bits = translation_.key_bits(),
+          .value_bits = translation_.value_bits(),
+          .key_sources = ppe::header_bit(HeaderKind::vlan)});
+      break;
+  }
+  // Tag push/pop shifts the whole frame by 4 bytes.
+  profile.match_action_cycles = 2;
+  profile.counter_banks.push_back({"vlan_stats", stats_.size(), 2});
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
 namespace {
 const bool registered = ppe::register_ppe_app(
     "vlan", [](net::BytesView config) -> ppe::PpeAppPtr {

@@ -40,6 +40,7 @@ class VlanTagger final : public ppe::PpeApp {
   [[nodiscard]] net::Bytes serialize_config() const override {
     return config_.serialize();
   }
+  [[nodiscard]] ppe::StageProfile profile() const override;
 
   /// VID translation mapping for rewrite mode.
   bool add_translation(std::uint16_t from_vid, std::uint16_t to_vid);

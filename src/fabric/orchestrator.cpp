@@ -1,5 +1,8 @@
 #include "fabric/orchestrator.hpp"
 
+#include "apps/register.hpp"
+#include "ppe/registry.hpp"
+
 namespace flexsfp::fabric {
 
 FleetOrchestrator::FleetOrchestrator(sim::Simulation& sim,
@@ -119,6 +122,22 @@ void FleetOrchestrator::deploy_bitstream(const std::string& module,
                                          const hw::Bitstream& bitstream,
                                          Completion done,
                                          std::size_t chunk_size) {
+  if (config_.verify_before_deploy) {
+    // Make sure the built-in factories exist, but never clobber an
+    // already-registered name (tests stub apps by re-registering).
+    if (!ppe::AppRegistry::instance().contains(bitstream.app_name())) {
+      apps::register_builtin_apps();
+    }
+    last_verification_ = analysis::PipelineVerifier(config_.verifier)
+                             .verify_bitstream(bitstream);
+    if (last_verification_.has_errors()) {
+      // Refuse locally: the design would not fit/run on the module, so the
+      // bitstream never reaches the wire.
+      ++rejected_deployments_;
+      if (done) done(std::nullopt);
+      return;
+    }
+  }
   const auto image = std::make_shared<net::Bytes>(bitstream.serialize());
   const std::size_t chunks = (image->size() + chunk_size - 1) / chunk_size;
 

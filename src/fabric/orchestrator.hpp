@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/verifier.hpp"
 #include "hw/bitstream.hpp"
 #include "sfp/mgmt_protocol.hpp"
 #include "sim/simulation.hpp"
@@ -21,6 +22,12 @@ struct OrchestratorConfig {
   net::MacAddress mac = net::MacAddress::from_u64(0x020000000911);
   sim::TimePs timeout_ps = 10'000'000'000;  // 10 ms per request
   int max_retries = 3;
+  /// Statically verify every bitstream before pushing it to a module;
+  /// designs with error-severity diagnostics are refused without touching
+  /// the wire. Opt out for bring-up experiments only.
+  bool verify_before_deploy = true;
+  /// Target device/datapath the verification runs against.
+  analysis::VerifierOptions verifier{};
 };
 
 class FleetOrchestrator {
@@ -53,15 +60,28 @@ class FleetOrchestrator {
                     Completion done);
   /// Full chunked deployment: begin -> every chunk -> commit, sequentially,
   /// each leg covered by the retry machinery. Completion fires with the
-  /// commit response (or nullopt on any unrecoverable leg).
+  /// commit response (or nullopt on any unrecoverable leg). When
+  /// `verify_before_deploy` is set (the default), the design is statically
+  /// verified first and an error-severity report fails the deployment
+  /// synchronously — the infeasible bitstream never reaches the wire.
   void deploy_bitstream(const std::string& module,
                         const hw::Bitstream& bitstream, Completion done,
                         std::size_t chunk_size = 256);
+
+  /// Diagnostics of the most recent deploy_bitstream verification (empty
+  /// before the first verified deployment).
+  [[nodiscard]] const analysis::DiagnosticReport& last_verification() const {
+    return last_verification_;
+  }
 
   // --- stats -----------------------------------------------------------------
   [[nodiscard]] std::uint64_t requests_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t retransmissions() const { return retries_; }
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  /// Deployments refused by the static verification gate.
+  [[nodiscard]] std::uint64_t rejected_deployments() const {
+    return rejected_deployments_;
+  }
 
  private:
   struct Module {
@@ -88,6 +108,8 @@ class FleetOrchestrator {
   std::uint64_t sent_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t rejected_deployments_ = 0;
+  analysis::DiagnosticReport last_verification_;
 };
 
 }  // namespace flexsfp::fabric

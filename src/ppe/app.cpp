@@ -16,4 +16,16 @@ const net::ParsedPacket& PacketContext::parsed() {
   return *parsed_;
 }
 
+StageProfile PpeApp::profile() const {
+  StageProfile profile;
+  profile.stage = name();
+  profile.reads = wire_header_set();
+  profile.pipeline_depth_cycles = pipeline_latency_cycles();
+  return profile;
+}
+
+std::vector<StageProfile> PpeApp::stage_profiles() const {
+  return {profile()};
+}
+
 }  // namespace flexsfp::ppe

@@ -21,6 +21,7 @@
 #include "net/packet.hpp"
 #include "net/parser.hpp"
 #include "ppe/counters.hpp"
+#include "ppe/introspect.hpp"
 
 namespace flexsfp::ppe {
 
@@ -81,6 +82,17 @@ class PpeApp {
   [[nodiscard]] virtual std::uint64_t pipeline_latency_cycles() const {
     return 8;
   }
+
+  // --- static introspection (deploy-time verification) --------------------
+  /// Declared static profile of this stage: header reads/writes, table
+  /// geometry, per-packet cycle cost. Derived from configuration only, so
+  /// the analysis::PipelineVerifier can check a design before deployment.
+  /// The default is deliberately conservative: it claims nothing beyond
+  /// what the base class knows (wire-header reads, 1-cycle match-action).
+  [[nodiscard]] virtual StageProfile profile() const;
+  /// The stage sequence this app contributes to a pipeline — one entry for
+  /// simple apps, one per stage for compositions (AppChain overrides).
+  [[nodiscard]] virtual std::vector<StageProfile> stage_profiles() const;
 
   /// Serialized configuration, the payload a bitstream carries. Empty means
   /// the app has no static configuration.

@@ -1,0 +1,55 @@
+#include "ppe/introspect.hpp"
+
+namespace flexsfp::ppe {
+
+std::string to_string(HeaderKind kind) {
+  switch (kind) {
+    case HeaderKind::ethernet: return "ethernet";
+    case HeaderKind::vlan: return "vlan";
+    case HeaderKind::ipv4: return "ipv4";
+    case HeaderKind::ipv6: return "ipv6";
+    case HeaderKind::tcp: return "tcp";
+    case HeaderKind::udp: return "udp";
+    case HeaderKind::icmp: return "icmp";
+    case HeaderKind::gre: return "gre";
+    case HeaderKind::vxlan: return "vxlan";
+    case HeaderKind::telemetry_shim: return "telemetry-shim";
+  }
+  return "unknown";
+}
+
+std::uint32_t header_field_bits(HeaderKind kind) {
+  switch (kind) {
+    case HeaderKind::ethernet: return 14 * 8;        // dst+src+ethertype
+    case HeaderKind::vlan: return 4 * 8;             // TPID+TCI
+    case HeaderKind::ipv4: return 20 * 8;            // base header
+    case HeaderKind::ipv6: return 40 * 8;
+    case HeaderKind::tcp: return 20 * 8;
+    case HeaderKind::udp: return 8 * 8;
+    case HeaderKind::icmp: return 8 * 8;
+    case HeaderKind::gre: return 4 * 8;
+    case HeaderKind::vxlan: return 8 * 8;
+    case HeaderKind::telemetry_shim: return 12 * 8;
+  }
+  return 0;
+}
+
+std::vector<std::string> header_set_names(HeaderSet set) {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < header_kind_count; ++i) {
+    const auto kind = static_cast<HeaderKind>(i);
+    if ((set & header_bit(kind)) != 0) names.push_back(to_string(kind));
+  }
+  return names;
+}
+
+std::string to_string(TableKind kind) {
+  switch (kind) {
+    case TableKind::exact_match: return "exact-match";
+    case TableKind::ternary: return "ternary";
+    case TableKind::lpm: return "lpm";
+  }
+  return "unknown";
+}
+
+}  // namespace flexsfp::ppe

@@ -1,0 +1,129 @@
+// Static introspection surface of a PPE application: what the stage reads,
+// writes, produces and consumes, which tables it carries and what its
+// per-packet cycle cost is — everything the deploy-time verifier
+// (analysis::PipelineVerifier) needs to reproduce the paper's feasibility
+// arithmetic (§5, Tables 1/2) without running a single simulated cycle.
+//
+// Apps fill these structures from their *configuration*, not from traffic:
+// a profile must be obtainable from a freshly instantiated app, which is
+// exactly what a bitstream can reconstruct before deployment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flexsfp::ppe {
+
+enum class Verdict : std::uint8_t;  // defined in ppe/app.hpp
+
+/// Header layers a stage can depend on. `telemetry_shim` is the only
+/// module-synthetic layer: it never originates from a host stack, so a
+/// stage reading it needs an upstream producer (in-chain or on-path).
+enum class HeaderKind : std::uint8_t {
+  ethernet = 0,
+  vlan,
+  ipv4,
+  ipv6,
+  tcp,
+  udp,
+  icmp,
+  gre,
+  vxlan,
+  telemetry_shim,
+};
+
+inline constexpr std::size_t header_kind_count = 10;
+
+[[nodiscard]] std::string to_string(HeaderKind kind);
+
+/// Bitmask over HeaderKind.
+using HeaderSet = std::uint32_t;
+
+[[nodiscard]] constexpr HeaderSet header_bit(HeaderKind kind) {
+  return HeaderSet{1} << static_cast<std::uint8_t>(kind);
+}
+
+[[nodiscard]] constexpr HeaderSet header_set(
+    std::initializer_list<HeaderKind> kinds) {
+  HeaderSet set = 0;
+  for (const HeaderKind kind : kinds) set |= header_bit(kind);
+  return set;
+}
+
+/// Every layer a frame arriving from the network may already carry —
+/// everything except module-synthetic shims.
+[[nodiscard]] constexpr HeaderSet wire_header_set() {
+  return header_set({HeaderKind::ethernet, HeaderKind::vlan, HeaderKind::ipv4,
+                     HeaderKind::ipv6, HeaderKind::tcp, HeaderKind::udp,
+                     HeaderKind::icmp, HeaderKind::gre, HeaderKind::vxlan});
+}
+
+/// Total field bits the layer contributes to match keys (header size; used
+/// to sanity-check declared key widths against their source fields).
+[[nodiscard]] std::uint32_t header_field_bits(HeaderKind kind);
+
+/// Names of every kind present in `set`, in enum order.
+[[nodiscard]] std::vector<std::string> header_set_names(HeaderSet set);
+
+enum class TableKind : std::uint8_t {
+  exact_match,
+  ternary,
+  lpm,
+};
+
+[[nodiscard]] std::string to_string(TableKind kind);
+
+/// Static geometry (and content health) of one match table.
+struct TableProfile {
+  std::string name;
+  TableKind kind = TableKind::exact_match;
+  std::uint64_t capacity = 0;
+  std::uint32_t key_bits = 0;
+  std::uint32_t value_bits = 0;
+  /// Header layers the lookup key is built from.
+  HeaderSet key_sources = 0;
+  /// Entries installed right now that can never match because an
+  /// earlier/higher-priority entry covers them (ternary shadowing).
+  std::uint64_t shadowed_entries = 0;
+  /// Exactly identical installed entries (should be impossible for
+  /// well-behaved control planes; flagged when it happens).
+  std::uint64_t duplicate_entries = 0;
+};
+
+/// Declared geometry of one counter bank plus the highest index the stage's
+/// datapath logic can address. An out-of-range index throws at runtime
+/// (CounterBank::add); the verifier turns it into a deploy-time error.
+struct CounterBankProfile {
+  std::string name;
+  std::size_t slots = 0;
+  std::size_t max_index_used = 0;
+};
+
+/// One pipeline stage as the static verifier sees it.
+struct StageProfile {
+  /// Registry name of the stage ("nat", "acl", ...).
+  std::string stage;
+  /// Header layers the match/action logic inspects.
+  HeaderSet reads = 0;
+  /// Layers edited in place (field rewrites).
+  HeaderSet writes = 0;
+  /// Layers added to the frame (downstream stages can read them).
+  HeaderSet produces = 0;
+  /// Layers removed from the frame (unavailable downstream).
+  HeaderSet consumes = 0;
+  std::vector<TableProfile> tables;
+  std::vector<CounterBankProfile> counter_banks;
+  /// Per-packet occupancy of the stage's slowest non-overlapped unit, in
+  /// datapath cycles (1 for fully pipelined match-action logic; the program
+  /// length for a sequential soft-core stage like the BPF filter).
+  std::uint64_t match_action_cycles = 1;
+  /// Fixed register-stage depth added to every packet's latency.
+  std::uint64_t pipeline_depth_cycles = 0;
+  /// Set when configuration alone fixes the verdict of every packet
+  /// (e.g. a BPF program whose first instruction is terminal).
+  std::optional<Verdict> constant_verdict;
+};
+
+}  // namespace flexsfp::ppe

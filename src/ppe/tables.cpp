@@ -225,6 +225,48 @@ std::optional<std::uint64_t> TernaryTable::lookup(TernaryKey key) const {
   return rule != nullptr ? std::optional{rule->result} : std::nullopt;
 }
 
+namespace {
+/// Does `first` (earlier in match order) win over every key `second`
+/// matches? True when first's mask is a subset of second's and the two
+/// agree on every bit of first's mask.
+bool rule_covers(const TernaryRule& first, const TernaryRule& second) {
+  const bool mask_subset =
+      (first.mask.hi & second.mask.hi) == first.mask.hi &&
+      (first.mask.lo & second.mask.lo) == first.mask.lo;
+  return mask_subset &&
+         (first.value.hi & first.mask.hi) ==
+             (second.value.hi & first.mask.hi) &&
+         (first.value.lo & first.mask.lo) == (second.value.lo & first.mask.lo);
+}
+}  // namespace
+
+std::size_t TernaryTable::shadowed_rule_count() const {
+  std::size_t shadowed = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rule_covers(rules_[j], rules_[i])) {
+        ++shadowed;
+        break;
+      }
+    }
+  }
+  return shadowed;
+}
+
+std::size_t TernaryTable::duplicate_rule_count() const {
+  std::size_t duplicates = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rules_[j].value == rules_[i].value &&
+          rules_[j].mask == rules_[i].mask) {
+        ++duplicates;
+        break;
+      }
+    }
+  }
+  return duplicates;
+}
+
 std::vector<std::pair<std::uint16_t, std::uint16_t>> expand_port_range(
     std::uint16_t lo, std::uint16_t hi) {
   std::vector<std::pair<std::uint16_t, std::uint16_t>> out;

@@ -133,6 +133,13 @@ class TernaryTable {
   }
   [[nodiscard]] const std::vector<TernaryRule>& rules() const { return rules_; }
 
+  /// Rules that can never match: an earlier rule in match order has a
+  /// subset mask and agrees on every bit of it, so it always wins first.
+  [[nodiscard]] std::size_t shadowed_rule_count() const;
+  /// Rules identical in (value, mask) to an earlier rule — TCAM space
+  /// burned for nothing.
+  [[nodiscard]] std::size_t duplicate_rule_count() const;
+
  private:
   std::string name_;
   std::size_t capacity_;

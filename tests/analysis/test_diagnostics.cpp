@@ -1,0 +1,65 @@
+#include "analysis/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::analysis {
+namespace {
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticReport report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(report.has_errors());
+
+  report.note("FSL001", "device", "utilization 5%");
+  report.warning("FSL005", "acl/table:acl", "1 shadowed entry");
+  report.error("FSL002", "bpf", "over budget");
+  report.error("FSL004", "nat/table:nat", "too big");
+
+  EXPECT_EQ(report.count(Severity::note), 1u);
+  EXPECT_EQ(report.count(Severity::warning), 1u);
+  EXPECT_EQ(report.count(Severity::error), 2u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_warnings());
+}
+
+TEST(Diagnostics, ByRuleFilters) {
+  DiagnosticReport report;
+  report.error("FSL001", "device", "LUTs over");
+  report.error("FSL001", "device", "FFs over");
+  report.warning("FSL006", "int", "unparsed header");
+
+  EXPECT_EQ(report.by_rule("FSL001").size(), 2u);
+  EXPECT_EQ(report.by_rule("FSL006").size(), 1u);
+  EXPECT_TRUE(report.by_rule("FSL000").empty());
+}
+
+TEST(Diagnostics, TextRenderingIsCompilerStyle) {
+  DiagnosticReport report;
+  report.error("FSL002", "bpf", "needs 48 cycles", "shorten the program");
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("error[FSL002] bpf: needs 48 cycles"),
+            std::string::npos);
+  EXPECT_NE(text.find("hint: shorten the program"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingEscapesAndCounts) {
+  DiagnosticReport report;
+  report.warning("FSL005", "acl", "entry \"a\"\nshadowed");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"rule\":\"FSL005\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"a\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":0"), std::string::npos);
+}
+
+TEST(Diagnostics, MergePrefixesComponents) {
+  DiagnosticReport inner;
+  inner.error("FSL001", "device", "over");
+  DiagnosticReport outer;
+  outer.merge("nat-oversized", inner);
+  ASSERT_EQ(outer.diagnostics().size(), 1u);
+  EXPECT_EQ(outer.diagnostics()[0].component, "nat-oversized/device");
+}
+
+}  // namespace
+}  // namespace flexsfp::analysis
