@@ -1,8 +1,13 @@
-// Shared table-printing helpers for the paper-reproduction benches.
+// Shared table-printing and result-emission helpers for the paper benches.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace flexsfp::bench {
 
@@ -17,6 +22,41 @@ inline void rule(int width = 78) {
 
 inline void note(const std::string& text) {
   std::printf("note: %s\n", text.c_str());
+}
+
+/// Named scalar results of a bench run ("speedup_w4", "delivered_gbps").
+using Figures = std::vector<std::pair<std::string, double>>;
+
+/// Write `BENCH_<name>.json` in the working directory: the bench's headline
+/// figures plus the full registry snapshot of the run, so CI can archive
+/// machine-readable results next to the human tables. Returns false (and
+/// says so on stderr) when the file cannot be written.
+inline bool write_bench_json(const std::string& name,
+                             const obs::MetricSnapshot& snapshot,
+                             const Figures& figures = {}) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string doc = "{\"bench\":\"" + name + "\",\"figures\":{";
+  for (std::size_t i = 0; i < figures.size(); ++i) {
+    if (i != 0) doc += ",";
+    doc += "\"" + figures[i].first + "\":";
+    if (std::isfinite(figures[i].second)) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.17g", figures[i].second);
+      doc += buffer;
+    } else {
+      doc += "null";  // NaN/inf are not JSON
+    }
+  }
+  doc += "},\"metrics\":" + snapshot.to_json() + "}\n";
+  const bool ok = std::fputs(doc.c_str(), out) >= 0;
+  std::fclose(out);
+  if (ok) note("wrote " + path);
+  return ok;
 }
 
 }  // namespace flexsfp::bench

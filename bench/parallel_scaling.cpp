@@ -75,14 +75,21 @@ int main(int argc, char** argv) {
               double(oracle.combined.events) / oracle.wall_seconds, "oracle");
 
   bool all_identical = true;
+  bench::Figures figures{{"shards", double(shards)},
+                         {"wall_seconds_seq", oracle.wall_seconds}};
   for (unsigned workers : {2u, 4u, 8u}) {
     if (workers > shards) break;
     config.workers = workers;
     fabric::ParallelTestbed bed(config, factory);
     const auto run = bed.run();
+    // The determinism self-check covers the whole telemetry spine: merged
+    // registry snapshots must be bit-identical too, not just sim::Stats.
     const bool same = stats_identical(run.combined, oracle.combined) &&
-                      run.combined_counters == oracle.combined_counters;
+                      run.combined_counters == oracle.combined_counters &&
+                      run.combined_metrics == oracle.combined_metrics;
     all_identical = all_identical && same;
+    figures.emplace_back("speedup_w" + std::to_string(workers),
+                         oracle.wall_seconds / run.wall_seconds);
     std::printf("%-10u %12.3f %9.2fx %14.3g %12s\n", workers,
                 run.wall_seconds, oracle.wall_seconds / run.wall_seconds,
                 double(run.combined.events) / run.wall_seconds,
@@ -99,6 +106,10 @@ int main(int argc, char** argv) {
       to_nanos(oracle.combined.latency.percentile(50)),
       to_nanos(oracle.combined.latency.percentile(99)),
       static_cast<unsigned long long>(oracle.combined.events));
+
+  figures.emplace_back("events_total", double(oracle.combined.events));
+  bench::write_bench_json("parallel_scaling", oracle.combined_metrics,
+                          figures);
 
   if (std::thread::hardware_concurrency() < 2) {
     bench::note(

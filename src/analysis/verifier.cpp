@@ -41,6 +41,31 @@ std::string bank_component(const ppe::StageProfile& stage,
 
 }  // namespace
 
+const std::vector<RuleInfo>& rule_catalog() {
+  // Mirrors the header's rule table; golden-tested so the two stay in sync.
+  static const std::vector<RuleInfo> catalog = {
+      {"FSL000", Severity::error,
+       "bitstream names an unknown app or an unbuildable configuration"},
+      {"FSL001", Severity::error,
+       "aggregate resources exceed the device budget"},
+      {"FSL002", Severity::error,
+       "a stage's per-packet cycle cost breaks line rate at min-size packets"},
+      {"FSL003", Severity::error,
+       "table key wider than the header fields it is built from"},
+      {"FSL004", Severity::error,
+       "a single table outgrows the device's SRAM/FF budget"},
+      {"FSL005", Severity::warning,
+       "shadowed or duplicate ternary entries that cannot match"},
+      {"FSL006", Severity::warning,
+       "stage reads a header no upstream stage or the wire provides"},
+      {"FSL007", Severity::error,
+       "stages unreachable behind a constant non-forward verdict"},
+      {"FSL008", Severity::error,
+       "counter-bank index beyond the bank's slot count"},
+  };
+  return catalog;
+}
+
 PipelineVerifier::PipelineVerifier(VerifierOptions options)
     : options_(std::move(options)) {}
 

@@ -41,6 +41,18 @@ class PpeApp;
 
 namespace flexsfp::analysis {
 
+/// One entry of the stable rule catalog above (--list-rules, docs, CI
+/// allowlists). Ids are never renumbered; `max_severity` is the worst the
+/// rule can report (some downgrade to warning/note in edge cases).
+struct RuleInfo {
+  std::string_view id;
+  Severity max_severity = Severity::error;
+  std::string_view summary;
+};
+
+/// Every rule the verifier can emit, ordered by id.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
 struct VerifierOptions {
   /// Deployment target; the paper's prototype device by default.
   hw::FpgaDevice device = hw::FpgaDevice::mpf200t();

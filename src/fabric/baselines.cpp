@@ -7,7 +7,7 @@ namespace flexsfp::fabric {
 
 CpuPath::CpuPath(sim::Simulation& sim, CpuPathConfig config,
                  std::size_t queue_capacity)
-    : sim::QueuedServer(sim, queue_capacity),
+    : sim::QueuedServer(sim, queue_capacity, "cpu"),
       config_(config),
       rng_(config.seed) {}
 
@@ -34,7 +34,7 @@ void CpuPath::finish(net::PacketPtr packet) {
 
 SmartNic::SmartNic(sim::Simulation& sim, SmartNicConfig config,
                    std::size_t queue_capacity)
-    : sim::QueuedServer(sim, queue_capacity),
+    : sim::QueuedServer(sim, queue_capacity, "smartnic"),
       config_(config),
       rng_(config.seed) {}
 

@@ -6,7 +6,7 @@ namespace flexsfp::fabric {
 
 SwitchOutputPort::SwitchOutputPort(sim::Simulation& sim, sim::DataRate rate,
                                    std::size_t queue_capacity)
-    : sim::QueuedServer(sim, queue_capacity), rate_(rate) {}
+    : sim::QueuedServer(sim, queue_capacity, "switch-port"), rate_(rate) {}
 
 sim::TimePs SwitchOutputPort::service_time(const net::Packet& packet) {
   return rate_.serialization_time(packet.wire_size());

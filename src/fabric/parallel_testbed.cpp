@@ -77,6 +77,8 @@ ShardOutcome ParallelTestbed::run_shard(std::size_t shard,
 
   ModuleTestbed testbed(std::move(config), std::move(app));
   out.result = testbed.run();
+  out.metrics = out.result.metrics.with_label("shard", std::to_string(shard));
+  out.flight = testbed.sim().flight().events();
 
   if (testbed.edge_gen() != nullptr) {
     out.stats.sent.merge(testbed.edge_gen()->emitted());
@@ -126,6 +128,7 @@ ParallelRunResult ParallelTestbed::run_with(unsigned workers) {
   for (const auto& shard : out.shards) {
     out.combined.merge(shard.stats);
     ppe::merge_counter_snapshots(out.combined_counters, shard.app_counters);
+    out.combined_metrics.merge(shard.metrics);
   }
   return out;
 }

@@ -59,6 +59,12 @@ struct ShardOutcome {
   TestbedResult result{};
   sim::Stats stats{};
   std::vector<ppe::CounterSnapshot> app_counters;
+  /// The shard's registry snapshot re-labeled {shard=<id>}; shards build
+  /// identical topologies, so the label is what keeps series distinct.
+  obs::MetricSnapshot metrics;
+  /// The shard's sampled stage-hop events. Sampling keys off packet ids
+  /// only, so this is bit-identical for any worker count.
+  std::vector<obs::HopEvent> flight;
 };
 
 struct ParallelRunResult {
@@ -67,6 +73,8 @@ struct ParallelRunResult {
   /// count, including the sequential oracle.
   sim::Stats combined{};
   std::vector<ppe::CounterSnapshot> combined_counters;
+  /// Key-wise merge of every shard's labeled snapshot, in shard order.
+  obs::MetricSnapshot combined_metrics;
   unsigned workers_used = 1;
   double wall_seconds = 0;
 };

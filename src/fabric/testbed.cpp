@@ -6,6 +6,7 @@ namespace flexsfp::fabric {
 
 ModuleTestbed::ModuleTestbed(TestbedConfig config, ppe::PpeAppPtr app)
     : config_(std::move(config)) {
+  sim_.flight().configure(config_.flight);
   module_ = std::make_unique<sfp::FlexSfpModule>(sim_, std::move(app),
                                                  config_.module);
   edge_sink_ = std::make_unique<Sink>(sim_);
@@ -86,6 +87,7 @@ TestbedResult ModuleTestbed::run() {
   result.ppe_utilization =
       module_->shell().engine().utilization(duration);
   result.power = module_->power(duration);
+  result.metrics = sim_.metrics().snapshot();
   return result;
 }
 

@@ -23,6 +23,8 @@ struct TestbedConfig {
   sfp::FlexSfpConfig module{};
   std::optional<TrafficSpec> edge_traffic;     // injected at the edge port
   std::optional<TrafficSpec> optical_traffic;  // injected at the optical port
+  /// Per-packet flight-recorder setup for the testbed's simulation.
+  obs::FlightRecorderConfig flight{};
 
   TestbedConfig() {
     module.boot_at_start = false;  // usable at t = 0 for experiments
@@ -48,6 +50,8 @@ struct TestbedResult {
   double ppe_utilization = 0;
   hw::PowerBreakdown power{};
   sim::TimePs duration = 0;
+  /// Every registry series of the run (components + app counters).
+  obs::MetricSnapshot metrics;
 };
 
 /// One module, a source and sink per direction. Owns the simulation.

@@ -19,7 +19,11 @@ TrafficGen::TrafficGen(sim::Simulation& sim, TrafficSpec spec,
       spec_(spec),
       output_(output),
       rng_(spec.seed),
-      flow_dist_(std::max<std::size_t>(spec.flow_count, 1), spec.zipf_skew) {}
+      flow_dist_(std::max<std::size_t>(spec.flow_count, 1), spec.zipf_skew) {
+  const std::string name = sim_.metrics().unique_name("gen");
+  meter_.bind(sim_.metrics(), "gen.emitted", {{"gen", name}});
+  flight_stage_ = sim_.flight().register_stage(name);
+}
 
 net::FiveTuple TrafficGen::flow_tuple(std::size_t rank) const {
   // Derive a stable pseudo-random 5-tuple from the flow rank.
@@ -92,14 +96,30 @@ void TrafficGen::emit() {
   packet->set_id(sim_.next_packet_id());
   packet->set_created_time_ps(sim_.now());
   meter_.record(packet->size());
+  if (sim_.flight().sampled(packet->id())) {
+    sim_.flight().record(packet->id(), flight_stage_, obs::HopKind::emit,
+                         sim_.now(), 0, packet->size());
+  }
   output_.handle_packet(std::move(packet));
 
   sim_.schedule_in(gap_after(frame_size), [this]() { emit(); });
 }
 
+Sink::Sink(sim::Simulation& sim, std::size_t retain_last)
+    : sim_(sim), retain_(retain_last) {
+  const std::string name = sim_.metrics().unique_name("sink");
+  meter_.bind(sim_.metrics(), "sink.received", {{"sink", name}});
+  flight_stage_ = sim_.flight().register_stage(name);
+}
+
 void Sink::handle_packet(net::PacketPtr packet) {
+  const sim::TimePs latency = sim_.now() - packet->created_time_ps();
   meter_.record(packet->size());
-  latency_.record(sim_.now() - packet->created_time_ps());
+  latency_.record(latency);
+  if (sim_.flight().sampled(packet->id())) {
+    sim_.flight().record(packet->id(), flight_stage_, obs::HopKind::deliver,
+                         sim_.now(), 0, std::uint64_t(latency));
+  }
   if (retained_.size() < retain_) retained_.push_back(std::move(packet));
 }
 

@@ -76,6 +76,7 @@ class TrafficGen {
   sim::Rng rng_;
   sim::ZipfDistribution flow_dist_;
   sim::TrafficMeter meter_;
+  std::uint16_t flight_stage_ = 0;
   std::size_t imix_cursor_ = 0;
 };
 
@@ -84,8 +85,7 @@ class TrafficGen {
 /// inspection.
 class Sink final : public sim::PacketHandler {
  public:
-  explicit Sink(sim::Simulation& sim, std::size_t retain_last = 0)
-      : sim_(sim), retain_(retain_last) {}
+  explicit Sink(sim::Simulation& sim, std::size_t retain_last = 0);
 
   void handle_packet(net::PacketPtr packet) override;
 
@@ -103,6 +103,7 @@ class Sink final : public sim::PacketHandler {
   std::size_t retain_;
   sim::TrafficMeter meter_;
   sim::LatencyHistogram latency_;
+  std::uint16_t flight_stage_ = 0;
   std::vector<net::PacketPtr> retained_;
 };
 

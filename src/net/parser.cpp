@@ -44,14 +44,23 @@ namespace {
 ParseError parse_ip_layer(BytesView data, std::size_t offset,
                           std::uint16_t ether_type, IpLayer& layer) {
   layer.l3_offset = offset;
+  const bool expect_v4 = ether_type == static_cast<std::uint16_t>(EtherType::ipv4);
+  const bool expect_v6 = ether_type == static_cast<std::uint16_t>(EtherType::ipv6);
+  // The EtherType promises an IP version. When the version nibble is there
+  // to read and disagrees, that is its own malformation (the encapsulation
+  // lies about its payload), distinct from a merely short header.
+  if ((expect_v4 || expect_v6) && offset < data.size() &&
+      (data[offset] >> 4) != (expect_v4 ? 4 : 6)) {
+    return ParseError::bad_ip_version;
+  }
   std::uint8_t l4_proto = 0;
-  if (ether_type == static_cast<std::uint16_t>(EtherType::ipv4)) {
+  if (expect_v4) {
     auto ipv4 = Ipv4Header::parse(data, offset);
     if (!ipv4) return ParseError::truncated_ipv4;
     layer.ipv4 = *ipv4;
     layer.l4_offset = offset + ipv4->size();
     l4_proto = ipv4->protocol;
-  } else if (ether_type == static_cast<std::uint16_t>(EtherType::ipv6)) {
+  } else if (expect_v6) {
     auto ipv6 = Ipv6Header::parse(data, offset);
     if (!ipv6) return ParseError::truncated_ipv6;
     layer.ipv6 = *ipv6;

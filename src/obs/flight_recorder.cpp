@@ -1,0 +1,129 @@
+#include "obs/flight_recorder.hpp"
+
+#include <stdexcept>
+
+namespace flexsfp::obs {
+
+std::string to_string(HopKind kind) {
+  switch (kind) {
+    case HopKind::emit: return "emit";
+    case HopKind::ingress: return "ingress";
+    case HopKind::dark_drop: return "dark-drop";
+    case HopKind::queue_drop: return "queue-drop";
+    case HopKind::serve: return "serve";
+    case HopKind::forward: return "forward";
+    case HopKind::app_drop: return "app-drop";
+    case HopKind::punt: return "punt";
+    case HopKind::transit: return "transit";
+    case HopKind::egress: return "egress";
+    case HopKind::deliver: return "deliver";
+  }
+  return "hop(?)";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config) {
+  configure(config);
+}
+
+void FlightRecorder::configure(FlightRecorderConfig config) {
+  if (config.capacity == 0) config.capacity = 1;
+  config_ = config;
+  ring_.assign(config_.capacity, HopEvent{});
+  head_ = 0;
+  recorded_ = 0;
+}
+
+std::uint16_t FlightRecorder::register_stage(const std::string& name) {
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  if (stages_.size() >= 0xffff) {
+    throw std::length_error("FlightRecorder: too many stages");
+  }
+  stages_.push_back(name);
+  return static_cast<std::uint16_t>(stages_.size() - 1);
+}
+
+const std::string& FlightRecorder::stage_name(std::uint16_t stage) const {
+  static const std::string unknown = "stage(?)";
+  return stage < stages_.size() ? stages_[stage] : unknown;
+}
+
+void FlightRecorder::record(std::uint64_t packet_id, std::uint16_t stage,
+                            HopKind kind, std::int64_t time_ps,
+                            std::uint32_t queue_depth, std::uint64_t aux) {
+  if (!enabled()) return;
+  HopEvent& slot = ring_[head_];
+  slot.packet = packet_id;
+  slot.time_ps = time_ps;
+  slot.aux = aux;
+  slot.queue_depth = queue_depth;
+  slot.stage = stage;
+  slot.kind = kind;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  ++recorded_;
+}
+
+std::vector<HopEvent> FlightRecorder::events() const {
+  std::vector<HopEvent> out;
+  const std::size_t count = retained();
+  out.reserve(count);
+  // Oldest retained event: at slot 0 until the first wrap, then at head_.
+  const std::size_t start = recorded_ <= ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<HopEvent> FlightRecorder::trace(std::uint64_t packet_id) const {
+  std::vector<HopEvent> out;
+  for (const HopEvent& event : events()) {
+    if (event.packet == packet_id) out.push_back(event);
+  }
+  return out;
+}
+
+std::string FlightRecorder::to_json() const {
+  std::string out = "{\"stages\":[";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"' + stages_[i] + '"';
+  }
+  out += "],\"sample_every\":" + std::to_string(config_.sample_every);
+  out += ",\"recorded\":" + std::to_string(recorded_);
+  out += ",\"overwritten\":" + std::to_string(overwritten());
+  out += ",\"events\":[";
+  bool first = true;
+  for (const HopEvent& event : events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"packet\":" + std::to_string(event.packet);
+    out += ",\"time_ps\":" + std::to_string(event.time_ps);
+    out += ",\"stage\":\"" + stage_name(event.stage) + '"';
+    out += ",\"kind\":\"" + to_string(event.kind) + '"';
+    out += ",\"queue_depth\":" + std::to_string(event.queue_depth);
+    out += ",\"aux\":" + std::to_string(event.aux) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FlightRecorder::to_csv() const {
+  std::string out = "packet,time_ps,stage,kind,queue_depth,aux\n";
+  for (const HopEvent& event : events()) {
+    out += std::to_string(event.packet) + ',' +
+           std::to_string(event.time_ps) + ',' + stage_name(event.stage) +
+           ',' + to_string(event.kind) + ',' +
+           std::to_string(event.queue_depth) + ',' +
+           std::to_string(event.aux) + '\n';
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace flexsfp::obs

@@ -1,0 +1,128 @@
+// Per-packet flight recorder: a bounded, allocation-free ring of stage-hop
+// events for a deterministic sample of packets.
+//
+// Hardware telemetry (INT, postcards) records where a packet went, when,
+// and how deep the queues were — without ever allocating on the fast path.
+// This is the simulated equivalent: components record (packet id, stage,
+// hop kind, ps timestamp, queue depth) into a preallocated ring; a
+// deterministic 1-in-N sampler keyed off net::PacketId decides which
+// packets fly with the recorder on, so a shard-parallel run records exactly
+// the packets the sequential oracle would regardless of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexsfp::obs {
+
+/// What happened to the packet at this hop.
+enum class HopKind : std::uint8_t {
+  emit,        // a traffic source released the packet
+  ingress,     // the packet entered a module interface
+  dark_drop,   // lost: the module was booting/rebooting/failed
+  queue_drop,  // lost: a bounded FIFO overflowed
+  serve,       // dequeued into a service element (PPE, arbiter, ...)
+  forward,     // app verdict: forward
+  app_drop,    // app verdict: drop
+  punt,        // app verdict / demux: to the control plane
+  transit,     // serialized onto a link
+  egress,      // left the module through an egress arbiter
+  deliver,     // reached a terminal sink
+};
+
+[[nodiscard]] std::string to_string(HopKind kind);
+
+/// One stage-hop record. 32 bytes, POD, ring-resident.
+struct HopEvent {
+  std::uint64_t packet = 0;   // net::PacketId
+  std::int64_t time_ps = 0;   // simulation time of the hop
+  std::uint64_t aux = 0;      // kind-specific: service/occupancy time in ps
+  std::uint32_t queue_depth = 0;  // queue occupancy observed at the hop
+  std::uint16_t stage = 0;    // interned stage name
+  HopKind kind = HopKind::emit;
+
+  friend bool operator==(const HopEvent&, const HopEvent&) = default;
+};
+
+struct FlightRecorderConfig {
+  /// Ring slots; once full the oldest event is overwritten.
+  std::size_t capacity = 4096;
+  /// Record every packet whose hashed id falls in a 1-in-N class; 0
+  /// disables recording entirely (sampled() is then always false).
+  std::uint64_t sample_every = 64;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  [[nodiscard]] bool enabled() const { return config_.sample_every != 0; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::uint64_t sample_every() const {
+    return config_.sample_every;
+  }
+  /// Reconfigure sampling/capacity; clears the ring (tests, CLI).
+  void configure(FlightRecorderConfig config);
+
+  /// Intern a stage name; same name returns the same id. Called at
+  /// component construction, never on the packet path.
+  [[nodiscard]] std::uint16_t register_stage(const std::string& name);
+  [[nodiscard]] const std::string& stage_name(std::uint16_t stage) const;
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+
+  /// Deterministic sampling decision for a packet id: depends only on the
+  /// id (hashed, so sampling is unbiased w.r.t. arrival order), never on
+  /// time or scheduling.
+  [[nodiscard]] bool sampled(std::uint64_t packet_id) const {
+    if (config_.sample_every == 0) return false;
+    if (config_.sample_every == 1) return true;
+    return mix(packet_id) % config_.sample_every == 0;
+  }
+
+  /// Append one hop for an (already sampled) packet. Allocation-free.
+  void record(std::uint64_t packet_id, std::uint16_t stage, HopKind kind,
+              std::int64_t time_ps, std::uint32_t queue_depth = 0,
+              std::uint64_t aux = 0);
+
+  /// Events accepted into the ring since construction/clear.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wrap (recorded - retained).
+  [[nodiscard]] std::uint64_t overwritten() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  [[nodiscard]] std::size_t retained() const {
+    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                    : ring_.size();
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<HopEvent> events() const;
+  /// Retained events of one packet, oldest first (its flight path).
+  [[nodiscard]] std::vector<HopEvent> trace(std::uint64_t packet_id) const;
+
+  /// {"stages":[...],"events":[{"packet":..,"stage":"ppe",...},...]}
+  [[nodiscard]] std::string to_json() const;
+  /// Header "packet,time_ps,stage,kind,queue_depth,aux".
+  [[nodiscard]] std::string to_csv() const;
+
+  void clear();
+
+ private:
+  // splitmix64 finalizer: decorrelates sequential packet ids.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  FlightRecorderConfig config_;
+  std::vector<HopEvent> ring_;  // preallocated, never resized on record()
+  std::size_t head_ = 0;        // next write slot
+  std::uint64_t recorded_ = 0;
+  std::vector<std::string> stages_;
+};
+
+}  // namespace flexsfp::obs

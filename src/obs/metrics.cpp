@@ -1,0 +1,225 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flexsfp::obs {
+
+std::string to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::counter: return "counter";
+    case MetricKind::gauge: return "gauge";
+  }
+  return "kind(?)";
+}
+
+std::string metric_key(std::string_view name, const Labels& labels) {
+  std::string key{name};
+  if (labels.empty()) return key;
+  key += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) key += ',';
+    key += labels[i].first;
+    key += '=';
+    key += labels[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+std::string MetricSample::key() const { return metric_key(name, labels); }
+
+namespace {
+
+Labels sorted_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string json_quote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::size_t MetricSnapshot::lower_bound_key(std::string_view key) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
+}
+
+void MetricSnapshot::add_sample(MetricSample sample) {
+  sample.labels = sorted_labels(std::move(sample.labels));
+  std::string key = sample.key();
+  const std::size_t at = lower_bound_key(key);
+  if (at < keys_.size() && keys_[at] == key) {
+    MetricSample& existing = samples_[at];
+    if (existing.kind == MetricKind::counter) {
+      existing.value += sample.value;
+    } else {
+      existing.value = std::max(existing.value, sample.value);
+    }
+    return;
+  }
+  samples_.insert(samples_.begin() + static_cast<std::ptrdiff_t>(at),
+                  std::move(sample));
+  keys_.insert(keys_.begin() + static_cast<std::ptrdiff_t>(at),
+               std::move(key));
+}
+
+bool MetricSnapshot::contains(std::string_view key) const {
+  const std::size_t at = lower_bound_key(key);
+  return at < keys_.size() && keys_[at] == key;
+}
+
+std::uint64_t MetricSnapshot::value(std::string_view key) const {
+  const std::size_t at = lower_bound_key(key);
+  return at < keys_.size() && keys_[at] == key ? samples_[at].value : 0;
+}
+
+std::uint64_t MetricSnapshot::sum(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const MetricSample& sample : samples_) {
+    if (sample.name == name) total += sample.value;
+  }
+  return total;
+}
+
+void MetricSnapshot::merge(const MetricSnapshot& other) {
+  for (const MetricSample& sample : other.samples_) add_sample(sample);
+}
+
+MetricSnapshot MetricSnapshot::diff(const MetricSnapshot& base) const {
+  MetricSnapshot out;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    MetricSample d = samples_[i];
+    if (d.kind == MetricKind::counter) {
+      const std::uint64_t before = base.value(keys_[i]);
+      d.value = d.value > before ? d.value - before : 0;
+    }
+    out.add_sample(std::move(d));
+  }
+  return out;
+}
+
+MetricSnapshot MetricSnapshot::with_label(const std::string& key,
+                                          const std::string& value) const {
+  MetricSnapshot out;
+  for (MetricSample sample : samples_) {
+    bool replaced = false;
+    for (auto& label : sample.labels) {
+      if (label.first == key) {
+        label.second = value;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) sample.labels.emplace_back(key, value);
+    out.add_sample(std::move(sample));
+  }
+  return out;
+}
+
+std::string MetricSnapshot::to_json() const {
+  std::string out = "{\"metrics\":[";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const MetricSample& sample = samples_[i];
+    if (i != 0) out += ',';
+    out += "{\"key\":" + json_quote(keys_[i]);
+    out += ",\"name\":" + json_quote(sample.name);
+    out += ",\"labels\":{";
+    for (std::size_t j = 0; j < sample.labels.size(); ++j) {
+      if (j != 0) out += ',';
+      out += json_quote(sample.labels[j].first) + ":" +
+             json_quote(sample.labels[j].second);
+    }
+    out += "},\"kind\":" + json_quote(to_string(sample.kind));
+    out += ",\"value\":" + std::to_string(sample.value) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricSnapshot::to_csv() const {
+  std::string out = "key,kind,value\n";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    out += '"' + keys_[i] + "\"," + to_string(samples_[i].kind) + ',' +
+           std::to_string(samples_[i].value) + '\n';
+  }
+  return out;
+}
+
+MetricId MetricRegistry::intern(std::string name, Labels labels,
+                                MetricKind kind) {
+  labels = sorted_labels(std::move(labels));
+  std::string key = metric_key(name, labels);
+  const auto found = by_key_.find(key);
+  if (found != by_key_.end()) {
+    if (meta_[found->second].kind != kind) {
+      throw std::invalid_argument("metric '" + key +
+                                  "' re-registered with a different kind");
+    }
+    return MetricId{found->second};
+  }
+  const auto index = static_cast<std::uint32_t>(values_.size());
+  meta_.push_back(Meta{std::move(name), std::move(labels), kind});
+  values_.push_back(0);
+  by_key_.emplace(std::move(key), index);
+  return MetricId{index};
+}
+
+MetricId MetricRegistry::counter(std::string name, Labels labels) {
+  return intern(std::move(name), std::move(labels), MetricKind::counter);
+}
+
+MetricId MetricRegistry::gauge(std::string name, Labels labels) {
+  return intern(std::move(name), std::move(labels), MetricKind::gauge);
+}
+
+std::uint64_t MetricRegistry::value(std::string_view key) const {
+  const auto found = by_key_.find(std::string{key});
+  return found != by_key_.end() ? values_[found->second] : 0;
+}
+
+std::string MetricRegistry::unique_name(const std::string& base) {
+  const std::uint32_t uses = name_uses_[base]++;
+  return uses == 0 ? base : base + std::to_string(uses);
+}
+
+MetricRegistry::CollectorToken MetricRegistry::register_collector(
+    Collector collector) {
+  const CollectorToken token = next_collector_token_++;
+  collectors_.emplace_back(token, std::move(collector));
+  return token;
+}
+
+void MetricRegistry::unregister_collector(CollectorToken token) {
+  std::erase_if(collectors_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+MetricSnapshot MetricRegistry::snapshot() const {
+  MetricSnapshot out;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    out.add_sample(MetricSample{meta_[i].name, meta_[i].labels, meta_[i].kind,
+                                values_[i]});
+  }
+  for (const auto& [token, collector] : collectors_) collector(out);
+  return out;
+}
+
+void MetricRegistry::reset_values() {
+  std::fill(values_.begin(), values_.end(), 0);
+}
+
+}  // namespace flexsfp::obs

@@ -22,6 +22,7 @@ class Engine final : public sim::QueuedServer {
   /// `queue_capacity` models the ingress store-and-forward FIFO in packets.
   Engine(sim::Simulation& sim, PpeAppPtr app, hw::DatapathConfig datapath,
          std::size_t queue_capacity = 64);
+  ~Engine() override;
 
   /// Where forwarded packets go (set by the architecture shell).
   void set_forward_handler(std::function<void(net::PacketPtr)> handler) {
@@ -40,9 +41,15 @@ class Engine final : public sim::QueuedServer {
 
   [[nodiscard]] const hw::DatapathConfig& datapath() const { return datapath_; }
 
-  [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
-  [[nodiscard]] std::uint64_t dropped_by_app() const { return dropped_; }
-  [[nodiscard]] std::uint64_t punted() const { return punted_; }
+  // Verdict tallies live in the registry as engine.forwarded /
+  // engine.app_drops / engine.punted, labeled {app=<name>,stage=<ppe>}; app
+  // swaps open a fresh series per app name, and these accessors sum across
+  // every app this engine has run.
+  [[nodiscard]] std::uint64_t forwarded() const { return sum(forwarded_ids_); }
+  [[nodiscard]] std::uint64_t dropped_by_app() const {
+    return sum(dropped_ids_);
+  }
+  [[nodiscard]] std::uint64_t punted() const { return sum(punted_ids_); }
   /// Queue-full losses are on the base class: drops().
 
   /// Engine-internal latency (queue wait + streaming + pipeline depth).
@@ -55,14 +62,24 @@ class Engine final : public sim::QueuedServer {
   void finish(net::PacketPtr packet) override;
 
  private:
+  /// (Re)intern the verdict series for the current app's label set.
+  void bind_app_series();
+  /// Push the live app's CounterBank snapshots into a registry snapshot.
+  void collect_app_counters(obs::MetricSnapshot& snap) const;
+  [[nodiscard]] std::uint64_t sum(const std::vector<obs::MetricId>& ids) const;
+
   PpeAppPtr app_;
   hw::DatapathConfig datapath_;
   std::function<void(net::PacketPtr)> forward_;
   std::function<void(net::PacketPtr)> control_;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t punted_ = 0;
   sim::LatencyHistogram latency_;
+  obs::MetricId forwarded_id_;
+  obs::MetricId dropped_id_;
+  obs::MetricId punted_id_;
+  std::vector<obs::MetricId> forwarded_ids_;
+  std::vector<obs::MetricId> dropped_ids_;
+  std::vector<obs::MetricId> punted_ids_;
+  obs::MetricRegistry::CollectorToken collector_token_ = 0;
 };
 
 }  // namespace flexsfp::ppe

@@ -4,13 +4,19 @@ namespace flexsfp::sfp {
 
 EgressArbiter::EgressArbiter(sim::Simulation& sim, sim::DataRate line_rate,
                              std::size_t queue_capacity)
-    : sim::QueuedServer(sim, queue_capacity), line_rate_(line_rate) {}
+    : sim::QueuedServer(sim, queue_capacity, "arbiter"),
+      line_rate_(line_rate) {}
 
 sim::TimePs EgressArbiter::service_time(const net::Packet& packet) {
   return line_rate_.serialization_time(packet.wire_size());
 }
 
 void EgressArbiter::finish(net::PacketPtr packet) {
+  if (sim().flight().sampled(packet->id())) {
+    sim().flight().record(packet->id(), flight_stage(), obs::HopKind::egress,
+                          sim().now(),
+                          static_cast<std::uint32_t>(queue_depth()));
+  }
   if (output_) output_(std::move(packet));
 }
 

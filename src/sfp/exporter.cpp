@@ -56,7 +56,13 @@ std::optional<ExportRecord> ExportRecord::parse(net::BytesView data,
 
 FlowExporter::FlowExporter(sim::Simulation& sim, FlexSfpModule& module,
                            FlowExporterConfig config)
-    : sim_(sim), module_(module), config_(std::move(config)) {}
+    : sim_(sim), module_(module), config_(std::move(config)) {
+  const std::string name = sim_.metrics().unique_name("exporter");
+  datagrams_id_ =
+      sim_.metrics().counter("exporter.datagrams", {{"exporter", name}});
+  records_id_ =
+      sim_.metrics().counter("exporter.records", {{"exporter", name}});
+}
 
 void FlowExporter::start() {
   if (running_) return;
@@ -102,8 +108,8 @@ void FlowExporter::emit(const std::vector<apps::FlowRecord>& flows) {
             .payload(payload)
             .build_packet());
     module_.shell().send_from_control(config_.egress_port, std::move(frame));
-    ++datagrams_;
-    records_ += count;
+    sim_.metrics().add(datagrams_id_);
+    sim_.metrics().add(records_id_, count);
     index += count;
   }
 }

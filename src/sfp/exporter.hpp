@@ -52,8 +52,13 @@ class FlowExporter {
   void start();
   void stop() { running_ = false; }
 
-  [[nodiscard]] std::uint64_t datagrams_sent() const { return datagrams_; }
-  [[nodiscard]] std::uint64_t records_exported() const { return records_; }
+  /// Registry series exporter.datagrams / exporter.records.
+  [[nodiscard]] std::uint64_t datagrams_sent() const {
+    return sim_.metrics().value(datagrams_id_);
+  }
+  [[nodiscard]] std::uint64_t records_exported() const {
+    return sim_.metrics().value(records_id_);
+  }
 
   /// Decode an export datagram's records (for collectors and tests);
   /// nullopt when the packet is not an export datagram.
@@ -68,8 +73,8 @@ class FlowExporter {
   FlexSfpModule& module_;
   FlowExporterConfig config_;
   bool running_ = false;
-  std::uint64_t datagrams_ = 0;
-  std::uint64_t records_ = 0;
+  obs::MetricId datagrams_id_;
+  obs::MetricId records_id_;
   std::uint32_t sequence_ = 0;
 };
 

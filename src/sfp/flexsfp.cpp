@@ -19,12 +19,19 @@ FlexSfpModule::FlexSfpModule(sim::Simulation& sim, ppe::PpeAppPtr app,
                              FlexSfpConfig config)
     : sim_(sim),
       config_(config),
+      name_(sim.metrics().unique_name("module")),
       device_(hw::FpgaDevice::mpf200t()),
       flash_(/*slots=*/4),
       control_plane_(sim, ControlPlaneConfig{.key = config.auth_key,
                                              .mac = config.shell.module_mac,
                                              .ip = config.cp_ip}) {
   apps::register_builtin_apps();
+
+  dark_drops_id_ =
+      sim_.metrics().counter("module.dark_drops", {{"module", name_}});
+  reconfigs_id_ =
+      sim_.metrics().counter("module.reconfigurations", {{"module", name_}});
+  flight_stage_ = sim_.flight().register_stage(name_);
 
   shell_ = std::make_unique<ArchitectureShell>(sim, std::move(app),
                                                config_.shell);
@@ -62,7 +69,13 @@ FlexSfpModule::FlexSfpModule(sim::Simulation& sim, ppe::PpeAppPtr app,
 
 void FlexSfpModule::inject(int port, net::PacketPtr packet) {
   if (state_ != ModuleState::running) {
-    ++dark_drops_;  // no light, no link: the wire drops it
+    // No light, no link: the wire drops it.
+    sim_.metrics().add(dark_drops_id_);
+    if (sim_.flight().sampled(packet->id())) {
+      sim_.flight().record(packet->id(), flight_stage_,
+                           obs::HopKind::dark_drop, sim_.now(), 0,
+                           std::uint64_t(port));
+    }
     return;
   }
   shell_->inject(port, std::move(packet));
@@ -122,7 +135,7 @@ bool FlexSfpModule::reconfigure(const hw::Bitstream& bitstream) {
   // Flash programming happens while the old design keeps forwarding; only
   // the FPGA reload darkens the datapath. (Simulation events are
   // std::function, hence the shared holder around the unique owner.)
-  ++reconfigs_;
+  sim_.metrics().add(reconfigs_id_);
   last_outage_ = config_.fpga_reload_ps;
   auto holder = std::make_shared<ppe::PpeAppPtr>(std::move(new_app));
   sim_.schedule_in(*flash_time, [this, holder]() {

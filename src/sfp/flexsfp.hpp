@@ -59,8 +59,9 @@ class FlexSfpModule {
                           std::function<void(net::PacketPtr)> handler);
 
   [[nodiscard]] ModuleState state() const { return state_; }
+  /// Registry series module.dark_drops{module=..}.
   [[nodiscard]] std::uint64_t packets_lost_while_dark() const {
-    return dark_drops_;
+    return sim_.metrics().value(dark_drops_id_);
   }
 
   [[nodiscard]] ArchitectureShell& shell() { return *shell_; }
@@ -91,7 +92,9 @@ class FlexSfpModule {
   /// Stage `bitstream` to flash and reboot into it. Returns false when the
   /// app name is unknown to the registry or flash staging failed.
   bool reconfigure(const hw::Bitstream& bitstream);
-  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+  [[nodiscard]] std::uint64_t reconfigurations() const {
+    return sim_.metrics().value(reconfigs_id_);
+  }
   /// Duration of the most recent dark window (flash + reload), for the
   /// reconfiguration-outage experiment.
   [[nodiscard]] sim::TimePs last_outage_ps() const { return last_outage_; }
@@ -99,14 +102,16 @@ class FlexSfpModule {
  private:
   sim::Simulation& sim_;
   FlexSfpConfig config_;
+  std::string name_;
   hw::FpgaDevice device_;
   hw::SpiFlash flash_;
   std::unique_ptr<ArchitectureShell> shell_;
   ControlPlane control_plane_;
   std::unique_ptr<VcselModel> vcsel_;
   ModuleState state_ = ModuleState::running;
-  std::uint64_t dark_drops_ = 0;
-  std::uint64_t reconfigs_ = 0;
+  obs::MetricId dark_drops_id_;
+  obs::MetricId reconfigs_id_;
+  std::uint16_t flight_stage_ = 0;
   sim::TimePs last_outage_ = 0;
   sim::TimePs run_started_ = 0;
 };

@@ -16,7 +16,15 @@ std::string to_string(ShellKind kind) {
 
 ArchitectureShell::ArchitectureShell(sim::Simulation& sim, ppe::PpeAppPtr app,
                                      ShellConfig config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config), name_(sim.metrics().unique_name("shell")) {
+  for (std::size_t port = 0; port < 2; ++port) {
+    ingress_meters_[port].bind(
+        sim_.metrics(), "shell.ingress",
+        {{"port", std::to_string(port)}, {"shell", name_}});
+  }
+  control_punts_id_ =
+      sim_.metrics().counter("shell.control_punts", {{"shell", name_}});
+  flight_stage_ = sim_.flight().register_stage(name_);
   engine_ = std::make_unique<ppe::Engine>(sim, std::move(app),
                                           config.datapath,
                                           config.ppe_queue_capacity);
@@ -50,6 +58,10 @@ void ArchitectureShell::inject(int port, net::PacketPtr packet) {
   packet->set_ingress_port(port);
   packet->set_ingress_time_ps(sim_.now());
   ingress_meters_[static_cast<std::size_t>(port)].record(packet->size());
+  if (sim_.flight().sampled(packet->id())) {
+    sim_.flight().record(packet->id(), flight_stage_, obs::HopKind::ingress,
+                         sim_.now(), 0, std::uint64_t(port));
+  }
 
   // The MAC/PCS pipeline delays the frame before the demux sees it.
   sim_.schedule_in(config_.interface_latency_ps, [this, port,
@@ -99,7 +111,11 @@ void ArchitectureShell::send_from_control(int port, net::PacketPtr packet) {
 }
 
 void ArchitectureShell::punt_to_control(net::PacketPtr packet) {
-  ++control_punts_;
+  sim_.metrics().add(control_punts_id_);
+  if (sim_.flight().sampled(packet->id())) {
+    sim_.flight().record(packet->id(), flight_stage_, obs::HopKind::punt,
+                         sim_.now());
+  }
   if (control_rx_) control_rx_(std::move(packet));
 }
 

@@ -84,10 +84,14 @@ class ArchitectureShell {
   [[nodiscard]] hw::ResourceUsage shell_overhead_resources() const;
 
   // --- stats ----------------------------------------------------------------
+  // Registry-backed: shell.ingress.{packets,bytes}{port=..,shell=..} and
+  // shell.control_punts{shell=..}.
   [[nodiscard]] const sim::TrafficMeter& ingress_meter(int port) const {
     return ingress_meters_.at(static_cast<std::size_t>(port));
   }
-  [[nodiscard]] std::uint64_t control_punts() const { return control_punts_; }
+  [[nodiscard]] std::uint64_t control_punts() const {
+    return sim_.metrics().value(control_punts_id_);
+  }
   [[nodiscard]] const EgressArbiter& arbiter(int port) const {
     return *arbiters_.at(static_cast<std::size_t>(port));
   }
@@ -99,12 +103,14 @@ class ArchitectureShell {
 
   sim::Simulation& sim_;
   ShellConfig config_;
+  std::string name_;
   std::unique_ptr<ppe::Engine> engine_;
   std::array<std::unique_ptr<EgressArbiter>, 2> arbiters_;
   std::array<std::function<void(net::PacketPtr)>, 2> egress_handlers_;
   std::function<void(net::PacketPtr)> control_rx_;
   std::array<sim::TrafficMeter, 2> ingress_meters_;
-  std::uint64_t control_punts_ = 0;
+  obs::MetricId control_punts_id_;
+  std::uint16_t flight_stage_ = 0;
 };
 
 }  // namespace flexsfp::sfp

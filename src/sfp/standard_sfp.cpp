@@ -5,7 +5,13 @@
 namespace flexsfp::sfp {
 
 StandardSfp::StandardSfp(sim::Simulation& sim, sim::TimePs serdes_latency_ps)
-    : sim_(sim), serdes_latency_ps_(serdes_latency_ps) {}
+    : sim_(sim), serdes_latency_ps_(serdes_latency_ps) {
+  const std::string name = sim_.metrics().unique_name("standard-sfp");
+  for (std::size_t port = 0; port < 2; ++port) {
+    meters_[port].bind(sim_.metrics(), "sfp.ingress",
+                       {{"port", std::to_string(port)}, {"sfp", name}});
+  }
+}
 
 void StandardSfp::inject(int port, net::PacketPtr packet) {
   meters_[static_cast<std::size_t>(port)].record(packet->size());

@@ -10,14 +10,22 @@ Link::Link(Simulation& sim, DataRate rate, TimePs propagation_delay,
       rate_(rate),
       propagation_delay_(propagation_delay),
       destination_(destination),
-      name_(std::move(name)) {}
+      name_(sim.metrics().unique_name(std::move(name))) {
+  meter_.bind(sim_.metrics(), "link.traffic", {{"link", name_}});
+  busy_id_ = sim_.metrics().counter("link.busy_ps", {{"link", name_}});
+  flight_stage_ = sim_.flight().register_stage(name_);
+}
 
 void Link::handle_packet(net::PacketPtr packet) {
   const TimePs start = std::max(sim_.now(), next_free_);
   const TimePs ser = rate_.serialization_time(packet->wire_size());
   next_free_ = start + ser;
-  busy_time_ += ser;
+  sim_.metrics().add(busy_id_, std::uint64_t(ser));
   meter_.record(packet->size());
+  if (sim_.flight().sampled(packet->id())) {
+    sim_.flight().record(packet->id(), flight_stage_, obs::HopKind::transit,
+                         start, 0, std::uint64_t(ser));
+  }
   const TimePs arrival = next_free_ + propagation_delay_;
   sim_.schedule_at(arrival, [this, packet = std::move(packet)]() mutable {
     destination_.handle_packet(std::move(packet));
@@ -41,8 +49,31 @@ net::PacketPtr BoundedQueue::pop() {
   return packet;
 }
 
+QueuedServer::QueuedServer(Simulation& sim, std::size_t queue_capacity,
+                           std::string stage)
+    : sim_(sim),
+      queue_(queue_capacity),
+      stage_(sim.metrics().unique_name(std::move(stage))) {
+  served_.bind(sim_.metrics(), "server.served", {{"stage", stage_}});
+  drops_id_ = sim_.metrics().counter("server.queue_drops", {{"stage", stage_}});
+  busy_id_ = sim_.metrics().counter("server.busy_ps", {{"stage", stage_}});
+  watermark_id_ =
+      sim_.metrics().gauge("server.queue_high_watermark", {{"stage", stage_}});
+  flight_stage_ = sim_.flight().register_stage(stage_);
+}
+
 void QueuedServer::handle_packet(net::PacketPtr packet) {
-  if (!queue_.push(std::move(packet))) return;  // dropped, counted
+  const net::PacketId id = packet->id();
+  if (!queue_.push(std::move(packet))) {
+    sim_.metrics().add(drops_id_);
+    if (sim_.flight().sampled(id)) {
+      sim_.flight().record(id, flight_stage_, obs::HopKind::queue_drop,
+                           sim_.now(),
+                           static_cast<std::uint32_t>(queue_.size()));
+    }
+    return;
+  }
+  sim_.metrics().set_max(watermark_id_, queue_.size());
   if (!busy_) start_service();
 }
 
@@ -51,8 +82,14 @@ void QueuedServer::start_service() {
   if (!packet) return;
   busy_ = true;
   const TimePs service = service_time(*packet);
-  busy_time_ += service;
+  sim_.metrics().add(busy_id_, std::uint64_t(service));
   served_.record(packet->size());
+  if (sim_.flight().sampled(packet->id())) {
+    sim_.flight().record(packet->id(), flight_stage_, obs::HopKind::serve,
+                         sim_.now(),
+                         static_cast<std::uint32_t>(queue_.size()),
+                         std::uint64_t(service));
+  }
   sim_.schedule_in(service, [this, packet = std::move(packet)]() mutable {
     finish(std::move(packet));
     busy_ = false;

@@ -24,10 +24,14 @@ class Link final : public PacketHandler {
   [[nodiscard]] DataRate rate() const { return rate_; }
   [[nodiscard]] const TrafficMeter& meter() const { return meter_; }
   /// Total time the transmitter was busy — utilization = busy / elapsed.
-  [[nodiscard]] TimePs busy_time() const { return busy_time_; }
-  [[nodiscard]] double utilization(TimePs elapsed) const {
-    return elapsed > 0 ? double(busy_time_) / double(elapsed) : 0.0;
+  /// Reads the registry series `link.busy_ps{link=<name>}`.
+  [[nodiscard]] TimePs busy_time() const {
+    return TimePs(sim_.metrics().value(busy_id_));
   }
+  [[nodiscard]] double utilization(TimePs elapsed) const {
+    return elapsed > 0 ? double(busy_time()) / double(elapsed) : 0.0;
+  }
+  /// Registry-unique instance name ("link", "link1", ... for defaults).
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
@@ -37,8 +41,9 @@ class Link final : public PacketHandler {
   PacketHandler& destination_;
   std::string name_;
   TimePs next_free_ = 0;
-  TimePs busy_time_ = 0;
   TrafficMeter meter_;
+  obs::MetricId busy_id_;
+  std::uint16_t flight_stage_ = 0;
 };
 
 /// Drop-tail FIFO with a packet-count bound, as found in front of every
@@ -69,24 +74,38 @@ class BoundedQueue {
 /// the service time is the packet's cycle budget on the PPE clock.
 class QueuedServer : public PacketHandler {
  public:
-  QueuedServer(Simulation& sim, std::size_t queue_capacity)
-      : sim_(sim), queue_(queue_capacity) {}
+  /// `stage` names this service element in the registry (uniquified per
+  /// simulation: "ppe", "ppe1", ...) and in the flight recorder. Its series:
+  /// server.queue_drops / server.busy_ps / server.queue_high_watermark /
+  /// server.served.{packets,bytes}, all labeled {stage=<name>}.
+  QueuedServer(Simulation& sim, std::size_t queue_capacity,
+               std::string stage = "server");
 
   void handle_packet(net::PacketPtr packet) final;
 
-  [[nodiscard]] std::uint64_t drops() const { return queue_.drops(); }
+  [[nodiscard]] std::uint64_t drops() const {
+    return sim_.metrics().value(drops_id_);
+  }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] std::size_t queue_high_watermark() const {
-    return queue_.high_watermark();
+    return static_cast<std::size_t>(sim_.metrics().value(watermark_id_));
   }
-  [[nodiscard]] TimePs busy_time() const { return busy_time_; }
+  [[nodiscard]] TimePs busy_time() const {
+    return TimePs(sim_.metrics().value(busy_id_));
+  }
   [[nodiscard]] double utilization(TimePs elapsed) const {
-    return elapsed > 0 ? double(busy_time_) / double(elapsed) : 0.0;
+    return elapsed > 0 ? double(busy_time()) / double(elapsed) : 0.0;
   }
   [[nodiscard]] const TrafficMeter& served() const { return served_; }
+  /// Registry-unique stage name this server reports under.
+  [[nodiscard]] const std::string& stage_name() const { return stage_; }
 
  protected:
   [[nodiscard]] Simulation& sim() { return sim_; }
+  [[nodiscard]] const Simulation& sim() const { return sim_; }
+  /// Flight-recorder stage id, for subclasses recording their own hops
+  /// (verdicts, egress) under the same stage name.
+  [[nodiscard]] std::uint16_t flight_stage() const { return flight_stage_; }
   /// How long this packet occupies the server.
   [[nodiscard]] virtual TimePs service_time(const net::Packet& packet) = 0;
   /// Invoked at service completion; implementations forward, drop, etc.
@@ -98,8 +117,12 @@ class QueuedServer : public PacketHandler {
   Simulation& sim_;
   BoundedQueue queue_;
   bool busy_ = false;
-  TimePs busy_time_ = 0;
   TrafficMeter served_;
+  std::string stage_;
+  obs::MetricId drops_id_;
+  obs::MetricId busy_id_;
+  obs::MetricId watermark_id_;
+  std::uint16_t flight_stage_ = 0;
 };
 
 }  // namespace flexsfp::sim

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace flexsfp::sim {
@@ -45,6 +47,16 @@ class Simulation {
   /// Fresh packet identity for tracing.
   [[nodiscard]] net::PacketId next_packet_id() { return ++last_packet_id_; }
 
+  /// The run's telemetry spine: every component registers its counters here
+  /// (one registry per simulation = one per shard, merged at the barrier).
+  [[nodiscard]] obs::MetricRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricRegistry& metrics() const { return metrics_; }
+
+  /// Per-packet stage-hop ring. Sampling is keyed off packet ids, so which
+  /// packets fly is identical across sequential and sharded runs.
+  [[nodiscard]] obs::FlightRecorder& flight() { return flight_; }
+  [[nodiscard]] const obs::FlightRecorder& flight() const { return flight_; }
+
  private:
   struct Entry {
     TimePs at;
@@ -62,6 +74,8 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   net::PacketId last_packet_id_ = 0;
+  obs::MetricRegistry metrics_;
+  obs::FlightRecorder flight_;
 };
 
 /// Anything that can receive a packet (a port, a queue, a sink...).

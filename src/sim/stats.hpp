@@ -4,35 +4,72 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace flexsfp::sim {
 
 /// Packets + bytes observed, with derived rates over a given span.
+///
+/// Dual-mode: a meter starts as a plain local tally (merge accumulators in
+/// sim::Stats stay value types), and live datapath instances bind() to the
+/// run's MetricRegistry so their counts are `<name>.packets` /
+/// `<name>.bytes` series there — the registry is then the single tally and
+/// every read goes through it. Don't record() through two copies of a bound
+/// meter: they share the same series.
 class TrafficMeter {
  public:
-  void record(std::size_t bytes) {
-    ++packets_;
-    bytes_ += bytes;
-  }
+  TrafficMeter() = default;
 
-  [[nodiscard]] std::uint64_t packets() const { return packets_; }
-  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  /// Back this meter by registry series; pre-bind counts carry over.
+  void bind(obs::MetricRegistry& registry, const std::string& name,
+            obs::Labels labels = {}) {
+    registry_ = &registry;
+    packets_id_ = registry.counter(name + ".packets", labels);
+    bytes_id_ = registry.counter(name + ".bytes", std::move(labels));
+    registry.add(packets_id_, packets_);
+    registry.add(bytes_id_, bytes_);
+    packets_ = bytes_ = 0;
+  }
+  [[nodiscard]] bool bound() const { return registry_ != nullptr; }
+
+  void record(std::size_t bytes) { accumulate(1, bytes); }
+
+  [[nodiscard]] std::uint64_t packets() const {
+    return registry_ != nullptr ? registry_->value(packets_id_) : packets_;
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return registry_ != nullptr ? registry_->value(bytes_id_) : bytes_;
+  }
   /// Average bit rate over `span` (payload bits, no wire overhead).
   [[nodiscard]] double bits_per_second(TimePs span) const {
-    return span > 0 ? double(bytes_) * 8.0 / to_seconds(span) : 0.0;
+    return span > 0 ? double(bytes()) * 8.0 / to_seconds(span) : 0.0;
   }
   [[nodiscard]] double packets_per_second(TimePs span) const {
-    return span > 0 ? double(packets_) / to_seconds(span) : 0.0;
+    return span > 0 ? double(packets()) / to_seconds(span) : 0.0;
+  }
+  /// Fold raw counts in — the shard-merge and bind-carry primitive.
+  void accumulate(std::uint64_t packets, std::uint64_t bytes) {
+    if (registry_ != nullptr) {
+      registry_->add(packets_id_, packets);
+      registry_->add(bytes_id_, bytes);
+    } else {
+      packets_ += packets;
+      bytes_ += bytes;
+    }
   }
   /// Fold another meter in (shard merge). Order-independent.
   void merge(const TrafficMeter& other) {
-    packets_ += other.packets_;
-    bytes_ += other.bytes_;
+    accumulate(other.packets(), other.bytes());
   }
   void reset() {
+    if (registry_ != nullptr) {
+      registry_->zero(packets_id_);
+      registry_->zero(bytes_id_);
+    }
     packets_ = 0;
     bytes_ = 0;
   }
@@ -40,6 +77,9 @@ class TrafficMeter {
  private:
   std::uint64_t packets_ = 0;
   std::uint64_t bytes_ = 0;
+  obs::MetricRegistry* registry_ = nullptr;
+  obs::MetricId packets_id_;
+  obs::MetricId bytes_id_;
 };
 
 /// Latency histogram: geometric buckets from 1 ns to ~17 ms, 16 buckets per

@@ -287,5 +287,18 @@ TEST(VerifierCatalog, FeasibleDesignsRaiseNoSpuriousWarningsExceptIntSink) {
   }
 }
 
+TEST(RuleCatalog, CoversEveryRuleIdInOrder) {
+  const auto& catalog = rule_catalog();
+  ASSERT_EQ(catalog.size(), 9u);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[i].id, "FSL00" + std::to_string(i));
+    EXPECT_FALSE(catalog[i].summary.empty());
+  }
+  // Maximum severities match the header's rule table.
+  EXPECT_EQ(catalog[5].max_severity, Severity::warning);  // FSL005
+  EXPECT_EQ(catalog[6].max_severity, Severity::warning);  // FSL006
+  EXPECT_EQ(catalog[7].max_severity, Severity::error);    // FSL007
+}
+
 }  // namespace
 }  // namespace flexsfp::analysis

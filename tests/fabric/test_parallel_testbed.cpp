@@ -61,6 +61,11 @@ TEST(ParallelTestbed, ParallelEqualsSequentialOracleAcrossSeeds) {
     expect_stats_identical(parallel.combined, sequential.combined);
     EXPECT_EQ(parallel.combined_counters, sequential.combined_counters)
         << "seed " << seed;
+    // The telemetry spine obeys the same oracle: merged registry snapshots
+    // and sampled flight recordings are bit-identical.
+    EXPECT_FALSE(parallel.combined_metrics.empty());
+    EXPECT_EQ(parallel.combined_metrics, sequential.combined_metrics)
+        << "seed " << seed;
 
     ASSERT_EQ(parallel.shards.size(), sequential.shards.size());
     for (std::size_t i = 0; i < parallel.shards.size(); ++i) {
@@ -70,6 +75,8 @@ TEST(ParallelTestbed, ParallelEqualsSequentialOracleAcrossSeeds) {
                 sequential.shards[i].result.edge_to_optical.latency_p99_ns);
       EXPECT_EQ(parallel.shards[i].app_counters,
                 sequential.shards[i].app_counters);
+      EXPECT_EQ(parallel.shards[i].metrics, sequential.shards[i].metrics);
+      EXPECT_EQ(parallel.shards[i].flight, sequential.shards[i].flight);
     }
   }
 }
@@ -82,6 +89,29 @@ TEST(ParallelTestbed, RepeatedParallelRunsAreDeterministic) {
   const auto second = bed.run();
   expect_stats_identical(first.combined, second.combined);
   EXPECT_EQ(first.combined_counters, second.combined_counters);
+  EXPECT_EQ(first.combined_metrics, second.combined_metrics);
+}
+
+TEST(ParallelTestbed, MergedSnapshotCarriesShardLabeledSeries) {
+  auto config = two_way_config(11, 2);
+  config.workers = 2;
+  ParallelTestbed bed(config, nat_factory());
+  const auto run = bed.run();
+  // Identical shard topologies stay distinct through the {shard=N} label,
+  // and sum() folds the per-shard series back into the global count.
+  EXPECT_EQ(run.combined_metrics.value("gen.emitted.packets{gen=gen,shard=0}"),
+            run.shards[0].stats.sent.packets() -
+                run.shards[0].result.optical_to_edge.sent_packets);
+  EXPECT_EQ(run.combined_metrics.sum("gen.emitted.packets"),
+            run.combined.sent.packets());
+  EXPECT_EQ(run.combined_metrics.sum("sink.received.packets"),
+            run.combined.received.packets());
+  EXPECT_EQ(run.combined_metrics.sum("module.dark_drops"),
+            run.combined.dark_drops);
+  // Flight recording is on by default and sampled ~1-in-64.
+  std::uint64_t hops = 0;
+  for (const auto& shard : run.shards) hops += shard.flight.size();
+  EXPECT_GT(hops, 0u);
 }
 
 TEST(ParallelTestbed, CombinedIsTheSumOfShards) {

@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::obs {
+namespace {
+
+FlightRecorderConfig record_all(std::size_t capacity = 8) {
+  return FlightRecorderConfig{.capacity = capacity, .sample_every = 1};
+}
+
+TEST(FlightRecorder, StageInterningDedupes) {
+  FlightRecorder recorder;
+  const auto a = recorder.register_stage("ppe");
+  const auto b = recorder.register_stage("arbiter");
+  const auto a2 = recorder.register_stage("ppe");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(recorder.stage_name(a), "ppe");
+  EXPECT_EQ(recorder.stage_count(), 2u);
+}
+
+TEST(FlightRecorder, SamplingIsDeterministicAndRoughlyOneInN) {
+  FlightRecorder recorder{{.capacity = 16, .sample_every = 64}};
+  std::size_t hits = 0;
+  for (std::uint64_t id = 1; id <= 64 * 1000; ++id) {
+    if (recorder.sampled(id)) ++hits;
+    EXPECT_EQ(recorder.sampled(id), recorder.sampled(id));
+  }
+  // Hashed 1-in-64: expect ~1000 within a generous tolerance.
+  EXPECT_GT(hits, 700u);
+  EXPECT_LT(hits, 1300u);
+}
+
+TEST(FlightRecorder, SampleEveryOneTakesAll) {
+  FlightRecorder recorder{record_all()};
+  for (std::uint64_t id = 1; id <= 100; ++id) EXPECT_TRUE(recorder.sampled(id));
+}
+
+TEST(FlightRecorder, DisabledRecorderSamplesNothingAndRecordsNothing) {
+  FlightRecorder recorder{{.capacity = 8, .sample_every = 0}};
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_FALSE(recorder.sampled(1));
+  recorder.record(1, 0, HopKind::emit, 0);
+  EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+TEST(FlightRecorder, RingRetainsNewestOldestFirst) {
+  FlightRecorder recorder{record_all(4)};
+  const auto stage = recorder.register_stage("s");
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    recorder.record(id, stage, HopKind::deliver, std::int64_t(id) * 10);
+  }
+  EXPECT_EQ(recorder.recorded(), 6u);
+  EXPECT_EQ(recorder.overwritten(), 2u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().packet, 3u);  // 1 and 2 were overwritten
+  EXPECT_EQ(events.back().packet, 6u);
+  EXPECT_EQ(events.back().time_ps, 60);
+}
+
+TEST(FlightRecorder, TraceFiltersOnePacket) {
+  FlightRecorder recorder{record_all(16)};
+  const auto gen = recorder.register_stage("gen");
+  const auto ppe = recorder.register_stage("ppe");
+  recorder.record(7, gen, HopKind::emit, 100);
+  recorder.record(8, gen, HopKind::emit, 110);
+  recorder.record(7, ppe, HopKind::serve, 200, /*queue_depth=*/3);
+  recorder.record(7, ppe, HopKind::forward, 250, 0, /*aux=*/50);
+  const auto trace = recorder.trace(7);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].kind, HopKind::emit);
+  EXPECT_EQ(trace[1].queue_depth, 3u);
+  EXPECT_EQ(trace[2].aux, 50u);
+}
+
+TEST(FlightRecorder, JsonAndCsvRender) {
+  FlightRecorder recorder{record_all(4)};
+  const auto stage = recorder.register_stage("sink");
+  recorder.record(5, stage, HopKind::deliver, 42, 1, 2);
+  const auto json = recorder.to_json();
+  EXPECT_NE(json.find("\"stages\":[\"sink\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"deliver\""), std::string::npos);
+  EXPECT_NE(json.find("\"packet\":5"), std::string::npos);
+  EXPECT_EQ(recorder.to_csv(),
+            "packet,time_ps,stage,kind,queue_depth,aux\n"
+            "5,42,sink,deliver,1,2\n");
+}
+
+TEST(FlightRecorder, ClearEmptiesTheRingKeepsStages) {
+  FlightRecorder recorder{record_all(4)};
+  const auto stage = recorder.register_stage("s");
+  recorder.record(1, stage, HopKind::emit, 1);
+  recorder.clear();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.stage_count(), 1u);
+}
+
+TEST(HopKindToString, Names) {
+  EXPECT_EQ(to_string(HopKind::queue_drop), "queue-drop");
+  EXPECT_EQ(to_string(HopKind::dark_drop), "dark-drop");
+  EXPECT_EQ(to_string(HopKind::deliver), "deliver");
+}
+
+}  // namespace
+}  // namespace flexsfp::obs

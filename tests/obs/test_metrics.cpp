@@ -1,0 +1,158 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexsfp::obs {
+namespace {
+
+TEST(MetricRegistry, HandleAddAndRead) {
+  MetricRegistry registry;
+  const auto fwd = registry.counter("engine.forwarded", {{"app", "nat"}});
+  registry.add(fwd);
+  registry.add(fwd, 41);
+  EXPECT_EQ(registry.value(fwd), 42u);
+  EXPECT_EQ(registry.value("engine.forwarded{app=nat}"), 42u);
+  EXPECT_EQ(registry.value("engine.forwarded{app=acl}"), 0u);
+}
+
+TEST(MetricRegistry, SameNameAndLabelsIsTheSameSeries) {
+  MetricRegistry registry;
+  const auto a = registry.counter("x", {{"a", "1"}, {"b", "2"}});
+  // Label order does not matter: labels are sorted on intern.
+  const auto b = registry.counter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a.index, b.index);
+  registry.add(a);
+  registry.add(b);
+  EXPECT_EQ(registry.value(a), 2u);
+}
+
+TEST(MetricRegistry, KindMismatchThrows) {
+  MetricRegistry registry;
+  (void)registry.counter("x");
+  EXPECT_THROW((void)registry.gauge("x"), std::invalid_argument);
+}
+
+TEST(MetricRegistry, InvalidIdIsANoOp) {
+  MetricRegistry registry;
+  MetricId none;
+  registry.add(none);
+  registry.set(none, 9);
+  EXPECT_EQ(registry.value(none), 0u);
+}
+
+TEST(MetricRegistry, GaugeSetAndSetMax) {
+  MetricRegistry registry;
+  const auto depth = registry.gauge("queue.high_watermark");
+  registry.set_max(depth, 3);
+  registry.set_max(depth, 7);
+  registry.set_max(depth, 5);
+  EXPECT_EQ(registry.value(depth), 7u);
+  registry.set(depth, 1);
+  EXPECT_EQ(registry.value(depth), 1u);
+}
+
+TEST(MetricRegistry, UniqueNamesAreDeterministic) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.unique_name("ppe"), "ppe");
+  EXPECT_EQ(registry.unique_name("ppe"), "ppe1");
+  EXPECT_EQ(registry.unique_name("ppe"), "ppe2");
+  EXPECT_EQ(registry.unique_name("sink"), "sink");
+}
+
+TEST(MetricRegistry, SnapshotIsKeySorted) {
+  MetricRegistry registry;
+  registry.add(registry.counter("z.last"), 1);
+  registry.add(registry.counter("a.first"), 2);
+  registry.add(registry.counter("m.mid", {{"port", "0"}}), 3);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.samples()[0].key(), "a.first");
+  EXPECT_EQ(snap.samples()[1].key(), "m.mid{port=0}");
+  EXPECT_EQ(snap.samples()[2].key(), "z.last");
+}
+
+TEST(MetricRegistry, CollectorsContributeAndUnregister) {
+  MetricRegistry registry;
+  const auto token = registry.register_collector([](MetricSnapshot& snap) {
+    snap.add_sample(
+        {"app.nat_stats.packets", {{"index", "0"}}, MetricKind::counter, 5});
+  });
+  EXPECT_EQ(registry.snapshot().value("app.nat_stats.packets{index=0}"), 5u);
+  registry.unregister_collector(token);
+  EXPECT_FALSE(
+      registry.snapshot().contains("app.nat_stats.packets{index=0}"));
+}
+
+TEST(MetricSnapshot, MergeSumsCountersAndMaxesGauges) {
+  MetricSnapshot a;
+  a.add_sample({"pkts", {}, MetricKind::counter, 10});
+  a.add_sample({"depth", {}, MetricKind::gauge, 4});
+  MetricSnapshot b;
+  b.add_sample({"pkts", {}, MetricKind::counter, 32});
+  b.add_sample({"depth", {}, MetricKind::gauge, 2});
+  b.add_sample({"new", {}, MetricKind::counter, 1});
+  a.merge(b);
+  EXPECT_EQ(a.value("pkts"), 42u);
+  EXPECT_EQ(a.value("depth"), 4u);
+  EXPECT_EQ(a.value("new"), 1u);
+}
+
+TEST(MetricSnapshot, MergeIsOrderIndependentForEquality) {
+  MetricSnapshot a, b;
+  a.add_sample({"x", {{"p", "0"}}, MetricKind::counter, 1});
+  b.add_sample({"x", {{"p", "1"}}, MetricKind::counter, 2});
+  MetricSnapshot ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);  // key-sorted storage: same content, same layout
+}
+
+TEST(MetricSnapshot, DiffSubtractsCountersKeepsGauges) {
+  MetricSnapshot before, after;
+  before.add_sample({"pkts", {}, MetricKind::counter, 10});
+  before.add_sample({"depth", {}, MetricKind::gauge, 9});
+  after.add_sample({"pkts", {}, MetricKind::counter, 25});
+  after.add_sample({"depth", {}, MetricKind::gauge, 3});
+  const auto delta = after.diff(before);
+  EXPECT_EQ(delta.value("pkts"), 15u);
+  EXPECT_EQ(delta.value("depth"), 3u);
+}
+
+TEST(MetricSnapshot, WithLabelTagsEverySeries) {
+  MetricSnapshot snap;
+  snap.add_sample({"pkts", {}, MetricKind::counter, 1});
+  snap.add_sample({"pkts", {{"port", "x"}}, MetricKind::counter, 2});
+  const auto tagged = snap.with_label("port", "3");
+  EXPECT_EQ(tagged.value("pkts{port=3}"), 3u);  // both series land on port=3
+}
+
+TEST(MetricSnapshot, SumAcrossLabels) {
+  MetricSnapshot snap;
+  snap.add_sample({"pkts", {{"p", "0"}}, MetricKind::counter, 1});
+  snap.add_sample({"pkts", {{"p", "1"}}, MetricKind::counter, 2});
+  snap.add_sample({"pkts2", {}, MetricKind::counter, 100});  // prefix decoy
+  EXPECT_EQ(snap.sum("pkts"), 3u);
+}
+
+TEST(MetricSnapshot, JsonAndCsvRender) {
+  MetricSnapshot snap;
+  snap.add_sample({"pkts", {{"app", "nat"}}, MetricKind::counter, 7});
+  const auto json = snap.to_json();
+  EXPECT_NE(json.find("\"key\":\"pkts{app=nat}\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  const auto csv = snap.to_csv();
+  EXPECT_EQ(csv, "key,kind,value\n\"pkts{app=nat}\",counter,7\n");
+}
+
+TEST(MetricRegistry, ResetValuesKeepsRegistrations) {
+  MetricRegistry registry;
+  const auto id = registry.counter("x");
+  registry.add(id, 5);
+  registry.reset_values();
+  EXPECT_EQ(registry.value(id), 0u);
+  EXPECT_EQ(registry.counter("x").index, id.index);
+}
+
+}  // namespace
+}  // namespace flexsfp::obs

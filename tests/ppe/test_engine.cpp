@@ -12,10 +12,11 @@ using namespace sim;  // time literals
 // Configurable test app: returns a fixed verdict, optionally mirrors.
 class StubApp final : public PpeApp {
  public:
-  explicit StubApp(Verdict verdict, bool mirror = false)
-      : verdict_(verdict), mirror_(mirror) {}
+  explicit StubApp(Verdict verdict, bool mirror = false,
+                   std::string name = "stub")
+      : verdict_(verdict), mirror_(mirror), name_(std::move(name)) {}
 
-  std::string name() const override { return "stub"; }
+  std::string name() const override { return name_; }
   Verdict process(PacketContext& ctx) override {
     ++processed;
     if (mirror_) ctx.request_mirror();
@@ -25,12 +26,16 @@ class StubApp final : public PpeApp {
     return {};
   }
   std::uint64_t pipeline_latency_cycles() const override { return 4; }
+  std::vector<CounterSnapshot> counters() const override {
+    return {{"stats", 0, std::uint64_t(processed), 0}};
+  }
 
   int processed = 0;
 
  private:
   Verdict verdict_;
   bool mirror_;
+  std::string name_;
 };
 
 net::PacketPtr packet_of(std::size_t size, Simulation& sim) {
@@ -144,6 +149,49 @@ TEST(Engine, ReplaceAppSwapsProcessing) {
   engine.handle_packet(packet_of(64, sim));
   sim.run();
   EXPECT_EQ(forwarded, 1);
+}
+
+TEST(Engine, RegistryAttributesVerdictsAndAppCounters) {
+  Simulation sim;
+  Engine engine(sim, std::make_unique<StubApp>(Verdict::forward),
+                hw::DatapathConfig{});
+  engine.set_forward_handler([](net::PacketPtr) {});
+  engine.handle_packet(packet_of(64, sim));
+  sim.run();
+  const auto snap = sim.metrics().snapshot();
+  EXPECT_EQ(snap.value("engine.forwarded{app=stub,stage=ppe}"), 1u);
+  EXPECT_EQ(snap.value("engine.app_drops{app=stub,stage=ppe}"), 0u);
+  EXPECT_EQ(snap.value("server.served.packets{stage=ppe}"), 1u);
+  // The app's CounterBank is read through the registry collector, not
+  // mirrored into a second tally.
+  EXPECT_EQ(
+      snap.value("app.counter.packets{app=stub,bank=stats,index=0,stage=ppe}"),
+      1u);
+}
+
+TEST(Engine, ReplaceAppMidStreamProcessesQueuedWithNewApp) {
+  Simulation sim;
+  Engine engine(sim, std::make_unique<StubApp>(Verdict::drop, false, "first"),
+                hw::DatapathConfig{});
+  int forwarded = 0;
+  engine.set_forward_handler([&](net::PacketPtr) { ++forwarded; });
+  engine.handle_packet(packet_of(64, sim));
+  sim.run();
+  EXPECT_EQ(engine.dropped_by_app(), 1u);
+  // Queue three packets, then swap mid-stream before any of them is
+  // served: all three must be processed (and counted) by the new app.
+  for (int i = 0; i < 3; ++i) engine.handle_packet(packet_of(64, sim));
+  engine.replace_app(
+      std::make_unique<StubApp>(Verdict::forward, false, "second"));
+  sim.run();
+  EXPECT_EQ(forwarded, 3);
+  const auto snap = sim.metrics().snapshot();
+  EXPECT_EQ(snap.value("engine.forwarded{app=second,stage=ppe}"), 3u);
+  EXPECT_EQ(snap.value("engine.forwarded{app=first,stage=ppe}"), 0u);
+  EXPECT_EQ(snap.value("engine.app_drops{app=first,stage=ppe}"), 1u);
+  // Accessors sum across every app this engine has run.
+  EXPECT_EQ(engine.forwarded(), 3u);
+  EXPECT_EQ(engine.dropped_by_app(), 1u);
 }
 
 TEST(Engine, LatencyHistogramRecordsForwarded) {

@@ -117,6 +117,67 @@ TEST(QueuedServer, OverflowCountsDrops) {
   EXPECT_EQ(sink.arrivals.size(), 3u);
 }
 
+TEST(Link, ReportsThroughMetricRegistry) {
+  Simulation sim;
+  Collector sink(sim);
+  Link link(sim, line_rate_10g, 0, sink, "uplink");
+  Link twin(sim, line_rate_10g, 0, sink, "uplink");  // name uniquified
+  EXPECT_EQ(link.name(), "uplink");
+  EXPECT_EQ(twin.name(), "uplink1");
+  link.handle_packet(packet_of(64));
+  sim.run();
+  const auto snap = sim.metrics().snapshot();
+  EXPECT_EQ(snap.value("link.traffic.packets{link=uplink}"), 1u);
+  EXPECT_EQ(snap.value("link.traffic.bytes{link=uplink}"), 64u);
+  EXPECT_EQ(snap.value("link.busy_ps{link=uplink}"), 70'400u);
+  EXPECT_EQ(snap.value("link.traffic.packets{link=uplink1}"), 0u);
+}
+
+TEST(Link, RecordsTransitHopsForSampledPackets) {
+  Simulation sim;
+  sim.flight().configure({.capacity = 8, .sample_every = 1});
+  Collector sink(sim);
+  Link link(sim, line_rate_10g, 5_ns, sink, "wire");
+  auto packet = packet_of(64);
+  packet->set_id(sim.next_packet_id());
+  link.handle_packet(std::move(packet));
+  sim.run();
+  const auto trace = sim.flight().trace(1);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].kind, obs::HopKind::transit);
+  EXPECT_EQ(sim.flight().stage_name(trace[0].stage), "wire");
+  EXPECT_EQ(trace[0].aux, 70'400u);  // serialization time rides in aux
+}
+
+TEST(QueuedServer, ReportsThroughMetricRegistry) {
+  Simulation sim;
+  sim.flight().configure({.capacity = 16, .sample_every = 1});
+  Collector sink(sim);
+  FixedServer server(sim, 2, sink);
+  EXPECT_EQ(server.stage_name(), "server");
+  for (int i = 0; i < 4; ++i) {
+    auto packet = packet_of(64);
+    packet->set_id(sim.next_packet_id());
+    server.handle_packet(std::move(packet));
+  }
+  sim.run();
+  const auto snap = sim.metrics().snapshot();
+  EXPECT_EQ(snap.value("server.queue_drops{stage=server}"), 1u);
+  EXPECT_EQ(snap.value("server.served.packets{stage=server}"), 3u);
+  EXPECT_EQ(snap.value("server.queue_high_watermark{stage=server}"), 2u);
+  EXPECT_EQ(snap.value("server.busy_ps{stage=server}"),
+            std::uint64_t(300_ns));
+  // The overflowed packet (id 4) recorded a queue-drop hop.
+  const auto trace = sim.flight().trace(4);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].kind, obs::HopKind::queue_drop);
+  // Served packets each recorded a serve hop with the service time in aux.
+  const auto served = sim.flight().trace(1);
+  ASSERT_EQ(served.size(), 1u);
+  EXPECT_EQ(served[0].kind, obs::HopKind::serve);
+  EXPECT_EQ(served[0].aux, std::uint64_t(100_ns));
+}
+
 TEST(QueuedServer, ResumesAfterIdle) {
   Simulation sim;
   Collector sink(sim);

@@ -33,6 +33,7 @@ void usage(std::FILE* out) {
                "\n"
                "options:\n"
                "  --list                 list catalogued designs and exit\n"
+               "  --list-rules           list the FSL rule catalog and exit\n"
                "  --design <name>        verify one design (repeatable)\n"
                "  --all                  verify every catalogued design\n"
                "                         (default when no --design given)\n"
@@ -57,6 +58,7 @@ struct DesignResult {
 int main(int argc, char** argv) {
   std::vector<std::string> names;
   std::string device_name = "MPF200T";
+  bool list_rules = false;
   bool list_only = false;
   bool all = false;
   bool json = false;
@@ -67,6 +69,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--list") {
       list_only = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
     } else if (arg == "--design") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "flexsfp-lint: --design needs a name\n");
@@ -95,6 +99,15 @@ int main(int argc, char** argv) {
       usage(stderr);
       return 2;
     }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : analysis::rule_catalog()) {
+      std::printf("%-8s %-8s %s\n", std::string(rule.id).c_str(),
+                  analysis::to_string(rule.max_severity).c_str(),
+                  std::string(rule.summary).c_str());
+    }
+    return 0;
   }
 
   const auto& catalog = analysis::deployable_designs();

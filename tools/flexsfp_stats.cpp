@@ -1,0 +1,312 @@
+// flexsfp-stats: run one ModuleTestbed and render the telemetry spine.
+//
+// Drives traffic through a FlexSFP module running a registry app and prints
+// a top-style per-stage report from the run's obs::MetricRegistry snapshot:
+// packets served, utilization, queue drops and high watermark per service
+// stage, app verdict counters, and a tail of the per-packet flight
+// recording. Exit codes:
+//   0  run completed
+//   2  usage error / unknown app
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/register.hpp"
+#include "fabric/testbed.hpp"
+#include "ppe/registry.hpp"
+
+namespace {
+
+using namespace flexsfp;
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: flexsfp-stats [options]\n"
+               "\n"
+               "Run traffic through one FlexSFP module and report the\n"
+               "unified metric registry per stage -- the in-cable telemetry\n"
+               "view of a testbed run.\n"
+               "\n"
+               "options:\n"
+               "  --app <name>         PPE app from the registry (default\n"
+               "                       nat; --list-apps shows choices)\n"
+               "  --list-apps          list registered apps and exit\n"
+               "  --rate <gbps>        offered rate per direction (default 10)\n"
+               "  --frame <bytes>      fixed frame size (default 512)\n"
+               "  --imix               IMIX sizes instead of fixed frames\n"
+               "  --poisson            Poisson arrivals instead of CBR\n"
+               "  --duration-us <n>    traffic duration (default 200)\n"
+               "  --two-way            drive the optical side too\n"
+               "  --seed <n>           traffic seed (default 1)\n"
+               "  --sample-every <n>   flight-recorder sampling, 1 = every\n"
+               "                       packet, 0 = off (default 16)\n"
+               "  --flight <n>         flight-tail rows in the report\n"
+               "                       (default 12)\n"
+               "  --json               machine-readable report on stdout\n"
+               "  --csv <metrics|flight>  raw CSV dump on stdout\n"
+               "  -h, --help           this text\n");
+}
+
+struct StageRow {
+  std::string stage;
+  std::uint64_t served_packets = 0;
+  std::uint64_t served_bytes = 0;
+  std::uint64_t busy_ps = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t watermark = 0;
+};
+
+const std::string* label(const obs::MetricSample& sample,
+                         std::string_view key) {
+  for (const auto& [k, v] : sample.labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != nullptr && *end == '\0' && end != text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_name = "nat";
+  double rate_gbps = 10.0;
+  std::uint64_t frame = 512;
+  bool imix = false;
+  bool poisson = false;
+  std::uint64_t duration_us = 200;
+  bool two_way = false;
+  std::uint64_t seed = 1;
+  std::uint64_t sample_every = 16;
+  std::uint64_t flight_tail = 12;
+  bool list_apps = false;
+  bool json = false;
+  std::string csv;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--app" && has_value) {
+      app_name = argv[++i];
+    } else if (arg == "--list-apps") {
+      list_apps = true;
+    } else if (arg == "--rate" && has_value) {
+      rate_gbps = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--frame" && has_value) {
+      if (!parse_u64(argv[++i], frame)) frame = 0;
+    } else if (arg == "--imix") {
+      imix = true;
+    } else if (arg == "--poisson") {
+      poisson = true;
+    } else if (arg == "--duration-us" && has_value) {
+      if (!parse_u64(argv[++i], duration_us)) duration_us = 0;
+    } else if (arg == "--two-way") {
+      two_way = true;
+    } else if (arg == "--seed" && has_value) {
+      parse_u64(argv[++i], seed);
+    } else if (arg == "--sample-every" && has_value) {
+      parse_u64(argv[++i], sample_every);
+    } else if (arg == "--flight" && has_value) {
+      parse_u64(argv[++i], flight_tail);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--csv" && has_value) {
+      csv = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "flexsfp-stats: unknown option '%s'\n",
+                   arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (!csv.empty() && csv != "metrics" && csv != "flight") {
+    std::fprintf(stderr, "flexsfp-stats: --csv takes 'metrics' or 'flight'\n");
+    return 2;
+  }
+  if (rate_gbps <= 0 || duration_us == 0 || (!imix && frame < 60)) {
+    std::fprintf(stderr,
+                 "flexsfp-stats: need --rate > 0, --duration-us >= 1 and "
+                 "--frame >= 60\n");
+    return 2;
+  }
+
+  apps::register_builtin_apps();
+  const auto& registry = ppe::AppRegistry::instance();
+  if (list_apps) {
+    for (const auto& name : registry.names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  auto app = registry.create(app_name, net::BytesView{});
+  if (app == nullptr) {
+    std::fprintf(stderr,
+                 "flexsfp-stats: unknown app '%s' (--list-apps shows the "
+                 "registry)\n",
+                 app_name.c_str());
+    return 2;
+  }
+
+  fabric::TestbedConfig config;
+  config.flight.sample_every = sample_every;
+  fabric::TrafficSpec spec;
+  spec.rate = sim::DataRate::gbps(rate_gbps);
+  spec.arrivals = poisson ? fabric::ArrivalProcess::poisson
+                          : fabric::ArrivalProcess::cbr;
+  spec.sizes = imix ? fabric::SizeDistribution::imix
+                    : fabric::SizeDistribution::fixed;
+  spec.fixed_size = static_cast<std::size_t>(frame);
+  spec.seed = seed;
+  spec.duration = static_cast<sim::TimePs>(duration_us) * 1'000'000;
+  config.edge_traffic = spec;
+  if (two_way) {
+    fabric::TrafficSpec reverse = spec;
+    reverse.seed = seed + 1;
+    config.optical_traffic = reverse;
+  }
+
+  fabric::ModuleTestbed testbed(std::move(config), std::move(app));
+  const auto result = testbed.run();
+  const auto& flight = testbed.sim().flight();
+
+  if (json) {
+    std::printf("{\"app\":\"%s\",\"duration_ps\":%lld,\"metrics\":%s,"
+                "\"flight\":%s}\n",
+                app_name.c_str(), static_cast<long long>(result.duration),
+                result.metrics.to_json().c_str(), flight.to_json().c_str());
+    return 0;
+  }
+  if (csv == "metrics") {
+    std::fputs(result.metrics.to_csv().c_str(), stdout);
+    return 0;
+  }
+  if (csv == "flight") {
+    std::fputs(flight.to_csv().c_str(), stdout);
+    return 0;
+  }
+
+  // --- per-stage report (every server.* series, grouped by stage label) ---
+  std::map<std::string, StageRow> stages;
+  for (const auto& sample : result.metrics.samples()) {
+    const std::string* stage = label(sample, "stage");
+    if (stage == nullptr) continue;
+    StageRow& row = stages[*stage];
+    row.stage = *stage;
+    if (sample.name == "server.served.packets") {
+      row.served_packets += sample.value;
+    } else if (sample.name == "server.served.bytes") {
+      row.served_bytes += sample.value;
+    } else if (sample.name == "server.busy_ps") {
+      row.busy_ps += sample.value;
+    } else if (sample.name == "server.queue_drops") {
+      row.queue_drops += sample.value;
+    } else if (sample.name == "server.queue_high_watermark") {
+      row.watermark = std::max(row.watermark, sample.value);
+    }
+  }
+  std::vector<StageRow> rows;
+  rows.reserve(stages.size());
+  for (auto& [_, row] : stages) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(), [](const StageRow& a, const StageRow& b) {
+    if (a.served_packets != b.served_packets) {
+      return a.served_packets > b.served_packets;
+    }
+    return a.stage < b.stage;
+  });
+
+  const double duration_ps = static_cast<double>(result.duration);
+  std::printf("flexsfp-stats: app=%s, %.6g us simulated\n\n", app_name.c_str(),
+              duration_ps * 1e-6);
+  std::printf("%-14s %12s %14s %8s %10s %10s\n", "stage", "served", "bytes",
+              "util", "q-drops", "q-peak");
+  for (const StageRow& row : rows) {
+    std::printf("%-14s %12llu %14llu %7.1f%% %10llu %10llu\n",
+                row.stage.c_str(),
+                static_cast<unsigned long long>(row.served_packets),
+                static_cast<unsigned long long>(row.served_bytes),
+                duration_ps > 0
+                    ? 100.0 * static_cast<double>(row.busy_ps) / duration_ps
+                    : 0.0,
+                static_cast<unsigned long long>(row.queue_drops),
+                static_cast<unsigned long long>(row.watermark));
+  }
+
+  std::printf("\n%-24s %12s %12s %12s\n", "app verdicts", "forwarded",
+              "app-drops", "punted");
+  std::map<std::string, std::array<std::uint64_t, 3>> verdicts;
+  for (const auto& sample : result.metrics.samples()) {
+    const std::string* app_label = label(sample, "app");
+    if (app_label == nullptr) continue;
+    auto& row = verdicts[*app_label];
+    if (sample.name == "engine.forwarded") row[0] += sample.value;
+    if (sample.name == "engine.app_drops") row[1] += sample.value;
+    if (sample.name == "engine.punted") row[2] += sample.value;
+  }
+  for (const auto& [name, row] : verdicts) {
+    std::printf("%-24s %12llu %12llu %12llu\n", name.c_str(),
+                static_cast<unsigned long long>(row[0]),
+                static_cast<unsigned long long>(row[1]),
+                static_cast<unsigned long long>(row[2]));
+  }
+
+  std::printf("\nedge->optical: sent=%llu received=%llu loss=%.3f%% "
+              "p99=%.1fns\n",
+              static_cast<unsigned long long>(
+                  result.edge_to_optical.sent_packets),
+              static_cast<unsigned long long>(
+                  result.edge_to_optical.received_packets),
+              result.edge_to_optical.loss_rate * 100.0,
+              result.edge_to_optical.latency_p99_ns);
+  if (two_way) {
+    std::printf("optical->edge: sent=%llu received=%llu loss=%.3f%% "
+                "p99=%.1fns\n",
+                static_cast<unsigned long long>(
+                    result.optical_to_edge.sent_packets),
+                static_cast<unsigned long long>(
+                    result.optical_to_edge.received_packets),
+                result.optical_to_edge.loss_rate * 100.0,
+                result.optical_to_edge.latency_p99_ns);
+  }
+  std::printf("dark drops=%llu, control punts=%llu, %zu series in snapshot\n",
+              static_cast<unsigned long long>(
+                  result.metrics.sum("module.dark_drops")),
+              static_cast<unsigned long long>(
+                  result.metrics.sum("shell.control_punts")),
+              result.metrics.size());
+
+  // --- flight tail: the newest sampled stage hops, oldest first ----------
+  if (flight_tail > 0 && flight.enabled()) {
+    const auto events = flight.events();
+    const std::size_t tail =
+        std::min<std::size_t>(events.size(), flight_tail);
+    std::printf("\nflight recorder: %llu hops recorded, %llu overwritten, "
+                "1-in-%llu sampling; last %zu:\n",
+                static_cast<unsigned long long>(flight.recorded()),
+                static_cast<unsigned long long>(flight.overwritten()),
+                static_cast<unsigned long long>(flight.sample_every()), tail);
+    std::printf("%12s %14s %-14s %-12s %8s %12s\n", "packet", "time_ps",
+                "stage", "hop", "depth", "aux_ps");
+    for (std::size_t i = events.size() - tail; i < events.size(); ++i) {
+      const auto& event = events[i];
+      std::printf("%12llu %14lld %-14s %-12s %8u %12llu\n",
+                  static_cast<unsigned long long>(event.packet),
+                  static_cast<long long>(event.time_ps),
+                  flight.stage_name(event.stage).c_str(),
+                  obs::to_string(event.kind).c_str(), event.queue_depth,
+                  static_cast<unsigned long long>(event.aux));
+    }
+  }
+  return 0;
+}
