@@ -94,9 +94,15 @@ bool RateLimiter::add_subscriber(net::Ipv4Prefix prefix, TokenBucketSpec spec) {
 }
 
 bool RateLimiter::remove_subscriber(net::Ipv4Prefix prefix) {
-  const auto slot = subscribers_.lookup(prefix.address());
+  // Exact-match, not LPM: with nested prefixes (10.0.0.0/8 and 10.0.0.0/24)
+  // an LPM walk on prefix.address() resolves to the longest entry, freeing
+  // the wrong bucket slot and aliasing two subscribers onto one bucket.
+  const auto slot = subscribers_.lookup_exact(prefix);
   if (!slot) return false;
   if (!subscribers_.erase(prefix)) return false;
+  // Reset the freed bucket so the next subscriber assigned this slot does
+  // not inherit stale tokens or the old spec.
+  buckets_[static_cast<std::size_t>(*slot)] = Bucket{};
   free_slots_.push_back(static_cast<std::size_t>(*slot));
   return true;
 }

@@ -1,13 +1,37 @@
 #include "fabric/orchestrator.hpp"
 
+#include <algorithm>
+
 #include "apps/register.hpp"
 #include "ppe/registry.hpp"
 
 namespace flexsfp::fabric {
 
+std::string to_string(ModuleHealth health) {
+  switch (health) {
+    case ModuleHealth::healthy: return "healthy";
+    case ModuleHealth::suspect: return "suspect";
+    case ModuleHealth::quarantined: return "quarantined";
+  }
+  return "health(?)";
+}
+
 FleetOrchestrator::FleetOrchestrator(sim::Simulation& sim,
                                      OrchestratorConfig config)
-    : sim_(sim), config_(config) {}
+    : sim_(sim), config_(config), name_(sim.metrics().unique_name("orch")) {
+  health_checks_id_ =
+      sim_.metrics().counter("orch.health_checks", {{"orch", name_}});
+  health_failures_id_ =
+      sim_.metrics().counter("orch.health_failures", {{"orch", name_}});
+  quarantines_id_ =
+      sim_.metrics().counter("orch.quarantines", {{"orch", name_}});
+  recoveries_id_ =
+      sim_.metrics().counter("orch.recoveries", {{"orch", name_}});
+  golden_redeploys_id_ =
+      sim_.metrics().counter("orch.golden_redeploys", {{"orch", name_}});
+  quarantined_gauge_id_ =
+      sim_.metrics().gauge("orch.quarantined", {{"orch", name_}});
+}
 
 void FleetOrchestrator::add_module(
     const std::string& name, net::MacAddress module_mac,
@@ -51,8 +75,16 @@ void FleetOrchestrator::transmit(const Outstanding& entry) {
   module.transmit(std::move(frame));
 }
 
+sim::TimePs FleetOrchestrator::backoff_for(int attempt) const {
+  sim::TimePs timeout = config_.timeout_ps;
+  for (int i = 1; i < attempt && timeout < config_.max_timeout_ps; ++i) {
+    timeout *= 2;
+  }
+  return std::min(timeout, config_.max_timeout_ps);
+}
+
 void FleetOrchestrator::arm_timeout(std::uint32_t seq, int attempt) {
-  sim_.schedule_in(config_.timeout_ps, [this, seq, attempt]() {
+  sim_.schedule_in(backoff_for(attempt), [this, seq, attempt]() {
     const auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) return;  // answered meanwhile
     if (it->second.attempts != attempt) return;  // a retry is in flight
@@ -78,10 +110,22 @@ void FleetOrchestrator::ping(const std::string& module, std::uint64_t value,
   submit(module, std::move(request), std::move(done));
 }
 
+bool FleetOrchestrator::refuse_if_quarantined(const std::string& module,
+                                              Completion& done) {
+  const auto it = modules_.find(module);
+  if (it == modules_.end() || it->second.health != ModuleHealth::quarantined) {
+    return false;
+  }
+  ++refused_;
+  if (done) done(std::nullopt);
+  return true;
+}
+
 void FleetOrchestrator::table_insert(const std::string& module,
                                      const std::string& table,
                                      std::uint64_t key, std::uint64_t value,
                                      Completion done) {
+  if (refuse_if_quarantined(module, done)) return;
   sfp::MgmtRequest request;
   request.op = sfp::MgmtOp::table_insert;
   request.table = table;
@@ -93,6 +137,7 @@ void FleetOrchestrator::table_insert(const std::string& module,
 void FleetOrchestrator::table_erase(const std::string& module,
                                     const std::string& table,
                                     std::uint64_t key, Completion done) {
+  if (refuse_if_quarantined(module, done)) return;
   sfp::MgmtRequest request;
   request.op = sfp::MgmtOp::table_erase;
   request.table = table;
@@ -103,6 +148,7 @@ void FleetOrchestrator::table_erase(const std::string& module,
 void FleetOrchestrator::table_lookup(const std::string& module,
                                      const std::string& table,
                                      std::uint64_t key, Completion done) {
+  if (refuse_if_quarantined(module, done)) return;
   sfp::MgmtRequest request;
   request.op = sfp::MgmtOp::table_lookup;
   request.table = table;
@@ -112,6 +158,7 @@ void FleetOrchestrator::table_lookup(const std::string& module,
 
 void FleetOrchestrator::counter_read(const std::string& module,
                                      std::uint64_t index, Completion done) {
+  if (refuse_if_quarantined(module, done)) return;
   sfp::MgmtRequest request;
   request.op = sfp::MgmtOp::counter_read;
   request.key = index;
@@ -197,6 +244,102 @@ void FleetOrchestrator::deploy_bitstream(const std::string& module,
            }
            (*step)(0);
          });
+}
+
+bool FleetOrchestrator::stage_golden(const hw::Bitstream& image) {
+  return golden_store_.write(0, image).has_value();
+}
+
+void FleetOrchestrator::start_health_checks() {
+  if (health_checks_running_ || config_.health_check_interval_ps == 0) return;
+  health_checks_running_ = true;
+  schedule_health_round();
+}
+
+void FleetOrchestrator::stop_health_checks() {
+  health_checks_running_ = false;
+}
+
+void FleetOrchestrator::schedule_health_round() {
+  sim_.schedule_in(config_.health_check_interval_ps, [this]() {
+    if (!health_checks_running_) return;
+    run_health_round();
+    schedule_health_round();
+  });
+}
+
+void FleetOrchestrator::run_health_round() {
+  for (auto& [name, module] : modules_) {
+    (void)module;
+    sim_.metrics().add(health_checks_id_);
+    ping(name, ++health_nonce_,
+         [this, name = name](std::optional<sfp::MgmtResponse> response) {
+           on_health_result(name, response.has_value() &&
+                                      response->status == sfp::MgmtStatus::ok);
+         });
+  }
+}
+
+void FleetOrchestrator::on_health_result(const std::string& module, bool ok) {
+  const auto it = modules_.find(module);
+  if (it == modules_.end()) return;
+  Module& entry = it->second;
+  if (ok) {
+    entry.failed_pings = 0;
+    if (entry.health == ModuleHealth::quarantined) {
+      // The module answers again (rebooted into golden, flap over, ...):
+      // recovery is proven by responsiveness, so lift the quarantine.
+      sim_.metrics().add(recoveries_id_);
+    }
+    entry.health = ModuleHealth::healthy;
+    set_quarantined_gauge();
+    return;
+  }
+  sim_.metrics().add(health_failures_id_);
+  if (entry.health == ModuleHealth::quarantined) return;  // already isolated
+  ++entry.failed_pings;
+  entry.health = entry.failed_pings >= config_.quarantine_after
+                     ? ModuleHealth::quarantined
+                     : ModuleHealth::suspect;
+  if (entry.health == ModuleHealth::quarantined) quarantine(module);
+}
+
+void FleetOrchestrator::quarantine(const std::string& module) {
+  sim_.metrics().add(quarantines_id_);
+  set_quarantined_gauge();
+  if (config_.golden_redeploy && has_golden()) {
+    (void)redeploy_golden(module, nullptr);
+  }
+}
+
+bool FleetOrchestrator::redeploy_golden(const std::string& module,
+                                        Completion done) {
+  const auto golden = golden_store_.read(0);
+  if (!golden) {
+    if (done) done(std::nullopt);
+    return false;
+  }
+  sim_.metrics().add(golden_redeploys_id_);
+  deploy_bitstream(module, *golden, std::move(done));
+  return true;
+}
+
+ModuleHealth FleetOrchestrator::health(const std::string& module) const {
+  const auto it = modules_.find(module);
+  return it == modules_.end() ? ModuleHealth::healthy : it->second.health;
+}
+
+std::uint64_t FleetOrchestrator::quarantined_count() const {
+  std::uint64_t count = 0;
+  for (const auto& [name, module] : modules_) {
+    (void)name;
+    if (module.health == ModuleHealth::quarantined) ++count;
+  }
+  return count;
+}
+
+void FleetOrchestrator::set_quarantined_gauge() {
+  sim_.metrics().set(quarantined_gauge_id_, quarantined_count());
 }
 
 }  // namespace flexsfp::fabric

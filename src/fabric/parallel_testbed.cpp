@@ -58,6 +58,19 @@ TrafficSpec ParallelTestbed::shard_spec(const TrafficSpec& prototype,
   return spec;
 }
 
+sim::FaultSpec ParallelTestbed::shard_fault_spec(const sim::FaultSpec& prototype,
+                                                 std::uint64_t base_seed,
+                                                 std::size_t shard,
+                                                 unsigned direction) {
+  sim::FaultSpec spec = prototype;
+  // Salted base so the fault streams are disjoint from the traffic streams
+  // (which use derive_stream_seed(base_seed, shard*2+direction) directly).
+  constexpr std::uint64_t fault_salt = 0x666c745f73616c74ull;  // "flt_salt"
+  spec.seed =
+      sim::derive_stream_seed(base_seed ^ fault_salt, shard * 2 + direction);
+  return spec;
+}
+
 ShardOutcome ParallelTestbed::run_shard(std::size_t shard,
                                         ppe::PpeAppPtr app) const {
   ShardOutcome out;
@@ -73,6 +86,14 @@ ShardOutcome ParallelTestbed::run_shard(std::size_t shard,
     config.optical_traffic =
         shard_spec(*config.optical_traffic, config_.base_seed, shard, 1);
     out.optical_seed = config.optical_traffic->seed;
+  }
+  if (config.edge_faults) {
+    config.edge_faults =
+        shard_fault_spec(*config.edge_faults, config_.base_seed, shard, 0);
+  }
+  if (config.optical_faults) {
+    config.optical_faults =
+        shard_fault_spec(*config.optical_faults, config_.base_seed, shard, 1);
   }
 
   ModuleTestbed testbed(std::move(config), std::move(app));

@@ -96,6 +96,14 @@ class ParallelTestbed {
                                               std::size_t shard,
                                               unsigned direction);
 
+  /// The fault spec shard `shard` runs for a direction. Fault streams are
+  /// salted so they never collide with the traffic streams derived from the
+  /// same base seed — adding an injector must not perturb the traffic a
+  /// shard generates.
+  [[nodiscard]] static sim::FaultSpec shard_fault_spec(
+      const sim::FaultSpec& prototype, std::uint64_t base_seed,
+      std::size_t shard, unsigned direction);
+
  private:
   [[nodiscard]] ParallelRunResult run_with(unsigned workers);
   [[nodiscard]] ShardOutcome run_shard(std::size_t shard,

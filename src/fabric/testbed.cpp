@@ -28,13 +28,36 @@ ModuleTestbed::ModuleTestbed(TestbedConfig config, ppe::PpeAppPtr app)
     module_->inject(sfp::FlexSfpModule::optical_port, std::move(p));
   });
 
+  // Fault injectors sit between the generators and the module ports, so
+  // what a chaos experiment perturbs is exactly what arrives on the wire.
+  if (config_.edge_faults) {
+    edge_faults_ = std::make_unique<sim::FaultInjector>(
+        sim_, *config_.edge_faults, *edge_in_, "fault.edge");
+    if (config_.edge_faults->target_drop_prob > 0) {
+      edge_faults_->set_target_filter(sfp::is_mgmt_frame);
+    }
+  }
+  if (config_.optical_faults) {
+    optical_faults_ = std::make_unique<sim::FaultInjector>(
+        sim_, *config_.optical_faults, *optical_in_, "fault.optical");
+    if (config_.optical_faults->target_drop_prob > 0) {
+      optical_faults_->set_target_filter(sfp::is_mgmt_frame);
+    }
+  }
+
+  sim::PacketHandler& edge_entry =
+      edge_faults_ ? static_cast<sim::PacketHandler&>(*edge_faults_)
+                   : *edge_in_;
+  sim::PacketHandler& optical_entry =
+      optical_faults_ ? static_cast<sim::PacketHandler&>(*optical_faults_)
+                      : *optical_in_;
   if (config_.edge_traffic) {
     edge_gen_ = std::make_unique<TrafficGen>(sim_, *config_.edge_traffic,
-                                             *edge_in_);
+                                             edge_entry);
   }
   if (config_.optical_traffic) {
     optical_gen_ = std::make_unique<TrafficGen>(
-        sim_, *config_.optical_traffic, *optical_in_);
+        sim_, *config_.optical_traffic, optical_entry);
   }
 }
 
@@ -87,6 +110,8 @@ TestbedResult ModuleTestbed::run() {
   result.ppe_utilization =
       module_->shell().engine().utilization(duration);
   result.power = module_->power(duration);
+  if (edge_faults_) result.edge_fault_tally = edge_faults_->tally();
+  if (optical_faults_) result.optical_fault_tally = optical_faults_->tally();
   result.metrics = sim_.metrics().snapshot();
   return result;
 }

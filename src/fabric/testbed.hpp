@@ -16,6 +16,7 @@
 #include "fabric/traffic_gen.hpp"
 #include "sfp/flexsfp.hpp"
 #include "sfp/standard_sfp.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace flexsfp::fabric {
 
@@ -23,6 +24,11 @@ struct TestbedConfig {
   sfp::FlexSfpConfig module{};
   std::optional<TrafficSpec> edge_traffic;     // injected at the edge port
   std::optional<TrafficSpec> optical_traffic;  // injected at the optical port
+  /// Fault process applied to traffic arriving at each port (chaos
+  /// experiments). When target_drop_prob is set the injector targets
+  /// management frames. Seeds are re-derived per shard by ParallelTestbed.
+  std::optional<sim::FaultSpec> edge_faults;
+  std::optional<sim::FaultSpec> optical_faults;
   /// Per-packet flight-recorder setup for the testbed's simulation.
   obs::FlightRecorderConfig flight{};
 
@@ -50,6 +56,10 @@ struct TestbedResult {
   double ppe_utilization = 0;
   hw::PowerBreakdown power{};
   sim::TimePs duration = 0;
+  /// Injected-fault accounting per port (zeroed when no injector was
+  /// configured) — the chaos experiments' loss ledger.
+  sim::FaultTally edge_fault_tally{};
+  sim::FaultTally optical_fault_tally{};
   /// Every registry series of the run (components + app counters).
   obs::MetricSnapshot metrics;
 };
@@ -68,6 +78,13 @@ class ModuleTestbed {
   [[nodiscard]] const TrafficGen* optical_gen() const {
     return optical_gen_.get();
   }
+  /// Configured fault injectors; nullptr when the port has none.
+  [[nodiscard]] sim::FaultInjector* edge_faults() {
+    return edge_faults_.get();
+  }
+  [[nodiscard]] sim::FaultInjector* optical_faults() {
+    return optical_faults_.get();
+  }
 
   /// Start the configured sources, run to quiescence, collect results.
   [[nodiscard]] TestbedResult run();
@@ -80,6 +97,8 @@ class ModuleTestbed {
   std::unique_ptr<Sink> optical_sink_;  // receives edge -> optical traffic
   std::unique_ptr<sim::LambdaHandler> edge_in_;
   std::unique_ptr<sim::LambdaHandler> optical_in_;
+  std::unique_ptr<sim::FaultInjector> edge_faults_;
+  std::unique_ptr<sim::FaultInjector> optical_faults_;
   std::unique_ptr<TrafficGen> edge_gen_;
   std::unique_ptr<TrafficGen> optical_gen_;
 };

@@ -17,6 +17,11 @@ std::string to_string(HopKind kind) {
     case HopKind::transit: return "transit";
     case HopKind::egress: return "egress";
     case HopKind::deliver: return "deliver";
+    case HopKind::fault_drop: return "fault-drop";
+    case HopKind::fault_corrupt: return "fault-corrupt";
+    case HopKind::fault_dup: return "fault-dup";
+    case HopKind::fault_reorder: return "fault-reorder";
+    case HopKind::degraded: return "degraded";
   }
   return "hop(?)";
 }

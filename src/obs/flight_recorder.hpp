@@ -30,6 +30,11 @@ enum class HopKind : std::uint8_t {
   transit,     // serialized onto a link
   egress,      // left the module through an egress arbiter
   deliver,     // reached a terminal sink
+  fault_drop,    // lost: an injected fault (random loss / flap / targeted)
+  fault_corrupt, // bits flipped in transit; packet continues corrupted
+  fault_dup,     // an injected duplicate copy was created
+  fault_reorder, // held back by an injected reorder window
+  degraded,      // forwarded via the degraded passthrough (dumb-cable) path
 };
 
 [[nodiscard]] std::string to_string(HopKind kind);

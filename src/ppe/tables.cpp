@@ -327,4 +327,12 @@ std::optional<std::uint64_t> LpmTable::lookup(net::Ipv4Address addr) const {
   return std::nullopt;
 }
 
+std::optional<std::uint64_t> LpmTable::lookup_exact(
+    net::Ipv4Prefix prefix) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&prefix](const Entry& e) { return e.prefix == prefix; });
+  return it != entries_.end() ? std::optional{it->value} : std::nullopt;
+}
+
 }  // namespace flexsfp::ppe

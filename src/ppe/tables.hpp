@@ -168,6 +168,10 @@ class LpmTable {
   bool insert(net::Ipv4Prefix prefix, std::uint64_t value);
   bool erase(net::Ipv4Prefix prefix);
   [[nodiscard]] std::optional<std::uint64_t> lookup(net::Ipv4Address addr) const;
+  /// Value stored for exactly `prefix` (no longest-prefix fallback) — the
+  /// control-plane view of one entry, unaffected by nested prefixes.
+  [[nodiscard]] std::optional<std::uint64_t> lookup_exact(
+      net::Ipv4Prefix prefix) const;
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
   [[nodiscard]] hw::ResourceUsage resource_usage() const {
     return hw::ResourceModel::lpm_table(capacity_);

@@ -1,5 +1,7 @@
 #include "sfp/exporter.hpp"
 
+#include <algorithm>
+
 #include "net/builder.hpp"
 
 namespace flexsfp::sfp {
@@ -57,6 +59,11 @@ std::optional<ExportRecord> ExportRecord::parse(net::BytesView data,
 FlowExporter::FlowExporter(sim::Simulation& sim, FlexSfpModule& module,
                            FlowExporterConfig config)
     : sim_(sim), module_(module), config_(std::move(config)) {
+  // The wire format's count field is one byte: more than 255 records per
+  // datagram would silently truncate (count mod 256) and desynchronize
+  // collectors, so clamp the configuration up front.
+  config_.max_records_per_packet =
+      std::min<std::size_t>(config_.max_records_per_packet, 255);
   const std::string name = sim_.metrics().unique_name("exporter");
   datagrams_id_ =
       sim_.metrics().counter("exporter.datagrams", {{"exporter", name}});
@@ -127,6 +134,16 @@ std::optional<std::vector<ExportRecord>> FlowExporter::decode(
   if (net::read_be16(data, payload) != export_magic) return std::nullopt;
   if (data[payload + 2] != export_version) return std::nullopt;
   const std::size_t count = data[payload + 3];
+
+  // Bound the record count by what the UDP datagram actually carries: a
+  // short frame padded to the Ethernet minimum has bytes past the datagram
+  // end, and a corrupted count would otherwise decode records from padding.
+  if (parsed.outer.udp->length < net::UdpHeader::size() + 8) {
+    return std::nullopt;
+  }
+  const std::size_t udp_payload =
+      std::size_t{parsed.outer.udp->length} - net::UdpHeader::size();
+  if (8 + count * ExportRecord::size() > udp_payload) return std::nullopt;
 
   std::vector<ExportRecord> records;
   records.reserve(count);

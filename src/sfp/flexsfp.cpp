@@ -11,6 +11,7 @@ std::string to_string(ModuleState state) {
     case ModuleState::running: return "running";
     case ModuleState::rebooting: return "rebooting";
     case ModuleState::failed: return "failed";
+    case ModuleState::degraded: return "degraded";
   }
   return "state(?)";
 }
@@ -31,6 +32,10 @@ FlexSfpModule::FlexSfpModule(sim::Simulation& sim, ppe::PpeAppPtr app,
       sim_.metrics().counter("module.dark_drops", {{"module", name_}});
   reconfigs_id_ =
       sim_.metrics().counter("module.reconfigurations", {{"module", name_}});
+  degradations_id_ =
+      sim_.metrics().counter("module.degradations", {{"module", name_}});
+  degraded_gauge_id_ =
+      sim_.metrics().gauge("module.degraded", {{"module", name_}});
   flight_stage_ = sim_.flight().register_stage(name_);
 
   shell_ = std::make_unique<ArchitectureShell>(sim, std::move(app),
@@ -43,8 +48,14 @@ FlexSfpModule::FlexSfpModule(sim::Simulation& sim, ppe::PpeAppPtr app,
   control_plane_.set_transmit([this](net::PacketPtr packet) {
     shell_->send_from_control(edge_port, std::move(packet));
   });
-  control_plane_.set_reconfig_sink(
-      [this](hw::Bitstream bitstream) { reconfigure(bitstream); });
+  control_plane_.set_reconfig_sink([this](hw::Bitstream bitstream) {
+    // A commit that fails mid-deploy must never black-hole the link: fall
+    // back to the dumb-cable passthrough and wait for recovery.
+    if (!reconfigure(bitstream)) {
+      control_plane_.reconfig_reset();
+      degrade();
+    }
+  });
 
   // Seed the golden image (slot 0) with the initial application.
   const auto golden = hw::Bitstream::create(
@@ -68,7 +79,7 @@ FlexSfpModule::FlexSfpModule(sim::Simulation& sim, ppe::PpeAppPtr app,
 }
 
 void FlexSfpModule::inject(int port, net::PacketPtr packet) {
-  if (state_ != ModuleState::running) {
+  if (state_ != ModuleState::running && state_ != ModuleState::degraded) {
     // No light, no link: the wire drops it.
     sim_.metrics().add(dark_drops_id_);
     if (sim_.flight().sampled(packet->id())) {
@@ -122,6 +133,20 @@ LaserHealth FlexSfpModule::check_laser(double age_hours) {
   return health;
 }
 
+void FlexSfpModule::degrade() {
+  if (state_ == ModuleState::degraded || state_ == ModuleState::failed) return;
+  state_ = ModuleState::degraded;
+  shell_->set_degraded(true);
+  sim_.metrics().add(degradations_id_);
+  sim_.metrics().set(degraded_gauge_id_, 1);
+}
+
+bool FlexSfpModule::reboot_from_golden() {
+  const auto golden = flash_.read(0);
+  if (!golden) return false;
+  return reconfigure(*golden);
+}
+
 bool FlexSfpModule::reconfigure(const hw::Bitstream& bitstream) {
   if (!bitstream.verify(config_.auth_key)) return false;
   auto new_app =
@@ -142,6 +167,10 @@ bool FlexSfpModule::reconfigure(const hw::Bitstream& bitstream) {
     state_ = ModuleState::rebooting;
     sim_.schedule_in(config_.fpga_reload_ps, [this, holder]() {
       shell_->engine().replace_app(std::move(*holder));
+      // A successful reload clears any degraded passthrough: the fresh
+      // design is trusted again.
+      shell_->set_degraded(false);
+      sim_.metrics().set(degraded_gauge_id_, 0);
       state_ = ModuleState::running;
       run_started_ = sim_.now();
       control_plane_.reconfig_reset();

@@ -23,6 +23,7 @@ enum class ModuleState : std::uint8_t {
   running,
   rebooting,  // reconfiguration in progress: datapath dark
   failed,     // optical failure
+  degraded,   // PPE faulted / reconfig failed: passthrough, CP reachable
 };
 
 [[nodiscard]] std::string to_string(ModuleState state);
@@ -88,6 +89,27 @@ class FlexSfpModule {
   /// wore out; returns the health telemetry.
   LaserHealth check_laser(double age_hours);
 
+  // --- graceful degradation --------------------------------------------------
+  /// Drop to the degraded passthrough mode: the shell bypasses the PPE
+  /// (dumb-cable cut-through) while the control plane stays reachable for
+  /// in-band recovery. Entered automatically when a staged reconfiguration
+  /// fails mid-deploy; call fault_ppe() to inject a PPE fault directly.
+  void degrade();
+  /// Inject a PPE fault (a chaos experiment's hook): the engine can no
+  /// longer be trusted, so the shell falls back to passthrough.
+  void fault_ppe() { degrade(); }
+  [[nodiscard]] bool is_degraded() const {
+    return state_ == ModuleState::degraded;
+  }
+  /// Registry series module.degradations{module=..}; module.degraded is the
+  /// current-mode gauge.
+  [[nodiscard]] std::uint64_t degradations() const {
+    return sim_.metrics().value(degradations_id_);
+  }
+  /// Reboot into the golden image (SpiFlash slot 0) — the local recovery
+  /// path out of degraded mode. False when slot 0 is empty or unusable.
+  bool reboot_from_golden();
+
   // --- reconfiguration (also reachable in-band via the mgmt protocol) --------
   /// Stage `bitstream` to flash and reboot into it. Returns false when the
   /// app name is unknown to the registry or flash staging failed.
@@ -111,6 +133,8 @@ class FlexSfpModule {
   ModuleState state_ = ModuleState::running;
   obs::MetricId dark_drops_id_;
   obs::MetricId reconfigs_id_;
+  obs::MetricId degradations_id_;
+  obs::MetricId degraded_gauge_id_;
   std::uint16_t flight_stage_ = 0;
   sim::TimePs last_outage_ = 0;
   sim::TimePs run_started_ = 0;

@@ -24,6 +24,10 @@ ArchitectureShell::ArchitectureShell(sim::Simulation& sim, ppe::PpeAppPtr app,
   }
   control_punts_id_ =
       sim_.metrics().counter("shell.control_punts", {{"shell", name_}});
+  degraded_forwards_id_ =
+      sim_.metrics().counter("shell.degraded_forwards", {{"shell", name_}});
+  degraded_gauge_id_ =
+      sim_.metrics().gauge("shell.degraded", {{"shell", name_}});
   flight_stage_ = sim_.flight().register_stage(name_);
   engine_ = std::make_unique<ppe::Engine>(sim, std::move(app),
                                           config.datapath,
@@ -74,6 +78,23 @@ void ArchitectureShell::inject(int port, net::PacketPtr packet) {
       return;
     }
 
+    // Degraded passthrough: the PPE is faulted or mid-failed-reconfig, so
+    // the shell behaves like a standard SFP — straight wire to the opposite
+    // interface. Mgmt frames were already punted above, so the control
+    // plane can still quarantine/redeploy this module.
+    if (degraded_) {
+      sim_.metrics().add(degraded_forwards_id_);
+      if (sim_.flight().sampled(packet->id())) {
+        sim_.flight().record(packet->id(), flight_stage_,
+                             obs::HopKind::degraded, sim_.now(), 0,
+                             std::uint64_t(port));
+      }
+      const int egress = port == edge_port ? optical_port : edge_port;
+      arbiters_[static_cast<std::size_t>(egress)]->handle_packet(
+          std::move(packet));
+      return;
+    }
+
     switch (config_.kind) {
       case ShellKind::one_way_filter: {
         const bool processed_direction =
@@ -104,6 +125,11 @@ void ArchitectureShell::inject(int port, net::PacketPtr packet) {
 void ArchitectureShell::set_egress_handler(
     int port, std::function<void(net::PacketPtr)> handler) {
   egress_handlers_.at(static_cast<std::size_t>(port)) = std::move(handler);
+}
+
+void ArchitectureShell::set_degraded(bool degraded) {
+  degraded_ = degraded;
+  sim_.metrics().set(degraded_gauge_id_, degraded ? 1 : 0);
 }
 
 void ArchitectureShell::send_from_control(int port, net::PacketPtr packet) {

@@ -75,6 +75,14 @@ class ArchitectureShell {
   /// `port` — the aggregation step of Figure 1a.
   void send_from_control(int port, net::PacketPtr packet);
 
+  /// Degraded passthrough ("standard SFP" cut-through): data packets bypass
+  /// the PPE and cross straight to the opposite egress arbiter. Management
+  /// frames (and ActiveCp-terminated traffic) are still punted — the Mi-V
+  /// stays reachable so the module can be recovered in-band. The cable
+  /// degrades to a dumb cable; it never black-holes the link.
+  void set_degraded(bool degraded);
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
   [[nodiscard]] ppe::Engine& engine() { return *engine_; }
   [[nodiscard]] const ppe::Engine& engine() const { return *engine_; }
   [[nodiscard]] const ShellConfig& config() const { return config_; }
@@ -91,6 +99,11 @@ class ArchitectureShell {
   }
   [[nodiscard]] std::uint64_t control_punts() const {
     return sim_.metrics().value(control_punts_id_);
+  }
+  /// Packets forwarded on the degraded passthrough path. Registry series
+  /// shell.degraded_forwards{shell=..}; shell.degraded is the mode gauge.
+  [[nodiscard]] std::uint64_t degraded_forwards() const {
+    return sim_.metrics().value(degraded_forwards_id_);
   }
   [[nodiscard]] const EgressArbiter& arbiter(int port) const {
     return *arbiters_.at(static_cast<std::size_t>(port));
@@ -110,6 +123,9 @@ class ArchitectureShell {
   std::function<void(net::PacketPtr)> control_rx_;
   std::array<sim::TrafficMeter, 2> ingress_meters_;
   obs::MetricId control_punts_id_;
+  obs::MetricId degraded_forwards_id_;
+  obs::MetricId degraded_gauge_id_;
+  bool degraded_ = false;
   std::uint16_t flight_stage_ = 0;
 };
 

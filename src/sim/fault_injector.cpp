@@ -1,0 +1,154 @@
+#include "sim/fault_injector.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace flexsfp::sim {
+
+FaultInjector::FaultInjector(Simulation& sim, FaultSpec spec,
+                             PacketHandler& destination, std::string name)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      destination_(destination),
+      name_(sim.metrics().unique_name(std::move(name))),
+      rng_(spec_.seed) {
+  const obs::Labels labels{{"injector", name_}};
+  delivered_id_ = sim_.metrics().counter("fault.delivered", labels);
+  dropped_id_ = sim_.metrics().counter("fault.dropped", labels);
+  target_dropped_id_ = sim_.metrics().counter("fault.target_dropped", labels);
+  flap_dropped_id_ = sim_.metrics().counter("fault.flap_dropped", labels);
+  corrupted_id_ = sim_.metrics().counter("fault.corrupted", labels);
+  duplicated_id_ = sim_.metrics().counter("fault.duplicated", labels);
+  reordered_id_ = sim_.metrics().counter("fault.reordered", labels);
+  link_up_id_ = sim_.metrics().gauge("fault.link_up", labels);
+  sim_.metrics().set(link_up_id_, 1);
+  flight_stage_ = sim_.flight().register_stage(name_);
+}
+
+bool FaultInjector::link_up() const {
+  const TimePs now = sim_.now();
+  const auto covers = [now](const FlapWindow& w) {
+    return now >= w.start && now < w.start + w.duration;
+  };
+  for (const auto& w : spec_.flaps) {
+    if (covers(w)) return false;
+  }
+  for (const auto& w : extra_flaps_) {
+    if (covers(w)) return false;
+  }
+  return true;
+}
+
+void FaultInjector::flap_now(TimePs duration) {
+  extra_flaps_.push_back(FlapWindow{sim_.now(), duration});
+}
+
+void FaultInjector::corrupt(net::Packet& packet) {
+  if (packet.size() == 0) return;
+  const std::uint64_t bit =
+      rng_.uniform(0, std::uint64_t(packet.size()) * 8 - 1);
+  packet.data()[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+void FaultInjector::handle_packet(net::PacketPtr packet) {
+  const net::PacketId id = packet->id();
+  const bool sampled = sim_.flight().sampled(id);
+
+  // Link-flap windows first: no light, nothing else matters.
+  const bool up = link_up();
+  sim_.metrics().set(link_up_id_, up ? 1 : 0);
+  if (!up) {
+    sim_.metrics().add(flap_dropped_id_);
+    if (sampled) {
+      sim_.flight().record(id, flight_stage_, obs::HopKind::fault_drop,
+                           sim_.now(), 0, /*aux=*/2);
+    }
+    return;
+  }
+
+  // Targeted loss (e.g. management frames) ahead of the blanket loss so a
+  // mgmt-loss experiment does not also need drop_prob > 0.
+  if (spec_.target_drop_prob > 0 && target_filter_ &&
+      target_filter_(*packet) && rng_.bernoulli(spec_.target_drop_prob)) {
+    sim_.metrics().add(target_dropped_id_);
+    if (sampled) {
+      sim_.flight().record(id, flight_stage_, obs::HopKind::fault_drop,
+                           sim_.now(), 0, /*aux=*/1);
+    }
+    return;
+  }
+
+  if (spec_.drop_prob > 0 && rng_.bernoulli(spec_.drop_prob)) {
+    sim_.metrics().add(dropped_id_);
+    if (sampled) {
+      sim_.flight().record(id, flight_stage_, obs::HopKind::fault_drop,
+                           sim_.now(), 0, /*aux=*/0);
+    }
+    return;
+  }
+
+  // BER corruption: P(frame hit) = 1 - (1-ber)^bits, one uniformly chosen
+  // bit flipped. The packet continues — corrupted, counted, never vanished.
+  if (spec_.ber > 0) {
+    const double bits = double(packet->size()) * 8.0;
+    const double p_hit = -std::expm1(bits * std::log1p(-spec_.ber));
+    if (rng_.bernoulli(p_hit)) {
+      corrupt(*packet);
+      sim_.metrics().add(corrupted_id_);
+      if (sampled) {
+        sim_.flight().record(id, flight_stage_, obs::HopKind::fault_corrupt,
+                             sim_.now());
+      }
+    }
+  }
+
+  if (spec_.duplicate_prob > 0 && rng_.bernoulli(spec_.duplicate_prob)) {
+    auto copy = std::make_shared<net::Packet>(*packet);
+    copy->set_id(sim_.next_packet_id());
+    sim_.metrics().add(duplicated_id_);
+    if (sim_.flight().sampled(copy->id())) {
+      sim_.flight().record(copy->id(), flight_stage_, obs::HopKind::fault_dup,
+                           sim_.now(), 0, /*aux=*/id);
+    }
+    deliver(std::move(copy));
+  }
+
+  // Bounded reorder: hold this packet for one delay window so packets
+  // behind it overtake, then release. No starvation: one window, ever.
+  if (spec_.reorder_prob > 0 && rng_.bernoulli(spec_.reorder_prob)) {
+    sim_.metrics().add(reordered_id_);
+    if (sampled) {
+      sim_.flight().record(id, flight_stage_, obs::HopKind::fault_reorder,
+                           sim_.now(), 0,
+                           std::uint64_t(spec_.reorder_delay_ps));
+    }
+    sim_.schedule_in(spec_.reorder_delay_ps,
+                     [this, packet = std::move(packet)]() mutable {
+                       deliver(std::move(packet));
+                     });
+    return;
+  }
+
+  deliver(std::move(packet));
+}
+
+void FaultInjector::deliver(net::PacketPtr packet) {
+  sim_.metrics().add(delivered_id_);
+  destination_.handle_packet(std::move(packet));
+}
+
+FaultTally FaultInjector::tally() const {
+  const auto& metrics = sim_.metrics();
+  FaultTally tally;
+  tally.delivered = metrics.value(delivered_id_);
+  tally.dropped = metrics.value(dropped_id_);
+  tally.target_dropped = metrics.value(target_dropped_id_);
+  tally.flap_dropped = metrics.value(flap_dropped_id_);
+  tally.corrupted = metrics.value(corrupted_id_);
+  tally.duplicated = metrics.value(duplicated_id_);
+  tally.reordered = metrics.value(reordered_id_);
+  return tally;
+}
+
+}  // namespace flexsfp::sim

@@ -1,0 +1,129 @@
+// Deterministic fault injection: make the failures the cable is supposed to
+// detect (§3: "link flapping, microbursts, or fiber breaks") actually happen.
+//
+// A FaultInjector is a PacketHandler that attaches between any producer and
+// any downstream PacketHandler (a Link, a module port, a sink) and subjects
+// the stream to a seeded fault process: BER-style bit corruption, random
+// packet loss, duplication, bounded reorder, timed link-flap (link-down)
+// windows and targeted loss of frames selected by a predicate (e.g.
+// management frames). Every decision comes from one Rng — derive it with
+// Rng::for_stream so shard-parallel runs stay bit-identical to the
+// sequential oracle — and every injected fault is accounted for in the
+// obs:: registry and the flight recorder: a faulted packet is never
+// silently lost, it is dropped-with-counter or corrupted-with-counter.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace flexsfp::sim {
+
+/// One scheduled link-down window (a flap). Windows may overlap; the link
+/// is down while any window covers now().
+struct FlapWindow {
+  TimePs start = 0;
+  TimePs duration = 0;
+};
+
+struct FaultSpec {
+  /// Per-bit error probability; a frame of N bytes is corrupted with
+  /// probability 1-(1-ber)^(8N) and a uniformly chosen bit is flipped.
+  double ber = 0.0;
+  /// Per-packet random loss probability.
+  double drop_prob = 0.0;
+  /// Per-packet duplication probability (the copy follows immediately).
+  double duplicate_prob = 0.0;
+  /// Per-packet probability of being held for `reorder_delay_ps`, letting
+  /// later packets overtake it (bounded reorder: one window, no starvation).
+  double reorder_prob = 0.0;
+  TimePs reorder_delay_ps = 1'000'000;  // 1 us
+  /// Loss probability applied only to frames matched by `target`
+  /// (management-frame loss experiments). 0 disables the classifier.
+  double target_drop_prob = 0.0;
+  /// Scheduled link-down windows (flaps). All arrivals inside a window are
+  /// dropped and counted as flap drops.
+  std::vector<FlapWindow> flaps;
+  /// Every random decision derives from this seed (use derive_stream_seed
+  /// for per-shard injectors).
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool any_random_fault() const {
+    return ber > 0 || drop_prob > 0 || duplicate_prob > 0 ||
+           reorder_prob > 0 || target_drop_prob > 0;
+  }
+};
+
+/// Counters mirrored from the registry, for convenience in tests/benches.
+struct FaultTally {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;       // random loss
+  std::uint64_t target_dropped = 0;  // predicate-matched loss
+  std::uint64_t flap_dropped = 0;  // lost inside a link-down window
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+
+  /// Everything the injector intentionally removed from the stream.
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    return dropped + target_dropped + flap_dropped;
+  }
+};
+
+class FaultInjector final : public PacketHandler {
+ public:
+  using TargetFilter = std::function<bool(const net::Packet&)>;
+
+  /// `name` keys the registry series fault.*{injector=<name>} (uniquified
+  /// per simulation).
+  FaultInjector(Simulation& sim, FaultSpec spec, PacketHandler& destination,
+                std::string name = "fault");
+
+  void handle_packet(net::PacketPtr packet) override;
+
+  /// Frames matched by `filter` are additionally dropped with
+  /// `spec.target_drop_prob` — e.g. sfp::is_mgmt_frame for targeted
+  /// management-plane loss. (A std::function parameter keeps sim:: free of
+  /// an sfp:: dependency.)
+  void set_target_filter(TargetFilter filter) {
+    target_filter_ = std::move(filter);
+  }
+
+  /// Take the link down for `duration` starting now (an immediate flap).
+  void flap_now(TimePs duration);
+  [[nodiscard]] bool link_up() const;
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Registry-backed counters: fault.delivered / fault.dropped /
+  /// fault.target_dropped / fault.flap_dropped / fault.corrupted /
+  /// fault.duplicated / fault.reordered, all {injector=<name>}.
+  [[nodiscard]] FaultTally tally() const;
+
+ private:
+  void deliver(net::PacketPtr packet);
+  void corrupt(net::Packet& packet);
+
+  Simulation& sim_;
+  FaultSpec spec_;
+  PacketHandler& destination_;
+  std::string name_;
+  Rng rng_;
+  TargetFilter target_filter_;
+  std::vector<FlapWindow> extra_flaps_;  // flap_now() additions
+  obs::MetricId delivered_id_;
+  obs::MetricId dropped_id_;
+  obs::MetricId target_dropped_id_;
+  obs::MetricId flap_dropped_id_;
+  obs::MetricId corrupted_id_;
+  obs::MetricId duplicated_id_;
+  obs::MetricId reordered_id_;
+  obs::MetricId link_up_id_;
+  std::uint16_t flight_stage_ = 0;
+};
+
+}  // namespace flexsfp::sim

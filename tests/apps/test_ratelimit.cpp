@@ -123,6 +123,69 @@ TEST(RateLimiter, RemoveSubscriberFreesSlot) {
   EXPECT_TRUE(limiter.add_subscriber(p2, {1000, 100}));
 }
 
+TEST(RateLimiter, RemoveOuterPrefixLeavesNestedSubscriberIntact) {
+  // Regression: remove_subscriber() used to resolve the prefix with an LPM
+  // walk on its base address, so removing 10.0.0.0/8 while 10.0.0.0/24 was
+  // also subscribed found the /24's slot — wiping the wrong subscriber.
+  RateLimiter limiter;
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/8"),
+                                     {8'000'000, 100'000}));
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/24"),
+                                     {8'000'000, 1000}));
+  // Exhaust the /24 bucket.
+  for (int i = 0; i < 5; ++i) {
+    auto p = udp_packet(ip(10, 0, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+    (void)run_at(limiter, p, 0);
+  }
+  auto drained = udp_packet(ip(10, 0, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  ASSERT_EQ(run_at(limiter, drained, 0), ppe::Verdict::drop);
+
+  ASSERT_TRUE(
+      limiter.remove_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/8")));
+  // The /24 is untouched: same slot, same drained bucket.
+  auto still_drained = udp_packet(ip(10, 0, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, still_drained, 0), ppe::Verdict::drop);
+  // Traffic the /8 used to cover is now unmatched (unlimited by default).
+  auto outside = udp_packet(ip(10, 99, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, outside, 0), ppe::Verdict::forward);
+}
+
+TEST(RateLimiter, RemoveMissingOuterPrefixFailsWithoutTouchingNested) {
+  // Regression: the LPM walk also made removal of a *never-added* /8 hit
+  // the nested /24 and report success.
+  RateLimiter limiter;
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/24"),
+                                     {8'000'000, 1000}));
+  EXPECT_FALSE(
+      limiter.remove_subscriber(*net::Ipv4Prefix::parse("10.0.0.0/8")));
+  // The /24 still polices.
+  for (int i = 0; i < 5; ++i) {
+    auto p = udp_packet(ip(10, 0, 0, 1), ip(2, 2, 2, 2), 1, 2, 400);
+    (void)run_at(limiter, p, 0);
+  }
+  EXPECT_GT(limiter.policed(), 0u);
+}
+
+TEST(RateLimiter, ReusedSlotStartsWithAFreshBucket) {
+  RateLimiterConfig config;
+  config.max_subscribers = 1;
+  RateLimiter limiter(config);
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.1.0/24"),
+                                     {8'000'000, 1000}));
+  // Drain the only slot's bucket, then recycle the slot.
+  for (int i = 0; i < 5; ++i) {
+    auto p = udp_packet(ip(10, 0, 1, 1), ip(2, 2, 2, 2), 1, 2, 400);
+    (void)run_at(limiter, p, 0);
+  }
+  ASSERT_TRUE(
+      limiter.remove_subscriber(*net::Ipv4Prefix::parse("10.0.1.0/24")));
+  ASSERT_TRUE(limiter.add_subscriber(*net::Ipv4Prefix::parse("10.0.2.0/24"),
+                                     {8'000'000, 1000}));
+  // The new subscriber gets its full burst, not the drained bucket.
+  auto p = udp_packet(ip(10, 0, 2, 1), ip(2, 2, 2, 2), 1, 2, 400);
+  EXPECT_EQ(run_at(limiter, p, 0), ppe::Verdict::forward);
+}
+
 TEST(RateLimiter, NonIpv4Forwarded) {
   RateLimiter limiter;
   net::Bytes frame(64, 0);

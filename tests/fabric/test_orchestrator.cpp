@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "apps/acl.hpp"
 #include "apps/nat.hpp"
 #include "sfp/flexsfp.hpp"
@@ -39,7 +41,8 @@ struct FleetFixture {
       const std::string name = "module-" + std::to_string(i);
       auto* raw = module.get();
       orchestrator.add_module(name, config.shell.module_mac,
-                              [this, raw](net::PacketPtr p) {
+                              [this, raw, name](net::PacketPtr p) {
+                                if (blackholed.count(name) > 0) return;
                                 if (!drop_next_tx) {
                                   raw->inject(sfp::FlexSfpModule::edge_port,
                                               std::move(p));
@@ -55,6 +58,9 @@ struct FleetFixture {
   FleetOrchestrator orchestrator;
   std::vector<std::shared_ptr<sfp::FlexSfpModule>> modules;
   bool drop_next_tx = false;
+  /// Module names whose orchestrator->module direction is dead (the
+  /// response path stays up — a one-way fiber cut).
+  std::set<std::string> blackholed;
 };
 
 TEST(Orchestrator, PingWholeFleet) {
@@ -266,6 +272,157 @@ TEST(Orchestrator, FeasibleDeployRecordsCleanVerification) {
   EXPECT_FALSE(fx.orchestrator.last_verification().has_errors());
   EXPECT_FALSE(
       fx.orchestrator.last_verification().by_rule("FSL001").empty());
+}
+
+TEST(Orchestrator, RetryTimeoutsBackOffExponentially) {
+  FleetFixture fx(1);  // timeout 1 ms, max_retries 2
+  fx.orchestrator.add_module("dead", net::MacAddress::from_u64(0xdead),
+                             [](net::PacketPtr) {});
+  TimePs failed_at = -1;
+  fx.orchestrator.ping("dead", 1, [&](std::optional<sfp::MgmtResponse> r) {
+    EXPECT_FALSE(r.has_value());
+    failed_at = fx.sim.now();
+  });
+  fx.sim.run();
+  // 1 ms + 2 ms + 4 ms, not 3 x 1 ms: the dark module is probed gently.
+  EXPECT_EQ(failed_at, 7_ms);
+}
+
+TEST(Orchestrator, BackoffIsCappedAtMaxTimeout) {
+  OrchestratorConfig config = fleet_config();
+  config.max_timeout_ps = 2'000'000'000;  // cap at 2 ms
+  config.max_retries = 3;
+  FleetFixture fx(1, std::move(config));
+  fx.orchestrator.add_module("dead", net::MacAddress::from_u64(0xdead),
+                             [](net::PacketPtr) {});
+  TimePs failed_at = -1;
+  fx.orchestrator.ping("dead", 1, [&](std::optional<sfp::MgmtResponse> r) {
+    EXPECT_FALSE(r.has_value());
+    failed_at = fx.sim.now();
+  });
+  fx.sim.run();
+  // 1 + 2 + 2 + 2 ms: attempts after the cap stop doubling.
+  EXPECT_EQ(failed_at, 7_ms);
+}
+
+TEST(Orchestrator, HealthChecksQuarantineUnresponsiveModule) {
+  OrchestratorConfig config = fleet_config();
+  config.health_check_interval_ps = 2'000'000'000;  // 2 ms
+  config.quarantine_after = 2;
+  config.golden_redeploy = false;
+  FleetFixture fx(2, std::move(config));
+  fx.blackholed.insert("module-1");
+  fx.orchestrator.start_health_checks();
+  fx.sim.run_until(60_ms);
+  fx.orchestrator.stop_health_checks();
+  fx.sim.run();
+
+  EXPECT_EQ(fx.orchestrator.health("module-0"), ModuleHealth::healthy);
+  EXPECT_EQ(fx.orchestrator.health("module-1"), ModuleHealth::quarantined);
+  EXPECT_EQ(fx.orchestrator.quarantined_count(), 1u);
+  EXPECT_EQ(fx.orchestrator.quarantines(), 1u);
+  EXPECT_GT(fx.orchestrator.health_failures(), 0u);
+  EXPECT_GT(fx.orchestrator.health_checks_sent(), 0u);
+  const auto snap = fx.sim.metrics().snapshot();
+  EXPECT_EQ(snap.value("orch.quarantined{orch=orch}"), 1u);
+
+  // Normal operations to a quarantined module are refused locally.
+  bool completed = false;
+  bool got_response = true;
+  fx.orchestrator.table_insert("module-1", "nat", 1, 2,
+                               [&](std::optional<sfp::MgmtResponse> r) {
+                                 completed = true;
+                                 got_response = r.has_value();
+                               });
+  EXPECT_TRUE(completed);  // synchronous refusal
+  EXPECT_FALSE(got_response);
+  EXPECT_EQ(fx.orchestrator.refused_operations(), 1u);
+}
+
+TEST(Orchestrator, QuarantinedModuleRecoversWhenItAnswersAgain) {
+  OrchestratorConfig config = fleet_config();
+  config.health_check_interval_ps = 2'000'000'000;
+  config.quarantine_after = 2;
+  config.golden_redeploy = false;
+  FleetFixture fx(1, std::move(config));
+  fx.blackholed.insert("module-0");
+  fx.orchestrator.start_health_checks();
+  fx.sim.run_until(60_ms);
+  ASSERT_EQ(fx.orchestrator.health("module-0"), ModuleHealth::quarantined);
+
+  // The link comes back: quarantined modules keep being pinged, and the
+  // first answered probe lifts the quarantine.
+  fx.blackholed.clear();
+  fx.sim.run_until(120_ms);
+  fx.orchestrator.stop_health_checks();
+  fx.sim.run();
+  EXPECT_EQ(fx.orchestrator.health("module-0"), ModuleHealth::healthy);
+  EXPECT_GE(fx.orchestrator.recoveries(), 1u);
+  EXPECT_EQ(fx.orchestrator.quarantined_count(), 0u);
+}
+
+TEST(Orchestrator, GoldenRedeployReimagesModule) {
+  FleetFixture fx(1);
+  // The fleet's golden image runs ACL; the module currently runs NAT.
+  const auto golden = hw::Bitstream::create(
+      "acl", apps::AclConfig{}.serialize(), sfp::FlexSfpConfig{}.auth_key);
+  ASSERT_FALSE(fx.orchestrator.has_golden());
+  ASSERT_TRUE(fx.orchestrator.stage_golden(golden));
+  EXPECT_TRUE(fx.orchestrator.has_golden());
+
+  bool committed = false;
+  ASSERT_TRUE(fx.orchestrator.redeploy_golden(
+      "module-0", [&committed](std::optional<sfp::MgmtResponse> r) {
+        committed = r && r->status == sfp::MgmtStatus::ok;
+      }));
+  fx.sim.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(fx.orchestrator.golden_redeploys(), 1u);
+  EXPECT_EQ(fx.modules[0]->app().name(), "acl");
+}
+
+TEST(Orchestrator, GoldenRedeployWithoutStagedImageFails) {
+  FleetFixture fx(1);
+  bool completed = false;
+  bool got_response = true;
+  EXPECT_FALSE(fx.orchestrator.redeploy_golden(
+      "module-0", [&](std::optional<sfp::MgmtResponse> r) {
+        completed = true;
+        got_response = r.has_value();
+      }));
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(got_response);
+  EXPECT_EQ(fx.orchestrator.golden_redeploys(), 0u);
+}
+
+TEST(Orchestrator, QuarantineTriggersAutomaticGoldenRedeploy) {
+  OrchestratorConfig config = fleet_config();
+  config.health_check_interval_ps = 2'000'000'000;
+  config.quarantine_after = 1;
+  FleetFixture fx(1, std::move(config));
+  const auto golden = hw::Bitstream::create(
+      "acl", apps::AclConfig{}.serialize(), sfp::FlexSfpConfig{}.auth_key);
+  ASSERT_TRUE(fx.orchestrator.stage_golden(golden));
+
+  // One-way outage long enough to quarantine, then the path heals: the
+  // automatic golden re-image retries its way through and lands.
+  fx.blackholed.insert("module-0");
+  fx.orchestrator.start_health_checks();
+  fx.sim.run_until(9_ms);
+  ASSERT_EQ(fx.orchestrator.health("module-0"), ModuleHealth::quarantined);
+  EXPECT_EQ(fx.orchestrator.golden_redeploys(), 1u);
+  fx.blackholed.clear();
+  fx.sim.run_until(300_ms);
+  fx.orchestrator.stop_health_checks();
+  fx.sim.run();
+  EXPECT_EQ(fx.modules[0]->app().name(), "acl");
+  EXPECT_EQ(fx.orchestrator.health("module-0"), ModuleHealth::healthy);
+}
+
+TEST(ModuleHealthStrings, Names) {
+  EXPECT_EQ(to_string(ModuleHealth::healthy), "healthy");
+  EXPECT_EQ(to_string(ModuleHealth::suspect), "suspect");
+  EXPECT_EQ(to_string(ModuleHealth::quarantined), "quarantined");
 }
 
 TEST(Orchestrator, CounterReadReturnsSnapshot) {

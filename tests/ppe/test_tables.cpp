@@ -212,5 +212,33 @@ TEST(LpmTable, CapacityEnforced) {
   EXPECT_FALSE(table.insert(*net::Ipv4Prefix::parse("11.0.0.0/8"), 2));
 }
 
+TEST(LpmTable, LookupExactDistinguishesNestedPrefixes) {
+  // 10.0.0.0/8 and 10.0.0.0/24 share an address but are distinct entries;
+  // lookup() would return the /24 for 10.0.0.0, which is exactly why
+  // control-plane code that means "this entry" must use lookup_exact().
+  LpmTable table("routes", 16);
+  ASSERT_TRUE(table.insert(*net::Ipv4Prefix::parse("10.0.0.0/8"), 1));
+  ASSERT_TRUE(table.insert(*net::Ipv4Prefix::parse("10.0.0.0/24"), 2));
+  EXPECT_EQ(table.lookup_exact(*net::Ipv4Prefix::parse("10.0.0.0/8")), 1u);
+  EXPECT_EQ(table.lookup_exact(*net::Ipv4Prefix::parse("10.0.0.0/24")), 2u);
+  EXPECT_FALSE(
+      table.lookup_exact(*net::Ipv4Prefix::parse("10.0.0.0/16")).has_value());
+  EXPECT_FALSE(
+      table.lookup_exact(*net::Ipv4Prefix::parse("11.0.0.0/8")).has_value());
+}
+
+TEST(LpmTable, EraseOuterPrefixKeepsNestedInner) {
+  LpmTable table("routes", 16);
+  ASSERT_TRUE(table.insert(*net::Ipv4Prefix::parse("10.0.0.0/8"), 1));
+  ASSERT_TRUE(table.insert(*net::Ipv4Prefix::parse("10.0.0.0/24"), 2));
+  ASSERT_TRUE(table.erase(*net::Ipv4Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(*net::Ipv4Address::parse("10.0.0.5")), 2u);
+  EXPECT_FALSE(table.lookup(*net::Ipv4Address::parse("10.1.0.1")).has_value());
+  EXPECT_EQ(table.lookup_exact(*net::Ipv4Prefix::parse("10.0.0.0/24")), 2u);
+  EXPECT_FALSE(
+      table.lookup_exact(*net::Ipv4Prefix::parse("10.0.0.0/8")).has_value());
+}
+
 }  // namespace
 }  // namespace flexsfp::ppe

@@ -79,5 +79,78 @@ INSTANTIATE_TEST_SUITE_P(
                                                       1460),
                        ::testing::Values<std::uint64_t>(1, 42, 991)));
 
+// RFC 1624 negative-zero edges. One's-complement arithmetic has two
+// representations of zero (0x0000 and 0xffff); eqn. 2 of RFC 1141 got stuck
+// on them, which is why RFC 1624 eqn. 3 exists. These directed cases drive
+// the checksum field through both representations and require the
+// incremental patch to agree with a full recompute — the invariant the NAT
+// datapath's O(1) checksum unit depends on.
+
+TEST(ChecksumRfc1624Edges, UpdateLandingOnZeroChecksumMatchesRecompute) {
+  // 0x1234 + 0xedcb = 0xffff: after the update the folded sum is negative
+  // zero and the checksum field reads 0x0000.
+  Bytes data = {0x12, 0x34, 0xaa, 0xaa};
+  const std::uint16_t before = internet_checksum(data);
+  write_be16(data, 2, 0xedcb);
+  ASSERT_EQ(internet_checksum(data), 0x0000);
+  EXPECT_EQ(checksum_incremental_update(before, 0xaaaa, 0xedcb), 0x0000);
+}
+
+TEST(ChecksumRfc1624Edges, UpdateLeavingZeroChecksumMatchesRecompute) {
+  // HC == 0x0000 going in: the case where the RFC 1141 formula produced a
+  // wrong checksum and RFC 1624 section 3 was written.
+  Bytes data = {0x12, 0x34, 0xed, 0xcb};
+  ASSERT_EQ(internet_checksum(data), 0x0000);
+  write_be16(data, 0, 0x5678);
+  EXPECT_EQ(checksum_incremental_update(0x0000, 0x1234, 0x5678),
+            internet_checksum(data));
+}
+
+TEST(ChecksumRfc1624Edges, EdgeWordSweepMatchesRecompute) {
+  const std::uint16_t edges[] = {0x0000, 0x0001, 0x7fff,
+                                 0x8000, 0xfffe, 0xffff};
+  for (const std::uint16_t sibling : edges) {
+    for (const std::uint16_t old_word : edges) {
+      for (const std::uint16_t new_word : edges) {
+        // A buffer that becomes all-zero is the one spot where the two
+        // zero representations genuinely diverge (recompute says 0xffff,
+        // the patch says 0x0000); real IP headers are never all-zero.
+        if (sibling == 0 && new_word == 0) continue;
+        Bytes data(4);
+        write_be16(data, 0, old_word);
+        write_be16(data, 2, sibling);
+        const std::uint16_t before = internet_checksum(data);
+        write_be16(data, 0, new_word);
+        EXPECT_EQ(checksum_incremental_update(before, old_word, new_word),
+                  internet_checksum(data))
+            << std::hex << "sibling=" << sibling << " old=" << old_word
+            << " new=" << new_word;
+      }
+    }
+  }
+}
+
+TEST(ChecksumRfc1624Edges, AddressRewriteAcrossExtremesMatchesRecompute) {
+  // The NAT case: rewrite a 32-bit address field between the all-ones and
+  // near-zero extremes inside an IPv4-header-shaped buffer, patching with
+  // checksum_incremental_update32.
+  const std::uint32_t extremes[] = {0x00000001u, 0x0000ffffu, 0xffff0000u,
+                                    0xfffffffeu, 0xffffffffu};
+  for (const std::uint32_t old_addr : extremes) {
+    for (const std::uint32_t new_addr : extremes) {
+      Bytes header(20, 0);
+      header[0] = 0x45;  // version/IHL: a realistic, never-zero header
+      header[8] = 64;    // TTL
+      write_be32(header, 12, old_addr);  // source address
+      write_be32(header, 16, 0x0a000002u);
+      const std::uint16_t before = internet_checksum(header);
+      write_be32(header, 12, new_addr);
+      EXPECT_EQ(checksum_incremental_update32(before, old_addr, new_addr),
+                internet_checksum(header))
+          << std::hex << old_addr << " -> " << new_addr;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace flexsfp::net

@@ -138,6 +138,57 @@ TEST_P(LpmProperty, AgreesWithLinearLongestMatch) {
   }
 }
 
+TEST_P(LpmProperty, LookupExactIsAFaithfulMapOverPrefixes) {
+  // lookup_exact() must behave like map<prefix, value> even when prefixes
+  // nest — the aliasing that LPM lookup() deliberately has and exact-entry
+  // bookkeeping (e.g. the rate limiter's slot table) must not inherit.
+  sim::Rng rng(GetParam() ^ 0x4c504d);
+  LpmTable table("t", 128);
+  std::vector<std::pair<net::Ipv4Prefix, std::uint64_t>> model;
+  const auto model_find = [&model](net::Ipv4Prefix prefix) {
+    for (auto it = model.begin(); it != model.end(); ++it) {
+      if (it->first == prefix) return it;
+    }
+    return model.end();
+  };
+  for (int op = 0; op < 600; ++op) {
+    // A small base pool forces heavy nesting: the same address under many
+    // lengths.
+    const auto base = static_cast<std::uint32_t>(rng.uniform(0, 3)) << 24;
+    const auto length = static_cast<std::uint8_t>(rng.uniform(0, 32));
+    const net::Ipv4Prefix prefix{net::Ipv4Address{base}, length};
+    const int action = static_cast<int>(rng.uniform(0, 9));
+    if (action < 5) {
+      const std::uint64_t value = rng.uniform(1, 1000);
+      if (table.insert(prefix, value)) {
+        const auto it = model_find(prefix);
+        if (it == model.end()) {
+          model.emplace_back(prefix, value);
+        } else {
+          it->second = value;
+        }
+      }
+    } else if (action < 8) {
+      const auto hit = table.lookup_exact(prefix);
+      const auto it = model_find(prefix);
+      if (it == model.end()) {
+        EXPECT_FALSE(hit.has_value()) << prefix.to_string();
+      } else {
+        ASSERT_TRUE(hit.has_value()) << prefix.to_string();
+        EXPECT_EQ(*hit, it->second) << prefix.to_string();
+      }
+    } else {
+      const auto it = model_find(prefix);
+      EXPECT_EQ(table.erase(prefix), it != model.end()) << prefix.to_string();
+      if (it != model.end()) model.erase(it);
+    }
+    ASSERT_EQ(table.size(), model.size());
+  }
+  for (const auto& [prefix, value] : model) {
+    EXPECT_EQ(table.lookup_exact(prefix), value) << prefix.to_string();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, LpmProperty,
                          ::testing::Values(1, 7, 23, 99, 1234));
 

@@ -3,6 +3,8 @@
 // network component capable of generating traffic".
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/telemetry.hpp"
 #include "fabric/traffic_gen.hpp"
 #include "net/builder.hpp"
@@ -205,6 +207,115 @@ TEST(FlowExporter, SplitsLargeSweepsAcrossDatagrams) {
   sim.run_until(6'000'000'000);
 
   EXPECT_GT(datagrams, 1);  // > 8 flows -> several datagrams
+}
+
+TEST(FlowExporter, ClampsRecordCountToTheWireFormatLimit) {
+  // Regression: the wire format's count field is one byte. A configuration
+  // above 255 used to emit `count mod 256` while serializing every record,
+  // silently desynchronizing collectors. The constructor now clamps.
+  Simulation sim;
+  auto config = active_config();
+  config.shell.kind = ShellKind::one_way_filter;
+  apps::FlowStatsConfig stats_config;
+  stats_config.idle_timeout_ps = 1;  // everything is idle at sweep time
+  FlexSfpModule module(
+      sim, std::make_unique<apps::FlowStats>(stats_config), config);
+
+  std::vector<std::size_t> datagram_sizes;
+  std::size_t collected = 0;
+  module.set_egress_handler(
+      FlexSfpModule::edge_port,
+      [&datagram_sizes, &collected](net::PacketPtr packet) {
+        const auto records = FlowExporter::decode(*packet);
+        ASSERT_TRUE(records.has_value());
+        datagram_sizes.push_back(records->size());
+        collected += records->size();
+      });
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [](net::PacketPtr) {});
+
+  FlowExporterConfig exporter_config;
+  exporter_config.interval_ps = 5'000'000'000;
+  exporter_config.max_records_per_packet = 1000;  // beyond the u8 field
+  FlowExporter exporter(sim, module, exporter_config);
+  exporter.start();
+
+  sim::LambdaHandler into([&module](net::PacketPtr p) {
+    module.inject(FlexSfpModule::edge_port, std::move(p));
+  });
+  fabric::TrafficSpec spec;
+  spec.rate = DataRate::gbps(1);
+  spec.duration = 1'000'000'000;
+  spec.flow_count = 300;  // more flows than one datagram can carry
+  spec.zipf_skew = 0.0;
+  fabric::TrafficGen gen(sim, spec, into);
+  gen.start();
+  sim.run_until(6'000'000'000);
+
+  ASSERT_GT(collected, 255u);
+  EXPECT_EQ(collected, exporter.records_exported());
+  // The overflow split at exactly the wire-format boundary.
+  EXPECT_EQ(*std::max_element(datagram_sizes.begin(), datagram_sizes.end()),
+            255u);
+  EXPECT_GE(datagram_sizes.size(), 2u);
+}
+
+TEST(FlowExporter, DecodeRejectsCountBeyondTheDatagram) {
+  // Regression: decode() used to bound the record count only by the buffer
+  // size, so an Ethernet-padded (or trailer-bearing) frame with a corrupted
+  // count decoded "records" out of bytes past the UDP datagram's end.
+  net::Bytes payload(8);
+  net::write_be16(payload, 0, 0x4658);  // magic
+  payload[2] = 1;                       // version
+  payload[3] = 2;                       // claims 2 records it does not carry
+  net::write_be32(payload, 4, 0);       // sequence
+  const auto frame =
+      net::PacketBuilder()
+          .ethernet(net::MacAddress::from_u64(0xc0),
+                    net::MacAddress::from_u64(0x02ee))
+          .ipv4(*net::Ipv4Address::parse("192.0.2.10"),
+                *net::Ipv4Address::parse("198.51.100.9"), net::IpProto::udp)
+          .udp(2055, 2055)
+          .payload(payload)
+          .build_packet();
+  // Append two records' worth of trailer bytes after the datagram — the
+  // bytes the old decoder would have misread as flow records.
+  net::Bytes bytes = frame.data();
+  bytes.insert(bytes.end(), 2 * ExportRecord::size(), 0xee);
+  const net::Packet padded{bytes};
+  EXPECT_FALSE(FlowExporter::decode(padded).has_value());
+
+  // Positive control: the same datagram honestly claiming zero records
+  // decodes fine, trailer and all.
+  net::Bytes honest = bytes;
+  const std::size_t payload_offset =
+      net::parse_packet(honest).outer.payload_offset;
+  honest[payload_offset + 3] = 0;
+  const auto records = FlowExporter::decode(net::Packet{honest});
+  ASSERT_TRUE(records.has_value());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(FlowExporter, DecodeRejectsTruncatedUdpLength) {
+  net::Bytes payload(8);
+  net::write_be16(payload, 0, 0x4658);
+  payload[2] = 1;
+  payload[3] = 0;
+  net::write_be32(payload, 4, 0);
+  const auto frame =
+      net::PacketBuilder()
+          .ethernet(net::MacAddress::from_u64(0xc0),
+                    net::MacAddress::from_u64(0x02ee))
+          .ipv4(*net::Ipv4Address::parse("192.0.2.10"),
+                *net::Ipv4Address::parse("198.51.100.9"), net::IpProto::udp)
+          .udp(2055, 2055)
+          .payload(payload)
+          .build_packet();
+  // Corrupt the UDP length field so it cannot even cover the export header.
+  net::Bytes bytes = frame.data();
+  const std::size_t udp_offset = 14 + 20;  // eth + ipv4 (no options)
+  net::write_be16(bytes, udp_offset + 4, 9);
+  EXPECT_FALSE(FlowExporter::decode(net::Packet{bytes}).has_value());
 }
 
 TEST(FlowExporter, NoFlowStatsStageMeansNoExports) {

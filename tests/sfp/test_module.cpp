@@ -152,9 +152,87 @@ TEST(FlexSfpModule, MgmtFrameReachesControlPlaneAndAnswers) {
   EXPECT_TRUE(nat->translation_for(net::Ipv4Address{0x0a000001}).has_value());
 }
 
+TEST(FlexSfpModule, PpeFaultDegradesToPassthroughInsteadOfBlackHoling) {
+  Simulation sim;
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(),
+                       instant_config());
+  int out = 0;
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [&out](net::PacketPtr) { ++out; });
+  module.fault_ppe();
+  EXPECT_EQ(module.state(), ModuleState::degraded);
+  EXPECT_TRUE(module.is_degraded());
+  EXPECT_EQ(module.degradations(), 1u);
+  module.inject(FlexSfpModule::edge_port, data_packet());
+  sim.run();
+  // Degrade to dumb cable, never black-hole: the packet crossed.
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(module.packets_lost_while_dark(), 0u);
+  EXPECT_EQ(module.shell().degraded_forwards(), 1u);
+}
+
+TEST(FlexSfpModule, DegradeIsIdempotent) {
+  Simulation sim;
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(),
+                       instant_config());
+  module.fault_ppe();
+  module.fault_ppe();
+  EXPECT_EQ(module.degradations(), 1u);
+}
+
+TEST(FlexSfpModule, RebootFromGoldenRecoversDegradedModule) {
+  Simulation sim;
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(),
+                       instant_config());
+  int out = 0;
+  module.set_egress_handler(FlexSfpModule::optical_port,
+                            [&out](net::PacketPtr) { ++out; });
+  module.fault_ppe();
+  ASSERT_TRUE(module.reboot_from_golden());
+  sim.run();
+  EXPECT_EQ(module.state(), ModuleState::running);
+  EXPECT_FALSE(module.shell().degraded());
+  module.inject(FlexSfpModule::edge_port, data_packet());
+  sim.run();
+  EXPECT_EQ(out, 1);  // back through the PPE datapath
+  const auto snap = sim.metrics().snapshot();
+  EXPECT_EQ(snap.value("module.degraded{module=module}"), 0u);
+}
+
+TEST(FlexSfpModule, DegradedMgmtPathStaysAlive) {
+  Simulation sim;
+  FlexSfpConfig config = instant_config();
+  config.shell.module_mac = net::MacAddress::from_u64(0xee);
+  FlexSfpModule module(sim, std::make_unique<apps::StaticNat>(), config);
+  module.fault_ppe();
+
+  std::vector<net::PacketPtr> edge_out;
+  module.set_egress_handler(FlexSfpModule::edge_port,
+                            [&edge_out](net::PacketPtr p) {
+                              edge_out.push_back(std::move(p));
+                            });
+  MgmtRequest request;
+  request.seq = 4;
+  request.op = MgmtOp::ping;
+  request.value = 77;
+  auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+      config.shell.module_mac, net::MacAddress::from_u64(0x11),
+      request.serialize(config.auth_key)));
+  module.inject(FlexSfpModule::edge_port, std::move(frame));
+  sim.run();
+  ASSERT_EQ(edge_out.size(), 1u);
+  const auto body = mgmt_body(*edge_out[0]);
+  ASSERT_TRUE(body);
+  const auto response = MgmtResponse::parse(*body);
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->status, MgmtStatus::ok);
+  EXPECT_EQ(response->value, 77u);
+}
+
 TEST(ModuleStateStrings, Names) {
   EXPECT_EQ(to_string(ModuleState::running), "running");
   EXPECT_EQ(to_string(ModuleState::rebooting), "rebooting");
+  EXPECT_EQ(to_string(ModuleState::degraded), "degraded");
 }
 
 }  // namespace

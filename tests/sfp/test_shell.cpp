@@ -182,6 +182,46 @@ TEST(Shell, TwoWayCoreHasMoreGlueThanOneWay) {
   EXPECT_LT(two_glue.luts, 2 * one_glue.luts);
 }
 
+TEST(Shell, DegradedModeBypassesPpeBothDirections) {
+  ShellFixture fx(ShellKind::two_way_core);
+  fx.shell->set_degraded(true);
+  EXPECT_TRUE(fx.shell->degraded());
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.shell->inject(ArchitectureShell::optical_port, data_packet());
+  fx.sim.run();
+  // Dumb-cable cut-through: packets cross, the PPE never sees them.
+  EXPECT_EQ(fx.app_->processed, 0);
+  EXPECT_EQ(fx.optical_out, 1);
+  EXPECT_EQ(fx.edge_out, 1);
+  EXPECT_EQ(fx.shell->degraded_forwards(), 2u);
+}
+
+TEST(Shell, DegradedModeStillPuntsMgmtFrames) {
+  ShellFixture fx(ShellKind::one_way_filter);
+  fx.shell->set_degraded(true);
+  fx.shell->inject(ArchitectureShell::edge_port, mgmt_packet());
+  fx.sim.run();
+  // The Mi-V stays reachable so the module can be recovered in-band.
+  EXPECT_EQ(fx.control_rx, 1);
+  EXPECT_EQ(fx.shell->degraded_forwards(), 0u);
+}
+
+TEST(Shell, DegradedGaugeAndRecovery) {
+  ShellFixture fx(ShellKind::two_way_core);
+  fx.shell->set_degraded(true);
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.sim.run();
+  auto snap = fx.sim.metrics().snapshot();
+  EXPECT_EQ(snap.value("shell.degraded{shell=shell}"), 1u);
+  EXPECT_EQ(snap.value("shell.degraded_forwards{shell=shell}"), 1u);
+  fx.shell->set_degraded(false);
+  fx.shell->inject(ArchitectureShell::edge_port, data_packet());
+  fx.sim.run();
+  snap = fx.sim.metrics().snapshot();
+  EXPECT_EQ(snap.value("shell.degraded{shell=shell}"), 0u);
+  EXPECT_EQ(fx.app_->processed, 1);  // back through the PPE
+}
+
 TEST(ShellKindStrings, Names) {
   EXPECT_EQ(to_string(ShellKind::one_way_filter), "One-Way-Filter");
   EXPECT_EQ(to_string(ShellKind::two_way_core), "Two-Way-Core");

@@ -47,6 +47,18 @@ void usage(std::FILE* out) {
                "                       packet, 0 = off (default 16)\n"
                "  --flight <n>         flight-tail rows in the report\n"
                "                       (default 12)\n"
+               "  --faults             inject a canned chaos profile on the\n"
+               "                       ingress side and print the fault\n"
+               "                       ledger (1%% drop, 1e-7 BER, dup,\n"
+               "                       reorder, one mid-run flap)\n"
+               "  --drop <p>           per-packet random loss probability\n"
+               "  --ber <p>            per-bit corruption probability\n"
+               "  --dup <p>            per-packet duplication probability\n"
+               "  --reorder <p>        bounded-reorder probability\n"
+               "  --mgmt-loss <p>      targeted loss of management frames\n"
+               "  --flap <start:dur>   link-down window in microseconds\n"
+               "                       (repeatable)\n"
+               "  --fault-seed <n>     fault-stream seed (default 1)\n"
                "  --json               machine-readable report on stdout\n"
                "  --csv <metrics|flight>  raw CSV dump on stdout\n"
                "  -h, --help           this text\n");
@@ -75,6 +87,30 @@ bool parse_u64(const char* text, std::uint64_t& out) {
   return end != nullptr && *end == '\0' && end != text;
 }
 
+// "start:dur" in microseconds -> a FlapWindow in picoseconds.
+bool parse_flap(const char* text, sim::FlapWindow& out) {
+  char* end = nullptr;
+  const std::uint64_t start_us = std::strtoull(text, &end, 10);
+  if (end == text || *end != ':') return false;
+  const char* dur_text = end + 1;
+  const std::uint64_t dur_us = std::strtoull(dur_text, &end, 10);
+  if (end == dur_text || *end != '\0' || dur_us == 0) return false;
+  out.start = static_cast<sim::TimePs>(start_us) * 1'000'000;
+  out.duration = static_cast<sim::TimePs>(dur_us) * 1'000'000;
+  return true;
+}
+
+void print_fault_ledger(const char* port, const sim::FaultTally& tally) {
+  std::printf("%-14s %12llu %10llu %10llu %10llu %10llu %10llu %10llu\n",
+              port, static_cast<unsigned long long>(tally.delivered),
+              static_cast<unsigned long long>(tally.dropped),
+              static_cast<unsigned long long>(tally.target_dropped),
+              static_cast<unsigned long long>(tally.flap_dropped),
+              static_cast<unsigned long long>(tally.corrupted),
+              static_cast<unsigned long long>(tally.duplicated),
+              static_cast<unsigned long long>(tally.reordered));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +127,14 @@ int main(int argc, char** argv) {
   bool list_apps = false;
   bool json = false;
   std::string csv;
+  bool faults = false;
+  double drop_prob = -1.0;
+  double ber = -1.0;
+  double dup_prob = -1.0;
+  double reorder_prob = -1.0;
+  double mgmt_loss = -1.0;
+  std::vector<sim::FlapWindow> flaps;
+  std::uint64_t fault_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,6 +161,28 @@ int main(int argc, char** argv) {
       parse_u64(argv[++i], sample_every);
     } else if (arg == "--flight" && has_value) {
       parse_u64(argv[++i], flight_tail);
+    } else if (arg == "--faults") {
+      faults = true;
+    } else if (arg == "--drop" && has_value) {
+      drop_prob = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--ber" && has_value) {
+      ber = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--dup" && has_value) {
+      dup_prob = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--reorder" && has_value) {
+      reorder_prob = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--mgmt-loss" && has_value) {
+      mgmt_loss = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--flap" && has_value) {
+      sim::FlapWindow window;
+      if (!parse_flap(argv[++i], window)) {
+        std::fprintf(stderr,
+                     "flexsfp-stats: --flap takes '<start_us>:<dur_us>'\n");
+        return 2;
+      }
+      flaps.push_back(window);
+    } else if (arg == "--fault-seed" && has_value) {
+      parse_u64(argv[++i], fault_seed);
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--csv" && has_value) {
@@ -175,6 +241,38 @@ int main(int argc, char** argv) {
     fabric::TrafficSpec reverse = spec;
     reverse.seed = seed + 1;
     config.optical_traffic = reverse;
+  }
+
+  const bool fault_knob_given = drop_prob >= 0 || ber >= 0 || dup_prob >= 0 ||
+                                reorder_prob >= 0 || mgmt_loss >= 0 ||
+                                !flaps.empty();
+  if (faults || fault_knob_given) {
+    faults = true;
+    sim::FaultSpec fault_spec;
+    if (fault_knob_given) {
+      if (drop_prob >= 0) fault_spec.drop_prob = drop_prob;
+      if (ber >= 0) fault_spec.ber = ber;
+      if (dup_prob >= 0) fault_spec.duplicate_prob = dup_prob;
+      if (reorder_prob >= 0) fault_spec.reorder_prob = reorder_prob;
+      if (mgmt_loss >= 0) fault_spec.target_drop_prob = mgmt_loss;
+      fault_spec.flaps = flaps;
+    } else {
+      // Canned chaos profile: enough of everything to exercise each fault
+      // path, plus one link flap covering 10% of the run.
+      fault_spec.drop_prob = 0.01;
+      fault_spec.ber = 1e-7;
+      fault_spec.duplicate_prob = 0.005;
+      fault_spec.reorder_prob = 0.005;
+      fault_spec.flaps.push_back(
+          {spec.duration / 4, spec.duration / 10});
+    }
+    fault_spec.seed = fault_seed;
+    config.edge_faults = fault_spec;
+    if (two_way) {
+      sim::FaultSpec reverse_faults = fault_spec;
+      reverse_faults.seed = fault_seed + 1;
+      config.optical_faults = reverse_faults;
+    }
   }
 
   fabric::ModuleTestbed testbed(std::move(config), std::move(app));
@@ -278,6 +376,15 @@ int main(int argc, char** argv) {
                     result.optical_to_edge.received_packets),
                 result.optical_to_edge.loss_rate * 100.0,
                 result.optical_to_edge.latency_p99_ns);
+  }
+  if (faults) {
+    std::printf("\n%-14s %12s %10s %10s %10s %10s %10s %10s\n",
+                "fault ledger", "delivered", "dropped", "targeted", "flapped",
+                "corrupted", "duplicated", "reordered");
+    print_fault_ledger("edge", result.edge_fault_tally);
+    if (two_way) {
+      print_fault_ledger("optical", result.optical_fault_tally);
+    }
   }
   std::printf("dark drops=%llu, control punts=%llu, %zu series in snapshot\n",
               static_cast<unsigned long long>(
