@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +11,19 @@
 #include "obs/metrics.hpp"
 
 namespace flexsfp::bench {
+
+/// Repeat count for best-of-N timing loops: FLEXSFP_BENCH_REPEATS overrides
+/// the bench's default (clamped to [1, 1000]). Timing benches run their
+/// deterministic workload N times and report the fastest run — the one
+/// least disturbed by other tenants of the machine.
+inline int repeats_from_env(int fallback) {
+  const char* env = std::getenv("FLEXSFP_BENCH_REPEATS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long parsed = std::strtol(env, nullptr, 10);
+  if (parsed < 1) return 1;
+  if (parsed > 1000) return 1000;
+  return static_cast<int>(parsed);
+}
 
 inline void title(const std::string& text) {
   std::printf("\n=== %s ===\n\n", text.c_str());

@@ -127,12 +127,12 @@ int main() {
       sfp::MgmtRequest request;
       request.seq = static_cast<std::uint32_t>(i);
       request.op = sfp::MgmtOp::ping;
-      auto frame = std::make_shared<net::Packet>(sfp::make_mgmt_frame(
+      auto frame = net::make_packet(sfp::make_mgmt_frame(
           net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
           request.serialize(sfp::FlexSfpConfig{}.auth_key)));
       testbed.sim().schedule_at(i * 10'000'000, [&module, frame]() {
         module.inject(sfp::FlexSfpModule::edge_port,
-                      std::make_shared<net::Packet>(*frame));
+                      net::make_packet(*frame));
       });
     }
     const auto result = testbed.run();

@@ -75,8 +75,11 @@ int main(int argc, char** argv) {
               double(oracle.combined.events) / oracle.wall_seconds, "oracle");
 
   bool all_identical = true;
-  bench::Figures figures{{"shards", double(shards)},
-                         {"wall_seconds_seq", oracle.wall_seconds}};
+  bench::Figures figures{
+      {"shards", double(shards)},
+      {"wall_seconds_seq", oracle.wall_seconds},
+      {"events_per_sec_seq",
+       double(oracle.combined.events) / oracle.wall_seconds}};
   for (unsigned workers : {2u, 4u, 8u}) {
     if (workers > shards) break;
     config.workers = workers;
@@ -90,6 +93,8 @@ int main(int argc, char** argv) {
     all_identical = all_identical && same;
     figures.emplace_back("speedup_w" + std::to_string(workers),
                          oracle.wall_seconds / run.wall_seconds);
+    figures.emplace_back("events_per_sec_w" + std::to_string(workers),
+                         double(run.combined.events) / run.wall_seconds);
     std::printf("%-10u %12.3f %9.2fx %14.3g %12s\n", workers,
                 run.wall_seconds, oracle.wall_seconds / run.wall_seconds,
                 double(run.combined.events) / run.wall_seconds,
@@ -108,6 +113,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(oracle.combined.events));
 
   figures.emplace_back("events_total", double(oracle.combined.events));
+  figures.emplace_back("determinism_ok", all_identical ? 1.0 : 0.0);
   bench::write_bench_json("parallel_scaling", oracle.combined_metrics,
                           figures);
 

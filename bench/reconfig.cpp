@@ -48,12 +48,12 @@ int main() {
   TimePs when = 1'000'000;  // start 1 us in
   auto send = [&](sfp::MgmtRequest request) {
     request.seq = seq++;
-    auto frame = std::make_shared<net::Packet>(sfp::make_mgmt_frame(
+    auto frame = net::make_packet(sfp::make_mgmt_frame(
         net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
         request.serialize(key)));
     testbed.sim().schedule_at(when, [&module, frame]() {
       module.inject(sfp::FlexSfpModule::edge_port,
-                    std::make_shared<net::Packet>(*frame));
+                    net::make_packet(*frame));
     });
     when += 5'000'000;  // 5 us between requests
   };

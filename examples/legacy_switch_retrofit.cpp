@@ -82,7 +82,7 @@ int main() {
   const auto gw_mac = net::MacAddress::from_u64(0x0200000000fe);
   const auto a_mac = net::MacAddress::from_u64(0x02000000000a);
   // Teach the switch where the gateway lives (gratuitous frame from uplink).
-  sw.fiber_rx(2, std::make_shared<net::Packet>(
+  sw.fiber_rx(2, net::make_packet(
                      net::PacketBuilder()
                          .ethernet(net::MacAddress::broadcast(), gw_mac)
                          .ipv4(*net::Ipv4Address::parse("100.64.0.1"),
@@ -117,7 +117,7 @@ int main() {
       ++sent_web;
     }
     builder.payload_size(200);
-    auto packet = std::make_shared<net::Packet>(builder.build_packet());
+    auto packet = net::make_packet(builder.build_packet());
     packet->set_created_time_ps(sim.now());
     sw.fiber_rx(0, std::move(packet));
     sim.run();

@@ -30,7 +30,7 @@ int main() {
                             });
 
   // 3. Build a frame and inject it on the edge (host) side.
-  auto frame = std::make_shared<net::Packet>(
+  auto frame = net::make_packet(
       net::PacketBuilder()
           .ethernet(net::MacAddress::from_u64(0x0200deadbeef),
                     net::MacAddress::from_u64(0x0200cafef00d))

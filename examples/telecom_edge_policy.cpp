@@ -82,7 +82,7 @@ int main() {
   for (int i = 0; i < 20; ++i) {
     sim.schedule_at(static_cast<TimePs>(i) * 1'000'000'000,
                     [&module, &doh_sent, i]() {
-      auto packet = std::make_shared<net::Packet>(
+      auto packet = net::make_packet(
           net::PacketBuilder()
               .ethernet(net::MacAddress::from_u64(2),
                         net::MacAddress::from_u64(1))
@@ -106,7 +106,7 @@ int main() {
     request.table = "sanitizer.doh_resolvers";
     request.key = net::Ipv4Address::parse("9.9.9.9")->value();
     request.value = 1;
-    auto frame = std::make_shared<net::Packet>(sfp::make_mgmt_frame(
+    auto frame = net::make_packet(sfp::make_mgmt_frame(
         net::MacAddress::from_u64(0x02ee), net::MacAddress::from_u64(0x11),
         request.serialize(config.auth_key)));
     module.inject(sfp::FlexSfpModule::edge_port, std::move(frame));

@@ -9,7 +9,7 @@ SwitchOutputPort::SwitchOutputPort(sim::Simulation& sim, sim::DataRate rate,
     : sim::QueuedServer(sim, queue_capacity, "switch-port"), rate_(rate) {}
 
 sim::TimePs SwitchOutputPort::service_time(const net::Packet& packet) {
-  return rate_.serialization_time(packet.wire_size());
+  return rate_(packet.wire_size());
 }
 
 void SwitchOutputPort::finish(net::PacketPtr packet) {
@@ -111,8 +111,7 @@ void LegacySwitch::asic_rx(std::size_t ingress_port, net::PacketPtr packet) {
     ++flooded_;
     for (std::size_t port = 0; port < cages_.size(); ++port) {
       if (port == ingress_port || !cages_[port].occupied()) continue;
-      cages_[port].output->handle_packet(
-          std::make_shared<net::Packet>(*packet));
+      cages_[port].output->handle_packet(sim_.packet_pool().clone(*packet));
     }
   });
 }

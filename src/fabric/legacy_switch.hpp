@@ -28,7 +28,7 @@ class SwitchOutputPort final : public sim::QueuedServer {
   void finish(net::PacketPtr packet) override;
 
  private:
-  sim::DataRate rate_;
+  sim::SerializationTimer rate_;
   std::function<void(net::PacketPtr)> output_;
 };
 

@@ -69,7 +69,7 @@ void FleetOrchestrator::submit(const std::string& module,
 
 void FleetOrchestrator::transmit(const Outstanding& entry) {
   const Module& module = modules_.at(entry.module);
-  auto frame = std::make_shared<net::Packet>(sfp::make_mgmt_frame(
+  auto frame = sim_.packet_pool().make_from(sfp::make_mgmt_frame(
       module.mac, config_.mac, entry.request.serialize(config_.key)));
   ++sent_;
   module.transmit(std::move(frame));

@@ -19,7 +19,8 @@ TrafficGen::TrafficGen(sim::Simulation& sim, TrafficSpec spec,
       spec_(spec),
       output_(output),
       rng_(spec.seed),
-      flow_dist_(std::max<std::size_t>(spec.flow_count, 1), spec.zipf_skew) {
+      flow_dist_(std::max<std::size_t>(spec.flow_count, 1), spec.zipf_skew),
+      wire_time_(spec.rate) {
   const std::string name = sim_.metrics().unique_name("gen");
   meter_.bind(sim_.metrics(), "gen.emitted", {{"gen", name}});
   flight_stage_ = sim_.flight().register_stage(name);
@@ -56,9 +57,50 @@ std::size_t TrafficGen::next_size() {
   return spec_.fixed_size;
 }
 
+void TrafficGen::build_frame(std::size_t frame_size,
+                             const net::FiveTuple& tuple, net::Bytes& out) {
+  builder_.reset();
+  builder_.ethernet(spec_.dst_mac, spec_.src_mac);
+  const auto proto = static_cast<net::IpProto>(tuple.protocol);
+  builder_.ipv4(tuple.src, tuple.dst, proto);
+  if (proto == net::IpProto::tcp) {
+    builder_.tcp(tuple.src_port, tuple.dst_port);
+  } else {
+    builder_.udp(tuple.src_port, tuple.dst_port);
+  }
+  // Fill to the chosen frame size (headers included).
+  const std::size_t header_bytes =
+      net::EthernetHeader::size() + net::Ipv4Header::min_size() +
+      (proto == net::IpProto::tcp ? net::TcpHeader::min_size()
+                                  : net::UdpHeader::size());
+  builder_.payload_size(frame_size > header_bytes ? frame_size - header_bytes
+                                                  : 0);
+  builder_.min_frame_size(std::max<std::size_t>(frame_size, 60));
+  builder_.build_into(out);
+}
+
+const net::Bytes* TrafficGen::frame_template(std::size_t rank,
+                                             std::size_t frame_size,
+                                             const net::FiveTuple& tuple) {
+  // Uniform sizes would need a template per (flow, size) pair — far too
+  // many distinct frames to be worth keeping.
+  if (spec_.sizes == SizeDistribution::uniform) return nullptr;
+  // Only the Zipf head earns a template: a tail rank may be sampled once
+  // per run, and building its template would be a pure allocation tax on
+  // the steady-state allocs/packet figure the hotpath_alloc gate watches.
+  if (rank > kTemplateMaxRank) return nullptr;
+  const std::uint64_t key = (std::uint64_t{rank} << 16) | frame_size;
+  const auto it = frame_templates_.find(key);
+  if (it != frame_templates_.end()) return &it->second;
+  if (template_bytes_ >= template_budget_bytes) return nullptr;
+  net::Bytes& slot = frame_templates_[key];
+  build_frame(frame_size, tuple, slot);
+  template_bytes_ += slot.size();
+  return &slot;
+}
+
 sim::TimePs TrafficGen::gap_after(std::size_t frame_bytes) {
-  const sim::TimePs wire_time =
-      spec_.rate.serialization_time(frame_bytes + 24);
+  const sim::TimePs wire_time = wire_time_(frame_bytes + 24);
   if (spec_.arrivals == ArrivalProcess::cbr) return wire_time;
   return static_cast<sim::TimePs>(rng_.exponential(double(wire_time)));
 }
@@ -74,25 +116,12 @@ void TrafficGen::emit() {
   const std::size_t rank = flow_dist_.sample(rng_);
   const net::FiveTuple tuple = flow_tuple(rank);
 
-  net::PacketBuilder builder;
-  builder.ethernet(spec_.dst_mac, spec_.src_mac);
-  const auto proto = static_cast<net::IpProto>(tuple.protocol);
-  builder.ipv4(tuple.src, tuple.dst, proto);
-  if (proto == net::IpProto::tcp) {
-    builder.tcp(tuple.src_port, tuple.dst_port);
+  net::PacketPtr packet = sim_.packet_pool().make();
+  if (const net::Bytes* tmpl = frame_template(rank, frame_size, tuple)) {
+    packet->data() = *tmpl;  // copy-assign reuses the pooled capacity
   } else {
-    builder.udp(tuple.src_port, tuple.dst_port);
+    build_frame(frame_size, tuple, packet->data());
   }
-  // Fill to the chosen frame size (headers included).
-  const std::size_t header_bytes =
-      net::EthernetHeader::size() + net::Ipv4Header::min_size() +
-      (proto == net::IpProto::tcp ? net::TcpHeader::min_size()
-                                  : net::UdpHeader::size());
-  builder.payload_size(frame_size > header_bytes ? frame_size - header_bytes
-                                                 : 0);
-  builder.min_frame_size(std::max<std::size_t>(frame_size, 60));
-
-  auto packet = std::make_shared<net::Packet>(builder.build_packet());
   packet->set_id(sim_.next_packet_id());
   packet->set_created_time_ps(sim_.now());
   meter_.record(packet->size());

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <optional>
+#include <unordered_map>
 
 #include "net/builder.hpp"
 #include "sim/random.hpp"
@@ -69,13 +70,38 @@ class TrafficGen {
   void emit();
   [[nodiscard]] std::size_t next_size();
   [[nodiscard]] sim::TimePs gap_after(std::size_t frame_bytes);
+  /// Assemble the frame for (`frame_size`, `tuple`) into `out`.
+  void build_frame(std::size_t frame_size, const net::FiveTuple& tuple,
+                   net::Bytes& out);
+  /// Cached frame bytes for (`rank`, `frame_size`), built on first use, or
+  /// nullptr when this stream's frames aren't worth caching (uniform sizes)
+  /// or the cache budget is spent. Frame bytes are a pure function of rank
+  /// and size, so replaying the template is bit-exact.
+  [[nodiscard]] const net::Bytes* frame_template(std::size_t rank,
+                                                 std::size_t frame_size,
+                                                 const net::FiveTuple& tuple);
 
   sim::Simulation& sim_;
   TrafficSpec spec_;
   sim::PacketHandler& output_;
   sim::Rng rng_;
   sim::ZipfDistribution flow_dist_;
+  sim::SerializationTimer wire_time_{};
   sim::TrafficMeter meter_;
+  /// Reused across emits so steady-state frame assembly into pooled
+  /// packets allocates nothing.
+  net::PacketBuilder builder_;
+  /// (rank << 16 | frame_size) -> assembled frame, the pktgen template
+  /// trick: steady-state emits memcpy a prebuilt frame instead of
+  /// re-running header serialization and checksums.
+  std::unordered_map<std::uint64_t, net::Bytes> frame_templates_;
+  std::size_t template_bytes_ = 0;
+  static constexpr std::size_t template_budget_bytes = 8u << 20;
+  /// Templates are kept only for the Zipf head (ranks are 1-based, most
+  /// popular first): under skew 1.0 the first 128 ranks carry ~70% of the
+  /// packets, while a tail rank may appear once per run and its template
+  /// would be a pure allocation tax.
+  static constexpr std::size_t kTemplateMaxRank = 128;
   std::uint16_t flight_stage_ = 0;
   std::size_t imix_cursor_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "net/builder.hpp"
 
+#include <array>
+#include <cstring>
 #include <stdexcept>
 
 #include "net/checksum.hpp"
@@ -93,9 +95,19 @@ PacketBuilder& PacketBuilder::payload(Bytes bytes) {
 }
 
 PacketBuilder& PacketBuilder::payload_size(std::size_t size) {
+  // The pattern has period 256 and every chunk below starts at a multiple
+  // of 256, so block-copying a prebuilt table reproduces (i & 0xff) exactly.
+  static constexpr auto pattern = [] {
+    std::array<std::uint8_t, 256> table{};
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      table[i] = static_cast<std::uint8_t>(i);
+    }
+    return table;
+  }();
   payload_.resize(size);
-  for (std::size_t i = 0; i < size; ++i) {
-    payload_[i] = static_cast<std::uint8_t>(i & 0xff);
+  for (std::size_t i = 0; i < size; i += pattern.size()) {
+    std::memcpy(payload_.data() + i, pattern.data(),
+                std::min(pattern.size(), size - i));
   }
   return *this;
 }
@@ -106,6 +118,26 @@ PacketBuilder& PacketBuilder::min_frame_size(std::size_t size) {
 }
 
 Bytes PacketBuilder::build() const {
+  Bytes frame;
+  build_into(frame);
+  return frame;
+}
+
+PacketBuilder& PacketBuilder::reset() {
+  eth_.reset();
+  vlans_.clear();
+  qinq_outer_ = false;
+  ipv4_.reset();
+  ipv6_.reset();
+  udp_.reset();
+  tcp_.reset();
+  icmp_.reset();
+  payload_.clear();  // capacity survives for the next payload_size()
+  min_frame_ = 60;
+  return *this;
+}
+
+void PacketBuilder::build_into(Bytes& frame) const {
   if (!eth_) throw std::logic_error("PacketBuilder: ethernet layer required");
 
   std::size_t l4_size = 0;
@@ -122,7 +154,7 @@ Bytes PacketBuilder::build() const {
   const std::size_t total =
       l2_size + l3_size + l4_size + payload_.size();
 
-  Bytes frame(std::max(total, min_frame_), 0);
+  frame.assign(std::max(total, min_frame_), 0);
 
   // Ethernet (+ VLAN stack): chain the ether types.
   EthernetHeader eth = *eth_;
@@ -217,8 +249,6 @@ Bytes PacketBuilder::build() const {
     const std::uint16_t checksum = internet_checksum(covered);
     write_be16(frame, l4_offset + 2, checksum);
   }
-
-  return frame;
 }
 
 Packet PacketBuilder::build_packet() const { return Packet{build()}; }

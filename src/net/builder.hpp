@@ -42,6 +42,14 @@ class PacketBuilder {
   /// after configuration.
   [[nodiscard]] Bytes build() const;
   [[nodiscard]] Packet build_packet() const;
+  /// build() into an existing buffer, reusing its capacity — the
+  /// allocation-free path for pooled packets (TrafficGen's steady state).
+  void build_into(Bytes& frame) const;
+
+  /// Forget every configured layer but keep the payload buffer's capacity,
+  /// so one builder instance can assemble a frame per packet without
+  /// touching the allocator.
+  PacketBuilder& reset();
 
  private:
   std::optional<EthernetHeader> eth_;

@@ -6,68 +6,11 @@
 
 namespace flexsfp::net {
 
-namespace {
-
-void check_range(std::size_t size, std::size_t offset, std::size_t width) {
-  if (offset + width > size) {
-    throw std::out_of_range("byte access at offset " + std::to_string(offset) +
-                            " width " + std::to_string(width) +
-                            " exceeds buffer of " + std::to_string(size));
-  }
-}
-
-}  // namespace
-
-std::uint8_t read_u8(BytesView data, std::size_t offset) {
-  check_range(data.size(), offset, 1);
-  return data[offset];
-}
-
-std::uint16_t read_be16(BytesView data, std::size_t offset) {
-  check_range(data.size(), offset, 2);
-  return static_cast<std::uint16_t>((data[offset] << 8) | data[offset + 1]);
-}
-
-std::uint32_t read_be32(BytesView data, std::size_t offset) {
-  check_range(data.size(), offset, 4);
-  return (static_cast<std::uint32_t>(data[offset]) << 24) |
-         (static_cast<std::uint32_t>(data[offset + 1]) << 16) |
-         (static_cast<std::uint32_t>(data[offset + 2]) << 8) |
-         static_cast<std::uint32_t>(data[offset + 3]);
-}
-
-std::uint64_t read_be64(BytesView data, std::size_t offset) {
-  check_range(data.size(), offset, 8);
-  std::uint64_t value = 0;
-  for (std::size_t i = 0; i < 8; ++i) {
-    value = (value << 8) | data[offset + i];
-  }
-  return value;
-}
-
-void write_u8(BytesSpan data, std::size_t offset, std::uint8_t value) {
-  check_range(data.size(), offset, 1);
-  data[offset] = value;
-}
-
-void write_be16(BytesSpan data, std::size_t offset, std::uint16_t value) {
-  check_range(data.size(), offset, 2);
-  data[offset] = static_cast<std::uint8_t>(value >> 8);
-  data[offset + 1] = static_cast<std::uint8_t>(value & 0xff);
-}
-
-void write_be32(BytesSpan data, std::size_t offset, std::uint32_t value) {
-  check_range(data.size(), offset, 4);
-  for (std::size_t i = 0; i < 4; ++i) {
-    data[offset + i] = static_cast<std::uint8_t>(value >> (24 - 8 * i));
-  }
-}
-
-void write_be64(BytesSpan data, std::size_t offset, std::uint64_t value) {
-  check_range(data.size(), offset, 8);
-  for (std::size_t i = 0; i < 8; ++i) {
-    data[offset + i] = static_cast<std::uint8_t>(value >> (56 - 8 * i));
-  }
+void detail::throw_byte_range(std::size_t size, std::size_t offset,
+                              std::size_t width) {
+  throw std::out_of_range("byte access at offset " + std::to_string(offset) +
+                          " width " + std::to_string(width) +
+                          " exceeds buffer of " + std::to_string(size));
 }
 
 std::string hex_dump(BytesView data) {

@@ -3,6 +3,12 @@
 // All multi-byte protocol fields on the wire are big-endian; the helpers here
 // convert between host integers and network byte order at explicit offsets so
 // header code never does manual shifting.
+//
+// The accessors are defined inline: parsing and serialization call them tens
+// of times per packet, and an out-of-line call (plus span materialization)
+// per field dominated the simulation hot path. Only the failure path — a
+// descriptive std::out_of_range — stays out of line, keeping the inlined
+// fast path to a compare-and-branch.
 #pragma once
 
 #include <cstddef>
@@ -17,19 +23,79 @@ using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
 using BytesSpan = std::span<std::uint8_t>;
 
+namespace detail {
+[[noreturn]] void throw_byte_range(std::size_t size, std::size_t offset,
+                                   std::size_t width);
+
+inline void check_range(std::size_t size, std::size_t offset,
+                        std::size_t width) {
+  if (offset + width > size) [[unlikely]] {
+    throw_byte_range(size, offset, width);
+  }
+}
+}  // namespace detail
+
 /// Read a big-endian unsigned integer of width N bytes at `offset`.
 /// Precondition: offset + N <= data.size() (checked, throws std::out_of_range).
-[[nodiscard]] std::uint8_t read_u8(BytesView data, std::size_t offset);
-[[nodiscard]] std::uint16_t read_be16(BytesView data, std::size_t offset);
-[[nodiscard]] std::uint32_t read_be32(BytesView data, std::size_t offset);
-[[nodiscard]] std::uint64_t read_be64(BytesView data, std::size_t offset);
+[[nodiscard]] inline std::uint8_t read_u8(BytesView data, std::size_t offset) {
+  detail::check_range(data.size(), offset, 1);
+  return data[offset];
+}
+
+[[nodiscard]] inline std::uint16_t read_be16(BytesView data,
+                                             std::size_t offset) {
+  detail::check_range(data.size(), offset, 2);
+  return static_cast<std::uint16_t>((data[offset] << 8) | data[offset + 1]);
+}
+
+[[nodiscard]] inline std::uint32_t read_be32(BytesView data,
+                                             std::size_t offset) {
+  detail::check_range(data.size(), offset, 4);
+  return (static_cast<std::uint32_t>(data[offset]) << 24) |
+         (static_cast<std::uint32_t>(data[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(data[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(data[offset + 3]);
+}
+
+[[nodiscard]] inline std::uint64_t read_be64(BytesView data,
+                                             std::size_t offset) {
+  detail::check_range(data.size(), offset, 8);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    value = (value << 8) | data[offset + i];
+  }
+  return value;
+}
 
 /// Write a big-endian unsigned integer at `offset` (throws std::out_of_range
 /// when the write would not fit).
-void write_u8(BytesSpan data, std::size_t offset, std::uint8_t value);
-void write_be16(BytesSpan data, std::size_t offset, std::uint16_t value);
-void write_be32(BytesSpan data, std::size_t offset, std::uint32_t value);
-void write_be64(BytesSpan data, std::size_t offset, std::uint64_t value);
+inline void write_u8(BytesSpan data, std::size_t offset, std::uint8_t value) {
+  detail::check_range(data.size(), offset, 1);
+  data[offset] = value;
+}
+
+inline void write_be16(BytesSpan data, std::size_t offset,
+                       std::uint16_t value) {
+  detail::check_range(data.size(), offset, 2);
+  data[offset] = static_cast<std::uint8_t>(value >> 8);
+  data[offset + 1] = static_cast<std::uint8_t>(value & 0xff);
+}
+
+inline void write_be32(BytesSpan data, std::size_t offset,
+                       std::uint32_t value) {
+  detail::check_range(data.size(), offset, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    data[offset + i] = static_cast<std::uint8_t>(value >> (24 - 8 * i));
+  }
+}
+
+inline void write_be64(BytesSpan data, std::size_t offset,
+                       std::uint64_t value) {
+  detail::check_range(data.size(), offset, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    data[offset + i] = static_cast<std::uint8_t>(value >> (56 - 8 * i));
+  }
+}
 
 /// Render `data` as the conventional two-digit-hex dump, 16 bytes per line,
 /// with an ASCII gutter. Intended for diagnostics and example output.

@@ -18,55 +18,6 @@ FiveTuple FiveTuple::canonical() const {
   return fwd <= rev ? *this : reversed();
 }
 
-std::uint64_t fnv1a(BytesView data) {
-  std::uint64_t hash = 0xcbf29ce484222325ull;
-  for (const auto byte : data) {
-    hash ^= byte;
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
-std::uint64_t fnv1a_u64(std::uint64_t value) {
-  std::uint8_t bytes[8];
-  for (int i = 0; i < 8; ++i) {
-    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
-  }
-  return fnv1a(BytesView{bytes, 8});
-}
-
-namespace {
-
-std::uint64_t fmix64(std::uint64_t k) {
-  k ^= k >> 33;
-  k *= 0xff51afd7ed558ccdull;
-  k ^= k >> 33;
-  k *= 0xc4ceb9fe1a85ec53ull;
-  k ^= k >> 33;
-  return k;
-}
-
-}  // namespace
-
-std::uint64_t murmur3_64(BytesView data, std::uint64_t seed) {
-  // A streamlined variant of MurmurHash3 x64: 8-byte blocks mixed with the
-  // x64 finalizer. Chosen for avalanche quality, not wire compatibility.
-  std::uint64_t hash = seed ^ (data.size() * 0x87c37b91114253d5ull);
-  std::size_t i = 0;
-  for (; i + 8 <= data.size(); i += 8) {
-    std::uint64_t block = 0;
-    for (std::size_t j = 0; j < 8; ++j) {
-      block |= std::uint64_t{data[i + j]} << (8 * j);
-    }
-    hash = fmix64(hash ^ block) * 0x5bd1e9955bd1e995ull;
-  }
-  std::uint64_t tail = 0;
-  for (std::size_t j = 0; i + j < data.size(); ++j) {
-    tail |= std::uint64_t{data[i + j]} << (8 * j);
-  }
-  return fmix64(hash ^ tail);
-}
-
 ToeplitzHash::ToeplitzHash(Bytes key) : key_(std::move(key)) {}
 
 ToeplitzHash ToeplitzHash::symmetric() {

@@ -30,14 +30,59 @@ struct FiveTuple {
 };
 
 /// FNV-1a: the cheapest hash; one multiply per byte, maps to a tiny
-/// LUT budget, used where quality requirements are modest.
-[[nodiscard]] std::uint64_t fnv1a(BytesView data);
-[[nodiscard]] std::uint64_t fnv1a_u64(std::uint64_t value);
+/// LUT budget, used where quality requirements are modest. Inline: the
+/// u64 form runs per packet in table lookups and sampling decisions.
+[[nodiscard]] inline std::uint64_t fnv1a(BytesView data) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const auto byte : data) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+[[nodiscard]] inline std::uint64_t fnv1a_u64(std::uint64_t value) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= static_cast<std::uint8_t>(value >> (8 * i));
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace detail {
+[[nodiscard]] inline std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+}  // namespace detail
 
 /// MurmurHash3 x64 finalizer-based 64-bit hash; good avalanche at a cost a
-/// small FPGA pipeline can still afford. Used by exact-match tables.
-[[nodiscard]] std::uint64_t murmur3_64(BytesView data,
-                                       std::uint64_t seed = 0);
+/// small FPGA pipeline can still afford. Used by exact-match tables (one
+/// hash per table probe on the per-packet path, hence inline).
+///
+/// A streamlined variant of MurmurHash3 x64: 8-byte blocks mixed with the
+/// x64 finalizer. Chosen for avalanche quality, not wire compatibility.
+[[nodiscard]] inline std::uint64_t murmur3_64(BytesView data,
+                                              std::uint64_t seed = 0) {
+  std::uint64_t hash = seed ^ (data.size() * 0x87c37b91114253d5ull);
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t block = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      block |= std::uint64_t{data[i + j]} << (8 * j);
+    }
+    hash = detail::fmix64(hash ^ block) * 0x5bd1e9955bd1e995ull;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t j = 0; i + j < data.size(); ++j) {
+    tail |= std::uint64_t{data[i + j]} << (8 * j);
+  }
+  return detail::fmix64(hash ^ tail);
+}
 
 /// Toeplitz hash (the RSS hash NICs implement in silicon); symmetric when
 /// used with a symmetric key. Used by the load-balancer app so both

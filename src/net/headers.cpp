@@ -1,5 +1,6 @@
 #include "net/headers.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "net/checksum.hpp"
@@ -122,11 +123,13 @@ void Ipv4Header::serialize_to(BytesSpan data, std::size_t offset) const {
 }
 
 std::uint16_t Ipv4Header::compute_checksum() const {
-  Bytes scratch(size(), 0);
+  // IHL caps the header at 60 bytes, so the scratch serialization lives on
+  // the stack — this runs once per built packet and must not allocate.
+  std::array<std::uint8_t, 60> scratch{};
   Ipv4Header copy = *this;
   copy.checksum = 0;
-  copy.serialize_to(scratch, 0);
-  return internet_checksum(scratch);
+  copy.serialize_to(BytesSpan{scratch.data(), size()}, 0);
+  return internet_checksum(BytesView{scratch.data(), size()});
 }
 
 std::optional<Ipv6Header> Ipv6Header::parse(BytesView data,

@@ -1,13 +1,31 @@
 // The unit of work that flows through the simulated datapath.
+//
+// Packets are intrusively refcounted and normally live in a PacketPool
+// (net/packet_pool.hpp): PacketPtr is the pool-aware smart pointer behind
+// which the whole datapath already programs, and releasing the last
+// reference returns the buffer — payload capacity included — to its pool's
+// free list instead of the heap. The refcount is deliberately non-atomic:
+// a packet belongs to exactly one shard (one Simulation, one thread) at a
+// time, and the only cross-thread handoff in the codebase is the parallel
+// testbed's join barrier, which synchronizes. See DESIGN.md §9.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <utility>
 
 #include "net/bytes.hpp"
 
 namespace flexsfp::net {
+
+class Packet;
+class PacketPool;
+
+namespace detail {
+struct PacketPoolCore;
+/// Out-of-line last-reference path: recycle into the owning pool, or plain
+/// delete for heap-fallback and orphaned packets.
+void release_packet(Packet* packet);
+}  // namespace detail
 
 /// Monotonic per-simulation packet identity, handy for tracing.
 using PacketId = std::uint64_t;
@@ -18,6 +36,22 @@ class Packet {
  public:
   Packet() = default;
   explicit Packet(Bytes data) : data_(std::move(data)) {}
+  /// Copying duplicates the wire bytes and metadata but never the intrusive
+  /// bookkeeping — the copy starts unreferenced and pool-less.
+  Packet(const Packet& other) : data_(other.data_) { copy_metadata(other); }
+  Packet& operator=(const Packet& other) {
+    data_ = other.data_;
+    copy_metadata(other);
+    return *this;
+  }
+  Packet(Packet&& other) noexcept : data_(std::move(other.data_)) {
+    copy_metadata(other);
+  }
+  Packet& operator=(Packet&& other) noexcept {
+    data_ = std::move(other.data_);
+    copy_metadata(other);
+    return *this;
+  }
 
   [[nodiscard]] const Bytes& data() const { return data_; }
   [[nodiscard]] Bytes& data() { return data_; }
@@ -58,18 +92,100 @@ class Packet {
   void set_user_metadata(std::uint64_t v) { user_metadata_ = v; }
 
  private:
+  friend class PacketPtr;
+  friend class PacketPool;
+  friend void detail::release_packet(Packet* packet);
+
+  void copy_metadata(const Packet& other) {
+    id_ = other.id_;
+    ingress_time_ps_ = other.ingress_time_ps_;
+    created_time_ps_ = other.created_time_ps_;
+    ingress_port_ = other.ingress_port_;
+    user_metadata_ = other.user_metadata_;
+  }
+
+  /// Scrub simulation state before the buffer re-enters the free list. The
+  /// payload vector is cleared, not shrunk — capacity reuse is the point.
+  void reset_for_reuse() {
+    data_.clear();
+    id_ = 0;
+    ingress_time_ps_ = 0;
+    created_time_ps_ = 0;
+    ingress_port_ = 0;
+    user_metadata_ = 0;
+  }
+
   Bytes data_;
   PacketId id_ = 0;
   std::int64_t ingress_time_ps_ = 0;
   std::int64_t created_time_ps_ = 0;
   int ingress_port_ = 0;
   std::uint64_t user_metadata_ = 0;
+  // Intrusive bookkeeping (owned by PacketPtr / PacketPool, never copied).
+  std::uint32_t refs_ = 0;
+  detail::PacketPoolCore* pool_core_ = nullptr;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+/// Intrusive, pool-aware shared handle with the std::shared_ptr surface the
+/// call sites use (copy/move, ->, *, bool, get, reset, use_count). The
+/// count is not atomic — see the Packet class comment for the ownership
+/// rule that makes that safe.
+class PacketPtr {
+ public:
+  PacketPtr() = default;
+  PacketPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  PacketPtr(const PacketPtr& other) : packet_(other.packet_) {
+    if (packet_ != nullptr) ++packet_->refs_;
+  }
+  PacketPtr(PacketPtr&& other) noexcept : packet_(other.packet_) {
+    other.packet_ = nullptr;
+  }
+  PacketPtr& operator=(const PacketPtr& other) {
+    PacketPtr(other).swap(*this);
+    return *this;
+  }
+  PacketPtr& operator=(PacketPtr&& other) noexcept {
+    PacketPtr(std::move(other)).swap(*this);
+    return *this;
+  }
+  ~PacketPtr() {
+    if (packet_ != nullptr && --packet_->refs_ == 0) {
+      detail::release_packet(packet_);
+    }
+  }
 
-[[nodiscard]] inline PacketPtr make_packet(Bytes data) {
-  return std::make_shared<Packet>(std::move(data));
-}
+  /// Wrap a packet whose refcount is already 1 (pool allocation path).
+  [[nodiscard]] static PacketPtr adopt(Packet* packet) {
+    PacketPtr ptr;
+    ptr.packet_ = packet;
+    return ptr;
+  }
+
+  [[nodiscard]] Packet* get() const { return packet_; }
+  [[nodiscard]] Packet& operator*() const { return *packet_; }
+  [[nodiscard]] Packet* operator->() const { return packet_; }
+  [[nodiscard]] explicit operator bool() const { return packet_ != nullptr; }
+  [[nodiscard]] std::uint32_t use_count() const {
+    return packet_ != nullptr ? packet_->refs_ : 0;
+  }
+  void reset() { PacketPtr().swap(*this); }
+  void swap(PacketPtr& other) noexcept { std::swap(packet_, other.packet_); }
+
+  friend bool operator==(const PacketPtr& a, const PacketPtr& b) {
+    return a.packet_ == b.packet_;
+  }
+  friend bool operator==(const PacketPtr& a, std::nullptr_t) {
+    return a.packet_ == nullptr;
+  }
+
+ private:
+  Packet* packet_ = nullptr;
+};
+
+/// Wrap `data` in a pooled packet from the calling thread's fallback pool.
+/// Components that run inside a Simulation should prefer
+/// sim.packet_pool().make() so the allocation is accounted per shard.
+[[nodiscard]] PacketPtr make_packet(Bytes data = {});
+[[nodiscard]] PacketPtr make_packet(Packet frame);
 
 }  // namespace flexsfp::net

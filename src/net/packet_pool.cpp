@@ -1,0 +1,115 @@
+#include "net/packet_pool.hpp"
+
+namespace flexsfp::net {
+
+namespace detail {
+
+void release_packet(Packet* packet) {
+  PacketPoolCore* core = packet->pool_core_;
+  if (core == nullptr) {
+    delete packet;  // heap-fallback packet, never pooled
+    return;
+  }
+  --core->outstanding;
+  if (core->orphaned) {
+    delete packet;
+    if (core->outstanding == 0) delete core;
+  } else {
+    packet->reset_for_reuse();
+    core->free_list.push_back(packet);
+  }
+}
+
+}  // namespace detail
+
+PacketPool::PacketPool(std::size_t capacity)
+    : core_(new detail::PacketPoolCore) {
+  core_->limit = capacity;
+  core_->free_list.reserve(capacity);
+}
+
+PacketPool::~PacketPool() {
+  for (Packet* packet : core_->free_list) delete packet;
+  core_->pooled_total -= core_->free_list.size();
+  core_->free_list.clear();
+  core_->free_list.shrink_to_fit();
+  if (core_->outstanding == 0) {
+    delete core_;
+  } else {
+    // In-flight packets (e.g. delivered frames retained in results) still
+    // point here; the last release frees the core.
+    core_->orphaned = true;
+  }
+}
+
+PacketPtr PacketPool::make() {
+  Packet* packet = nullptr;
+  if (!core_->free_list.empty()) {
+    packet = core_->free_list.back();
+    core_->free_list.pop_back();
+    ++core_->reused;
+  } else if (core_->pooled_total < core_->limit) {
+    packet = new Packet();
+    packet->pool_core_ = core_;
+    ++core_->pooled_total;
+    ++core_->fresh;
+  } else {
+    packet = new Packet();  // exhausted: plain heap, freed on release
+    ++core_->heap_fallbacks;
+  }
+  ++core_->made;
+  if (packet->pool_core_ != nullptr) {
+    ++core_->outstanding;
+    if (core_->outstanding > core_->high_watermark) {
+      core_->high_watermark = core_->outstanding;
+    }
+  }
+  packet->refs_ = 1;
+  return PacketPtr::adopt(packet);
+}
+
+PacketPtr PacketPool::make(Bytes data) {
+  PacketPtr packet = make();
+  packet->data() = std::move(data);
+  return packet;
+}
+
+PacketPtr PacketPool::clone(const Packet& src) {
+  PacketPtr packet = make();
+  *packet = src;  // bytes + metadata; intrusive bookkeeping stays the pool's
+  return packet;
+}
+
+PacketPtr PacketPool::make_from(Packet frame) {
+  PacketPtr packet = make();
+  *packet = std::move(frame);
+  return packet;
+}
+
+PacketPool::Stats PacketPool::stats() const {
+  Stats stats;
+  stats.made = core_->made;
+  stats.reused = core_->reused;
+  stats.fresh = core_->fresh;
+  stats.heap_fallbacks = core_->heap_fallbacks;
+  stats.in_use = core_->outstanding;
+  stats.free_count = core_->free_list.size();
+  stats.high_watermark = core_->high_watermark;
+  stats.capacity = core_->limit;
+  return stats;
+}
+
+PacketPool& PacketPool::local() {
+  static thread_local PacketPool pool;
+  return pool;
+}
+
+PacketPtr make_packet(Packet frame) {
+  return PacketPool::local().make_from(std::move(frame));
+}
+
+PacketPtr make_packet(Bytes data) {
+  return PacketPool::local().make(std::move(data));
+}
+
+}  // namespace flexsfp::net

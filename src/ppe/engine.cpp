@@ -61,9 +61,13 @@ std::uint64_t Engine::sum(const std::vector<obs::MetricId>& ids) const {
 }
 
 sim::TimePs Engine::service_time(const net::Packet& packet) {
-  const std::uint64_t beats = std::max<std::uint64_t>(
-      datapath_.beats_for(packet.size()), 1);
-  return datapath_.clock.cycles_to_time(beats);
+  if (packet.size() != last_size_) {
+    last_size_ = packet.size();
+    const std::uint64_t beats = std::max<std::uint64_t>(
+        datapath_.beats_for(packet.size()), 1);
+    last_service_ = datapath_.clock.cycles_to_time(beats);
+  }
+  return last_service_;
 }
 
 void Engine::finish(net::PacketPtr packet) {
@@ -71,7 +75,7 @@ void Engine::finish(net::PacketPtr packet) {
   const Verdict verdict = app_->process(ctx);
 
   if (ctx.mirror_requested() && control_) {
-    control_(std::make_shared<net::Packet>(*packet));
+    control_(sim().packet_pool().clone(*packet));
   }
 
   // The packet leaves the pipeline pipeline-depth cycles after its last

@@ -70,6 +70,10 @@ class Engine final : public sim::QueuedServer {
 
   PpeAppPtr app_;
   hw::DatapathConfig datapath_;
+  // One-entry memo over the size -> service-time arithmetic (cycles_to_time
+  // divides to derive the cycle period); sizes repeat across packets.
+  std::size_t last_size_ = ~std::size_t{0};
+  sim::TimePs last_service_ = 0;
   std::function<void(net::PacketPtr)> forward_;
   std::function<void(net::PacketPtr)> control_;
   sim::LatencyHistogram latency_;

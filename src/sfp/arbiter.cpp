@@ -8,7 +8,7 @@ EgressArbiter::EgressArbiter(sim::Simulation& sim, sim::DataRate line_rate,
       line_rate_(line_rate) {}
 
 sim::TimePs EgressArbiter::service_time(const net::Packet& packet) {
-  return line_rate_.serialization_time(packet.wire_size());
+  return line_rate_(packet.wire_size());
 }
 
 void EgressArbiter::finish(net::PacketPtr packet) {

@@ -24,7 +24,7 @@ class EgressArbiter final : public sim::QueuedServer {
   void finish(net::PacketPtr packet) override;
 
  private:
-  sim::DataRate line_rate_;
+  sim::SerializationTimer line_rate_;
   std::function<void(net::PacketPtr)> output_;
 };
 

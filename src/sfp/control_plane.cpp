@@ -248,7 +248,7 @@ void ControlPlane::handle_terminated(const net::Packet& packet) {
   net::write_be16(reply, l4 + 2, patched);
 
   ++pings_;
-  auto frame = std::make_shared<net::Packet>(net::Packet{std::move(reply)});
+  auto frame = sim_.packet_pool().make(std::move(reply));
   sim_.schedule_in(config_.op_latency_ps,
                    [this, frame = std::move(frame)]() mutable {
                      transmit_(std::move(frame));
@@ -259,7 +259,7 @@ void ControlPlane::respond(const MgmtResponse& response,
                            net::MacAddress reply_to) {
   if (!transmit_) return;
   ++responses_;
-  auto frame = std::make_shared<net::Packet>(
+  auto frame = sim_.packet_pool().make_from(
       make_mgmt_frame(reply_to, config_.mac, response.serialize()));
   transmit_(std::move(frame));
 }

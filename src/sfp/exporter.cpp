@@ -105,15 +105,13 @@ void FlowExporter::emit(const std::vector<apps::FlowRecord>& flows) {
           .serialize_to(payload, 8 + i * ExportRecord::size());
     }
 
-    auto frame = std::make_shared<net::Packet>(
-        net::PacketBuilder()
-            .ethernet(config_.collector_mac,
-                      module_.shell().config().module_mac)
-            .ipv4(config_.exporter_ip, config_.collector_ip,
-                  net::IpProto::udp)
-            .udp(config_.source_port, config_.collector_port)
-            .payload(payload)
-            .build_packet());
+    auto frame = sim_.packet_pool().make();
+    net::PacketBuilder()
+        .ethernet(config_.collector_mac, module_.shell().config().module_mac)
+        .ipv4(config_.exporter_ip, config_.collector_ip, net::IpProto::udp)
+        .udp(config_.source_port, config_.collector_port)
+        .payload(payload)
+        .build_into(frame->data());
     module_.shell().send_from_control(config_.egress_port, std::move(frame));
     sim_.metrics().add(datagrams_id_);
     sim_.metrics().add(records_id_, count);

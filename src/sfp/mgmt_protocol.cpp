@@ -172,9 +172,13 @@ std::optional<net::Bytes> mgmt_body(const net::Packet& packet) {
 }
 
 bool is_mgmt_frame(const net::Packet& packet) {
-  const auto eth = net::EthernetHeader::parse(packet.data(), 0);
-  return eth && eth->ether_type ==
-                    static_cast<std::uint16_t>(net::EtherType::flexsfp_mgmt);
+  // Demux classification runs on every ingress frame; peek the EtherType
+  // field directly rather than decoding the full Ethernet header. Mgmt
+  // frames are never VLAN-tagged, so no tag walk is needed.
+  const auto& data = packet.data();
+  if (data.size() < net::EthernetHeader::size()) return false;
+  return net::read_be16(data, 12) ==
+         static_cast<std::uint16_t>(net::EtherType::flexsfp_mgmt);
 }
 
 }  // namespace flexsfp::sfp

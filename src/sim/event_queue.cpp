@@ -1,0 +1,180 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flexsfp::sim {
+
+EventQueue::EventQueue() : ring_(kBuckets) {}
+
+EventQueue::~EventQueue() {
+  // Destroy every pending closure; node memory is slab-owned.
+  destroy_pending(current_);
+  for (auto& slot : ring_) destroy_pending(slot);
+  destroy_pending(overflow_);
+}
+
+void EventQueue::destroy_pending(std::vector<Ref>& refs) {
+  for (const Ref& ref : refs) {
+    if (ref.node->destroy != nullptr) ref.node->destroy(ref.node->storage);
+  }
+  refs.clear();
+}
+
+EventQueue::Node* EventQueue::acquire_node() {
+  if (free_nodes_ == nullptr) {
+    auto slab = std::make_unique<Node[]>(kSlabNodes);
+    for (std::size_t i = 0; i < kSlabNodes; ++i) {
+      slab[i].next_free = free_nodes_;
+      free_nodes_ = &slab[i];
+    }
+    slabs_.push_back(std::move(slab));
+    ++stats_.slabs_allocated;
+  }
+  Node* node = free_nodes_;
+  free_nodes_ = node->next_free;
+  return node;
+}
+
+void EventQueue::release_node(Node* node) {
+  node->invoke = nullptr;
+  node->destroy = nullptr;
+  node->next_free = free_nodes_;
+  free_nodes_ = node;
+}
+
+void EventQueue::insert(const Ref& ref) {
+  const std::uint64_t bucket = bucket_of(ref.at);
+  if (bucket <= cur_bucket_) {
+    // At or before the bucket being drained (the window may have advanced
+    // past a newly scheduled now-ish event while hunting for the minimum):
+    // the drain heap orders it exactly.
+    current_.push_back(ref);
+    std::push_heap(current_.begin(), current_.end(), Later{});
+  } else if (bucket - cur_bucket_ < kBuckets) {
+    ring_[bucket % kBuckets].push_back(ref);
+    ++ring_count_;
+  } else {
+    overflow_.push_back(ref);
+    overflow_min_bucket_ = std::min(overflow_min_bucket_, bucket);
+    ++stats_.overflow_spills;
+  }
+  ++size_;
+  ++stats_.pushed;
+  if (size_ > stats_.pending_high_watermark) {
+    stats_.pending_high_watermark = size_;
+  }
+}
+
+void EventQueue::ensure_current() {
+  assert(size_ > 0);
+  while (current_.empty()) {
+    if (ring_count_ == 0) {
+      redistribute_overflow();
+      continue;
+    }
+    // An overflow event becomes ring-eligible once the window has advanced
+    // within kBuckets of it; it must join the ring before the scan passes
+    // its slot, or it would execute after nearer-but-later events.
+    if (!overflow_.empty() &&
+        overflow_min_bucket_ - cur_bucket_ < kBuckets) {
+      migrate_overflow();
+    }
+    ++cur_bucket_;
+    auto& slot = ring_[cur_bucket_ % kBuckets];
+    if (!slot.empty()) {
+      ring_count_ -= slot.size();
+      current_.swap(slot);  // slot inherits current_'s empty capacity
+      std::make_heap(current_.begin(), current_.end(), Later{});
+    }
+  }
+}
+
+// Move every overflow event that now fits the ring window into its slot.
+// Overflow buckets are strictly greater than cur_bucket_ (events spill only
+// when beyond the window, and the window never moves past them unmigrated),
+// so the unsigned distance test is exact.
+void EventQueue::migrate_overflow() {
+  std::vector<Ref> keep;
+  std::uint64_t new_min = no_overflow_min;
+  for (const Ref& ref : overflow_) {
+    const std::uint64_t bucket = bucket_of(ref.at);
+    if (bucket - cur_bucket_ < kBuckets) {
+      ring_[bucket % kBuckets].push_back(ref);
+      ++ring_count_;
+    } else {
+      new_min = std::min(new_min, bucket);
+      keep.push_back(ref);
+    }
+  }
+  overflow_.swap(keep);
+  overflow_min_bucket_ = new_min;
+}
+
+void EventQueue::redistribute_overflow() {
+  assert(!overflow_.empty());
+  ++stats_.window_rebuilds;
+
+  TimePs min_at = overflow_.front().at;
+  TimePs max_at = min_at;
+  for (const Ref& ref : overflow_) {
+    min_at = std::min(min_at, ref.at);
+    max_at = std::max(max_at, ref.at);
+  }
+  // Sparse horizon: when the remaining events span far more than one
+  // window, widen the buckets (every live event is in overflow_ right now,
+  // so remapping is safe). Each rebuild at most doubles the shift deficit
+  // away, capped well below the point where `at >> shift` degenerates.
+  while (width_shift_ < 48 &&
+         (static_cast<std::uint64_t>(max_at - min_at) >> width_shift_) >=
+             kBuckets * 4) {
+    ++width_shift_;
+  }
+
+  cur_bucket_ = bucket_of(min_at);
+  std::vector<Ref> keep;
+  std::uint64_t new_min = no_overflow_min;
+  for (const Ref& ref : overflow_) {
+    const std::uint64_t bucket = bucket_of(ref.at);
+    if (bucket == cur_bucket_) {
+      current_.push_back(ref);
+    } else if (bucket - cur_bucket_ < kBuckets) {
+      ring_[bucket % kBuckets].push_back(ref);
+      ++ring_count_;
+    } else {
+      new_min = std::min(new_min, bucket);
+      keep.push_back(ref);
+    }
+  }
+  overflow_.swap(keep);
+  overflow_min_bucket_ = new_min;
+  std::make_heap(current_.begin(), current_.end(), Later{});
+}
+
+TimePs EventQueue::min_time() {
+  ensure_current();
+  return current_.front().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  ensure_current();
+  std::pop_heap(current_.begin(), current_.end(), Later{});
+  const Ref ref = current_.back();
+  current_.pop_back();
+  --size_;
+  return Popped{this, ref.node, ref.at};
+}
+
+void EventQueue::Popped::invoke() {
+  node_->invoke(node_->storage);
+  node_->destroy(node_->storage);
+  node_->destroy = nullptr;
+}
+
+EventQueue::Popped::~Popped() {
+  if (node_ == nullptr) return;
+  if (node_->destroy != nullptr) node_->destroy(node_->storage);
+  queue_->release_node(node_);
+}
+
+}  // namespace flexsfp::sim

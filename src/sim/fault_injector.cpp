@@ -104,7 +104,7 @@ void FaultInjector::handle_packet(net::PacketPtr packet) {
   }
 
   if (spec_.duplicate_prob > 0 && rng_.bernoulli(spec_.duplicate_prob)) {
-    auto copy = std::make_shared<net::Packet>(*packet);
+    auto copy = sim_.packet_pool().clone(*packet);
     copy->set_id(sim_.next_packet_id());
     sim_.metrics().add(duplicated_id_);
     if (sim_.flight().sampled(copy->id())) {

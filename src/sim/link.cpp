@@ -18,7 +18,7 @@ Link::Link(Simulation& sim, DataRate rate, TimePs propagation_delay,
 
 void Link::handle_packet(net::PacketPtr packet) {
   const TimePs start = std::max(sim_.now(), next_free_);
-  const TimePs ser = rate_.serialization_time(packet->wire_size());
+  const TimePs ser = ser_(packet->wire_size());
   next_free_ = start + ser;
   sim_.metrics().add(busy_id_, std::uint64_t(ser));
   meter_.record(packet->size());
@@ -33,20 +33,32 @@ void Link::handle_packet(net::PacketPtr packet) {
 }
 
 bool BoundedQueue::push(net::PacketPtr packet) {
-  if (queue_.size() >= capacity_) {
+  if (count_ >= capacity_) {
     ++drops_;
     return false;
   }
-  queue_.push_back(std::move(packet));
-  high_watermark_ = std::max(high_watermark_, queue_.size());
+  if (count_ == slots_.size()) grow();
+  slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(packet);
+  ++count_;
+  high_watermark_ = std::max(high_watermark_, count_);
   return true;
 }
 
 net::PacketPtr BoundedQueue::pop() {
-  if (queue_.empty()) return nullptr;
-  auto packet = std::move(queue_.front());
-  queue_.pop_front();
+  if (count_ == 0) return nullptr;
+  auto packet = std::move(slots_[head_]);
+  head_ = (head_ + 1) & (slots_.size() - 1);
+  --count_;
   return packet;
+}
+
+void BoundedQueue::grow() {
+  std::vector<net::PacketPtr> bigger(std::max<std::size_t>(slots_.size() * 2, 16));
+  for (std::size_t i = 0; i < count_; ++i) {
+    bigger[i] = std::move(slots_[(head_ + i) & (slots_.size() - 1)]);
+  }
+  slots_.swap(bigger);
+  head_ = 0;
 }
 
 QueuedServer::QueuedServer(Simulation& sim, std::size_t queue_capacity,

@@ -1,8 +1,8 @@
 // Point-to-point link and queued-server building blocks.
 #pragma once
 
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -37,6 +37,7 @@ class Link final : public PacketHandler {
  private:
   Simulation& sim_;
   DataRate rate_;
+  SerializationTimer ser_{rate_};
   TimePs propagation_delay_;
   PacketHandler& destination_;
   std::string name_;
@@ -48,6 +49,12 @@ class Link final : public PacketHandler {
 
 /// Drop-tail FIFO with a packet-count bound, as found in front of every
 /// store-and-forward element. Pure container: the owner drives dequeue.
+///
+/// Backed by a power-of-two ring that doubles on demand and never shrinks:
+/// once the ring reaches the queue's working depth, push/pop cycle through
+/// preallocated slots with no allocator traffic (std::deque re-allocates a
+/// chunk every time the queue drains across a chunk boundary, which showed
+/// up as steady-state churn in the hot-path allocation audit).
 class BoundedQueue {
  public:
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
@@ -55,15 +62,19 @@ class BoundedQueue {
   /// False (and counted as a drop) when full.
   bool push(net::PacketPtr packet);
   [[nodiscard]] net::PacketPtr pop();
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
 
  private:
+  void grow();
+
   std::size_t capacity_;
-  std::deque<net::PacketPtr> queue_;
+  std::vector<net::PacketPtr> slots_;  // power-of-two ring, grown on demand
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::uint64_t drops_ = 0;
   std::size_t high_watermark_ = 0;
 };

@@ -38,11 +38,28 @@ ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
     cdf_[rank - 1] = total;
   }
   for (auto& c : cdf_) c /= total;
+
+  slot_lo_.resize(kSlots + 1);
+  std::size_t lo = 0;
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    const double boundary = double(slot) / double(kSlots);
+    while (lo < n && cdf_[lo] < boundary) ++lo;
+    slot_lo_[slot] = static_cast<std::uint32_t>(lo);
+  }
+  slot_lo_[kSlots] = static_cast<std::uint32_t>(n);
 }
 
 std::size_t ZipfDistribution::sample(Rng& rng) const {
   const double u = rng.uniform_real();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  // u lies in slot floor(u * kSlots), so lower_bound(cdf_, u) lands in
+  // [slot_lo_[slot], slot_lo_[slot + 1]] — search only that span.
+  const std::size_t slot =
+      std::min(static_cast<std::size_t>(u * double(kSlots)), kSlots - 1);
+  const auto first = cdf_.begin() + slot_lo_[slot];
+  const auto last =
+      cdf_.begin() +
+      std::min<std::size_t>(slot_lo_[slot + 1] + 1, cdf_.size());
+  const auto it = std::lower_bound(first, last, u);
   return static_cast<std::size_t>(it - cdf_.begin()) + 1;
 }
 

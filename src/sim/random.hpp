@@ -68,6 +68,11 @@ class ZipfDistribution {
 
  private:
   std::vector<double> cdf_;  // cumulative probability for ranks 1..n
+  // First-level index: slot k holds lower_bound(cdf_, k / kSlots), so
+  // sample() binary-searches only the few CDF entries a slot spans instead
+  // of the whole table. Pure accelerator — the returned rank is identical.
+  static constexpr std::size_t kSlots = 1024;
+  std::vector<std::uint32_t> slot_lo_;
 };
 
 }  // namespace flexsfp::sim

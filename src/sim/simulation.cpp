@@ -1,12 +1,45 @@
 #include "sim/simulation.hpp"
 
-#include <utility>
-
 namespace flexsfp::sim {
 
-void Simulation::schedule_at(TimePs at, EventFn fn) {
-  if (at < now_) at = now_;
-  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+namespace {
+
+void add_counter(obs::MetricSnapshot& snap, const char* name,
+                 std::uint64_t value) {
+  snap.add_sample({name, {}, obs::MetricKind::counter, value});
+}
+
+void add_gauge(obs::MetricSnapshot& snap, const char* name,
+               std::uint64_t value) {
+  snap.add_sample({name, {}, obs::MetricKind::gauge, value});
+}
+
+}  // namespace
+
+Simulation::Simulation() {
+  // Surface the hot-path tallies without touching the registry per event:
+  // the queue and pool count in plain members, snapshots pull them here.
+  metrics_.register_collector([this](obs::MetricSnapshot& snap) {
+    const EventQueue::Stats& queue = queue_.stats();
+    add_counter(snap, "sim.queue.pushed", queue.pushed);
+    add_counter(snap, "sim.queue.inline_closures", queue.inline_closures);
+    add_counter(snap, "sim.queue.boxed_closures", queue.boxed_closures);
+    add_counter(snap, "sim.queue.overflow_spills", queue.overflow_spills);
+    add_counter(snap, "sim.queue.window_rebuilds", queue.window_rebuilds);
+    add_counter(snap, "sim.queue.slabs", queue.slabs_allocated);
+    add_gauge(snap, "sim.queue.pending_high_watermark",
+              queue.pending_high_watermark);
+
+    const net::PacketPool::Stats pool = pool_.stats();
+    add_counter(snap, "pool.made", pool.made);
+    add_counter(snap, "pool.reused", pool.reused);
+    add_counter(snap, "pool.fresh", pool.fresh);
+    add_counter(snap, "pool.heap_fallbacks", pool.heap_fallbacks);
+    add_gauge(snap, "pool.in_use", pool.in_use);
+    add_gauge(snap, "pool.free", pool.free_count);
+    add_gauge(snap, "pool.high_watermark", pool.high_watermark);
+    add_gauge(snap, "pool.capacity", pool.capacity);
+  });
 }
 
 std::size_t Simulation::run() {
@@ -17,7 +50,7 @@ std::size_t Simulation::run() {
 
 std::size_t Simulation::run_until(TimePs deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (!queue_.empty() && queue_.min_time() <= deadline) {
     step();
     ++executed;
   }
@@ -27,13 +60,10 @@ std::size_t Simulation::run_until(TimePs deadline) {
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the closure handle instead (shared closures are cheap here).
-  Entry entry = queue_.top();
-  queue_.pop();
-  now_ = entry.at;
+  EventQueue::Popped event = queue_.pop();
+  now_ = event.at();
   ++executed_;
-  entry.fn();
+  event.invoke();
   return true;
 }
 

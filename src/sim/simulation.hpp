@@ -1,15 +1,17 @@
 // Discrete-event simulation core: a time-ordered event queue plus the
-// per-run services every component needs (packet ids, tracing).
+// per-run services every component needs (packet ids, packet buffers,
+// tracing).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace flexsfp::sim {
@@ -17,17 +19,35 @@ namespace flexsfp::sim {
 /// The simulation owns time. Components schedule closures; run() executes
 /// them in (time, insertion-order) sequence. Deterministic by construction:
 /// ties are broken by a monotone sequence number, never by pointer order.
+///
+/// The hot path is allocation-free: closures are stored inline in slab
+/// nodes (sim::EventQueue) and packets come from the per-simulation
+/// PacketPool, so a sharded run does bounded work per packet with one pool
+/// and one queue per shard. Every queue/pool tally is surfaced as
+/// sim.queue.* / pool.* series through a registry collector.
 class Simulation {
  public:
   using EventFn = std::function<void()>;
 
+  Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
   [[nodiscard]] TimePs now() const { return now_; }
 
   /// Schedule `fn` at absolute time `at` (events in the past are clamped to
-  /// now — hardware can't act retroactively).
-  void schedule_at(TimePs at, EventFn fn);
-  void schedule_in(TimePs delay, EventFn fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  /// now — hardware can't act retroactively). Callables up to
+  /// EventQueue::kInlineClosure bytes are stored without allocating.
+  template <class F>
+  void schedule_at(TimePs at, F&& fn) {
+    if (at < now_) at = now_;
+    queue_.push(at, std::forward<F>(fn));
+  }
+  /// schedule_at(now + delay), saturating at the time horizon instead of
+  /// wrapping — a "practically forever" timer stays in the future.
+  template <class F>
+  void schedule_in(TimePs delay, F&& fn) {
+    schedule_at(saturating_add(now_, delay), std::forward<F>(fn));
   }
 
   /// Run everything; returns the number of events executed.
@@ -47,6 +67,12 @@ class Simulation {
   /// Fresh packet identity for tracing.
   [[nodiscard]] net::PacketId next_packet_id() { return ++last_packet_id_; }
 
+  /// The run's packet buffers: one pool per simulation = one per shard, so
+  /// sharded runs never free across shards and pool.* series merge
+  /// deterministically. Components allocate and clone through this.
+  [[nodiscard]] net::PacketPool& packet_pool() { return pool_; }
+  [[nodiscard]] const net::PacketPool& packet_pool() const { return pool_; }
+
   /// The run's telemetry spine: every component registers its counters here
   /// (one registry per simulation = one per shard, merged at the barrier).
   [[nodiscard]] obs::MetricRegistry& metrics() { return metrics_; }
@@ -57,23 +83,17 @@ class Simulation {
   [[nodiscard]] obs::FlightRecorder& flight() { return flight_; }
   [[nodiscard]] const obs::FlightRecorder& flight() const { return flight_; }
 
- private:
-  struct Entry {
-    TimePs at;
-    std::uint64_t seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
+  /// Event-queue hot-path tallies (also visible as sim.queue.* series).
+  [[nodiscard]] const EventQueue::Stats& queue_stats() const {
+    return queue_.stats();
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+ private:
+  EventQueue queue_;
   TimePs now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   net::PacketId last_packet_id_ = 0;
+  net::PacketPool pool_;
   obs::MetricRegistry metrics_;
   obs::FlightRecorder flight_;
 };

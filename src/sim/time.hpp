@@ -28,6 +28,22 @@ constexpr TimePs operator""_s(unsigned long long v) {
   return static_cast<TimePs>(v) * 1000 * 1000 * 1000 * 1000;
 }
 
+/// The last representable instant. schedule_in clamps here instead of
+/// wrapping, so "practically forever" timers near the 64-bit horizon stay
+/// ordered after every finite event instead of landing in the past.
+inline constexpr TimePs time_horizon = INT64_MAX;
+
+/// a + b clamped to [0, time_horizon] — the overflow-safe way to turn a
+/// delay into an absolute timestamp. Negative sums clamp to 0 (the
+/// simulation epoch); positive overflow clamps to the horizon.
+[[nodiscard]] constexpr TimePs saturating_add(TimePs a, TimePs b) {
+  TimePs sum = 0;
+  if (__builtin_add_overflow(a, b, &sum)) {
+    return b > 0 ? time_horizon : 0;
+  }
+  return sum < 0 ? 0 : sum;
+}
+
 [[nodiscard]] constexpr double to_seconds(TimePs t) { return double(t) * 1e-12; }
 [[nodiscard]] constexpr double to_micros(TimePs t) { return double(t) * 1e-6; }
 [[nodiscard]] constexpr double to_nanos(TimePs t) { return double(t) * 1e-3; }
@@ -74,5 +90,31 @@ class DataRate {
 
 /// 10GBASE-R line rate (payload data rate of an SFP+ lane).
 inline constexpr DataRate line_rate_10g{10'000'000'000ull};
+
+/// One-entry memo over DataRate::serialization_time. The divide pair in
+/// serialization_time is hot-path arithmetic that runs once per packet per
+/// transmitting element, and packet sizes repeat heavily (fixed-size
+/// sweeps, the 3-point IMIX mix), so remembering the last size answers
+/// almost every call. Exact: a miss recomputes with the same integer math.
+class SerializationTimer {
+ public:
+  constexpr SerializationTimer() = default;
+  explicit constexpr SerializationTimer(DataRate rate) : rate_(rate) {}
+
+  [[nodiscard]] TimePs operator()(std::size_t bytes) {
+    if (bytes != last_bytes_) {
+      last_bytes_ = bytes;
+      last_ps_ = rate_.serialization_time(bytes);
+    }
+    return last_ps_;
+  }
+
+  [[nodiscard]] constexpr DataRate rate() const { return rate_; }
+
+ private:
+  DataRate rate_{};
+  std::size_t last_bytes_ = ~std::size_t{0};
+  TimePs last_ps_ = 0;
+};
 
 }  // namespace flexsfp::sim

@@ -11,7 +11,7 @@ namespace {
 using namespace sim;  // time literals
 
 net::PacketPtr frame(std::uint64_t src_mac, std::uint64_t dst_mac) {
-  return std::make_shared<net::Packet>(
+  return net::make_packet(
       net::PacketBuilder()
           .ethernet(net::MacAddress::from_u64(dst_mac),
                     net::MacAddress::from_u64(src_mac))
@@ -130,8 +130,8 @@ TEST(SwitchOutputPort, SerializesAtPortRate) {
   SwitchOutputPort port(sim, line_rate_10g);
   std::vector<TimePs> times;
   port.set_output([&](net::PacketPtr) { times.push_back(sim.now()); });
-  port.handle_packet(std::make_shared<net::Packet>(net::Bytes(64, 0)));
-  port.handle_packet(std::make_shared<net::Packet>(net::Bytes(64, 0)));
+  port.handle_packet(net::make_packet(net::Bytes(64, 0)));
+  port.handle_packet(net::make_packet(net::Bytes(64, 0)));
   sim.run();
   ASSERT_EQ(times.size(), 2u);
   EXPECT_EQ(times[1] - times[0], 70'400);  // back-to-back wire time

@@ -28,7 +28,7 @@ FlexSfpConfig active_config() {
 
 net::PacketPtr echo_request(net::Ipv4Address target,
                             std::uint16_t id = 7, std::uint16_t seq = 1) {
-  return std::make_shared<net::Packet>(
+  return net::make_packet(
       net::PacketBuilder()
           .ethernet(net::MacAddress::from_u64(0x02ee),
                     net::MacAddress::from_u64(0x11))

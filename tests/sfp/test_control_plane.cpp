@@ -27,7 +27,7 @@ struct CpFixture {
   MgmtResponse roundtrip(const MgmtRequest& request, bool sign = true) {
     const auto body = sign ? request.serialize(key)
                            : request.serialize(hw::AuthKey{0xbad});
-    auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+    auto frame = net::make_packet(make_mgmt_frame(
         net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
         body));
     cp.handle_packet(std::move(frame));
@@ -120,7 +120,7 @@ TEST(ControlPlane, OpLatencyIsModeled) {
   MgmtRequest request;
   request.op = MgmtOp::ping;
   const auto body = request.serialize(key);
-  auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+  auto frame = net::make_packet(make_mgmt_frame(
       net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
       body));
   fx.cp.handle_packet(std::move(frame));
@@ -132,7 +132,7 @@ TEST(ControlPlane, OpLatencyIsModeled) {
 
 TEST(ControlPlane, MalformedBodyAnswersMalformed) {
   CpFixture fx;
-  auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+  auto frame = net::make_packet(make_mgmt_frame(
       net::MacAddress::from_u64(0xee), net::MacAddress::from_u64(0x11),
       net::Bytes{0xde, 0xad}));
   fx.cp.handle_packet(std::move(frame));
@@ -147,7 +147,7 @@ TEST(ControlPlane, NonMgmtFrameIgnored) {
   net::EthernetHeader eth;
   eth.ether_type = static_cast<std::uint16_t>(net::EtherType::ipv4);
   eth.serialize_to(raw, 0);
-  fx.cp.handle_packet(std::make_shared<net::Packet>(net::Packet{raw}));
+  fx.cp.handle_packet(net::make_packet(net::Packet{raw}));
   fx.sim.run();
   EXPECT_TRUE(fx.responses.empty());
 }

@@ -11,7 +11,7 @@ namespace {
 using namespace sim;  // time literals
 
 net::PacketPtr data_packet() {
-  return std::make_shared<net::Packet>(
+  return net::make_packet(
       net::PacketBuilder()
           .ethernet(net::MacAddress::from_u64(0xbb),
                     net::MacAddress::from_u64(0xaa))
@@ -133,7 +133,7 @@ TEST(FlexSfpModule, MgmtFrameReachesControlPlaneAndAnswers) {
   request.table = "nat";
   request.key = 0x0a000001;
   request.value = 0x01010101;
-  auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+  auto frame = net::make_packet(make_mgmt_frame(
       config.shell.module_mac, net::MacAddress::from_u64(0x11),
       request.serialize(config.auth_key)));
   module.inject(FlexSfpModule::edge_port, std::move(frame));
@@ -215,7 +215,7 @@ TEST(FlexSfpModule, DegradedMgmtPathStaysAlive) {
   request.seq = 4;
   request.op = MgmtOp::ping;
   request.value = 77;
-  auto frame = std::make_shared<net::Packet>(make_mgmt_frame(
+  auto frame = net::make_packet(make_mgmt_frame(
       config.shell.module_mac, net::MacAddress::from_u64(0x11),
       request.serialize(config.auth_key)));
   module.inject(FlexSfpModule::edge_port, std::move(frame));

@@ -30,7 +30,7 @@ struct ReconfigFixture {
   }
 
   void send(const MgmtRequest& request, hw::AuthKey sign_key) {
-    auto frame = std::make_shared<net::Packet>(
+    auto frame = net::make_packet(
         make_mgmt_frame(config.shell.module_mac,
                         net::MacAddress::from_u64(0x11),
                         request.serialize(sign_key)));
@@ -213,7 +213,7 @@ TEST(Reconfig, DatapathDarkDuringReboot) {
   fx.sim.run_until(flash_time + fx.config.fpga_reload_ps / 2);
   EXPECT_EQ(fx.module->state(), ModuleState::rebooting);
   fx.module->inject(FlexSfpModule::edge_port,
-                    std::make_shared<net::Packet>(net::Bytes(64, 0)));
+                    net::make_packet(net::Bytes(64, 0)));
   EXPECT_EQ(fx.module->packets_lost_while_dark(), 1u);
   fx.sim.run();
   EXPECT_EQ(fx.module->state(), ModuleState::running);

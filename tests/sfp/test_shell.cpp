@@ -25,7 +25,7 @@ class PassApp final : public ppe::PpeApp {
 };
 
 net::PacketPtr data_packet() {
-  return std::make_shared<net::Packet>(
+  return net::make_packet(
       net::PacketBuilder()
           .ethernet(net::MacAddress::from_u64(0xbb),
                     net::MacAddress::from_u64(0xaa))
@@ -39,7 +39,7 @@ net::PacketPtr data_packet() {
 net::PacketPtr mgmt_packet() {
   MgmtRequest request;
   request.op = MgmtOp::ping;
-  return std::make_shared<net::Packet>(
+  return net::make_packet(
       make_mgmt_frame(net::MacAddress::from_u64(0xcc),
                       net::MacAddress::from_u64(0xdd),
                       request.serialize(hw::AuthKey{1})));
@@ -118,7 +118,7 @@ TEST(Shell, MgmtFramesPuntToControlPlane) {
 
 TEST(ActiveCp, FramesToModuleMacTerminateLocally) {
   ShellFixture fx(ShellKind::active_cp);
-  auto packet = std::make_shared<net::Packet>(
+  auto packet = net::make_packet(
       net::PacketBuilder()
           .ethernet(net::MacAddress::from_u64(0xee),  // the module's MAC
                     net::MacAddress::from_u64(0xaa))

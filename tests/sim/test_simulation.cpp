@@ -111,7 +111,7 @@ TEST(Simulation, PacketIdsAreUnique) {
 TEST(LambdaHandler, ForwardsPackets) {
   int count = 0;
   LambdaHandler handler([&count](net::PacketPtr) { ++count; });
-  handler.handle_packet(net::make_packet({}));
+  handler.handle_packet(net::make_packet());
   EXPECT_EQ(count, 1);
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "apps/register.hpp"
+#include "fabric/parallel_testbed.hpp"
 #include "fabric/testbed.hpp"
 #include "ppe/registry.hpp"
 
@@ -59,6 +60,12 @@ void usage(std::FILE* out) {
                "  --flap <start:dur>   link-down window in microseconds\n"
                "                       (repeatable)\n"
                "  --fault-seed <n>     fault-stream seed (default 1)\n"
+               "  --pools              run the flow-sharded parallel testbed\n"
+               "                       and report per-shard packet-pool\n"
+               "                       occupancy and event-queue pressure\n"
+               "  --shards <n>         shard count for --pools (default 4)\n"
+               "  --workers <n>        worker threads for --pools, 0 = one\n"
+               "                       per hardware thread (default 0)\n"
                "  --json               machine-readable report on stdout\n"
                "  --csv <metrics|flight>  raw CSV dump on stdout\n"
                "  -h, --help           this text\n");
@@ -100,6 +107,52 @@ bool parse_flap(const char* text, sim::FlapWindow& out) {
   return true;
 }
 
+/// Everything one shard's pool.* / sim.queue.* series say about memory
+/// pressure, pulled from the shard's already-labeled snapshot.
+struct PoolRow {
+  std::size_t shard = 0;
+  std::uint64_t made = 0;
+  std::uint64_t reused = 0;
+  std::uint64_t heap_fallbacks = 0;
+  std::uint64_t in_use = 0;
+  std::uint64_t high_watermark = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t queue_peak = 0;
+};
+
+PoolRow pool_row(const fabric::ShardOutcome& outcome) {
+  PoolRow row;
+  row.shard = outcome.shard;
+  for (const auto& sample : outcome.metrics.samples()) {
+    if (sample.name == "pool.made") row.made = sample.value;
+    if (sample.name == "pool.reused") row.reused = sample.value;
+    if (sample.name == "pool.heap_fallbacks") row.heap_fallbacks = sample.value;
+    if (sample.name == "pool.in_use") row.in_use = sample.value;
+    if (sample.name == "pool.high_watermark") row.high_watermark = sample.value;
+    if (sample.name == "pool.capacity") row.capacity = sample.value;
+    if (sample.name == "sim.queue.pending_high_watermark") {
+      row.queue_peak = sample.value;
+    }
+  }
+  return row;
+}
+
+void print_pool_row(const char* name, const PoolRow& row) {
+  const double reuse_pct =
+      row.made > 0 ? 100.0 * double(row.reused) / double(row.made) : 0.0;
+  const double occupancy_pct =
+      row.capacity > 0 ? 100.0 * double(row.high_watermark) / double(row.capacity)
+                       : 0.0;
+  std::printf("%-8s %12llu %12llu %7.1f%% %10llu %8llu %8llu %8llu %6.1f%% %8llu\n",
+              name, static_cast<unsigned long long>(row.made),
+              static_cast<unsigned long long>(row.reused), reuse_pct,
+              static_cast<unsigned long long>(row.heap_fallbacks),
+              static_cast<unsigned long long>(row.in_use),
+              static_cast<unsigned long long>(row.high_watermark),
+              static_cast<unsigned long long>(row.capacity), occupancy_pct,
+              static_cast<unsigned long long>(row.queue_peak));
+}
+
 void print_fault_ledger(const char* port, const sim::FaultTally& tally) {
   std::printf("%-14s %12llu %10llu %10llu %10llu %10llu %10llu %10llu\n",
               port, static_cast<unsigned long long>(tally.delivered),
@@ -135,6 +188,9 @@ int main(int argc, char** argv) {
   double mgmt_loss = -1.0;
   std::vector<sim::FlapWindow> flaps;
   std::uint64_t fault_seed = 1;
+  bool pools = false;
+  std::uint64_t shards = 4;
+  std::uint64_t workers = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -183,6 +239,12 @@ int main(int argc, char** argv) {
       flaps.push_back(window);
     } else if (arg == "--fault-seed" && has_value) {
       parse_u64(argv[++i], fault_seed);
+    } else if (arg == "--pools") {
+      pools = true;
+    } else if (arg == "--shards" && has_value) {
+      if (!parse_u64(argv[++i], shards)) shards = 0;
+    } else if (arg == "--workers" && has_value) {
+      parse_u64(argv[++i], workers);
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--csv" && has_value) {
@@ -205,6 +267,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "flexsfp-stats: need --rate > 0, --duration-us >= 1 and "
                  "--frame >= 60\n");
+    return 2;
+  }
+  if (pools && shards == 0) {
+    std::fprintf(stderr, "flexsfp-stats: --shards must be >= 1\n");
     return 2;
   }
 
@@ -273,6 +339,67 @@ int main(int argc, char** argv) {
       reverse_faults.seed = fault_seed + 1;
       config.optical_faults = reverse_faults;
     }
+  }
+
+  if (pools) {
+    // Per-shard memory-pressure report: one pool per shard simulation, so
+    // the pool.* series of each shard's snapshot are that shard's pool.
+    fabric::ParallelTestbedConfig parallel_config;
+    parallel_config.shards = static_cast<std::size_t>(shards);
+    parallel_config.workers = static_cast<unsigned>(workers);
+    parallel_config.base_seed = seed;
+    parallel_config.prototype = config;
+    fabric::ParallelTestbed bed(parallel_config, [&registry, &app_name] {
+      return registry.create(app_name, net::BytesView{});
+    });
+    const auto parallel = bed.run();
+
+    if (json) {
+      std::string doc = "{\"app\":\"" + app_name + "\",\"shards\":[";
+      for (std::size_t i = 0; i < parallel.shards.size(); ++i) {
+        const PoolRow row = pool_row(parallel.shards[i]);
+        if (i != 0) doc += ",";
+        doc += "{\"shard\":" + std::to_string(row.shard) +
+               ",\"made\":" + std::to_string(row.made) +
+               ",\"reused\":" + std::to_string(row.reused) +
+               ",\"heap_fallbacks\":" + std::to_string(row.heap_fallbacks) +
+               ",\"in_use\":" + std::to_string(row.in_use) +
+               ",\"high_watermark\":" + std::to_string(row.high_watermark) +
+               ",\"capacity\":" + std::to_string(row.capacity) +
+               ",\"queue_peak\":" + std::to_string(row.queue_peak) + "}";
+      }
+      doc += "],\"workers_used\":" + std::to_string(parallel.workers_used) +
+             "}";
+      std::printf("%s\n", doc.c_str());
+      return 0;
+    }
+
+    std::printf("flexsfp-stats: app=%s, %zu shard(s) on %u worker(s), "
+                "%.6g us simulated per shard\n\n",
+                app_name.c_str(), parallel.shards.size(),
+                parallel.workers_used,
+                static_cast<double>(spec.duration) * 1e-6);
+    std::printf("%-8s %12s %12s %8s %10s %8s %8s %8s %7s %8s\n", "shard",
+                "made", "reused", "reuse", "fallbacks", "in-use", "peak",
+                "cap", "occ", "q-peak");
+    PoolRow total;
+    for (const auto& outcome : parallel.shards) {
+      const PoolRow row = pool_row(outcome);
+      print_pool_row(std::to_string(row.shard).c_str(), row);
+      total.made += row.made;
+      total.reused += row.reused;
+      total.heap_fallbacks += row.heap_fallbacks;
+      total.in_use += row.in_use;
+      total.high_watermark += row.high_watermark;
+      total.capacity += row.capacity;
+      total.queue_peak = std::max(total.queue_peak, row.queue_peak);
+    }
+    print_pool_row("all", total);
+    std::printf(
+        "\npools: heap fallbacks mean a shard outran its pool reserve; "
+        "in-use > 0 after a run means packets were retained past the "
+        "barrier.\n");
+    return 0;
   }
 
   fabric::ModuleTestbed testbed(std::move(config), std::move(app));
