@@ -1,0 +1,687 @@
+#include "analysis/bpf_verifier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "ppe/app.hpp"
+
+namespace flexsfp::analysis {
+
+using apps::BpfInsn;
+using apps::BpfOp;
+
+// --- tnum arithmetic (32-bit port of the kernel verifier's tnum.c) ----------
+
+Tnum tnum_add(Tnum a, Tnum b) {
+  const std::uint32_t sm = a.mask + b.mask;
+  const std::uint32_t sv = a.value + b.value;
+  const std::uint32_t sigma = sm + sv;
+  const std::uint32_t chi = sigma ^ sv;  // bits a carry may corrupt
+  const std::uint32_t mu = chi | a.mask | b.mask;
+  return {sv & ~mu, mu};
+}
+
+Tnum tnum_sub(Tnum a, Tnum b) {
+  const std::uint32_t dv = a.value - b.value;
+  const std::uint32_t alpha = dv + a.mask;
+  const std::uint32_t beta = dv - b.mask;
+  const std::uint32_t chi = alpha ^ beta;
+  const std::uint32_t mu = chi | a.mask | b.mask;
+  return {dv & ~mu, mu};
+}
+
+Tnum tnum_and(Tnum a, Tnum b) {
+  const std::uint32_t alpha = a.value | a.mask;
+  const std::uint32_t beta = b.value | b.mask;
+  const std::uint32_t v = a.value & b.value;
+  return {v, alpha & beta & ~v};
+}
+
+Tnum tnum_or(Tnum a, Tnum b) {
+  const std::uint32_t v = a.value | b.value;
+  const std::uint32_t mu = a.mask | b.mask;
+  return {v, mu & ~v};
+}
+
+Tnum tnum_lshift(Tnum a, std::uint8_t shift) {
+  return {a.value << shift, a.mask << shift};
+}
+
+Tnum tnum_rshift(Tnum a, std::uint8_t shift) {
+  return {a.value >> shift, a.mask >> shift};
+}
+
+Tnum tnum_join(Tnum a, Tnum b) {
+  const std::uint32_t v = a.value ^ b.value;  // bits the sides disagree on
+  const std::uint32_t mu = a.mask | b.mask | v;
+  return {a.value & ~mu, mu};
+}
+
+Tnum tnum_range(std::uint32_t lo, std::uint32_t hi) {
+  const std::uint32_t chi = lo ^ hi;
+  if (chi == 0) return Tnum::constant(lo);
+  const int bits = 32 - std::countl_zero(chi);
+  if (bits == 32) return {};  // disagreement reaches the top bit: top
+  const std::uint32_t delta = (std::uint32_t{1} << bits) - 1;
+  return {lo & ~delta, delta};
+}
+
+namespace {
+
+/// Greatest lower bound of two tnums; nullopt when their known bits
+/// contradict (no common concretization).
+std::optional<Tnum> tnum_intersect(Tnum a, Tnum b) {
+  const std::uint32_t conflict = (a.value ^ b.value) & ~a.mask & ~b.mask;
+  if (conflict != 0) return std::nullopt;
+  const std::uint32_t mask = a.mask & b.mask;
+  return Tnum{(a.value | b.value) & ~mask, mask};
+}
+
+}  // namespace
+
+// --- abstract register ------------------------------------------------------
+
+AbstractValue AbstractValue::range(std::uint32_t lo, std::uint32_t hi) {
+  AbstractValue value{lo, hi, tnum_range(lo, hi), false};
+  (void)value.normalize();
+  return value;
+}
+
+bool AbstractValue::consistent() const {
+  return lo <= hi && bits.min() <= hi && bits.max() >= lo;
+}
+
+bool AbstractValue::normalize() {
+  // Interval <- tnum: every concretization lies in [value, value | mask].
+  lo = std::max(lo, bits.min());
+  hi = std::min(hi, bits.max());
+  if (lo > hi) return false;
+  // Tnum <- interval: the common leading bits of [lo, hi] are known.
+  const auto met = tnum_intersect(bits, tnum_range(lo, hi));
+  if (!met) return false;
+  bits = *met;
+  lo = std::max(lo, bits.min());
+  hi = std::min(hi, bits.max());
+  if (lo > hi) return false;
+  if (lo == hi) bits = Tnum::constant(lo);
+  return true;
+}
+
+AbstractValue join(const AbstractValue& a, const AbstractValue& b) {
+  AbstractValue out;
+  out.lo = std::min(a.lo, b.lo);
+  out.hi = std::max(a.hi, b.hi);
+  out.bits = tnum_join(a.bits, b.bits);
+  out.is_len = a.is_len && b.is_len;
+  (void)out.normalize();  // join of consistent states stays consistent
+  return out;
+}
+
+std::string_view to_string(LoadSafety safety) {
+  switch (safety) {
+    case LoadSafety::safe: return "safe";
+    case LoadSafety::may_abort: return "may-abort";
+    case LoadSafety::always_aborts: return "always-aborts";
+  }
+  return "load-safety(?)";
+}
+
+bool BpfAnalysis::has_load(LoadSafety safety) const {
+  return std::any_of(loads.begin(), loads.end(), [safety](const LoadFact& f) {
+    return f.safety == safety;
+  });
+}
+
+// --- the abstract interpreter -----------------------------------------------
+
+namespace {
+
+bool is_terminal(BpfOp op) {
+  return op == BpfOp::ret_accept || op == BpfOp::ret_drop ||
+         op == BpfOp::ret_punt;
+}
+
+bool is_cond_jump(BpfOp op) {
+  return op == BpfOp::jeq || op == BpfOp::jgt || op == BpfOp::jge ||
+         op == BpfOp::jset;
+}
+
+bool is_shift(BpfOp op) {
+  return op == BpfOp::alu_lsh || op == BpfOp::alu_rsh;
+}
+
+std::size_t load_width(BpfOp op) {
+  switch (op) {
+    case BpfOp::ld_abs_u8:
+    case BpfOp::ld_ind_u8: return 1;
+    case BpfOp::ld_abs_u16:
+    case BpfOp::ld_ind_u16: return 2;
+    case BpfOp::ld_abs_u32:
+    case BpfOp::ld_ind_u32: return 4;
+    default: return 0;
+  }
+}
+
+bool is_indexed_load(BpfOp op) {
+  return op == BpfOp::ld_ind_u8 || op == BpfOp::ld_ind_u16 ||
+         op == BpfOp::ld_ind_u32;
+}
+
+/// Abstract machine state at one program point along one set of paths.
+struct State {
+  AbstractValue a;
+  AbstractValue x;
+  /// Frame-size envelope proven along these paths (bytes). Seeded from the
+  /// declared [min_frame, max_frame]; branches on ld_len and surviving
+  /// packet loads tighten it.
+  std::uint64_t min_len = 0;
+  std::uint64_t max_len = 0;
+};
+
+State join(const State& a, const State& b) {
+  return {join(a.a, b.a), join(a.x, b.x), std::min(a.min_len, b.min_len),
+          std::max(a.max_len, b.max_len)};
+}
+
+// Interval transfers. All wraparound cases collapse conservatively to top
+// unless the whole interval wraps together (then the shift is exact mod 2^32).
+
+AbstractValue alu_add_const(AbstractValue v, std::uint32_t k) {
+  const std::uint64_t lo = std::uint64_t{v.lo} + k;
+  const std::uint64_t hi = std::uint64_t{v.hi} + k;
+  if (hi <= 0xffffffffull) {
+    v.lo = static_cast<std::uint32_t>(lo);
+    v.hi = static_cast<std::uint32_t>(hi);
+  } else if (lo > 0xffffffffull) {
+    v.lo = static_cast<std::uint32_t>(lo);  // both wrapped once: exact
+    v.hi = static_cast<std::uint32_t>(hi);
+  } else {
+    v.lo = 0;
+    v.hi = 0xffffffffu;
+  }
+  v.bits = tnum_add(v.bits, Tnum::constant(k));
+  v.is_len = v.is_len && k == 0;
+  (void)v.normalize();
+  return v;
+}
+
+AbstractValue alu_sub_const(AbstractValue v, std::uint32_t k) {
+  if (v.lo >= k) {
+    v.lo -= k;
+    v.hi -= k;
+  } else if (v.hi < k) {
+    v.lo -= k;  // both wrap: exact mod 2^32
+    v.hi -= k;
+  } else {
+    v.lo = 0;
+    v.hi = 0xffffffffu;
+  }
+  v.bits = tnum_sub(v.bits, Tnum::constant(k));
+  v.is_len = v.is_len && k == 0;
+  (void)v.normalize();
+  return v;
+}
+
+AbstractValue alu_and_const(AbstractValue v, std::uint32_t k) {
+  v.lo = 0;
+  v.hi = std::min(v.hi, k);  // A & k <= A and <= k
+  v.bits = tnum_and(v.bits, Tnum::constant(k));
+  v.is_len = v.is_len && k == 0xffffffffu;
+  (void)v.normalize();
+  return v;
+}
+
+AbstractValue alu_or_const(AbstractValue v, std::uint32_t k) {
+  // A | k >= max(A, k); A | k = A + (k & ~A) <= A + k.
+  v.lo = std::max(v.lo, k);
+  v.hi = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(0xffffffffull, std::uint64_t{v.hi} + k));
+  v.bits = tnum_or(v.bits, Tnum::constant(k));
+  v.is_len = v.is_len && k == 0;
+  (void)v.normalize();
+  return v;
+}
+
+AbstractValue alu_lsh_const(AbstractValue v, std::uint8_t shift) {
+  if (shift == 0) return v;
+  if (v.hi > (0xffffffffu >> shift)) {
+    v = AbstractValue::top();
+  } else {
+    v.lo <<= shift;
+    v.hi <<= shift;
+    v.bits = tnum_lshift(v.bits, shift);
+  }
+  v.is_len = false;
+  (void)v.normalize();
+  return v;
+}
+
+AbstractValue alu_rsh_const(AbstractValue v, std::uint8_t shift) {
+  if (shift == 0) return v;
+  v.lo >>= shift;
+  v.hi >>= shift;
+  v.bits = tnum_rshift(v.bits, shift);
+  v.is_len = false;
+  (void)v.normalize();
+  return v;
+}
+
+AbstractValue alu_add_reg(const AbstractValue& a, const AbstractValue& b) {
+  AbstractValue out;
+  const std::uint64_t lo = std::uint64_t{a.lo} + b.lo;
+  const std::uint64_t hi = std::uint64_t{a.hi} + b.hi;
+  if (hi <= 0xffffffffull || lo > 0xffffffffull) {
+    out.lo = static_cast<std::uint32_t>(lo);
+    out.hi = static_cast<std::uint32_t>(hi);
+  } else {
+    out.lo = 0;
+    out.hi = 0xffffffffu;
+  }
+  out.bits = tnum_add(a.bits, b.bits);
+  out.is_len = false;
+  (void)out.normalize();
+  return out;
+}
+
+/// Outcome of evaluating a conditional's predicate against the abstract A.
+/// Decisions come only from directly sound tests; edge refinements merely
+/// tighten and fall back to the unrefined state when they would contradict
+/// (so an edge is never pruned by refinement alone).
+struct BranchEval {
+  bool can_be_true = true;
+  bool can_be_false = true;
+  State on_true;
+  State on_false;
+};
+
+void refine_len(State& state, const AbstractValue& a) {
+  if (!a.is_len) return;
+  state.min_len = std::max<std::uint64_t>(state.min_len, a.lo);
+  state.max_len = std::min<std::uint64_t>(state.max_len, a.hi);
+}
+
+BranchEval eval_branch(const State& in, BpfOp op, std::uint32_t k) {
+  BranchEval eval;
+  eval.on_true = in;
+  eval.on_false = in;
+  const AbstractValue& a = in.a;
+
+  AbstractValue true_a = a;
+  AbstractValue false_a = a;
+  bool true_ok = true;
+  bool false_ok = true;
+
+  switch (op) {
+    case BpfOp::jeq:
+      if (a.is_constant() && a.lo == k) eval.can_be_false = false;
+      if (k < a.lo || k > a.hi || !a.bits.contains(k)) eval.can_be_true = false;
+      true_a.lo = true_a.hi = k;
+      true_a.bits = Tnum::constant(k);
+      true_ok = a.lo <= k && k <= a.hi && a.bits.contains(k);
+      if (false_a.lo == k && k < 0xffffffffu) false_a.lo = k + 1;
+      if (false_a.hi == k && k > 0) false_a.hi = k - 1;
+      false_ok = false_a.normalize();
+      break;
+    case BpfOp::jgt:
+      if (a.lo > k) eval.can_be_false = false;
+      if (a.hi <= k) eval.can_be_true = false;
+      if (k == 0xffffffffu) {
+        true_ok = false;
+      } else {
+        true_a.lo = std::max(true_a.lo, k + 1);
+        true_ok = true_a.normalize();
+      }
+      false_a.hi = std::min(false_a.hi, k);
+      false_ok = false_a.normalize();
+      break;
+    case BpfOp::jge:
+      if (a.lo >= k) eval.can_be_false = false;
+      if (a.hi < k) eval.can_be_true = false;
+      true_a.lo = std::max(true_a.lo, k);
+      true_ok = true_a.normalize();
+      if (k == 0) {
+        false_ok = false;
+      } else {
+        false_a.hi = std::min(false_a.hi, k - 1);
+        false_ok = false_a.normalize();
+      }
+      break;
+    case BpfOp::jset:
+      if ((a.bits.value & k) != 0) eval.can_be_false = false;
+      if ((a.bits.max() & k) == 0) eval.can_be_true = false;
+      if (std::popcount(k) == 1) {
+        // Exactly one tested bit: its value is known on both edges.
+        true_a.bits.value |= k;
+        true_a.bits.mask &= ~k;
+        true_ok = true_a.normalize();
+      }
+      false_a.bits.mask &= ~k;  // every tested bit is 0 (value bits stay 0)
+      false_ok = (false_a.bits.value & k) == 0 && false_a.normalize();
+      break;
+    default: break;
+  }
+
+  // Refinements that contradict a feasible edge fall back to the unrefined
+  // state rather than pruning it (decisions above are the only pruning).
+  if (true_ok) {
+    eval.on_true.a = true_a;
+    refine_len(eval.on_true, true_a);
+    if (eval.on_true.min_len > eval.on_true.max_len) eval.on_true = in;
+  }
+  if (false_ok) {
+    eval.on_false.a = false_a;
+    refine_len(eval.on_false, false_a);
+    if (eval.on_false.min_len > eval.on_false.max_len) eval.on_false = in;
+  }
+  return eval;
+}
+
+}  // namespace
+
+BpfVerifier::BpfVerifier(BpfVerifierOptions options) : options_(options) {}
+
+BpfAnalysis BpfVerifier::analyze(const apps::BpfProgram& program) const {
+  return analyze(program.code());
+}
+
+BpfAnalysis BpfVerifier::analyze(const std::vector<BpfInsn>& code) const {
+  BpfAnalysis out;
+  out.min_frame_bytes = options_.min_frame_bytes;
+  out.max_frame_bytes = options_.max_frame_bytes;
+
+  // Masked shifts are a raw-bytecode property: report them even when the
+  // rest of the program is not analyzable.
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    if (is_shift(code[pc].op) && code[pc].k >= 32) {
+      out.masked_shifts.push_back({pc, code[pc].k});
+    }
+  }
+
+  out.valid_structure = apps::BpfProgram::validate_structure(code);
+  if (!out.valid_structure) return out;
+  out.first_insn_terminal = is_terminal(code.front().op);
+
+  const std::size_t n = code.size();
+  std::vector<std::optional<State>> in(n);
+  std::vector<bool> feas_true(n, false);
+  std::vector<bool> feas_false(n, false);
+  std::vector<bool> terminates_here(n, false);  // terminal or aborting load
+
+  State entry;
+  entry.min_len = options_.min_frame_bytes;
+  entry.max_len = std::max<std::uint64_t>(options_.max_frame_bytes,
+                                          options_.min_frame_bytes);
+  in[0] = entry;
+
+  const auto propagate = [&in](std::size_t to, const State& state) {
+    in[to] = in[to] ? join(*in[to], state) : state;
+  };
+
+  // Jumps are forward-only, so pc order is a topological order of the CFG:
+  // one in-order pass with joins at targets reaches the fixpoint (the
+  // program is a DAG — no loops, hence no widening).
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    if (!in[pc]) continue;
+    State state = *in[pc];
+    const BpfInsn& insn = code[pc];
+
+    if (const std::size_t width = load_width(insn.op); width != 0) {
+      const AbstractValue index =
+          is_indexed_load(insn.op) ? state.x : AbstractValue::constant(0);
+      // The interpreter computes `k + X` in uint32 arithmetic, so the
+      // offset wraps mod 2^32: exact when the whole interval wraps (or
+      // none of it), top when only part does.
+      const std::uint64_t at_lo64 = std::uint64_t{insn.k} + index.lo;
+      const std::uint64_t at_hi64 = std::uint64_t{insn.k} + index.hi;
+      std::uint32_t at_lo = static_cast<std::uint32_t>(at_lo64);
+      std::uint32_t at_hi = static_cast<std::uint32_t>(at_hi64);
+      if (at_hi64 > 0xffffffffull && at_lo64 <= 0xffffffffull) {
+        at_lo = 0;
+        at_hi = 0xffffffffu;
+      }
+      const std::uint64_t end_lo = std::uint64_t{at_lo} + width;
+      const std::uint64_t end_hi = std::uint64_t{at_hi} + width;
+      LoadFact fact{pc, LoadSafety::safe, end_lo, end_hi};
+      if (end_hi <= state.min_len) {
+        fact.safety = LoadSafety::safe;
+      } else if (end_lo > state.max_len) {
+        fact.safety = LoadSafety::always_aborts;
+      } else {
+        fact.safety = LoadSafety::may_abort;
+      }
+      out.loads.push_back(fact);
+      if (fact.safety != LoadSafety::safe) out.can_drop = true;  // abort path
+      if (fact.safety == LoadSafety::always_aborts) {
+        terminates_here[pc] = true;
+        continue;  // no fall-through: the load drops every packet
+      }
+      // Surviving the load proves the frame holds at least end_lo bytes.
+      state.min_len = std::max(state.min_len, end_lo);
+      state.a = width == 1   ? AbstractValue::range(0, 0xff)
+                : width == 2 ? AbstractValue::range(0, 0xffff)
+                             : AbstractValue::top();
+      propagate(pc + 1, state);
+      continue;
+    }
+
+    switch (insn.op) {
+      case BpfOp::ld_imm:
+        state.a = AbstractValue::constant(insn.k);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::ld_len: {
+        state.a = AbstractValue::range(
+            static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(state.min_len, 0xffffffffull)),
+            static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(state.max_len, 0xffffffffull)));
+        state.a.is_len = true;
+        propagate(pc + 1, state);
+        break;
+      }
+      case BpfOp::ldx_imm:
+        state.x = AbstractValue::constant(insn.k);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::tax:
+        state.x = state.a;
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::txa:
+        state.a = state.x;
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::alu_add:
+        state.a = alu_add_const(state.a, insn.k);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::alu_sub:
+        state.a = alu_sub_const(state.a, insn.k);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::alu_and:
+        state.a = alu_and_const(state.a, insn.k);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::alu_or:
+        state.a = alu_or_const(state.a, insn.k);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::alu_lsh:
+        state.a = alu_lsh_const(state.a, insn.k & 31);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::alu_rsh:
+        state.a = alu_rsh_const(state.a, insn.k & 31);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::alu_add_x:
+        state.a = alu_add_reg(state.a, state.x);
+        propagate(pc + 1, state);
+        break;
+      case BpfOp::jeq:
+      case BpfOp::jgt:
+      case BpfOp::jge:
+      case BpfOp::jset: {
+        const BranchEval eval = eval_branch(state, insn.op, insn.k);
+        feas_true[pc] = eval.can_be_true;
+        feas_false[pc] = eval.can_be_false;
+        if (eval.can_be_true) propagate(pc + 1 + insn.jt, eval.on_true);
+        if (eval.can_be_false) propagate(pc + 1 + insn.jf, eval.on_false);
+        if (eval.can_be_true != eval.can_be_false) {
+          out.decided_branches.push_back({pc, eval.can_be_true});
+        }
+        break;
+      }
+      case BpfOp::ja:
+        propagate(pc + 1 + insn.k, state);
+        break;
+      case BpfOp::ret_accept:
+        out.can_accept = true;
+        terminates_here[pc] = true;
+        break;
+      case BpfOp::ret_drop:
+        out.can_drop = true;
+        terminates_here[pc] = true;
+        break;
+      case BpfOp::ret_punt:
+        out.can_punt = true;
+        terminates_here[pc] = true;
+        break;
+      default: break;  // load ops handled above
+    }
+  }
+
+  out.reachable.resize(n);
+  for (std::size_t pc = 0; pc < n; ++pc) {
+    out.reachable[pc] = in[pc].has_value();
+    if (!out.reachable[pc]) out.dead_pcs.push_back(pc);
+  }
+
+  const int verdicts = int(out.can_accept) + int(out.can_drop) + int(out.can_punt);
+  if (verdicts == 1) {
+    out.constant_verdict = out.can_accept ? ppe::Verdict::forward
+                           : out.can_drop ? ppe::Verdict::drop
+                                          : ppe::Verdict::to_control_plane;
+  }
+
+  // Longest terminating path over the reachable DAG, in reverse pc order.
+  std::vector<std::uint64_t> longest(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    if (!out.reachable[i]) continue;
+    if (terminates_here[i]) {
+      longest[i] = 1;
+    } else if (is_cond_jump(code[i].op)) {
+      std::uint64_t best = 0;
+      if (feas_true[i]) best = std::max(best, longest[i + 1 + code[i].jt]);
+      if (feas_false[i]) best = std::max(best, longest[i + 1 + code[i].jf]);
+      longest[i] = 1 + best;
+    } else if (code[i].op == BpfOp::ja) {
+      longest[i] = 1 + longest[i + 1 + code[i].k];
+    } else {
+      longest[i] = 1 + longest[i + 1];
+    }
+  }
+  out.worst_case_path_cycles = longest[0];
+  return out;
+}
+
+// --- diagnostics rendering ---------------------------------------------------
+
+namespace {
+
+std::string pc_list(const std::vector<std::size_t>& pcs) {
+  std::string out;
+  for (std::size_t i = 0; i < pcs.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(pcs[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void BpfVerifier::add_diagnostics(const BpfAnalysis& analysis,
+                                  std::string_view component,
+                                  DiagnosticReport& report) const {
+  const std::string where(component);
+
+  // FSL013: masked shift counts (reported even for structurally invalid
+  // bytecode — it is a raw-instruction property).
+  for (const MaskedShift& shift : analysis.masked_shifts) {
+    report.error(
+        "FSL013", where,
+        "shift count " + std::to_string(shift.count) + " at pc " +
+            std::to_string(shift.pc) +
+            " is >= 32 and relies on the soft core's implicit '& 31' masking",
+        "use a shift count in [0, 31]; BpfProgram::assemble rejects masked "
+        "counts");
+  }
+  if (!analysis.valid_structure) return;
+
+  // FSL009/FSL010: packet-load bounds.
+  for (const LoadFact& load : analysis.loads) {
+    if (load.safety == LoadSafety::always_aborts) {
+      report.error(
+          "FSL009", where,
+          "packet load at pc " + std::to_string(load.pc) +
+              " reads up to byte " + std::to_string(load.end_hi) +
+              " but no frame exceeds " +
+              std::to_string(analysis.max_frame_bytes) +
+              " B: every packet reaching it is dropped",
+          "fix the load offset; the instruction can never succeed");
+    } else if (load.safety == LoadSafety::may_abort) {
+      report.warning(
+          "FSL010", where,
+          "packet load at pc " + std::to_string(load.pc) +
+              " may read up to byte " + std::to_string(load.end_hi) +
+              " of a frame only guaranteed to hold " +
+              std::to_string(analysis.min_frame_bytes) +
+              " B: shorter packets are silently dropped",
+          "guard the load behind a ld_len check or raise the declared "
+          "minimum frame size");
+    }
+  }
+
+  // FSL011: dead code.
+  if (!analysis.dead_pcs.empty()) {
+    report.warning(
+        "FSL011", where,
+        std::to_string(analysis.dead_pcs.size()) + " instruction" +
+            (analysis.dead_pcs.size() == 1 ? " is" : "s are") +
+            " unreachable on every path (pc " + pc_list(analysis.dead_pcs) +
+            "): dead code wastes instruction memory",
+        "remove the dead instructions or fix the jump that was meant to "
+        "reach them");
+  }
+
+  // FSL012: statically decided branches.
+  for (const DecidedBranch& branch : analysis.decided_branches) {
+    report.warning(
+        "FSL012", where,
+        "branch at pc " + std::to_string(branch.pc) + " is " +
+            (branch.always_taken ? "always" : "never") +
+            " taken: the value analysis decides the condition statically",
+        "replace the branch with an unconditional jump, or fix the "
+        "condition if both outcomes were intended");
+  }
+
+  // FSL014: the path-sensitive constant verdict. The degenerate
+  // first-instruction-terminal shape stays FSL007's note; this rule flags
+  // programs that *look* like real filters but cannot vary their verdict.
+  // (Programs whose only verdict variation is abort-drops on short frames
+  // still count as constant for frames >= the declared minimum.)
+  if (analysis.constant_verdict.has_value() && !analysis.first_insn_terminal) {
+    report.warning(
+        "FSL014", where,
+        "every reachable path returns '" +
+            ppe::to_string(*analysis.constant_verdict) +
+            "': the program is a constant filter despite inspecting the "
+            "packet",
+        "replace it with a one-instruction constant program, or fix the "
+        "conditions that were meant to vary the verdict");
+  }
+}
+
+}  // namespace flexsfp::analysis

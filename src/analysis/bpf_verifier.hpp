@@ -1,0 +1,206 @@
+// Kernel-verifier-style abstract interpreter for BPF soft-core stages.
+//
+// The deploy gate is the only thing standing between a developer-shipped
+// packet program (§4.2) and a black-holing module, so — like the load-time
+// verifiers of VeBPF and hXDP — this layer proves facts about a program for
+// *all* packets before it is allowed near the datapath:
+//
+//   * value tracking: accumulator A and index X are abstracted per program
+//     point as an interval [lo, hi] plus known-bits (a "tnum": the Linux
+//     verifier's tristate number — value/mask pairs where mask bits are
+//     unknown), joined at jump targets;
+//   * packet-length tracking: a per-path lower/upper bound on the frame
+//     size, seeded by the declared minimum frame and refined by branches on
+//     `ld_len` and by surviving a packet load (execution past `pkt[at]`
+//     proves size > at);
+//   * load bounds: each packet load is classified `safe` (in-bounds for
+//     every frame >= the declared minimum), `may_abort` (aborts — drops —
+//     on some frame sizes), or `always_aborts` (out of bounds even at the
+//     maximum frame: the instruction unconditionally drops);
+//   * reachability: per-instruction reachability under branch-edge
+//     feasibility (an edge whose refined state is empty is pruned), giving
+//     dead code, statically decided branches, and a path-sensitive
+//     generalization of BpfProgram::constant_verdict — all reachable paths
+//     returning one verdict;
+//   * worst-case latency: the longest *terminating* path through the
+//     program DAG (forward-only jumps make every program a DAG, so a single
+//     in-order pass with joins needs no widening), which FSL002 uses in
+//     place of size() as the honest sequential cycle cost.
+//
+// The findings surface as rules FSL009–FSL014 through DiagnosticReport
+// (see verifier.hpp for the catalog) and gate both `flexsfp-lint` and the
+// FleetOrchestrator deployment path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "apps/bpf_filter.hpp"
+
+namespace flexsfp::analysis {
+
+/// Tristate number: `value` holds the known bits, `mask` the unknown ones
+/// (invariant: value & mask == 0). A concrete v is represented iff
+/// (v & ~mask) == value. Top is {0, ~0}.
+struct Tnum {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0xffffffffu;
+
+  [[nodiscard]] static constexpr Tnum constant(std::uint32_t v) {
+    return {v, 0};
+  }
+  [[nodiscard]] bool is_constant() const { return mask == 0; }
+  /// Can `v` be a concretization of this tnum?
+  [[nodiscard]] bool contains(std::uint32_t v) const {
+    return (v & ~mask) == value;
+  }
+  /// Smallest/largest concretization (unknown bits all 0 / all 1).
+  [[nodiscard]] std::uint32_t min() const { return value; }
+  [[nodiscard]] std::uint32_t max() const { return value | mask; }
+
+  friend bool operator==(const Tnum&, const Tnum&) = default;
+};
+
+[[nodiscard]] Tnum tnum_add(Tnum a, Tnum b);
+[[nodiscard]] Tnum tnum_sub(Tnum a, Tnum b);
+[[nodiscard]] Tnum tnum_and(Tnum a, Tnum b);
+[[nodiscard]] Tnum tnum_or(Tnum a, Tnum b);
+[[nodiscard]] Tnum tnum_lshift(Tnum a, std::uint8_t shift);
+[[nodiscard]] Tnum tnum_rshift(Tnum a, std::uint8_t shift);
+/// Least upper bound: bits the two sides disagree on become unknown.
+[[nodiscard]] Tnum tnum_join(Tnum a, Tnum b);
+/// Tightest tnum containing every value of [lo, hi] (common leading bits).
+[[nodiscard]] Tnum tnum_range(std::uint32_t lo, std::uint32_t hi);
+
+/// One abstract register: interval x known-bits, kept mutually tightened
+/// (interval clamped into [tnum.min, tnum.max]; an interval collapsing to a
+/// point becomes a tnum constant). `is_len` tags an exact copy of the frame
+/// length so branches on it refine the per-path packet-size bounds.
+struct AbstractValue {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0xffffffffu;
+  Tnum bits;
+  bool is_len = false;
+
+  [[nodiscard]] static AbstractValue top() { return {}; }
+  [[nodiscard]] static AbstractValue constant(std::uint32_t v) {
+    return {v, v, Tnum::constant(v), false};
+  }
+  [[nodiscard]] static AbstractValue range(std::uint32_t lo, std::uint32_t hi);
+
+  [[nodiscard]] bool is_constant() const { return lo == hi; }
+  /// False when interval and known bits admit no common concretization.
+  [[nodiscard]] bool consistent() const;
+  /// Re-establish interval<->tnum tightening; false if bottom (empty).
+  bool normalize();
+
+  friend bool operator==(const AbstractValue&, const AbstractValue&) = default;
+};
+
+[[nodiscard]] AbstractValue join(const AbstractValue& a,
+                                 const AbstractValue& b);
+
+/// Bounds verdict for one packet-load instruction, relative to the declared
+/// [min_frame_bytes, max_frame_bytes] envelope.
+enum class LoadSafety : std::uint8_t {
+  safe,           // end offset provably <= every admissible frame size
+  may_abort,      // aborts (drops) for some admissible frame/offset combo
+  always_aborts,  // out of bounds even at max_frame_bytes: drops every packet
+};
+
+[[nodiscard]] std::string_view to_string(LoadSafety safety);
+
+struct LoadFact {
+  std::size_t pc = 0;
+  LoadSafety safety = LoadSafety::safe;
+  /// Inclusive-exclusive byte range the load may touch: the access ends in
+  /// [end_lo, end_hi] (offset range + access width).
+  std::uint64_t end_lo = 0;
+  std::uint64_t end_hi = 0;
+};
+
+struct DecidedBranch {
+  std::size_t pc = 0;
+  /// True when the condition always holds (the jf edge is infeasible).
+  bool always_taken = false;
+};
+
+struct MaskedShift {
+  std::size_t pc = 0;
+  std::uint32_t count = 0;  // the raw shift count, >= 32
+};
+
+/// Everything one analysis run proves about a program. All "for every
+/// packet" claims are relative to frames of at least
+/// BpfVerifierOptions::min_frame_bytes (the property tests execute run()
+/// against this contract).
+struct BpfAnalysis {
+  /// Structural validity under BpfProgram::assemble's historical rules
+  /// (length, opcode range, forward in-range jumps, terminal end) — raw
+  /// instruction vectors that fail it carry no further facts.
+  bool valid_structure = false;
+
+  std::size_t min_frame_bytes = 0;
+  std::size_t max_frame_bytes = 0;
+
+  std::vector<bool> reachable;            // per pc
+  std::vector<std::size_t> dead_pcs;      // pcs with reachable[pc] == false
+  std::vector<LoadFact> loads;            // reachable packet loads only
+  std::vector<DecidedBranch> decided_branches;  // reachable cond. jumps
+  std::vector<MaskedShift> masked_shifts;       // shift count >= 32 anywhere
+
+  /// Which verdicts some reachable path can produce (aborting loads count
+  /// as drop).
+  bool can_accept = false;
+  bool can_drop = false;
+  bool can_punt = false;
+  /// Set when every reachable path returns the same verdict — the
+  /// path-sensitive generalization of BpfProgram::constant_verdict.
+  std::optional<ppe::Verdict> constant_verdict;
+  /// True for the degenerate shape BpfProgram::constant_verdict already
+  /// catches (first instruction terminal) — FSL014 skips it.
+  bool first_insn_terminal = false;
+
+  /// Instructions executed on the longest terminating path: the honest
+  /// sequential cycle cost of the stage (<= program size).
+  std::uint64_t worst_case_path_cycles = 0;
+
+  [[nodiscard]] bool has_load(LoadSafety safety) const;
+};
+
+struct BpfVerifierOptions {
+  /// Smallest frame the datapath contract admits; every "safe" claim is
+  /// proven against it (64 = minimum Ethernet frame).
+  std::size_t min_frame_bytes = 64;
+  /// Largest frame the datapath can present (jumbo). Loads past it abort
+  /// on every packet.
+  std::size_t max_frame_bytes = 9216;
+};
+
+class BpfVerifier {
+ public:
+  explicit BpfVerifier(BpfVerifierOptions options = {});
+
+  [[nodiscard]] const BpfVerifierOptions& options() const { return options_; }
+
+  /// Analyze a validated program.
+  [[nodiscard]] BpfAnalysis analyze(const apps::BpfProgram& program) const;
+  /// Analyze a raw instruction vector (pre-assemble: the hostile-bitstream
+  /// path). Structural violations short-circuit with valid_structure=false;
+  /// masked shifts — which assemble now rejects — are still reported.
+  [[nodiscard]] BpfAnalysis analyze(
+      const std::vector<apps::BpfInsn>& code) const;
+
+  /// Render an analysis as FSL009–FSL014 diagnostics anchored at
+  /// `component` (e.g. "bpf"). Used by PipelineVerifier and the lint tool.
+  void add_diagnostics(const BpfAnalysis& analysis, std::string_view component,
+                       DiagnosticReport& report) const;
+
+ private:
+  BpfVerifierOptions options_;
+};
+
+}  // namespace flexsfp::analysis

@@ -52,6 +52,32 @@ apps::BpfProgram heavy_program() {
   return *apps::BpfProgram::assemble(std::move(code));
 }
 
+/// A load past any admissible frame: `ld_abs_u32 20000` is out of bounds
+/// even on a jumbo frame, so the instruction drops every packet reaching
+/// it (FSL009).
+apps::BpfProgram oob_load_program() {
+  return *apps::BpfProgram::assemble({
+      {apps::BpfOp::ld_abs_u32, 20000, 0, 0},
+      {apps::BpfOp::ret_accept, 0, 0, 0},
+  });
+}
+
+/// The guarded-deep-load idiom the abstract interpreter exists to admit:
+/// a `ld_len` branch proves frames on the load's path are >= 110 bytes, so
+/// the byte-100 load is safe even though it is far past the 64-byte
+/// minimum frame. Without length tracking this would be a (spurious)
+/// FSL010 warning.
+apps::BpfProgram guarded_deep_load_program() {
+  return *apps::BpfProgram::assemble({
+      {apps::BpfOp::ld_len, 0, 0, 0},           // 0: A = frame length
+      {apps::BpfOp::jge, 110, 0, 3},            // 1: if A < 110 goto 5
+      {apps::BpfOp::ld_abs_u32, 100, 0, 0},     // 2: A = pkt[100..104)
+      {apps::BpfOp::jeq, 0xdeadbeefu, 0, 1},    // 3: if A != magic goto 5
+      {apps::BpfOp::ret_drop, 0, 0, 0},         // 4
+      {apps::BpfOp::ret_accept, 0, 0, 0},       // 5
+  });
+}
+
 ppe::PpeAppPtr build_dead_chain() {
   auto chain = std::make_unique<apps::AppChain>();
   chain->append(std::make_unique<apps::BpfFilter>(
@@ -107,6 +133,28 @@ std::vector<DeployableDesign> make_catalog() {
        "drop-everything filter in front of an ACL: downstream stage is "
        "unreachable — must be rejected",
        false, build_dead_chain});
+  designs.push_back(
+      {"bpf-guarded-deep-load",
+       "soft-core program whose ld_len guard proves a byte-100 load "
+       "in-bounds: the abstract interpreter admits it warning-free",
+       true, [] {
+         return std::make_unique<apps::BpfFilter>(guarded_deep_load_program());
+       }});
+  designs.push_back(
+      {"bpf-oob-load",
+       "soft-core load at byte 20000: out of bounds on every admissible "
+       "frame, drops every packet reaching it — must be rejected",
+       false, [] {
+         return std::make_unique<apps::BpfFilter>(oob_load_program());
+       }});
+  designs.push_back(
+      {"bpf-general-dport",
+       "general TCP dport blocker: honest worst-case path (12 cycles) still "
+       "breaks the min-size-packet budget — must be rejected",
+       false, [] {
+         return std::make_unique<apps::BpfFilter>(
+             apps::bpf_programs::drop_tcp_dport(23));
+       }});
   return designs;
 }
 

@@ -4,6 +4,8 @@
 #include <array>
 #include <cstdio>
 
+#include "analysis/bpf_verifier.hpp"
+#include "apps/bpf_filter.hpp"
 #include "hw/bitstream.hpp"
 #include "hw/resource_model.hpp"
 #include "ppe/app.hpp"
@@ -62,6 +64,22 @@ const std::vector<RuleInfo>& rule_catalog() {
        "stages unreachable behind a constant non-forward verdict"},
       {"FSL008", Severity::error,
        "counter-bank index beyond the bank's slot count"},
+      {"FSL009", Severity::error,
+       "BPF packet load out of bounds on every frame (drops every packet "
+       "reaching it)"},
+      {"FSL010", Severity::warning,
+       "BPF packet load not provably in-bounds at the declared minimum "
+       "frame size"},
+      {"FSL011", Severity::warning,
+       "BPF instructions unreachable on every path (dead code)"},
+      {"FSL012", Severity::warning,
+       "BPF conditional branch statically decided (one edge is infeasible)"},
+      {"FSL013", Severity::error,
+       "BPF shift count >= 32 relies on the soft core's implicit '& 31' "
+       "masking"},
+      {"FSL014", Severity::warning,
+       "BPF program returns the same verdict on every reachable path "
+       "(constant filter)"},
   };
   return catalog;
 }
@@ -71,12 +89,45 @@ PipelineVerifier::PipelineVerifier(VerifierOptions options)
 
 DiagnosticReport PipelineVerifier::verify(const ppe::PpeApp& app) const {
   DiagnosticReport report;
-  const std::vector<ppe::StageProfile> stages = app.stage_profiles();
+  std::vector<ppe::StageProfile> stages = app.stage_profiles();
   check_resources(app, report);
+  // Runs first: it refines the profiles (honest BPF cycle costs,
+  // path-sensitive constant verdicts) the later checks consume.
+  check_bpf_stages(app, stages, report);
   check_line_rate(stages, report);
   check_tables(stages, report);
   check_pipeline_shape(stages, report);
   return report;
+}
+
+void PipelineVerifier::check_bpf_stages(const ppe::PpeApp& app,
+                                        std::vector<ppe::StageProfile>& stages,
+                                        DiagnosticReport& report) const {
+  std::vector<const ppe::PpeApp*> stage_apps;
+  stage_apps.reserve(stages.size());
+  app.visit_stages(
+      [&stage_apps](const ppe::PpeApp& stage) { stage_apps.push_back(&stage); });
+  // A composition that overrides stage_profiles() without visit_stages()
+  // loses the app<->profile alignment; fall back to profile-only checks.
+  if (stage_apps.size() != stages.size()) return;
+
+  const BpfVerifier verifier(BpfVerifierOptions{
+      .min_frame_bytes = options_.bpf_min_frame_bytes,
+      .max_frame_bytes = options_.bpf_max_frame_bytes});
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const auto* bpf = dynamic_cast<const apps::BpfFilter*>(stage_apps[i]);
+    if (bpf == nullptr) continue;
+    const BpfAnalysis analysis = verifier.analyze(bpf->program());
+    verifier.add_diagnostics(analysis, stages[i].stage, report);
+    if (!analysis.valid_structure) continue;
+    // Honest sequential occupancy for FSL002: the longest terminating path
+    // through the program DAG, not the instruction count.
+    stages[i].match_action_cycles =
+        std::max<std::uint64_t>(analysis.worst_case_path_cycles, 1);
+    // Path-sensitive constant verdict for FSL007: strictly more programs
+    // than the first-instruction-terminal shape the profile declares.
+    stages[i].constant_verdict = analysis.constant_verdict;
+  }
 }
 
 DiagnosticReport PipelineVerifier::verify_bitstream(

@@ -22,6 +22,25 @@
 //                   (warning/note: constant verdict with nothing downstream)
 //   FSL008 error    counter-bank index beyond the bank's slot count
 //                   (CounterBank::add would throw at runtime)
+//
+// Rules FSL009–FSL014 come from the BPF abstract interpreter
+// (analysis::BpfVerifier) run over every soft-core stage's program; their
+// "for every packet" claims hold for frames >= bpf_min_frame_bytes:
+//   FSL009 error    packet load out of bounds on every frame (the
+//                   instruction drops every packet that reaches it)
+//   FSL010 warning  packet load not provably in-bounds at the declared
+//                   minimum frame size (short packets silently drop)
+//   FSL011 warning  instructions unreachable on every path (dead code)
+//   FSL012 warning  conditional branch statically decided (an edge is
+//                   infeasible)
+//   FSL013 error    shift count >= 32 masked by the soft core's '& 31'
+//   FSL014 warning  every reachable path returns one verdict (constant
+//                   filter despite inspecting the packet)
+//
+// FSL002 uses the interpreter's longest *terminating* path as a BPF
+// stage's per-packet cycle cost instead of the program size, so a program
+// whose worst-case path is shorter than its instruction count gets an
+// honest budget.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +86,11 @@ struct VerifierOptions {
   bool include_shell = true;
   /// Resource fit above this percentage (but still fitting) is a warning.
   double utilization_warning_pct = 90.0;
+  /// Frame-size envelope the BPF abstract interpreter proves packet loads
+  /// against: "safe" means in-bounds for every frame >= the minimum;
+  /// offsets past the maximum can never be read (FSL009).
+  std::size_t bpf_min_frame_bytes = 64;
+  std::size_t bpf_max_frame_bytes = 9216;
 };
 
 class PipelineVerifier {
@@ -86,6 +110,13 @@ class PipelineVerifier {
 
  private:
   void check_resources(const ppe::PpeApp& app, DiagnosticReport& report) const;
+  /// Run the BPF abstract interpreter over every soft-core stage: emits
+  /// FSL009–FSL014 and patches the stage's match_action_cycles (honest
+  /// worst-case path for FSL002) and constant_verdict (path-sensitive, for
+  /// FSL007) in place.
+  void check_bpf_stages(const ppe::PpeApp& app,
+                        std::vector<ppe::StageProfile>& stages,
+                        DiagnosticReport& report) const;
   void check_line_rate(const std::vector<ppe::StageProfile>& stages,
                        DiagnosticReport& report) const;
   void check_tables(const std::vector<ppe::StageProfile>& stages,

@@ -22,29 +22,39 @@ bool is_jump(BpfOp op) {
 
 }  // namespace
 
-std::optional<BpfProgram> BpfProgram::assemble(std::vector<BpfInsn> code) {
-  if (code.empty() || code.size() > max_instructions) return std::nullopt;
+bool BpfProgram::validate_structure(const std::vector<BpfInsn>& code) {
+  if (code.empty() || code.size() > max_instructions) return false;
   for (std::size_t pc = 0; pc < code.size(); ++pc) {
     const BpfInsn& insn = code[pc];
     if (static_cast<std::uint8_t>(insn.op) >
         static_cast<std::uint8_t>(BpfOp::ret_punt)) {
-      return std::nullopt;
+      return false;
     }
     if (is_jump(insn.op)) {
       // Forward-only, in-range on both edges (guarantees termination).
       const std::size_t true_target =
           pc + 1 + (insn.op == BpfOp::ja ? insn.k : insn.jt);
-      if (true_target >= code.size()) return std::nullopt;
+      if (true_target >= code.size()) return false;
       if (insn.op != BpfOp::ja) {
         const std::size_t false_target = pc + 1 + insn.jf;
-        if (false_target >= code.size()) return std::nullopt;
+        if (false_target >= code.size()) return false;
       }
     } else if (!is_terminal(insn.op) && pc + 1 >= code.size()) {
-      return std::nullopt;  // falling off the end
+      return false;  // falling off the end
     }
   }
-  if (!is_terminal(code.back().op) && !is_jump(code.back().op)) {
-    return std::nullopt;
+  return is_terminal(code.back().op) || is_jump(code.back().op);
+}
+
+std::optional<BpfProgram> BpfProgram::assemble(std::vector<BpfInsn> code) {
+  if (!validate_structure(code)) return std::nullopt;
+  for (const BpfInsn& insn : code) {
+    // The interpreter masks shift counts with `& 31`; a count >= 32 never
+    // means what the author wrote, so refuse it instead of wrapping.
+    if ((insn.op == BpfOp::alu_lsh || insn.op == BpfOp::alu_rsh) &&
+        insn.k >= 32) {
+      return std::nullopt;
+    }
   }
   return BpfProgram(std::move(code));
 }
@@ -135,12 +145,18 @@ net::Bytes BpfProgram::serialize() const {
 }
 
 std::optional<BpfProgram> BpfProgram::parse(net::BytesView data) {
+  // A hostile mgmt-frame bitstream gets no benefit of the doubt: exact
+  // framing, explicit opcode range check before the enum cast, then the
+  // full assemble()-level validation.
   if (data.size() < 2) return std::nullopt;
   const std::size_t count = net::read_be16(data, 0);
-  if (data.size() < 2 + count * 7) return std::nullopt;
+  if (data.size() != 2 + count * 7) return std::nullopt;
   std::vector<BpfInsn> code(count);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t at = 2 + i * 7;
+    if (data[at] > static_cast<std::uint8_t>(BpfOp::ret_punt)) {
+      return std::nullopt;  // out-of-range opcode byte
+    }
     code[i].op = static_cast<BpfOp>(data[at]);
     code[i].k = net::read_be32(data, at + 1);
     code[i].jt = data[at + 5];

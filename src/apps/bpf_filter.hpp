@@ -60,11 +60,22 @@ struct BpfInsn {
 };
 
 /// A validated program. Construction enforces the safety rules a loader
-/// would: bounded length, forward-only jumps that stay in range, and a
-/// terminal instruction on the fall-through end.
+/// would: bounded length, known opcodes, forward-only jumps that stay in
+/// range, a terminal instruction on the fall-through end, and shift counts
+/// below 32 (the interpreter masks with `& 31`; a larger count is always a
+/// bug, so it is rejected rather than silently wrapped). Deeper semantic
+/// guarantees — provable load bounds, reachability, honest worst-case path
+/// latency — are the analysis::BpfVerifier's job at deploy time.
 class BpfProgram {
  public:
   static constexpr std::size_t max_instructions = 256;
+
+  /// Structural safety rules alone: bounded length, known opcodes, forward
+  /// in-range jumps, terminal end. Shared with the static analyzer, which
+  /// accepts structurally valid bytecode that assemble() refuses (e.g.
+  /// masked shift counts) so it can diagnose rather than just reject.
+  [[nodiscard]] static bool validate_structure(
+      const std::vector<BpfInsn>& code);
 
   /// Validate and seal `code`. nullopt on any safety violation.
   [[nodiscard]] static std::optional<BpfProgram> assemble(
@@ -117,7 +128,9 @@ class BpfFilter final : public ppe::PpeApp {
   [[nodiscard]] std::string name() const override { return "bpf"; }
   [[nodiscard]] ppe::Verdict process(ppe::PacketContext& ctx) override;
   /// Instruction memory in uSRAM plus the sequential core; latency budget
-  /// is the program length (one instruction per cycle, hXDP-style).
+  /// is the program length (one instruction per cycle, hXDP-style). This is
+  /// the conservative bound — analysis::BpfVerifier proves the longest
+  /// *terminating* path, which the deploy-time FSL002 check uses instead.
   [[nodiscard]] hw::ResourceUsage resource_usage(
       const hw::DatapathConfig& datapath) const override;
   [[nodiscard]] std::uint64_t pipeline_latency_cycles() const override {

@@ -65,6 +65,12 @@ std::vector<ppe::StageProfile> AppChain::stage_profiles() const {
   return profiles;
 }
 
+void AppChain::visit_stages(
+    const std::function<void(const ppe::PpeApp&)>& visit) const {
+  // Mirrors stage_profiles(): nested chains flatten in pipeline order.
+  for (const auto& stage : stages_) stage->visit_stages(visit);
+}
+
 ppe::StageProfile AppChain::profile() const {
   ppe::StageProfile merged;
   merged.stage = name();

@@ -32,6 +32,9 @@ class AppChain final : public ppe::PpeApp {
   [[nodiscard]] ppe::StageProfile profile() const override;
   /// One profile per stage, in pipeline order (nested chains flattened).
   [[nodiscard]] std::vector<ppe::StageProfile> stage_profiles() const override;
+  /// Stage apps in the same order/flattening as stage_profiles().
+  void visit_stages(
+      const std::function<void(const ppe::PpeApp&)>& visit) const override;
 
   // Control-plane ops address tables as "<stage-name>.<table>"; a bare
   // table name is routed to the first stage that owns it.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -93,6 +94,15 @@ class PpeApp {
   /// The stage sequence this app contributes to a pipeline — one entry for
   /// simple apps, one per stage for compositions (AppChain overrides).
   [[nodiscard]] virtual std::vector<StageProfile> stage_profiles() const;
+  /// Visit the concrete stage apps in the same order (and flattening) as
+  /// stage_profiles(): `this` for simple apps, each member stage for
+  /// compositions. Lets deploy-time analyses that need more than the
+  /// declared profile (e.g. the BPF abstract interpreter reading a stage's
+  /// program) align an app with its profile entry.
+  virtual void visit_stages(
+      const std::function<void(const PpeApp&)>& visit) const {
+    visit(*this);
+  }
 
   /// Serialized configuration, the payload a bitstream carries. Empty means
   /// the app has no static configuration.

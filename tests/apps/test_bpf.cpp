@@ -46,6 +46,25 @@ TEST(BpfProgram, AssembleRejectsUnknownOpcode) {
                    .has_value());
 }
 
+TEST(BpfProgram, AssembleRejectsMaskedShiftCounts) {
+  // The interpreter masks shift counts with '& 31'; a count >= 32 always
+  // means the author expected different semantics, so it is rejected.
+  EXPECT_FALSE(BpfProgram::assemble({{BpfOp::alu_lsh, 32, 0, 0},
+                                     {BpfOp::ret_accept, 0, 0, 0}})
+                   .has_value());
+  EXPECT_FALSE(BpfProgram::assemble({{BpfOp::alu_rsh, 40, 0, 0},
+                                     {BpfOp::ret_accept, 0, 0, 0}})
+                   .has_value());
+  // 31 is the largest meaningful count and stays accepted.
+  EXPECT_TRUE(BpfProgram::assemble({{BpfOp::alu_lsh, 31, 0, 0},
+                                    {BpfOp::ret_accept, 0, 0, 0}})
+                  .has_value());
+  // validate_structure() alone (the analyzer's entry bar) still admits the
+  // masked shift: the analyzer diagnoses it rather than refusing to look.
+  EXPECT_TRUE(BpfProgram::validate_structure({{BpfOp::alu_lsh, 32, 0, 0},
+                                              {BpfOp::ret_accept, 0, 0, 0}}));
+}
+
 TEST(BpfProgram, SerializeParseRoundTrip) {
   const auto original = bpf_programs::drop_tcp_dport(23);
   const auto reparsed = BpfProgram::parse(original.serialize());
@@ -64,6 +83,30 @@ TEST(BpfProgram, ParseRejectsInvalidBytecode) {
   net::write_be16(bad, 0, 1);
   bad[2] = static_cast<std::uint8_t>(BpfOp::ld_imm);
   EXPECT_FALSE(BpfProgram::parse(bad).has_value());
+}
+
+TEST(BpfProgram, ParseRangeChecksTheOpcodeByte) {
+  // An opcode byte past ret_punt must be refused before the enum cast, not
+  // smuggled through as an out-of-range BpfOp value.
+  net::Bytes config(2 + 7, 0);
+  net::write_be16(config, 0, 1);
+  config[2] = static_cast<std::uint8_t>(BpfOp::ret_punt) + 1;
+  EXPECT_FALSE(BpfProgram::parse(config).has_value());
+  config[2] = 0xff;
+  EXPECT_FALSE(BpfProgram::parse(config).has_value());
+}
+
+TEST(BpfProgram, ParseRejectsTrailingOrTruncatedBytes) {
+  net::Bytes config = bpf_programs::accept_all().serialize();
+  ASSERT_TRUE(BpfProgram::parse(config).has_value());
+  // One stray byte after the declared instruction count: refused.
+  net::Bytes trailing = config;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(BpfProgram::parse(trailing).has_value());
+  // Truncated mid-instruction: refused.
+  net::Bytes truncated = config;
+  truncated.pop_back();
+  EXPECT_FALSE(BpfProgram::parse(truncated).has_value());
 }
 
 // --- interpreter ---------------------------------------------------------------

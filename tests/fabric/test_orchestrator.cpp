@@ -5,6 +5,7 @@
 #include <set>
 
 #include "apps/acl.hpp"
+#include "apps/bpf_filter.hpp"
 #include "apps/nat.hpp"
 #include "sfp/flexsfp.hpp"
 
@@ -231,6 +232,37 @@ TEST(Orchestrator, RefusesInfeasibleBitstreamBeforeTouchingTheWire) {
 
   fx.sim.run();
   EXPECT_EQ(fx.modules[0]->app().name(), "nat");  // original app untouched
+  EXPECT_EQ(fx.modules[0]->reconfigurations(), 0u);
+}
+
+// The BPF abstract interpreter runs inside the same gate: a structurally
+// valid program (assemble and parse both accept it) whose only load is out
+// of bounds on every admissible frame is refused with FSL009 before any
+// mgmt traffic.
+TEST(Orchestrator, RefusesBlackHolingBpfProgramAtTheGate) {
+  FleetFixture fx(1);
+  const auto program = *apps::BpfProgram::assemble({
+      {apps::BpfOp::ld_abs_u32, 20000, 0, 0},
+      {apps::BpfOp::ret_accept, 0, 0, 0},
+  });
+  const auto bitstream = hw::Bitstream::create(
+      "bpf", program.serialize(), sfp::FlexSfpConfig{}.auth_key);
+
+  bool completed = false;
+  bool got_response = true;
+  fx.orchestrator.deploy_bitstream("module-0", bitstream,
+                                   [&](std::optional<sfp::MgmtResponse> r) {
+                                     completed = true;
+                                     got_response = r.has_value();
+                                   });
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(got_response);
+  EXPECT_EQ(fx.orchestrator.rejected_deployments(), 1u);
+  EXPECT_TRUE(fx.orchestrator.last_verification().has_errors());
+  EXPECT_FALSE(
+      fx.orchestrator.last_verification().by_rule("FSL009").empty());
+
+  fx.sim.run();
   EXPECT_EQ(fx.modules[0]->reconfigurations(), 0u);
 }
 

@@ -1,0 +1,304 @@
+// Soundness sweep for the BPF abstract interpreter: generate random valid
+// programs, run the analyzer, then execute each program concretely over
+// randomized and boundary frame sizes with an instrumented mirror of
+// BpfProgram::run — every static claim must hold on every execution:
+//   * the mirror and run() agree on the verdict (mirror fidelity),
+//   * executed pcs are a subset of the claimed reachable set,
+//   * the verdict is one the analysis says the program can produce, and
+//     equals constant_verdict when that is set,
+//   * instructions executed <= worst_case_path_cycles,
+//   * loads classified `safe` never abort, `always_aborts` always do,
+//   * a statically decided branch never takes its infeasible edge.
+// All claims are relative to frames >= the declared minimum (64 B here).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "analysis/bpf_verifier.hpp"
+#include "apps/bpf_filter.hpp"
+
+namespace flexsfp::analysis {
+namespace {
+
+using apps::BpfInsn;
+using apps::BpfOp;
+using apps::BpfProgram;
+
+constexpr std::size_t kMinFrame = 64;
+
+/// One concrete execution, instrumented: mirrors BpfProgram::run exactly
+/// (uint32 ALU, `& 31` shift masking, uint32-wrapping indexed offsets,
+/// abort-to-drop on OOB loads) while recording the trace.
+struct Trace {
+  ppe::Verdict verdict = ppe::Verdict::drop;
+  std::vector<std::size_t> visited;
+  std::uint64_t steps = 0;
+  /// pc -> did the load at pc abort on this run (only load pcs appear).
+  std::vector<std::pair<std::size_t, bool>> load_aborts;
+  /// pc -> branch outcome taken on this run (only conditional-jump pcs).
+  std::vector<std::pair<std::size_t, bool>> branch_taken;
+};
+
+Trace execute(const std::vector<BpfInsn>& code, net::BytesView packet) {
+  Trace trace;
+  std::uint32_t a = 0;
+  std::uint32_t x = 0;
+  std::size_t pc = 0;
+  for (std::size_t steps = 0; steps <= code.size(); ++steps) {
+    const BpfInsn& insn = code[pc];
+    trace.visited.push_back(pc);
+    ++trace.steps;
+    std::size_t next = pc + 1;
+    const auto load = [&](std::uint32_t offset, std::size_t width,
+                          std::uint32_t indexed) -> bool {
+      const std::size_t at = offset + indexed;  // uint32 wrap, like run()
+      if (at + width > packet.size()) {
+        trace.load_aborts.emplace_back(pc, true);
+        trace.verdict = ppe::Verdict::drop;
+        return false;
+      }
+      trace.load_aborts.emplace_back(pc, false);
+      a = 0;
+      for (std::size_t i = 0; i < width; ++i) a = (a << 8) | packet[at + i];
+      return true;
+    };
+    switch (insn.op) {
+      case BpfOp::ld_imm: a = insn.k; break;
+      case BpfOp::ld_len: a = static_cast<std::uint32_t>(packet.size()); break;
+      case BpfOp::ld_abs_u8:
+        if (!load(insn.k, 1, 0)) return trace;
+        break;
+      case BpfOp::ld_abs_u16:
+        if (!load(insn.k, 2, 0)) return trace;
+        break;
+      case BpfOp::ld_abs_u32:
+        if (!load(insn.k, 4, 0)) return trace;
+        break;
+      case BpfOp::ld_ind_u8:
+        if (!load(insn.k, 1, x)) return trace;
+        break;
+      case BpfOp::ld_ind_u16:
+        if (!load(insn.k, 2, x)) return trace;
+        break;
+      case BpfOp::ld_ind_u32:
+        if (!load(insn.k, 4, x)) return trace;
+        break;
+      case BpfOp::ldx_imm: x = insn.k; break;
+      case BpfOp::tax: x = a; break;
+      case BpfOp::txa: a = x; break;
+      case BpfOp::alu_add: a += insn.k; break;
+      case BpfOp::alu_sub: a -= insn.k; break;
+      case BpfOp::alu_and: a &= insn.k; break;
+      case BpfOp::alu_or: a |= insn.k; break;
+      case BpfOp::alu_lsh: a <<= (insn.k & 31); break;
+      case BpfOp::alu_rsh: a >>= (insn.k & 31); break;
+      case BpfOp::alu_add_x: a += x; break;
+      case BpfOp::jeq:
+      case BpfOp::jgt:
+      case BpfOp::jge:
+      case BpfOp::jset: {
+        bool taken = false;
+        if (insn.op == BpfOp::jeq) taken = a == insn.k;
+        if (insn.op == BpfOp::jgt) taken = a > insn.k;
+        if (insn.op == BpfOp::jge) taken = a >= insn.k;
+        if (insn.op == BpfOp::jset) taken = (a & insn.k) != 0;
+        trace.branch_taken.emplace_back(pc, taken);
+        next += taken ? insn.jt : insn.jf;
+        break;
+      }
+      case BpfOp::ja: next += insn.k; break;
+      case BpfOp::ret_accept:
+        trace.verdict = ppe::Verdict::forward;
+        return trace;
+      case BpfOp::ret_drop:
+        trace.verdict = ppe::Verdict::drop;
+        return trace;
+      case BpfOp::ret_punt:
+        trace.verdict = ppe::Verdict::to_control_plane;
+        return trace;
+    }
+    pc = next;
+  }
+  ADD_FAILURE() << "validated program did not terminate";
+  return trace;
+}
+
+/// Random structurally valid program: jump offsets stay in range by
+/// construction and the last instruction is a terminal, so assemble()
+/// always accepts (shift counts are drawn from [0, 31]).
+BpfProgram random_program(std::mt19937& rng) {
+  const auto u32 = [&rng](std::uint32_t bound) {
+    return static_cast<std::uint32_t>(rng() % bound);
+  };
+  const std::size_t n = 2 + u32(23);
+  std::vector<BpfInsn> code(n);
+  const auto rand_offset = [&]() -> std::uint32_t {
+    switch (u32(8)) {
+      case 0: return u32(2000);               // mid-frame / jumbo
+      case 1: return 9200 + u32(200);         // straddles max_frame
+      case 2: return 0xfffffff0u + u32(16);   // wraps when indexed
+      default: return u32(128);               // around min_frame
+    }
+  };
+  for (std::size_t pc = 0; pc + 1 < n; ++pc) {
+    const std::uint32_t reach =
+        static_cast<std::uint32_t>(n - 2 - pc);  // max extra jump distance
+    switch (u32(14)) {
+      case 0: code[pc] = {BpfOp::ld_imm, u32(0x10000), 0, 0}; break;
+      case 1: code[pc] = {BpfOp::ld_len, 0, 0, 0}; break;
+      case 2:
+        code[pc] = {static_cast<BpfOp>(
+                        static_cast<int>(BpfOp::ld_abs_u8) + u32(6)),
+                    rand_offset(), 0, 0};
+        break;
+      case 3:
+        code[pc] = {BpfOp::ldx_imm,
+                    u32(4) == 0 ? 0xffffff00u + u32(256) : u32(64), 0, 0};
+        break;
+      case 4: code[pc] = {u32(2) ? BpfOp::tax : BpfOp::txa, 0, 0, 0}; break;
+      case 5:
+        code[pc] = {static_cast<BpfOp>(static_cast<int>(BpfOp::alu_add) +
+                                       u32(4)),
+                    u32(0x10000), 0, 0};
+        break;
+      case 6:
+        code[pc] = {u32(2) ? BpfOp::alu_lsh : BpfOp::alu_rsh, u32(32), 0, 0};
+        break;
+      case 7: code[pc] = {BpfOp::alu_add_x, 0, 0, 0}; break;
+      case 8:
+      case 9:
+      case 10: {
+        const auto op =
+            static_cast<BpfOp>(static_cast<int>(BpfOp::jeq) + u32(4));
+        // Comparison constants biased toward plausible frame values so
+        // decided branches and dead code actually occur.
+        const std::uint32_t k = u32(3) == 0 ? u32(128) : u32(0x10000);
+        code[pc] = {op, k, static_cast<std::uint8_t>(u32(reach + 1)),
+                    static_cast<std::uint8_t>(u32(reach + 1))};
+        break;
+      }
+      case 11:
+        code[pc] = {BpfOp::ja, u32(reach + 1), 0, 0};
+        break;
+      default:
+        code[pc] = {static_cast<BpfOp>(static_cast<int>(BpfOp::ret_accept) +
+                                       u32(3)),
+                    0, 0, 0};
+        break;
+    }
+  }
+  code[n - 1] = {static_cast<BpfOp>(static_cast<int>(BpfOp::ret_accept) +
+                                    u32(3)),
+                 0, 0, 0};
+  auto program = BpfProgram::assemble(std::move(code));
+  EXPECT_TRUE(program.has_value());
+  return *program;
+}
+
+void check_trace_against_analysis(const BpfProgram& program,
+                                  const BpfAnalysis& analysis,
+                                  net::BytesView frame) {
+  const Trace trace = execute(program.code(), frame);
+  // Mirror fidelity: the instrumented executor is only trustworthy if it
+  // agrees with the production interpreter.
+  ASSERT_EQ(trace.verdict, program.run(frame));
+
+  for (const std::size_t pc : trace.visited) {
+    EXPECT_TRUE(analysis.reachable[pc])
+        << "executed pc " << pc << " claimed unreachable";
+  }
+  const bool verdict_allowed =
+      (trace.verdict == ppe::Verdict::forward && analysis.can_accept) ||
+      (trace.verdict == ppe::Verdict::drop && analysis.can_drop) ||
+      (trace.verdict == ppe::Verdict::to_control_plane && analysis.can_punt);
+  EXPECT_TRUE(verdict_allowed) << "verdict not in the claimed set";
+  if (analysis.constant_verdict.has_value()) {
+    EXPECT_EQ(trace.verdict, *analysis.constant_verdict);
+  }
+  EXPECT_LE(trace.steps, analysis.worst_case_path_cycles);
+
+  for (const auto& [pc, aborted] : trace.load_aborts) {
+    const auto fact =
+        std::find_if(analysis.loads.begin(), analysis.loads.end(),
+                     [pc = pc](const LoadFact& f) { return f.pc == pc; });
+    ASSERT_NE(fact, analysis.loads.end()) << "executed load not analyzed";
+    if (fact->safety == LoadSafety::safe) {
+      EXPECT_FALSE(aborted) << "safe load aborted at pc " << pc << " on a "
+                            << frame.size() << " B frame";
+    }
+    if (fact->safety == LoadSafety::always_aborts) {
+      EXPECT_TRUE(aborted) << "always-aborts load survived at pc " << pc;
+    }
+  }
+  for (const auto& [pc, taken] : trace.branch_taken) {
+    for (const DecidedBranch& decided : analysis.decided_branches) {
+      if (decided.pc == pc) {
+        EXPECT_EQ(taken, decided.always_taken)
+            << "decided branch at pc " << pc << " took its infeasible edge";
+      }
+    }
+  }
+}
+
+TEST(BpfVerifierSoundness, RandomProgramsUnderRandomAndBoundaryFrames) {
+  std::mt19937 rng(0xf1e25f01u);
+  const BpfVerifier verifier(
+      {.min_frame_bytes = kMinFrame, .max_frame_bytes = 9216});
+
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    const BpfProgram program = random_program(rng);
+    const BpfAnalysis analysis = verifier.analyze(program);
+    ASSERT_TRUE(analysis.valid_structure);
+    ASSERT_EQ(analysis.reachable.size(), program.size());
+    EXPECT_GE(analysis.worst_case_path_cycles, 1u);
+    EXPECT_LE(analysis.worst_case_path_cycles, program.size());
+
+    // Boundary sizes bracket the envelope edges and every load's end
+    // offset; random sizes cover the middle.
+    std::vector<std::size_t> sizes{kMinFrame, kMinFrame + 1, 1518};
+    for (const LoadFact& load : analysis.loads) {
+      for (const std::uint64_t end : {load.end_lo, load.end_hi}) {
+        if (end >= kMinFrame && end <= 9216) {
+          sizes.push_back(static_cast<std::size_t>(end));
+          if (end > kMinFrame) {
+            sizes.push_back(static_cast<std::size_t>(end) - 1);
+          }
+        }
+      }
+    }
+    for (int i = 0; i < 4; ++i) sizes.push_back(kMinFrame + rng() % 1537);
+
+    for (const std::size_t size : sizes) {
+      net::Bytes frame(size);
+      for (auto& byte : frame) byte = static_cast<std::uint8_t>(rng());
+      check_trace_against_analysis(program, analysis, frame);
+    }
+  }
+}
+
+TEST(BpfVerifierSoundness, LibraryProgramsAgreeWithTheirAnalyses) {
+  std::mt19937 rng(0x5eed5eedu);
+  const BpfVerifier verifier;
+  const BpfProgram library[] = {
+      apps::bpf_programs::accept_all(),
+      apps::bpf_programs::drop_tcp_dport(23),
+      apps::bpf_programs::drop_tcp_dport_compact(23),
+      apps::bpf_programs::allow_src_net(0x0a070000, 0xffff0000),
+      apps::bpf_programs::punt_fragments(),
+  };
+  for (const BpfProgram& program : library) {
+    const BpfAnalysis analysis = verifier.analyze(program);
+    ASSERT_TRUE(analysis.valid_structure);
+    for (const std::size_t size : {64u, 65u, 100u, 256u, 1518u}) {
+      for (int i = 0; i < 8; ++i) {
+        net::Bytes frame(size);
+        for (auto& byte : frame) byte = static_cast<std::uint8_t>(rng());
+        check_trace_against_analysis(program, analysis, frame);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexsfp::analysis

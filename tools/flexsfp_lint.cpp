@@ -8,6 +8,7 @@
 //      --check-expectations mode
 //   2  usage error / unknown design / unknown device
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -39,6 +40,9 @@ void usage(std::FILE* out) {
                "                         (default when no --design given)\n"
                "  --device <name>        target device (MPF100T, MPF200T,\n"
                "                         MPF300T, MPF500T; default MPF200T)\n"
+               "  --min-frame <bytes>    smallest frame the BPF abstract\n"
+               "                         interpreter proves packet loads\n"
+               "                         against (default 64)\n"
                "  --json                 machine-readable report on stdout\n"
                "  --fail-on-warning      treat warnings as failures\n"
                "  --check-expectations   fail when a design's verdict\n"
@@ -58,6 +62,7 @@ struct DesignResult {
 int main(int argc, char** argv) {
   std::vector<std::string> names;
   std::string device_name = "MPF200T";
+  std::size_t min_frame_bytes = 64;
   bool list_rules = false;
   bool list_only = false;
   bool all = false;
@@ -85,6 +90,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       device_name = argv[++i];
+    } else if (arg == "--min-frame") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flexsfp-lint: --min-frame needs a byte count\n");
+        return 2;
+      }
+      const long parsed = std::strtol(argv[++i], nullptr, 10);
+      if (parsed <= 0) {
+        std::fprintf(stderr, "flexsfp-lint: --min-frame wants a positive "
+                             "byte count, got '%s'\n", argv[i]);
+        return 2;
+      }
+      min_frame_bytes = static_cast<std::size_t>(parsed);
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--fail-on-warning") {
@@ -146,6 +163,7 @@ int main(int argc, char** argv) {
   apps::register_builtin_apps();
   analysis::VerifierOptions options;
   options.device = *device;
+  options.bpf_min_frame_bytes = min_frame_bytes;
   const analysis::PipelineVerifier verifier(options);
 
   std::vector<DesignResult> results;
