@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
+#include <utility>
 
 #include "apps/nat.hpp"
 #include "bench_util.hpp"
@@ -63,9 +64,18 @@ int main(int argc, char** argv) {
 
   auto factory = [] { return std::make_unique<apps::StaticNat>(); };
 
+  // Timing is best-of-N (results are bit-identical across repeats, only the
+  // wall clock moves), with one discarded warmup to fault in code and data.
+  const int repeats = bench::repeats_from_env(3);
+
   config.workers = 1;
   fabric::ParallelTestbed sequential_bed(config, factory);
-  const auto oracle = sequential_bed.run_sequential();
+  (void)sequential_bed.run_sequential();  // warmup
+  auto oracle = sequential_bed.run_sequential();
+  for (int rep = 1; rep < repeats; ++rep) {
+    auto again = sequential_bed.run_sequential();
+    if (again.wall_seconds < oracle.wall_seconds) oracle = std::move(again);
+  }
 
   std::printf("%-10s %12s %10s %14s %12s\n", "workers", "wall (s)", "speedup",
               "events/s", "identical?");
@@ -84,7 +94,11 @@ int main(int argc, char** argv) {
     if (workers > shards) break;
     config.workers = workers;
     fabric::ParallelTestbed bed(config, factory);
-    const auto run = bed.run();
+    auto run = bed.run();
+    for (int rep = 1; rep < repeats; ++rep) {
+      auto again = bed.run();
+      if (again.wall_seconds < run.wall_seconds) run = std::move(again);
+    }
     // The determinism self-check covers the whole telemetry spine: merged
     // registry snapshots must be bit-identical too, not just sim::Stats.
     const bool same = stats_identical(run.combined, oracle.combined) &&

@@ -1,0 +1,332 @@
+#include "fabric/fabric_testbed.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "apps/nat.hpp"
+#include "sim/parallel.hpp"
+
+namespace flexsfp::fabric {
+
+namespace detail {
+
+ModuleRig::ModuleRig(sim::Simulation& sim, const Topology& topo,
+                     std::size_t module_index, ppe::PpeAppPtr app,
+                     std::function<void(net::PacketPtr)> to_fabric)
+    : index(module_index) {
+  sfp::FlexSfpConfig module_config = topo.module_prototype;
+  module_config.boot_at_start = false;
+  module = std::make_unique<sfp::FlexSfpModule>(sim, std::move(app),
+                                                module_config);
+  edge_sink = std::make_unique<Sink>(sim);
+  module->set_egress_handler(sfp::FlexSfpModule::edge_port,
+                             [this](net::PacketPtr packet) {
+                               edge_sink->handle_packet(std::move(packet));
+                             });
+
+  // Uplink toward the fabric: serialization only — the engine adds the
+  // propagation delay when it moves the packet to the crossbar.
+  uplink_capture = std::make_unique<sim::LambdaHandler>(std::move(to_fabric));
+  uplink = std::make_unique<sim::Link>(sim, topo.link_rate,
+                                       /*propagation_delay=*/0,
+                                       *uplink_capture, "fabric_uplink");
+  if (topo.link_faults) {
+    link_faults = std::make_unique<sim::FaultInjector>(
+        sim, topo.link_fault_for(index), *uplink, "fault.fabric_link");
+  }
+  sim::PacketHandler* uplink_entry =
+      link_faults ? static_cast<sim::PacketHandler*>(link_faults.get())
+                  : uplink.get();
+  module->set_egress_handler(sfp::FlexSfpModule::optical_port,
+                             [uplink_entry](net::PacketPtr packet) {
+                               uplink_entry->handle_packet(std::move(packet));
+                             });
+
+  edge_in = std::make_unique<sim::LambdaHandler>([this](net::PacketPtr p) {
+    module->inject(sfp::FlexSfpModule::edge_port, std::move(p));
+  });
+  gen = std::make_unique<TrafficGen>(sim, topo.traffic_for(index), *edge_in);
+}
+
+}  // namespace detail
+
+namespace {
+
+AppFactory default_factory(AppFactory factory) {
+  if (factory) return factory;
+  return [] { return std::make_unique<apps::StaticNat>(); };
+}
+
+FabricModuleResult module_result(const detail::ModuleRig& rig,
+                                 sim::TimePs duration) {
+  FabricModuleResult out;
+  out.sent_packets = rig.gen->emitted().packets();
+  out.received_packets = rig.edge_sink->received().packets();
+  out.offered_gbps = rig.gen->emitted().bits_per_second(duration) * 1e-9;
+  out.delivered_gbps =
+      rig.edge_sink->received().bits_per_second(duration) * 1e-9;
+  out.latency_p50_ns = sim::to_nanos(rig.edge_sink->latency().percentile(50));
+  out.latency_p99_ns = sim::to_nanos(rig.edge_sink->latency().percentile(99));
+  out.latency_max_ns = sim::to_nanos(rig.edge_sink->latency().max());
+  return out;
+}
+
+}  // namespace
+
+FabricLedger FabricLedger::from_snapshot(const obs::MetricSnapshot& snapshot) {
+  FabricLedger ledger;
+  ledger.sent = snapshot.sum("gen.emitted.packets");
+  ledger.delivered = snapshot.sum("sink.received.packets");
+  ledger.duplicated = snapshot.sum("fault.duplicated");
+  ledger.fault_dropped = snapshot.sum("fault.dropped") +
+                         snapshot.sum("fault.target_dropped") +
+                         snapshot.sum("fault.flap_dropped");
+  ledger.queue_drops = snapshot.sum("server.queue_drops");
+  ledger.dark_drops = snapshot.sum("module.dark_drops");
+  ledger.app_drops = snapshot.sum("engine.app_drops");
+  ledger.control_punts = snapshot.sum("shell.control_punts");
+  ledger.crosspoint_drops = snapshot.sum("fabric.xbar.crosspoint_drops");
+  ledger.unrouted = snapshot.sum("fabric.xbar.unrouted");
+  return ledger;
+}
+
+// --- sequential engine -------------------------------------------------------
+
+FabricTestbed::FabricTestbed(Topology topology, AppFactory app_factory)
+    : topo_(std::move(topology)) {
+  topo_.validate();
+  AppFactory factory = default_factory(std::move(app_factory));
+  sim_.flight().configure(topo_.flight);
+
+  CrossbarConfig xbar_config;
+  xbar_config.ports = topo_.modules;
+  xbar_config.crosspoint_capacity = topo_.crosspoint_capacity;
+  xbar_config.port_rate = topo_.link_rate;
+  xbar_ = std::make_unique<Crossbar>(
+      sim_, xbar_config,
+      [this](const net::Packet& packet) { return topo_.route(packet); });
+
+  rigs_.reserve(topo_.modules);
+  for (std::size_t i = 0; i < topo_.modules; ++i) {
+    rigs_.push_back(std::make_unique<detail::ModuleRig>(
+        sim_, topo_, i, factory(), [this, i](net::PacketPtr p) {
+          sim_.schedule_in(topo_.link_delay_ps,
+                           [this, i, p = std::move(p)]() mutable {
+                             xbar_->ingress(i, std::move(p));
+                           });
+        }));
+  }
+  for (std::size_t j = 0; j < topo_.modules; ++j) {
+    xbar_->set_output_handler(j, [this, j](net::PacketPtr p) {
+      // Pin the far module's egress to its edge side: downlink frames must
+      // exit toward the host even if a shell's opposite-side rule would
+      // disagree (and the hint counter proves the fabric path was taken).
+      sfp::set_egress_hint(*p, sfp::FlexSfpModule::edge_port);
+      sim_.schedule_in(topo_.link_delay_ps,
+                       [this, j, p = std::move(p)]() mutable {
+                         rigs_[j]->module->inject(
+                             sfp::FlexSfpModule::optical_port, std::move(p));
+                       });
+    });
+  }
+}
+
+FabricRunResult FabricTestbed::run() {
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& rig : rigs_) rig->gen->start();
+  sim_.run();
+
+  FabricRunResult out;
+  out.duration =
+      topo_.traffic_prototype.start + topo_.traffic_prototype.duration;
+  for (const auto& rig : rigs_) {
+    out.modules.push_back(module_result(*rig, out.duration));
+  }
+  out.metrics = sim_.metrics().snapshot();
+  out.ledger = FabricLedger::from_snapshot(out.metrics);
+  out.events = sim_.executed_events();
+  out.workers_used = 1;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+// --- conservatively synchronized engine --------------------------------------
+
+namespace {
+
+/// One packet crossing worlds: captured on the source world's thread as a
+/// value frame, applied at the barrier. `arrival` already includes the link
+/// propagation delay, which is what makes it ≥ every future window start.
+struct Boundary {
+  sim::TimePs arrival = 0;
+  std::size_t dest_world = 0;
+  int port = 0;  // module port, or crossbar input index
+  net::Packet frame;
+};
+
+struct World {
+  sim::Simulation sim;
+  std::vector<Boundary> outbox;  // only this world's thread appends
+  std::unique_ptr<detail::ModuleRig> rig;  // module worlds
+  std::unique_ptr<Crossbar> xbar;          // the crossbar world
+};
+
+}  // namespace
+
+FabricParallelTestbed::FabricParallelTestbed(Topology topology,
+                                             AppFactory app_factory)
+    : topo_(std::move(topology)),
+      app_factory_(default_factory(std::move(app_factory))) {
+  topo_.validate();
+}
+
+FabricRunResult FabricParallelTestbed::run(unsigned workers) {
+  const std::size_t modules = topo_.modules;
+  const std::size_t xbar_world = modules;
+  const sim::TimePs delay = topo_.link_delay_ps;
+
+  std::vector<std::unique_ptr<World>> worlds;
+  worlds.reserve(modules + 1);
+  for (std::size_t i = 0; i <= modules; ++i) {
+    worlds.push_back(std::make_unique<World>());
+    worlds.back()->sim.flight().configure(topo_.flight);
+  }
+
+  for (std::size_t i = 0; i < modules; ++i) {
+    World& world = *worlds[i];
+    world.rig = std::make_unique<detail::ModuleRig>(
+        world.sim, topo_, i, app_factory_(),
+        [&world, xbar_world, i, delay](net::PacketPtr p) {
+          world.outbox.push_back(
+              Boundary{sim::saturating_add(world.sim.now(), delay), xbar_world,
+                       static_cast<int>(i), net::detach_frame(*p)});
+        });
+  }
+  {
+    World& world = *worlds[xbar_world];
+    CrossbarConfig xbar_config;
+    xbar_config.ports = modules;
+    xbar_config.crosspoint_capacity = topo_.crosspoint_capacity;
+    xbar_config.port_rate = topo_.link_rate;
+    world.xbar = std::make_unique<Crossbar>(
+        world.sim, xbar_config,
+        [this](const net::Packet& packet) { return topo_.route(packet); });
+    for (std::size_t j = 0; j < modules; ++j) {
+      world.xbar->set_output_handler(j, [&world, j, delay](net::PacketPtr p) {
+        sfp::set_egress_hint(*p, sfp::FlexSfpModule::edge_port);
+        world.outbox.push_back(
+            Boundary{sim::saturating_add(world.sim.now(), delay), j,
+                     sfp::FlexSfpModule::optical_port, net::detach_frame(*p)});
+      });
+    }
+  }
+
+  for (std::size_t i = 0; i < modules; ++i) worlds[i]->rig->gen->start();
+
+  // The conservative window bound: every world may run strictly past the
+  // globally earliest pending event plus the link lookahead, because no
+  // packet captured before the bound can arrive anywhere earlier than it.
+  const auto compute_horizon = [&worlds, delay]() -> sim::TimePs {
+    sim::TimePs min_next = sim::time_horizon;
+    for (auto& world : worlds) {
+      min_next = std::min(min_next, world->sim.next_event_time());
+    }
+    if (min_next == sim::time_horizon) return sim::time_horizon;
+    return sim::saturating_add(min_next, delay);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t rounds = 0;
+  sim::TimePs horizon = compute_horizon();
+  if (horizon != sim::time_horizon) {
+    sim::run_lockstep_rounds(
+        worlds.size(), workers,
+        [&worlds, &horizon](std::size_t i) {
+          (void)worlds[i]->sim.run_before(horizon);
+        },
+        [&]() -> bool {
+          ++rounds;
+          // Apply boundary batches in (arrival, source world, capture order):
+          // outboxes are appended in capture order and drained in world
+          // order, so a stable sort on arrival realizes exactly that key —
+          // the tie-break that keeps every worker count bit-identical.
+          for (std::size_t dest = 0; dest < worlds.size(); ++dest) {
+            std::vector<Boundary> inbound;
+            for (auto& src : worlds) {
+              for (auto& boundary : src->outbox) {
+                if (boundary.dest_world == dest) {
+                  inbound.push_back(std::move(boundary));
+                }
+              }
+            }
+            std::stable_sort(inbound.begin(), inbound.end(),
+                             [](const Boundary& a, const Boundary& b) {
+                               return a.arrival < b.arrival;
+                             });
+            World& dw = *worlds[dest];
+            for (Boundary& boundary : inbound) {
+              if (boundary.arrival < dw.sim.now()) {
+                throw std::logic_error(
+                    "conservative-sync violation: boundary packet arrives "
+                    "before the window start");
+              }
+              // Workers are parked at the barrier, so touching the
+              // destination pool here is single-threaded.
+              net::PacketPtr packet =
+                  dw.sim.packet_pool().make_from(std::move(boundary.frame));
+              if (dest == xbar_world) {
+                dw.sim.schedule_at(
+                    boundary.arrival,
+                    [xbar = dw.xbar.get(), in = boundary.port,
+                     packet = std::move(packet)]() mutable {
+                      xbar->ingress(static_cast<std::size_t>(in),
+                                    std::move(packet));
+                    });
+              } else {
+                dw.sim.schedule_at(
+                    boundary.arrival,
+                    [module = dw.rig->module.get(), port = boundary.port,
+                     packet = std::move(packet)]() mutable {
+                      module->inject(port, std::move(packet));
+                    });
+              }
+            }
+          }
+          for (auto& world : worlds) world->outbox.clear();
+          horizon = compute_horizon();
+          return horizon != sim::time_horizon;
+        });
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  FabricRunResult out;
+  out.duration =
+      topo_.traffic_prototype.start + topo_.traffic_prototype.duration;
+  for (std::size_t i = 0; i < modules; ++i) {
+    out.modules.push_back(module_result(*worlds[i]->rig, out.duration));
+    out.events += worlds[i]->sim.executed_events();
+  }
+  out.events += worlds[xbar_world]->sim.executed_events();
+  // Merge per-world snapshots in world order with a disambiguating label —
+  // the same discipline (and the same resulting object for workers = 1) as
+  // every other worker count, which is the property the tests assert.
+  for (std::size_t i = 0; i < modules; ++i) {
+    out.metrics.merge(worlds[i]->sim.metrics().snapshot().with_label(
+        "shard", std::to_string(i)));
+  }
+  out.metrics.merge(
+      worlds[xbar_world]->sim.metrics().snapshot().with_label("shard", "xbar"));
+  out.ledger = FabricLedger::from_snapshot(out.metrics);
+  out.rounds = rounds;
+  out.workers_used = sim::resolve_threads(worlds.size(), workers);
+  out.wall_seconds = wall_seconds;
+  return out;
+}
+
+}  // namespace flexsfp::fabric

@@ -136,10 +136,16 @@ ParallelRunResult ParallelTestbed::run_with(unsigned workers) {
     apps.push_back(app_factory_());
   }
 
+  // Isolated shards are the degenerate lockstep case: one unbounded window,
+  // nothing to exchange. Riding the same engine as the fabric testbeds keeps
+  // one worker-pool discipline for both execution shapes.
   const auto start = std::chrono::steady_clock::now();
-  sim::parallel_for_each_shard(config_.shards, workers, [&](std::size_t shard) {
-    out.shards[shard] = run_shard(shard, std::move(apps[shard]));
-  });
+  sim::run_lockstep_rounds(
+      config_.shards, workers,
+      [&](std::size_t shard) {
+        out.shards[shard] = run_shard(shard, std::move(apps[shard]));
+      },
+      [] { return false; });
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

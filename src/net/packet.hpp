@@ -188,4 +188,15 @@ class PacketPtr {
 [[nodiscard]] PacketPtr make_packet(Bytes data = {});
 [[nodiscard]] PacketPtr make_packet(Packet frame);
 
+/// Detach a self-contained value copy of a pooled packet's frame (wire
+/// bytes + simulation metadata, no intrusive bookkeeping) for cross-shard
+/// handoff. The copy is taken on the thread that owns the source pool,
+/// carried across the window barrier as a plain value, and re-pooled on the
+/// destination shard with its pool's make_from() — raw PacketPtrs must
+/// never cross shards, because the refcount is non-atomic and the free list
+/// is single-threaded.
+[[nodiscard]] inline Packet detach_frame(const Packet& packet) {
+  return packet;
+}
+
 }  // namespace flexsfp::net

@@ -5,6 +5,23 @@
 
 namespace flexsfp::sfp {
 
+void set_egress_hint(net::Packet& packet, int port) {
+  packet.set_user_metadata(kEgressHintTag |
+                           std::uint64_t(std::uint8_t(port)));
+}
+
+void clear_egress_hint(net::Packet& packet) {
+  if ((packet.user_metadata() & kEgressHintTagMask) == kEgressHintTag) {
+    packet.set_user_metadata(0);
+  }
+}
+
+std::optional<int> egress_hint(const net::Packet& packet) {
+  const std::uint64_t v = packet.user_metadata();
+  if ((v & kEgressHintTagMask) != kEgressHintTag) return std::nullopt;
+  return static_cast<int>(v & 0xFFull);
+}
+
 std::string to_string(ShellKind kind) {
   switch (kind) {
     case ShellKind::one_way_filter: return "One-Way-Filter";
@@ -28,6 +45,8 @@ ArchitectureShell::ArchitectureShell(sim::Simulation& sim, ppe::PpeAppPtr app,
       sim_.metrics().counter("shell.degraded_forwards", {{"shell", name_}});
   degraded_gauge_id_ =
       sim_.metrics().gauge("shell.degraded", {{"shell", name_}});
+  egress_hints_id_ =
+      sim_.metrics().counter("shell.egress_hints", {{"shell", name_}});
   flight_stage_ = sim_.flight().register_stage(name_);
   engine_ = std::make_unique<ppe::Engine>(sim, std::move(app),
                                           config.datapath,
@@ -41,15 +60,26 @@ ArchitectureShell::ArchitectureShell(sim::Simulation& sim, ppe::PpeAppPtr app,
   }
 
   // Forwarded packets leave on the opposite interface from where they
-  // entered; for the one-way shell that is always the configured egress.
+  // entered — unless an egress hint pins the interface (multi-port fabric
+  // glue, hairpin forwarding); for the one-way shell the fallback is always
+  // the configured egress.
   engine_->set_forward_handler([this](net::PacketPtr packet) {
-    const int egress = packet->ingress_port() == edge_port ? optical_port
-                                                           : edge_port;
+    const int fallback =
+        packet->ingress_port() == edge_port ? optical_port : edge_port;
+    const int egress = resolve_egress(*packet, fallback);
     arbiters_[static_cast<std::size_t>(egress)]->handle_packet(
         std::move(packet));
   });
   engine_->set_control_handler(
       [this](net::PacketPtr packet) { punt_to_control(std::move(packet)); });
+}
+
+int ArchitectureShell::resolve_egress(const net::Packet& packet,
+                                      int fallback) {
+  const auto hint = egress_hint(packet);
+  if (!hint || (*hint != edge_port && *hint != optical_port)) return fallback;
+  sim_.metrics().add(egress_hints_id_);
+  return *hint;
 }
 
 bool ArchitectureShell::terminates_locally(const net::Packet& packet) const {
@@ -89,7 +119,8 @@ void ArchitectureShell::inject(int port, net::PacketPtr packet) {
                              obs::HopKind::degraded, sim_.now(), 0,
                              std::uint64_t(port));
       }
-      const int egress = port == edge_port ? optical_port : edge_port;
+      const int egress =
+          resolve_egress(*packet, port == edge_port ? optical_port : edge_port);
       arbiters_[static_cast<std::size_t>(egress)]->handle_packet(
           std::move(packet));
       return;
@@ -107,7 +138,8 @@ void ArchitectureShell::inject(int port, net::PacketPtr packet) {
         } else {
           // Reverse path: straight to the egress arbiter, merging with any
           // control-plane traffic (Figure 1a's aggregation).
-          const int egress = port == edge_port ? optical_port : edge_port;
+          const int egress = resolve_egress(
+              *packet, port == edge_port ? optical_port : edge_port);
           arbiters_[static_cast<std::size_t>(egress)]->handle_packet(
               std::move(packet));
         }

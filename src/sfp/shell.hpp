@@ -16,8 +16,10 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "ppe/engine.hpp"
 #include "sfp/arbiter.hpp"
@@ -37,6 +39,21 @@ enum class PpeDirection : std::uint8_t {
   edge_to_optical = 0,
   optical_to_edge = 1,
 };
+
+// --- egress-hint side band ---------------------------------------------------
+// Multi-port topologies (a module hanging off a crossbar fabric) sometimes
+// need to pin which interface a packet leaves on instead of relying on the
+// default cross-to-the-opposite-side rule — e.g. hairpinning a frame back
+// out the interface it arrived on. The hint travels in the packet's
+// user-metadata scratch word (models a side-band metadata bus): a tag byte
+// on top, the port number below, so an untagged word never reads as a hint.
+inline constexpr std::uint64_t kEgressHintTag = 0xE6ull << 56;
+inline constexpr std::uint64_t kEgressHintTagMask = 0xFFull << 56;
+
+void set_egress_hint(net::Packet& packet, int port);
+void clear_egress_hint(net::Packet& packet);
+/// The pinned egress port, or nullopt when the packet carries no hint.
+[[nodiscard]] std::optional<int> egress_hint(const net::Packet& packet);
 
 struct ShellConfig {
   ShellKind kind = ShellKind::one_way_filter;
@@ -105,12 +122,20 @@ class ArchitectureShell {
   [[nodiscard]] std::uint64_t degraded_forwards() const {
     return sim_.metrics().value(degraded_forwards_id_);
   }
+  /// Packets whose egress interface was pinned by an egress hint instead of
+  /// the opposite-side rule. Registry series shell.egress_hints{shell=..}.
+  [[nodiscard]] std::uint64_t egress_hints_honored() const {
+    return sim_.metrics().value(egress_hints_id_);
+  }
   [[nodiscard]] const EgressArbiter& arbiter(int port) const {
     return *arbiters_.at(static_cast<std::size_t>(port));
   }
 
  private:
   [[nodiscard]] bool terminates_locally(const net::Packet& packet) const;
+  /// The interface this packet leaves on: its egress hint when it carries a
+  /// valid one (counted), otherwise `fallback` (the opposite-side rule).
+  [[nodiscard]] int resolve_egress(const net::Packet& packet, int fallback);
   void punt_to_control(net::PacketPtr packet);
   void deliver_egress(int port, net::PacketPtr packet);
 
@@ -125,6 +150,7 @@ class ArchitectureShell {
   obs::MetricId control_punts_id_;
   obs::MetricId degraded_forwards_id_;
   obs::MetricId degraded_gauge_id_;
+  obs::MetricId egress_hints_id_;
   bool degraded_ = false;
   std::uint16_t flight_stage_ = 0;
 };

@@ -1,10 +1,18 @@
 // Deterministic fan-out for shard-parallel experiments.
 //
-// Shards in this codebase share no state (one FlexSFP module per shard, one
-// Simulation each), so parallelism is embarrassingly simple: run each
-// shard's closure on some worker thread, join, then merge results *by shard
-// index* on the caller thread. Scheduling order affects only wall-clock
-// time, never results.
+// Two execution shapes share the same worker-pool discipline:
+//
+//   * parallel_for_each_shard — shards share no state at all (one FlexSFP
+//     module per shard, one Simulation each): run each shard's closure on
+//     some worker thread, join once, merge by shard index on the caller
+//     thread. Scheduling order affects only wall-clock time, never results.
+//   * run_lockstep_rounds — shards exchange timestamped packets through a
+//     fabric: they advance in bounded time windows (conservative
+//     synchronization, the link propagation delay is the lookahead) and
+//     meet at a barrier after every window, where the caller's exchange
+//     step moves the boundary batches. Worker count still never affects
+//     results: all cross-shard mutation happens in the single-threaded
+//     exchange step.
 #pragma once
 
 #include <cstddef>
@@ -20,8 +28,36 @@ namespace flexsfp::sim {
 void parallel_for_each_shard(std::size_t jobs, unsigned workers,
                              const std::function<void(std::size_t)>& body);
 
-/// Worker count actually used for a request: 0 means "one per job, capped
-/// by the hardware"; anything else is capped by the job count.
+/// Lockstep round engine for conservatively synchronized shards. Rounds
+/// alternate two phases until `exchange` says stop:
+///
+///   1. advance — `advance(0) .. advance(jobs-1)`, each exactly once,
+///      spread over up to `workers` threads (same contract as
+///      parallel_for_each_shard: advance bodies share no mutable state).
+///   2. exchange — `exchange()` runs on the caller thread while every
+///      worker is parked at the barrier; this is the only place cross-shard
+///      state may be touched. Return true to run another round.
+///
+/// Worker threads persist across rounds (a generation barrier, not a
+/// thread-per-round join), so a run of many small windows pays thread
+/// start-up once. Exceptions from advance bodies skip the round's exchange
+/// and are rethrown on the caller thread (lowest shard index first).
+void run_lockstep_rounds(std::size_t jobs, unsigned workers,
+                         const std::function<void(std::size_t)>& advance,
+                         const std::function<bool()>& exchange);
+
+/// Worker count a request resolves to for *capacity* reasoning: 0 means
+/// "one per job, capped by the hardware"; anything else is capped by the
+/// job count (display/planning semantics — see resolve_threads for what is
+/// actually spawned).
 [[nodiscard]] unsigned resolve_workers(std::size_t jobs, unsigned requested);
+
+/// Worker threads actually spawned for a request: resolve_workers()
+/// additionally capped at the hardware thread count. Explicitly requesting
+/// more workers than the machine has used to oversubscribe — on a small
+/// host the context-switch thrash made workers=4 *slower* than sequential —
+/// and since shard results never depend on the thread count, capping is
+/// pure win.
+[[nodiscard]] unsigned resolve_threads(std::size_t jobs, unsigned requested);
 
 }  // namespace flexsfp::sim

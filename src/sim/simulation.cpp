@@ -58,6 +58,20 @@ std::size_t Simulation::run_until(TimePs deadline) {
   return executed;
 }
 
+std::size_t Simulation::run_before(TimePs horizon) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.min_time() < horizon) {
+    step();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+TimePs Simulation::next_event_time() {
+  return queue_.empty() ? time_horizon : queue_.min_time();
+}
+
 bool Simulation::step() {
   if (queue_.empty()) return false;
   EventQueue::Popped event = queue_.pop();

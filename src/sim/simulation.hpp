@@ -55,8 +55,20 @@ class Simulation {
   /// Run until simulated time exceeds `deadline` (events at exactly
   /// `deadline` still execute).
   std::size_t run_until(TimePs deadline);
+  /// Conservative-sync primitive: execute every event strictly *before*
+  /// `horizon`, then advance now() to `horizon` (even if the queue emptied
+  /// first). A shard that has run_before(T) can never again produce a
+  /// timestamp < T, which is what makes it safe to hand its outbound
+  /// packets to other shards at the window boundary.
+  std::size_t run_before(TimePs horizon);
   /// Execute a single event; false when the queue is empty.
   bool step();
+
+  /// Earliest pending event's time, or time_horizon when the queue is
+  /// empty. Non-const: locating the minimum may advance the calendar
+  /// window. The lockstep window scheduler sizes the next safe window off
+  /// the minimum of this across shards, plus the link-delay lookahead.
+  [[nodiscard]] TimePs next_event_time();
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }

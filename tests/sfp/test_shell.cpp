@@ -228,5 +228,62 @@ TEST(ShellKindStrings, Names) {
   EXPECT_EQ(to_string(ShellKind::active_cp), "Active-CP");
 }
 
+TEST(EgressHint, RoundTripsThroughTheMetadataWord) {
+  auto p = data_packet();
+  EXPECT_EQ(egress_hint(*p), std::nullopt);  // untagged word = no hint
+  set_egress_hint(*p, ArchitectureShell::edge_port);
+  EXPECT_EQ(egress_hint(*p), ArchitectureShell::edge_port);
+  set_egress_hint(*p, ArchitectureShell::optical_port);
+  EXPECT_EQ(egress_hint(*p), ArchitectureShell::optical_port);
+  clear_egress_hint(*p);
+  EXPECT_EQ(egress_hint(*p), std::nullopt);
+}
+
+TEST(EgressHint, ArbitraryMetadataIsNotMistakenForAHint) {
+  auto p = data_packet();
+  // Only the 0xE6 tag byte marks a hint; app metadata stays app metadata.
+  p->set_user_metadata(ArchitectureShell::edge_port);
+  EXPECT_EQ(egress_hint(*p), std::nullopt);
+  p->set_user_metadata(0xDEADBEEFull);
+  EXPECT_EQ(egress_hint(*p), std::nullopt);
+}
+
+TEST(EgressHint, HintedFramesSteerTheForwardPathAndAreCounted) {
+  // The PPE's direction rule would send edge→optical, but a fabric hint
+  // pins the frame back to the edge interface — this is how crossbar
+  // downlink glue hands frames to a module's server-facing side.
+  ShellFixture fx(ShellKind::two_way_core);
+  auto p = data_packet();
+  set_egress_hint(*p, ArchitectureShell::edge_port);
+  fx.shell->inject(ArchitectureShell::edge_port, std::move(p));
+  fx.sim.run();
+  EXPECT_EQ(fx.app_->processed, 1);  // still goes through the PPE
+  EXPECT_EQ(fx.edge_out, 1);
+  EXPECT_EQ(fx.optical_out, 0);
+  EXPECT_EQ(fx.shell->egress_hints_honored(), 1u);
+}
+
+TEST(EgressHint, InvalidPortFallsBackToTheDirectionRule) {
+  ShellFixture fx(ShellKind::two_way_core);
+  auto p = data_packet();
+  set_egress_hint(*p, 7);  // not a shell port
+  fx.shell->inject(ArchitectureShell::edge_port, std::move(p));
+  fx.sim.run();
+  EXPECT_EQ(fx.optical_out, 1);
+  EXPECT_EQ(fx.shell->egress_hints_honored(), 0u);
+}
+
+TEST(EgressHint, HonoredInDegradedPassthroughToo) {
+  ShellFixture fx(ShellKind::two_way_core);
+  fx.shell->set_degraded(true);
+  auto p = data_packet();
+  set_egress_hint(*p, ArchitectureShell::edge_port);
+  fx.shell->inject(ArchitectureShell::edge_port, std::move(p));  // hairpin
+  fx.sim.run();
+  EXPECT_EQ(fx.edge_out, 1);
+  EXPECT_EQ(fx.optical_out, 0);
+  EXPECT_EQ(fx.shell->egress_hints_honored(), 1u);
+}
+
 }  // namespace
 }  // namespace flexsfp::sfp

@@ -48,7 +48,13 @@ POLICIES = [
     ("delivered_gbps_*", "lower_is_worse", "strict"),
     ("determinism_ok", "lower_is_worse", "strict"),
     ("shards", "equal", "context"),
+    ("modules", "equal", "context"),
+    ("crosspoint_drops*", "higher_is_worse", "strict"),  # deterministic sim
+    ("rounds_*", "equal", "context"),  # sync windows are deterministic too
     ("events_per_sec*", "lower_is_worse", "lenient"),
+    # Wall-clock ratio, but one the refactor is accountable for: the windowed
+    # engine must not be slower than sequential beyond a collapse threshold.
+    ("speedup_w4", "lower_is_worse", "lenient"),
     ("speedup_*", None, "info"),  # derived from events/sec: machine-bound
     ("seed_events_per_sec", None, "info"),
     ("wall_seconds*", None, "info"),

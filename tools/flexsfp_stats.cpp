@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "apps/register.hpp"
+#include "fabric/fabric_testbed.hpp"
 #include "fabric/parallel_testbed.hpp"
 #include "fabric/testbed.hpp"
 #include "ppe/registry.hpp"
@@ -66,6 +67,11 @@ void usage(std::FILE* out) {
                "  --shards <n>         shard count for --pools (default 4)\n"
                "  --workers <n>        worker threads for --pools, 0 = one\n"
                "                       per hardware thread (default 0)\n"
+               "  --fabric             run a multi-module crossbar fabric\n"
+               "                       (ring topology) and report per-\n"
+               "                       crosspoint occupancy/drops and the\n"
+               "                       east-west byte matrix\n"
+               "  --modules <n>        module count for --fabric (default 3)\n"
                "  --json               machine-readable report on stdout\n"
                "  --csv <metrics|flight>  raw CSV dump on stdout\n"
                "  -h, --help           this text\n");
@@ -191,6 +197,8 @@ int main(int argc, char** argv) {
   bool pools = false;
   std::uint64_t shards = 4;
   std::uint64_t workers = 0;
+  bool fabric = false;
+  std::uint64_t modules = 3;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -241,6 +249,10 @@ int main(int argc, char** argv) {
       parse_u64(argv[++i], fault_seed);
     } else if (arg == "--pools") {
       pools = true;
+    } else if (arg == "--fabric") {
+      fabric = true;
+    } else if (arg == "--modules" && has_value) {
+      if (!parse_u64(argv[++i], modules)) modules = 0;
     } else if (arg == "--shards" && has_value) {
       if (!parse_u64(argv[++i], shards)) shards = 0;
     } else if (arg == "--workers" && has_value) {
@@ -271,6 +283,10 @@ int main(int argc, char** argv) {
   }
   if (pools && shards == 0) {
     std::fprintf(stderr, "flexsfp-stats: --shards must be >= 1\n");
+    return 2;
+  }
+  if (fabric && modules < 2) {
+    std::fprintf(stderr, "flexsfp-stats: --modules must be >= 2\n");
     return 2;
   }
 
@@ -339,6 +355,101 @@ int main(int argc, char** argv) {
       reverse_faults.seed = fault_seed + 1;
       config.optical_faults = reverse_faults;
     }
+  }
+
+  if (fabric) {
+    // Multi-module crossbar fabric: ring topology, every module's edge
+    // traffic crosses cable -> switch -> cable. The report reads the
+    // fabric.xbar.* series: per-crosspoint occupancy high-watermarks and
+    // drops, and the east-west byte matrix per output port.
+    fabric::Topology topo;
+    topo.modules = static_cast<std::size_t>(modules);
+    topo.base_seed = seed;
+    topo.traffic_prototype = spec;
+    topo.flight.sample_every = sample_every;
+    if (config.edge_faults) topo.link_faults = config.edge_faults;
+    fabric::FabricTestbed bed(topo, [&registry, &app_name] {
+      return registry.create(app_name, net::BytesView{});
+    });
+    const auto run = bed.run();
+    const auto& xbar = bed.crossbar();
+
+    if (json) {
+      std::string doc = "{\"app\":\"" + app_name +
+                        "\",\"modules\":" + std::to_string(modules) +
+                        ",\"crosspoints\":[";
+      bool first = true;
+      for (std::size_t in = 0; in < modules; ++in) {
+        for (std::size_t out = 0; out < modules; ++out) {
+          if (!first) doc += ",";
+          first = false;
+          const std::uint64_t drops = run.metrics.value(
+              "fabric.xbar.crosspoint_drops{in=" + std::to_string(in) +
+              ",out=" + std::to_string(out) + ",xbar=" + xbar.name() + "}");
+          doc += "{\"in\":" + std::to_string(in) +
+                 ",\"out\":" + std::to_string(out) + ",\"hwm\":" +
+                 std::to_string(xbar.crosspoint_high_watermark(in, out)) +
+                 ",\"drops\":" + std::to_string(drops) + "}";
+        }
+      }
+      doc += "],\"ledger\":{\"sent\":" + std::to_string(run.ledger.sent) +
+             ",\"delivered\":" + std::to_string(run.ledger.delivered) +
+             ",\"crosspoint_drops\":" +
+             std::to_string(run.ledger.crosspoint_drops) +
+             ",\"unrouted\":" + std::to_string(run.ledger.unrouted) +
+             ",\"balanced\":" +
+             (run.ledger.balanced() ? "true" : "false") +
+             "},\"metrics\":" + run.metrics.to_json() + "}";
+      std::printf("%s\n", doc.c_str());
+      return run.ledger.balanced() ? 0 : 1;
+    }
+
+    std::printf("flexsfp-stats: app=%s, %llu-module crossbar fabric, "
+                "%.6g us simulated\n\n",
+                app_name.c_str(), static_cast<unsigned long long>(modules),
+                static_cast<double>(spec.duration) * 1e-6);
+    std::printf("%-8s %12s %12s %12s %10s %10s\n", "module", "sent",
+                "received", "delivered", "p50 (ns)", "p99 (ns)");
+    for (std::size_t i = 0; i < run.modules.size(); ++i) {
+      const auto& m = run.modules[i];
+      std::printf("%-8zu %12llu %12llu %9.2f Gb %10.1f %10.1f\n", i,
+                  static_cast<unsigned long long>(m.sent_packets),
+                  static_cast<unsigned long long>(m.received_packets),
+                  m.delivered_gbps, m.latency_p50_ns, m.latency_p99_ns);
+    }
+
+    // East-west matrix: occupancy high-watermark of every crosspoint (row =
+    // input module, column = output port), then per-output forwarded bytes.
+    std::printf("\ncrosspoint occupancy high-watermark (in x out):\n%8s", "");
+    for (std::size_t out = 0; out < modules; ++out) {
+      std::printf(" %8zu", out);
+    }
+    std::putchar('\n');
+    for (std::size_t in = 0; in < modules; ++in) {
+      std::printf("%8zu", in);
+      for (std::size_t out = 0; out < modules; ++out) {
+        std::printf(" %8llu", static_cast<unsigned long long>(
+                                  xbar.crosspoint_high_watermark(in, out)));
+      }
+      std::putchar('\n');
+    }
+    std::printf("\n%-8s %16s %14s\n", "output", "east-west bytes", "packets");
+    for (std::size_t out = 0; out < modules; ++out) {
+      std::printf("%-8zu %16llu %14llu\n", out,
+                  static_cast<unsigned long long>(xbar.forwarded_bytes(out)),
+                  static_cast<unsigned long long>(
+                      xbar.forwarded_packets(out)));
+    }
+
+    std::printf("\nledger: sent=%llu delivered=%llu crosspoint_drops=%llu "
+                "unrouted=%llu fault_dropped=%llu -> %s\n",
+                static_cast<unsigned long long>(run.ledger.sent),
+                static_cast<unsigned long long>(run.ledger.delivered),
+                static_cast<unsigned long long>(run.ledger.crosspoint_drops),
+                static_cast<unsigned long long>(run.ledger.unrouted),
+                static_cast<unsigned long long>(run.ledger.fault_dropped),
+                run.ledger.balanced() ? "balanced" : "UNBALANCED");
+    return run.ledger.balanced() ? 0 : 1;
   }
 
   if (pools) {
