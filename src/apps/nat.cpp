@@ -1,9 +1,49 @@
 #include "apps/nat.hpp"
 
+#include <algorithm>
+
 #include "net/builder.hpp"
+#include "net/checksum.hpp"
 #include "ppe/registry.hpp"
 
 namespace flexsfp::apps {
+
+namespace {
+
+// Byte-peek classification for the batched fast path. kSlowPath means "use
+// the full parser"; the fast shapes are frames where parse_packet is
+// GUARANTEED to succeed with fixed offsets (l3 = 14, l4 = 34): untagged
+// Ethernet + IPv4 (version 4, ihl 5, not a fragment) carrying either TCP
+// with a 20-byte header or non-VXLAN UDP, with every header fully present.
+// Anything else — VLAN tags, IPv6, options, fragments, GRE/ICMP/other
+// protocols, VXLAN's UDP port, truncations — falls back to the parser, so
+// the fast path can never classify a frame differently than process().
+constexpr std::uint8_t kSlowPath = 0;
+constexpr std::uint8_t kFastTcp = 1;
+constexpr std::uint8_t kFastUdp = 2;
+
+std::uint8_t fast_path_shape(const net::Bytes& b) {
+  if (b.size() < 14 + 20) return kSlowPath;
+  if (b[12] != 0x08 || b[13] != 0x00) return kSlowPath;  // not plain IPv4
+  if (b[14] != 0x45) return kSlowPath;  // version 4, ihl 5 (no options)
+  if ((b[20] & 0x3f) != 0 || b[21] != 0) return kSlowPath;  // MF/fragment
+  const std::uint8_t proto = b[23];
+  if (proto == 6) {
+    if (b.size() < 34 + 20) return kSlowPath;
+    if ((b[34 + 12] >> 4) != 5) return kSlowPath;  // TCP options present
+    return kFastTcp;
+  }
+  if (proto == 17) {
+    if (b.size() < 34 + 8) return kSlowPath;
+    if (net::read_be16(b, 34 + 2) == net::VxlanHeader::udp_port) {
+      return kSlowPath;  // parse_packet would attempt VXLAN decap
+    }
+    return kFastUdp;
+  }
+  return kSlowPath;
+}
+
+}  // namespace
 
 net::Bytes NatConfig::serialize() const {
   net::Bytes out(6);
@@ -62,6 +102,118 @@ ppe::Verdict StaticNat::process(ppe::PacketContext& ctx) {
     stats_.add(0, ctx.packet().size());
   }
   return ppe::Verdict::forward;
+}
+
+void StaticNat::process_batch(ppe::PacketContext* const* ctxs,
+                              ppe::Verdict* out, std::size_t n) {
+  // Chunked to a fixed stack footprint; each chunk runs three phases —
+  // parse/key-extract (prefetching the next frame's bytes), one SoA table
+  // probe over the gathered keys, then the per-packet verdict/rewrite.
+  // Every per-packet effect (counters, byte edits, verdict) is exactly the
+  // one process() produces, so scalar and batched runs are bit-identical.
+  constexpr std::size_t kChunk = 64;
+  const std::size_t addr_offset =
+      config_.direction == NatDirection::source ? 26 : 30;  // l3 14 + 12/16
+  std::uint64_t keys[kChunk];
+  std::optional<std::uint64_t> hits[kChunk];
+  std::size_t packet_of_key[kChunk];
+  std::uint8_t shape_of_key[kChunk];
+  for (std::size_t start = 0; start < n; start += kChunk) {
+    const std::size_t count = std::min(kChunk, n - start);
+    std::size_t gathered = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      ppe::PacketContext& ctx = *ctxs[start + i];
+      if (start + i + 1 < n) {
+        __builtin_prefetch(ctxs[start + i + 1]->packet().data().data());
+      }
+      const net::Bytes& b = ctx.packet().data();
+      const std::uint8_t shape = fast_path_shape(b);
+      if (shape != kSlowPath) {
+        // Canonical frame: the match address sits at a fixed offset and
+        // parse_packet is guaranteed to agree, so skip building the full
+        // ParsedPacket on the per-packet path.
+        keys[gathered] = net::read_be32(b, addr_offset);
+        packet_of_key[gathered] = start + i;
+        shape_of_key[gathered] = shape;
+        ++gathered;
+        continue;
+      }
+      const auto& parsed = ctx.parsed();
+      if (!parsed.ok() || !parsed.outer.ipv4) {
+        stats_.add(2, ctx.packet().size());
+        out[start + i] = ppe::Verdict::forward;  // IPv4-only: pass through
+        continue;
+      }
+      const net::Ipv4Address match_addr =
+          config_.direction == NatDirection::source ? parsed.outer.ipv4->src
+                                                    : parsed.outer.ipv4->dst;
+      keys[gathered] = match_addr.value();
+      packet_of_key[gathered] = start + i;
+      shape_of_key[gathered] = kSlowPath;
+      ++gathered;
+    }
+    table_.lookup_batch(keys, hits, gathered);
+    for (std::size_t j = 0; j < gathered; ++j) {
+      ppe::PacketContext& ctx = *ctxs[packet_of_key[j]];
+      ppe::Verdict& verdict = out[packet_of_key[j]];
+      if (!hits[j]) {
+        stats_.add(1, ctx.packet().size());
+        switch (config_.miss_action) {
+          case NatMissAction::forward:
+            verdict = ppe::Verdict::forward;
+            break;
+          case NatMissAction::drop:
+            verdict = ppe::Verdict::drop;
+            break;
+          case NatMissAction::punt:
+            verdict = ppe::Verdict::to_control_plane;
+            break;
+        }
+        continue;
+      }
+      if (shape_of_key[j] != kSlowPath) {
+        // Inline the exact edits rewrite_ipv4_src/dst performs on this
+        // shape: address write plus RFC 1624 incremental patches of the
+        // IPv4 checksum and the L4 pseudo-header checksum.
+        net::Bytes& b = ctx.bytes();
+        const auto old_value = static_cast<std::uint32_t>(keys[j]);
+        const auto new_value = static_cast<std::uint32_t>(*hits[j]);
+        if (old_value != new_value) {
+          net::write_be32(b, addr_offset, new_value);
+          net::write_be16(b, 24,
+                          net::checksum_incremental_update32(
+                              net::read_be16(b, 24), old_value, new_value));
+          if (shape_of_key[j] == kFastTcp) {
+            net::write_be16(b, 34 + 16,
+                            net::checksum_incremental_update32(
+                                net::read_be16(b, 34 + 16), old_value,
+                                new_value));
+          } else if (net::read_be16(b, 34 + 6) != 0) {
+            std::uint16_t patched = net::checksum_incremental_update32(
+                net::read_be16(b, 34 + 6), old_value, new_value);
+            if (patched == 0) patched = 0xffff;
+            net::write_be16(b, 34 + 6, patched);
+          }
+        }
+        // rewrite_ipv4_addr reports success even for an identity mapping,
+        // so the translated counter advances either way.
+        ctx.invalidate_parse();
+        stats_.add(0, ctx.packet().size());
+        verdict = ppe::Verdict::forward;
+        continue;
+      }
+      const net::Ipv4Address translated{static_cast<std::uint32_t>(*hits[j])};
+      const bool rewritten =
+          config_.direction == NatDirection::source
+              ? net::rewrite_ipv4_src(ctx.bytes(), ctx.parsed(), translated)
+              : net::rewrite_ipv4_dst(ctx.bytes(), ctx.parsed(), translated);
+      if (rewritten) {
+        ctx.invalidate_parse();
+        stats_.add(0, ctx.packet().size());
+      }
+      verdict = ppe::Verdict::forward;
+    }
+  }
 }
 
 hw::ResourceBreakdown StaticNat::resource_breakdown(

@@ -24,6 +24,38 @@ TrafficGen::TrafficGen(sim::Simulation& sim, TrafficSpec spec,
   const std::string name = sim_.metrics().unique_name("gen");
   meter_.bind(sim_.metrics(), "gen.emitted", {{"gen", name}});
   flight_stage_ = sim_.flight().register_stage(name);
+  prebuild_templates();
+}
+
+void TrafficGen::prebuild_templates() {
+  switch (spec_.sizes) {
+    case SizeDistribution::fixed:
+      template_sizes_ = {spec_.fixed_size};
+      break;
+    case SizeDistribution::imix:
+      template_sizes_ = {64, 594, 1518};  // the distinct IMIX frame sizes
+      break;
+    case SizeDistribution::uniform:
+      // A template per (flow, size) pair — far too many distinct frames.
+      return;
+  }
+  std::size_t per_rank_bytes = 0;
+  for (const std::size_t size : template_sizes_) {
+    per_rank_bytes += std::max<std::size_t>(size, 60);
+  }
+  const std::size_t budget_ranks =
+      per_rank_bytes > 0 ? template_budget_bytes / per_rank_bytes : 0;
+  template_ranks_ = std::min(
+      {std::max<std::size_t>(spec_.flow_count, 1), budget_ranks,
+       kMaxTemplateRanks});
+  templates_.resize(template_ranks_ * template_sizes_.size());
+  for (std::size_t rank = 1; rank <= template_ranks_; ++rank) {
+    const net::FiveTuple tuple = flow_tuple(rank);
+    for (std::size_t si = 0; si < template_sizes_.size(); ++si) {
+      build_frame(template_sizes_[si], tuple,
+                  templates_[(rank - 1) * template_sizes_.size() + si]);
+    }
+  }
 }
 
 net::FiveTuple TrafficGen::flow_tuple(std::size_t rank) const {
@@ -80,23 +112,14 @@ void TrafficGen::build_frame(std::size_t frame_size,
 }
 
 const net::Bytes* TrafficGen::frame_template(std::size_t rank,
-                                             std::size_t frame_size,
-                                             const net::FiveTuple& tuple) {
-  // Uniform sizes would need a template per (flow, size) pair — far too
-  // many distinct frames to be worth keeping.
-  if (spec_.sizes == SizeDistribution::uniform) return nullptr;
-  // Only the Zipf head earns a template: a tail rank may be sampled once
-  // per run, and building its template would be a pure allocation tax on
-  // the steady-state allocs/packet figure the hotpath_alloc gate watches.
-  if (rank > kTemplateMaxRank) return nullptr;
-  const std::uint64_t key = (std::uint64_t{rank} << 16) | frame_size;
-  const auto it = frame_templates_.find(key);
-  if (it != frame_templates_.end()) return &it->second;
-  if (template_bytes_ >= template_budget_bytes) return nullptr;
-  net::Bytes& slot = frame_templates_[key];
-  build_frame(frame_size, tuple, slot);
-  template_bytes_ += slot.size();
-  return &slot;
+                                             std::size_t frame_size) const {
+  if (rank == 0 || rank > template_ranks_) return nullptr;  // incl. uniform
+  for (std::size_t si = 0; si < template_sizes_.size(); ++si) {
+    if (template_sizes_[si] == frame_size) {
+      return &templates_[(rank - 1) * template_sizes_.size() + si];
+    }
+  }
+  return nullptr;
 }
 
 sim::TimePs TrafficGen::gap_after(std::size_t frame_bytes) {
@@ -114,13 +137,14 @@ void TrafficGen::emit() {
 
   const std::size_t frame_size = next_size();
   const std::size_t rank = flow_dist_.sample(rng_);
-  const net::FiveTuple tuple = flow_tuple(rank);
 
   net::PacketPtr packet = sim_.packet_pool().make();
-  if (const net::Bytes* tmpl = frame_template(rank, frame_size, tuple)) {
+  if (const net::Bytes* tmpl = frame_template(rank, frame_size)) {
     packet->data() = *tmpl;  // copy-assign reuses the pooled capacity
   } else {
-    build_frame(frame_size, tuple, packet->data());
+    // Uncovered (uniform sizes or rank beyond the budget horizon): derive
+    // the 5-tuple and assemble the frame the slow way.
+    build_frame(frame_size, flow_tuple(rank), packet->data());
   }
   packet->set_id(sim_.next_packet_id());
   packet->set_created_time_ps(sim_.now());

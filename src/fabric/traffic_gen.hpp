@@ -6,7 +6,7 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/builder.hpp"
 #include "sim/random.hpp"
@@ -73,13 +73,17 @@ class TrafficGen {
   /// Assemble the frame for (`frame_size`, `tuple`) into `out`.
   void build_frame(std::size_t frame_size, const net::FiveTuple& tuple,
                    net::Bytes& out);
-  /// Cached frame bytes for (`rank`, `frame_size`), built on first use, or
-  /// nullptr when this stream's frames aren't worth caching (uniform sizes)
-  /// or the cache budget is spent. Frame bytes are a pure function of rank
-  /// and size, so replaying the template is bit-exact.
+  /// Build the template table eagerly (constructor time — setup, not the
+  /// hot path): fixed/IMIX streams draw from a known, tiny set of frame
+  /// sizes, so every (rank, size) pair up to the budgeted rank horizon gets
+  /// its frame assembled once and steady-state emits become one memcpy.
+  void prebuild_templates();
+  /// Prebuilt frame bytes for (`rank`, `frame_size`), or nullptr when the
+  /// pair is outside the table (uniform sizes, rank beyond the budget
+  /// horizon). Frame bytes are a pure function of rank and size, so
+  /// replaying the template is bit-exact.
   [[nodiscard]] const net::Bytes* frame_template(std::size_t rank,
-                                                 std::size_t frame_size,
-                                                 const net::FiveTuple& tuple);
+                                                 std::size_t frame_size) const;
 
   sim::Simulation& sim_;
   TrafficSpec spec_;
@@ -91,17 +95,19 @@ class TrafficGen {
   /// Reused across emits so steady-state frame assembly into pooled
   /// packets allocates nothing.
   net::PacketBuilder builder_;
-  /// (rank << 16 | frame_size) -> assembled frame, the pktgen template
-  /// trick: steady-state emits memcpy a prebuilt frame instead of
-  /// re-running header serialization and checksums.
-  std::unordered_map<std::uint64_t, net::Bytes> frame_templates_;
-  std::size_t template_bytes_ = 0;
+  /// The pktgen template trick, direct-indexed: templates_[(rank-1) *
+  /// sizes + size_index] holds the prebuilt frame, so an emit is one
+  /// bounds check + one tiny size scan + one memcpy — no hash map, no
+  /// header serialization, no checksum math on the hot path. Built eagerly
+  /// for ALL ranks up to the budget horizon (construction is setup, not the
+  /// hot path), so Zipf-tail flows stop paying per-emit frame assembly.
+  std::vector<net::Bytes> templates_;
+  std::vector<std::size_t> template_sizes_;  // distinct frame sizes, <= 3
+  std::size_t template_ranks_ = 0;           // ranks covered (1-based cap)
   static constexpr std::size_t template_budget_bytes = 8u << 20;
-  /// Templates are kept only for the Zipf head (ranks are 1-based, most
-  /// popular first): under skew 1.0 the first 128 ranks carry ~70% of the
-  /// packets, while a tail rank may appear once per run and its template
-  /// would be a pure allocation tax.
-  static constexpr std::size_t kTemplateMaxRank = 128;
+  /// Rank horizon independent of the byte budget: bounds constructor-time
+  /// prebuild work for huge flow populations.
+  static constexpr std::size_t kMaxTemplateRanks = 4096;
   std::uint16_t flight_stage_ = 0;
   std::size_t imix_cursor_ = 0;
 };

@@ -84,6 +84,16 @@ namespace detail {
   return detail::fmix64(hash ^ tail);
 }
 
+/// murmur3_64 specialized to one 8-byte little-endian block: computes
+/// exactly murmur3_64(BytesView{&value, 8}, seed) — the byte-assembly loops
+/// there reconstruct `value` verbatim — without the span walk. Exact-match
+/// tables hash a fixed u64 key once per probe, so this runs per packet.
+[[nodiscard]] inline std::uint64_t murmur3_u64(std::uint64_t value,
+                                               std::uint64_t seed = 0) {
+  const std::uint64_t hash = seed ^ (8 * 0x87c37b91114253d5ull);
+  return detail::fmix64(detail::fmix64(hash ^ value) * 0x5bd1e9955bd1e995ull);
+}
+
 /// Toeplitz hash (the RSS hash NICs implement in silicon); symmetric when
 /// used with a symmetric key. Used by the load-balancer app so both
 /// directions of a flow pick the same uplink.

@@ -123,13 +123,25 @@ void Ipv4Header::serialize_to(BytesSpan data, std::size_t offset) const {
 }
 
 std::uint16_t Ipv4Header::compute_checksum() const {
-  // IHL caps the header at 60 bytes, so the scratch serialization lives on
-  // the stack — this runs once per built packet and must not allocate.
-  std::array<std::uint8_t, 60> scratch{};
-  Ipv4Header copy = *this;
-  copy.checksum = 0;
-  copy.serialize_to(BytesSpan{scratch.data(), size()}, 0);
-  return internet_checksum(BytesView{scratch.data(), size()});
+  // Field-wise ones'-complement sum over the header's big-endian 16-bit
+  // words with the checksum field taken as zero — exactly what serializing
+  // to scratch (checksum zeroed, options bytes zero) and running
+  // internet_checksum produces, minus the copy. This runs once per built
+  // packet and must not allocate.
+  std::uint32_t sum = 0;
+  sum += static_cast<std::uint32_t>(
+      ((4u << 4) | (ihl & 0x0f)) << 8 | ((dscp << 2) | (ecn & 0x03)));
+  sum += total_length;
+  sum += identification;
+  sum += static_cast<std::uint32_t>((dont_fragment ? 0x4000 : 0) |
+                                    (more_fragments ? 0x2000 : 0) |
+                                    (fragment_offset & 0x1fff));
+  sum += static_cast<std::uint32_t>((std::uint32_t{ttl} << 8) | protocol);
+  sum += src.value() >> 16;
+  sum += src.value() & 0xffff;
+  sum += dst.value() >> 16;
+  sum += dst.value() & 0xffff;
+  return checksum_finish(sum);
 }
 
 std::optional<Ipv6Header> Ipv6Header::parse(BytesView data,

@@ -33,6 +33,8 @@ FlightRecorder::FlightRecorder(FlightRecorderConfig config) {
 void FlightRecorder::configure(FlightRecorderConfig config) {
   if (config.capacity == 0) config.capacity = 1;
   config_ = config;
+  const std::uint64_t n = config_.sample_every;
+  sample_mask_ = (n >= 2 && (n & (n - 1)) == 0) ? n - 1 : 0;
   ring_.assign(config_.capacity, HopEvent{});
   head_ = 0;
   recorded_ = 0;

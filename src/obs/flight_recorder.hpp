@@ -83,6 +83,10 @@ class FlightRecorder {
   [[nodiscard]] bool sampled(std::uint64_t packet_id) const {
     if (config_.sample_every == 0) return false;
     if (config_.sample_every == 1) return true;
+    // sample_mask_ short-circuits the runtime modulo for power-of-two N
+    // (the default 64): same 1-in-N class, one AND instead of a division
+    // on every packet.
+    if (sample_mask_ != 0) return (mix(packet_id) & sample_mask_) == 0;
     return mix(packet_id) % config_.sample_every == 0;
   }
 
@@ -124,6 +128,8 @@ class FlightRecorder {
   }
 
   FlightRecorderConfig config_;
+  /// sample_every - 1 when sample_every is a power of two, else 0.
+  std::uint64_t sample_mask_ = 0;
   std::vector<HopEvent> ring_;  // preallocated, never resized on record()
   std::size_t head_ = 0;        // next write slot
   std::uint64_t recorded_ = 0;

@@ -25,6 +25,7 @@ void Engine::replace_app(PpeAppPtr app) {
 }
 
 void Engine::bind_app_series() {
+  drain_ = datapath_.clock.cycles_to_time(app_->pipeline_latency_cycles());
   auto& metrics = sim().metrics();
   const obs::Labels labels{{"app", app_->name()}, {"stage", stage_name()}};
   forwarded_id_ = metrics.counter("engine.forwarded", labels);
@@ -71,17 +72,23 @@ sim::TimePs Engine::service_time(const net::Packet& packet) {
 }
 
 void Engine::finish(net::PacketPtr packet) {
+  // The engine serializes service, so exactly one packet completes per
+  // finish event; it still flows through the burst entry point so an app's
+  // vectorized process_batch override (e.g. StaticNat's SoA binding probe)
+  // is the one path every packet takes, scalar or batched.
   PacketContext ctx(*packet);
-  const Verdict verdict = app_->process(ctx);
+  PacketContext* ctxs[1] = {&ctx};
+  Verdict verdict = Verdict::drop;
+  app_->process_batch(ctxs, &verdict, 1);
 
   if (ctx.mirror_requested() && control_) {
     control_(sim().packet_pool().clone(*packet));
   }
 
   // The packet leaves the pipeline pipeline-depth cycles after its last
-  // beat; this adds latency but does not occupy the bus.
-  const sim::TimePs drain =
-      datapath_.clock.cycles_to_time(app_->pipeline_latency_cycles());
+  // beat (drain_, cached at app-bind time); this adds latency but does not
+  // occupy the bus.
+  const sim::TimePs drain = drain_;
 
   auto& flight = sim().flight();
   const bool flying = flight.sampled(packet->id());
@@ -97,7 +104,9 @@ void Engine::finish(net::PacketPtr packet) {
       sim().metrics().add(forwarded_id_);
       record_verdict(obs::HopKind::forward);
       if (forward_) {
-        sim().schedule_in(drain, [this, packet = std::move(packet)]() mutable {
+        sim().schedule_in(drain, [this, token = lifetime_token(),
+                                  packet = std::move(packet)]() mutable {
+          if (!token.alive()) return;  // engine torn down during drain
           latency_.record(sim().now() - packet->ingress_time_ps());
           forward_(std::move(packet));
         });
@@ -111,7 +120,9 @@ void Engine::finish(net::PacketPtr packet) {
       sim().metrics().add(punted_id_);
       record_verdict(obs::HopKind::punt);
       if (control_) {
-        sim().schedule_in(drain, [this, packet = std::move(packet)]() mutable {
+        sim().schedule_in(drain, [this, token = lifetime_token(),
+                                  packet = std::move(packet)]() mutable {
+          if (!token.alive()) return;  // engine torn down during drain
           control_(std::move(packet));
         });
       }

@@ -74,6 +74,10 @@ class Engine final : public sim::QueuedServer {
   // divides to derive the cycle period); sizes repeat across packets.
   std::size_t last_size_ = ~std::size_t{0};
   sim::TimePs last_service_ = 0;
+  // Pipeline-drain latency is a property of the app, not the packet; cached
+  // at bind time so finish() doesn't redo the cycles_to_time division per
+  // packet.
+  sim::TimePs drain_ = 0;
   std::function<void(net::PacketPtr)> forward_;
   std::function<void(net::PacketPtr)> control_;
   sim::LatencyHistogram latency_;

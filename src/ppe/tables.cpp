@@ -24,7 +24,9 @@ ExactMatchTable::ExactMatchTable(std::string name, std::size_t capacity,
       value_bits_(value_bits),
       ways_(std::max<std::size_t>(ways, 1)),
       bucket_count_(round_up_pow2((capacity + ways_ - 1) / ways_)),
-      entries_(bucket_count_ * ways_) {}
+      keys_(bucket_count_ * ways_, 0),
+      values_(bucket_count_ * ways_, 0),
+      valid_(bucket_count_ * ways_, 0) {}
 
 std::array<std::size_t, 2> ExactMatchTable::bucket_indices(
     std::uint64_t key) const {
@@ -32,23 +34,20 @@ std::array<std::size_t, 2> ExactMatchTable::bucket_indices(
   // table usable to high load factors, as hardware exact-match pipelines do
   // with dual-ported SRAM banks.
   const std::size_t first = net::fnv1a_u64(key) & (bucket_count_ - 1);
-  std::size_t second = net::murmur3_64(net::BytesView{
-                           reinterpret_cast<const std::uint8_t*>(&key),
-                           sizeof key}) &
-                       (bucket_count_ - 1);
+  std::size_t second = net::murmur3_u64(key) & (bucket_count_ - 1);
   if (second == first) second = (second + 1) & (bucket_count_ - 1);
   return {first, second};
 }
 
 bool ExactMatchTable::insert(std::uint64_t key, std::uint64_t value) {
+  constexpr std::size_t no_slot = ~std::size_t{0};
   const auto buckets = bucket_indices(key);
   // Pass 1: update in place, wherever the key already lives.
   for (const std::size_t bucket : buckets) {
     const std::size_t base = bucket * ways_;
     for (std::size_t way = 0; way < ways_; ++way) {
-      Entry& entry = entries_[base + way];
-      if (entry.valid && entry.key == key) {
-        entry.value = value;
+      if (valid_[base + way] && keys_[base + way] == key) {
+        values_[base + way] = value;
         ++generation_;
         return true;
       }
@@ -56,26 +55,25 @@ bool ExactMatchTable::insert(std::uint64_t key, std::uint64_t value) {
   }
   if (size_ >= capacity_) return false;
   // Pass 2: place into the less-loaded candidate bucket.
-  Entry* chosen = nullptr;
+  std::size_t chosen = no_slot;
   std::size_t best_load = ways_ + 1;
   for (const std::size_t bucket : buckets) {
     const std::size_t base = bucket * ways_;
     std::size_t load = 0;
-    Entry* free_slot = nullptr;
+    std::size_t free_slot = no_slot;
     for (std::size_t way = 0; way < ways_; ++way) {
-      Entry& entry = entries_[base + way];
-      if (entry.valid) {
+      if (valid_[base + way]) {
         ++load;
-      } else if (free_slot == nullptr) {
-        free_slot = &entry;
+      } else if (free_slot == no_slot) {
+        free_slot = base + way;
       }
     }
-    if (free_slot != nullptr && load < best_load) {
+    if (free_slot != no_slot && load < best_load) {
       best_load = load;
       chosen = free_slot;
     }
   }
-  if (chosen == nullptr) {
+  if (chosen == no_slot) {
     // Cuckoo relocation: the control plane (not the datapath) walks a
     // bounded displacement chain, moving a victim to its alternate bucket
     // to make room. Bounded so a pathological key set cannot loop forever.
@@ -86,17 +84,19 @@ bool ExactMatchTable::insert(std::uint64_t key, std::uint64_t value) {
     // A way in the first bucket is now free.
     const std::size_t base = buckets[0] * ways_;
     for (std::size_t way = 0; way < ways_; ++way) {
-      if (!entries_[base + way].valid) {
-        chosen = &entries_[base + way];
+      if (!valid_[base + way]) {
+        chosen = base + way;
         break;
       }
     }
-    if (chosen == nullptr) {
+    if (chosen == no_slot) {
       ++bucket_overflows_;
       return false;
     }
   }
-  *chosen = Entry{true, key, value};
+  keys_[chosen] = key;
+  values_[chosen] = value;
+  valid_[chosen] = 1;
   ++size_;
   ++generation_;
   return true;
@@ -106,56 +106,84 @@ bool ExactMatchTable::cuckoo_make_room(std::size_t bucket, int depth) {
   constexpr int max_depth = 8;
   if (depth >= max_depth) return false;
   const std::size_t base = bucket * ways_;
+  const auto relocate = [this](std::size_t from, std::size_t to) {
+    keys_[to] = keys_[from];
+    values_[to] = values_[from];
+    valid_[to] = 1;
+    valid_[from] = 0;
+  };
   // Try a cheap move first: any resident whose alternate bucket has space.
   for (std::size_t way = 0; way < ways_; ++way) {
-    Entry& victim = entries_[base + way];
-    const auto alternates = bucket_indices(victim.key);
+    const std::size_t slot = base + way;
+    const auto alternates = bucket_indices(keys_[slot]);
     const std::size_t other =
         alternates[0] == bucket ? alternates[1] : alternates[0];
     const std::size_t other_base = other * ways_;
     for (std::size_t other_way = 0; other_way < ways_; ++other_way) {
-      if (!entries_[other_base + other_way].valid) {
-        entries_[other_base + other_way] = victim;
-        victim.valid = false;
+      if (!valid_[other_base + other_way]) {
+        relocate(slot, other_base + other_way);
         return true;
       }
     }
   }
   // No direct move: recurse on the first victim's alternate bucket.
-  Entry& victim = entries_[base];
-  const auto alternates = bucket_indices(victim.key);
+  const auto alternates = bucket_indices(keys_[base]);
   const std::size_t other =
       alternates[0] == bucket ? alternates[1] : alternates[0];
   if (!cuckoo_make_room(other, depth + 1)) return false;
   const std::size_t other_base = other * ways_;
   for (std::size_t other_way = 0; other_way < ways_; ++other_way) {
-    if (!entries_[other_base + other_way].valid) {
-      entries_[other_base + other_way] = victim;
-      victim.valid = false;
+    if (!valid_[other_base + other_way]) {
+      relocate(base, other_base + other_way);
       return true;
     }
   }
   return false;
 }
 
-std::optional<std::uint64_t> ExactMatchTable::lookup(std::uint64_t key) const {
-  for (const std::size_t bucket : bucket_indices(key)) {
+std::optional<std::uint64_t> ExactMatchTable::probe(
+    const std::array<std::size_t, 2>& buckets, std::uint64_t key) const {
+  for (const std::size_t bucket : buckets) {
     const std::size_t base = bucket * ways_;
     for (std::size_t way = 0; way < ways_; ++way) {
-      const Entry& entry = entries_[base + way];
-      if (entry.valid && entry.key == key) return entry.value;
+      if (valid_[base + way] && keys_[base + way] == key) {
+        return values_[base + way];
+      }
     }
   }
   return std::nullopt;
+}
+
+std::optional<std::uint64_t> ExactMatchTable::lookup(std::uint64_t key) const {
+  return probe(bucket_indices(key), key);
+}
+
+void ExactMatchTable::lookup_batch(const std::uint64_t* keys,
+                                   std::optional<std::uint64_t>* out,
+                                   std::size_t n) const {
+  if (n == 0) return;
+  auto buckets = bucket_indices(keys[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto current = buckets;
+    if (i + 1 < n) {
+      // Hash the next key and touch its bucket lines while the current
+      // compare is in flight — the probe never waits on a cold SRAM row.
+      buckets = bucket_indices(keys[i + 1]);
+      __builtin_prefetch(&keys_[buckets[0] * ways_]);
+      __builtin_prefetch(&keys_[buckets[1] * ways_]);
+      __builtin_prefetch(&valid_[buckets[0] * ways_]);
+      __builtin_prefetch(&valid_[buckets[1] * ways_]);
+    }
+    out[i] = probe(current, keys[i]);
+  }
 }
 
 bool ExactMatchTable::erase(std::uint64_t key) {
   for (const std::size_t bucket : bucket_indices(key)) {
     const std::size_t base = bucket * ways_;
     for (std::size_t way = 0; way < ways_; ++way) {
-      Entry& entry = entries_[base + way];
-      if (entry.valid && entry.key == key) {
-        entry.valid = false;
+      if (valid_[base + way] && keys_[base + way] == key) {
+        valid_[base + way] = 0;
         --size_;
         ++generation_;
         return true;
@@ -166,21 +194,35 @@ bool ExactMatchTable::erase(std::uint64_t key) {
 }
 
 void ExactMatchTable::clear() {
-  for (auto& entry : entries_) entry.valid = false;
+  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
   size_ = 0;
   ++generation_;
 }
 
 void ExactMatchTable::for_each(
     const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
-  for (const auto& entry : entries_) {
-    if (entry.valid) fn(entry.key, entry.value);
+  for (std::size_t slot = 0; slot < keys_.size(); ++slot) {
+    if (valid_[slot]) fn(keys_[slot], values_[slot]);
   }
 }
 
 TernaryTable::TernaryTable(std::string name, std::size_t capacity,
                            std::uint32_t key_bits)
     : name_(std::move(name)), capacity_(capacity), key_bits_(key_bits) {}
+
+void TernaryTable::rebuild_mirror() {
+  const std::size_t n = rules_.size();
+  mask_hi_.resize(n);
+  mask_lo_.resize(n);
+  masked_value_hi_.resize(n);
+  masked_value_lo_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mask_hi_[i] = rules_[i].mask.hi;
+    mask_lo_[i] = rules_[i].mask.lo;
+    masked_value_hi_[i] = rules_[i].value.hi & rules_[i].mask.hi;
+    masked_value_lo_[i] = rules_[i].value.lo & rules_[i].mask.lo;
+  }
+}
 
 std::optional<std::uint64_t> TernaryTable::add_rule(TernaryRule rule) {
   if (rules_.size() >= capacity_) return std::nullopt;
@@ -191,6 +233,7 @@ std::optional<std::uint64_t> TernaryTable::add_rule(TernaryRule rule) {
       rules_.begin(), rules_.end(),
       [&rule](const TernaryRule& r) { return r.priority < rule.priority; });
   rules_.insert(pos, rule);
+  rebuild_mirror();
   ++generation_;
   return rule.rule_id;
 }
@@ -201,20 +244,25 @@ bool TernaryTable::erase_rule(std::uint64_t rule_id) {
       [rule_id](const TernaryRule& r) { return r.rule_id == rule_id; });
   if (it == rules_.end()) return false;
   rules_.erase(it);
+  rebuild_mirror();
   ++generation_;
   return true;
 }
 
 void TernaryTable::clear() {
   rules_.clear();
+  rebuild_mirror();
   ++generation_;
 }
 
 const TernaryRule* TernaryTable::match(TernaryKey key) const {
-  for (const auto& rule : rules_) {
-    if ((key.hi & rule.mask.hi) == (rule.value.hi & rule.mask.hi) &&
-        (key.lo & rule.mask.lo) == (rule.value.lo & rule.mask.lo)) {
-      return &rule;
+  // Scan the SoA mirror (masks + pre-masked values, priority-desc order);
+  // rules_ carries the full metadata for the winning index.
+  const std::size_t n = rules_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((key.hi & mask_hi_[i]) == masked_value_hi_[i] &&
+        (key.lo & mask_lo_[i]) == masked_value_lo_[i]) {
+      return &rules_[i];
     }
   }
   return nullptr;
@@ -290,12 +338,28 @@ std::vector<std::pair<std::uint16_t, std::uint16_t>> expand_port_range(
 LpmTable::LpmTable(std::string name, std::size_t capacity)
     : name_(std::move(name)), capacity_(capacity) {}
 
+void LpmTable::rebuild_mirror() {
+  const std::size_t n = entries_.size();
+  mask32_.resize(n);
+  base_.resize(n);
+  value_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Prefix addresses are canonicalized (host bits zero), so the stored
+    // base equals address & mask and the scan test mirrors
+    // Ipv4Prefix::contains exactly.
+    mask32_[i] = entries_[i].prefix.mask();
+    base_[i] = entries_[i].prefix.address().value();
+    value_[i] = entries_[i].value;
+  }
+}
+
 bool LpmTable::insert(net::Ipv4Prefix prefix, std::uint64_t value) {
   const auto it = std::find_if(
       entries_.begin(), entries_.end(),
       [&prefix](const Entry& e) { return e.prefix == prefix; });
   if (it != entries_.end()) {
     it->value = value;
+    rebuild_mirror();
     ++generation_;
     return true;
   }
@@ -305,6 +369,7 @@ bool LpmTable::insert(net::Ipv4Prefix prefix, std::uint64_t value) {
                                   return e.prefix.length() < prefix.length();
                                 });
   entries_.insert(pos, Entry{prefix, value});
+  rebuild_mirror();
   ++generation_;
   return true;
 }
@@ -315,14 +380,18 @@ bool LpmTable::erase(net::Ipv4Prefix prefix) {
       [&prefix](const Entry& e) { return e.prefix == prefix; });
   if (it == entries_.end()) return false;
   entries_.erase(it);
+  rebuild_mirror();
   ++generation_;
   return true;
 }
 
 std::optional<std::uint64_t> LpmTable::lookup(net::Ipv4Address addr) const {
-  // Sorted by descending length: the first containing prefix is longest.
-  for (const auto& entry : entries_) {
-    if (entry.prefix.contains(addr)) return entry.value;
+  // Sorted by descending length: the first containing prefix (scanned on
+  // the precomputed base/mask mirror) is the longest match.
+  const std::uint32_t a = addr.value();
+  const std::size_t n = base_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a & mask32_[i]) == base_[i]) return value_[i];
   }
   return std::nullopt;
 }

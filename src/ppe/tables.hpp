@@ -45,6 +45,11 @@ class ExactMatchTable {
   /// at capacity (hardware would report this to the control plane).
   bool insert(std::uint64_t key, std::uint64_t value);
   [[nodiscard]] std::optional<std::uint64_t> lookup(std::uint64_t key) const;
+  /// Batched probe: out[i] = lookup(keys[i]), with key i+1's candidate
+  /// buckets prefetched while key i is compared — the datapath entry point
+  /// for PpeApp::process_batch overrides.
+  void lookup_batch(const std::uint64_t* keys,
+                    std::optional<std::uint64_t>* out, std::size_t n) const;
   bool erase(std::uint64_t key);
   void clear();
 
@@ -67,14 +72,12 @@ class ExactMatchTable {
   }
 
  private:
-  struct Entry {
-    bool valid = false;
-    std::uint64_t key = 0;
-    std::uint64_t value = 0;
-  };
-
   [[nodiscard]] std::array<std::size_t, 2> bucket_indices(
       std::uint64_t key) const;
+  /// Scan one key's two candidate buckets (the shared probe kernel of
+  /// lookup and lookup_batch).
+  [[nodiscard]] std::optional<std::uint64_t> probe(
+      const std::array<std::size_t, 2>& buckets, std::uint64_t key) const;
   /// Free one way in `bucket` by relocating residents to their alternate
   /// buckets (bounded-depth cuckoo walk). Returns false when no chain of
   /// at most max_depth moves exists.
@@ -86,7 +89,13 @@ class ExactMatchTable {
   std::uint32_t value_bits_;
   std::size_t ways_;
   std::size_t bucket_count_;
-  std::vector<Entry> entries_;  // bucket_count_ x ways_
+  // SoA slot storage (bucket_count_ x ways_ slots each): a probe streams
+  // through one cache line of keys per bucket instead of striding over
+  // padded {valid,key,value} structs. Index order — and therefore for_each
+  // iteration order — is identical to the former Entry vector.
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint8_t> valid_;
   std::size_t size_ = 0;
   std::uint64_t generation_ = 0;
   std::uint64_t bucket_overflows_ = 0;
@@ -141,10 +150,20 @@ class TernaryTable {
   [[nodiscard]] std::size_t duplicate_rule_count() const;
 
  private:
+  /// Re-derive the SoA match mirror from rules_ (called on every mutation).
+  void rebuild_mirror();
+
   std::string name_;
   std::size_t capacity_;
   std::uint32_t key_bits_;
   std::vector<TernaryRule> rules_;  // kept sorted by priority desc
+  // SoA mirror of rules_ in match order: masks plus pre-masked values, so
+  // the per-key scan is four contiguous streams and no per-rule re-masking.
+  // rules_ stays the control-plane authority; the mirror is derived state.
+  std::vector<std::uint64_t> mask_hi_;
+  std::vector<std::uint64_t> mask_lo_;
+  std::vector<std::uint64_t> masked_value_hi_;
+  std::vector<std::uint64_t> masked_value_lo_;
   std::uint64_t next_rule_id_ = 1;
   std::uint64_t generation_ = 0;
 };
@@ -183,9 +202,18 @@ class LpmTable {
     std::uint64_t value;
   };
 
+  /// Re-derive the SoA lookup mirror from entries_ (on every mutation).
+  void rebuild_mirror();
+
   std::string name_;
   std::size_t capacity_;
   std::vector<Entry> entries_;  // sorted by descending prefix length
+  // SoA mirror of entries_ in lookup order with the netmask precomputed:
+  // the longest-prefix scan is then (addr & mask_[i]) == base_[i] over
+  // contiguous arrays. entries_ stays the control-plane authority.
+  std::vector<std::uint32_t> mask32_;
+  std::vector<std::uint32_t> base_;
+  std::vector<std::uint64_t> value_;
   std::uint64_t generation_ = 0;
 };
 

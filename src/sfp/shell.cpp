@@ -99,8 +99,11 @@ void ArchitectureShell::inject(int port, net::PacketPtr packet) {
 
   // The MAC/PCS pipeline delays the frame before the demux sees it.
   sim_.schedule_in(config_.interface_latency_ps, [this, port,
+                                                  token = lifetime_.token(),
                                                   packet =
                                                       std::move(packet)]() mutable {
+    if (!token.alive()) return;  // shell torn down while the frame crossed
+
     // Demux step of Figure 1: management frames (and, for ActiveCp, frames
     // addressed to the module) go to the control plane.
     if (is_mgmt_frame(*packet) || terminates_locally(*packet)) {
@@ -178,12 +181,17 @@ void ArchitectureShell::punt_to_control(net::PacketPtr packet) {
 }
 
 void ArchitectureShell::deliver_egress(int port, net::PacketPtr packet) {
-  auto& handler = egress_handlers_[static_cast<std::size_t>(port)];
-  if (!handler) return;
-  // Egress MAC/PCS latency.
+  if (!egress_handlers_[static_cast<std::size_t>(port)]) return;
+  // Egress MAC/PCS latency. The handler is re-resolved through `this` at
+  // fire time (guarded by the lifetime token) — capturing a reference to the
+  // member would dangle if the shell were torn down first.
   sim_.schedule_in(config_.interface_latency_ps,
-                   [&handler, packet = std::move(packet)]() mutable {
-                     handler(std::move(packet));
+                   [this, port, token = lifetime_.token(),
+                    packet = std::move(packet)]() mutable {
+                     if (!token.alive()) return;
+                     auto& handler =
+                         egress_handlers_[static_cast<std::size_t>(port)];
+                     if (handler) handler(std::move(packet));
                    });
 }
 

@@ -153,6 +153,7 @@ class ArchitectureShell {
   obs::MetricId egress_hints_id_;
   bool degraded_ = false;
   std::uint16_t flight_stage_ = 0;
+  sim::Lifetime lifetime_;  // guards this-capturing scheduled closures
 };
 
 }  // namespace flexsfp::sfp

@@ -1,11 +1,12 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace flexsfp::sim {
 
-EventQueue::EventQueue() : ring_(kBuckets) {}
+EventQueue::EventQueue() : ring_(kBuckets) { batch_.reserve(64); }
 
 EventQueue::~EventQueue() {
   // Destroy every pending closure; node memory is slab-owned.
@@ -54,6 +55,7 @@ void EventQueue::insert(const Ref& ref) {
   } else if (bucket - cur_bucket_ < kBuckets) {
     ring_[bucket % kBuckets].push_back(ref);
     ++ring_count_;
+    mark_slot(bucket);
   } else {
     overflow_.push_back(ref);
     overflow_min_bucket_ = std::min(overflow_min_bucket_, bucket);
@@ -73,21 +75,51 @@ void EventQueue::ensure_current() {
       redistribute_overflow();
       continue;
     }
+    const std::size_t d = next_occupied_distance();
     // An overflow event becomes ring-eligible once the window has advanced
     // within kBuckets of it; it must join the ring before the scan passes
-    // its slot, or it would execute after nearer-but-later events.
-    if (!overflow_.empty() &&
-        overflow_min_bucket_ - cur_bucket_ < kBuckets) {
-      migrate_overflow();
+    // its slot, or it would execute after nearer-but-later events. The
+    // one-slot-at-a-time scan migrated at the first window position with
+    // overflow_min - cur < kBuckets; a jump over d slots must stop at that
+    // same trigger position when it falls inside the jump.
+    if (!overflow_.empty()) {
+      const std::uint64_t trigger = overflow_min_bucket_ - kBuckets + 1;
+      if (cur_bucket_ + d > trigger) {
+        cur_bucket_ = std::max(cur_bucket_, trigger);
+        migrate_overflow();
+        continue;  // migrated events may occupy nearer slots: rescan
+      }
     }
-    ++cur_bucket_;
+    cur_bucket_ += d;
     auto& slot = ring_[cur_bucket_ % kBuckets];
-    if (!slot.empty()) {
-      ring_count_ -= slot.size();
-      current_.swap(slot);  // slot inherits current_'s empty capacity
-      std::make_heap(current_.begin(), current_.end(), Later{});
-    }
+    ring_count_ -= slot.size();
+    clear_slot(cur_bucket_);
+    current_.swap(slot);  // slot inherits current_'s empty capacity
+    std::make_heap(current_.begin(), current_.end(), Later{});
   }
+}
+
+std::size_t EventQueue::next_occupied_distance() const {
+  constexpr std::size_t kWords = kBuckets / 64;
+  const std::size_t pos = cur_bucket_ % kBuckets;
+  const std::size_t start = (pos + 1) % kBuckets;
+  // First word is masked to bits >= start; then whole words, wrapping once
+  // past the first word so bits below start%64 are seen last. Every ring
+  // event is within kBuckets-1 buckets of cur_bucket_ (insert spills the
+  // rest to overflow_), so the first set bit in ring order is the target.
+  std::size_t word = start / 64;
+  std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (start % 64));
+  for (std::size_t i = 0; i <= kWords; ++i) {
+    if (bits != 0) {
+      const std::size_t slot =
+          word * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      return (slot + kBuckets - pos - 1) % kBuckets + 1;
+    }
+    word = (word + 1) % kWords;
+    bits = occupied_[word];
+  }
+  assert(false && "ring_count_ > 0 but occupancy bitmap is empty");
+  return 1;
 }
 
 // Move every overflow event that now fits the ring window into its slot.
@@ -102,6 +134,7 @@ void EventQueue::migrate_overflow() {
     if (bucket - cur_bucket_ < kBuckets) {
       ring_[bucket % kBuckets].push_back(ref);
       ++ring_count_;
+      mark_slot(bucket);
     } else {
       new_min = std::min(new_min, bucket);
       keep.push_back(ref);
@@ -141,6 +174,7 @@ void EventQueue::redistribute_overflow() {
     } else if (bucket - cur_bucket_ < kBuckets) {
       ring_[bucket % kBuckets].push_back(ref);
       ++ring_count_;
+      mark_slot(bucket);
     } else {
       new_min = std::min(new_min, bucket);
       keep.push_back(ref);
@@ -154,6 +188,55 @@ void EventQueue::redistribute_overflow() {
 TimePs EventQueue::min_time() {
   ensure_current();
   return current_.front().at;
+}
+
+std::size_t EventQueue::drain_front(std::size_t max_events) {
+  ensure_current();
+  const TimePs at = current_.front().at;
+  // Same-time events always share the current bucket (same `at` ⇒ same
+  // bucket index), so the whole frontier is in current_ — pre-pop it before
+  // invoking anything. Closures invoked below can only schedule events with
+  // larger seqs, which sort after every pre-popped ref, so this order is
+  // exactly the scalar pop-per-event order.
+  batch_.clear();
+  while (batch_.size() < max_events && !current_.empty() &&
+         current_.front().at == at) {
+    std::pop_heap(current_.begin(), current_.end(), Later{});
+    batch_.push_back(current_.back());
+    current_.pop_back();
+  }
+  // Mirror the scalar pop()/invoke()/~Popped cadence per event: size_ drops
+  // just before the invoke and the node rejoins the free list just after,
+  // so watermark and slab-allocation trajectories stay bit-identical.
+  std::size_t i = 0;
+  try {
+    for (; i < batch_.size(); ++i) {
+      Node* node = batch_[i].node;
+      --size_;
+      node->invoke(node->storage);
+      node->destroy(node->storage);
+      node->destroy = nullptr;
+      release_node(node);
+    }
+  } catch (...) {
+    // size_ was already decremented for the throwing event; consume it
+    // (destroy + release) exactly as ~Popped would have.
+    Node* node = batch_[i].node;
+    if (node->destroy != nullptr) node->destroy(node->storage);
+    release_node(node);
+    ++i;
+    // Events never invoked go back on the heap; their size_ share was
+    // never decremented.
+    for (; i < batch_.size(); ++i) {
+      current_.push_back(batch_[i]);
+      std::push_heap(current_.begin(), current_.end(), Later{});
+    }
+    batch_.clear();
+    throw;
+  }
+  const std::size_t invoked = batch_.size();
+  batch_.clear();
+  return invoked;
 }
 
 EventQueue::Popped EventQueue::pop() {

@@ -1,0 +1,81 @@
+// Owner-keepalive guard for scheduled closures that capture `this`.
+//
+// Components schedule lambdas like `[this, packet] { finish(packet); }`
+// into their Simulation. If the component is destroyed while the event is
+// still pending — a module torn down mid-service by the fault_ppe()/golden
+// reimage path, or a testbed dismantled before its queue drained — the
+// closure fires on a dangling pointer. A Lifetime member plus a copied
+// LifetimeToken in every such closure turns that into a checked no-op: the
+// token keeps an 8-byte shared State alive, the owner's destructor flips
+// `alive` off, and the closure bails out before touching the owner.
+//
+// The refcount is deliberately non-atomic: a Simulation (and everything
+// scheduled into it) is single-threaded by construction — shard-parallel
+// runs give each shard its own Simulation — so tokens never cross threads.
+#pragma once
+
+#include <cstdint>
+
+namespace flexsfp::sim {
+
+class LifetimeToken;
+
+class Lifetime {
+ public:
+  Lifetime() : state_(new State{1, true}) {}
+  ~Lifetime() {
+    state_->alive = false;
+    release(state_);
+  }
+  Lifetime(const Lifetime&) = delete;
+  Lifetime& operator=(const Lifetime&) = delete;
+
+  /// A copyable 8-byte witness of this owner's liveness, for capture in
+  /// scheduled closures.
+  [[nodiscard]] LifetimeToken token() const;
+
+ private:
+  friend class LifetimeToken;
+  struct State {
+    std::uint32_t refs;
+    bool alive;
+  };
+  static void release(State* state) {
+    if (--state->refs == 0) delete state;
+  }
+  State* state_;
+};
+
+class LifetimeToken {
+ public:
+  LifetimeToken(const LifetimeToken& other) : state_(other.state_) {
+    ++state_->refs;
+  }
+  LifetimeToken(LifetimeToken&& other) noexcept : state_(other.state_) {
+    ++state_->refs;  // moved-from tokens stay valid (trivially copyable use)
+  }
+  LifetimeToken& operator=(const LifetimeToken& other) {
+    ++other.state_->refs;
+    Lifetime::release(state_);
+    state_ = other.state_;
+    return *this;
+  }
+  LifetimeToken& operator=(LifetimeToken&& other) noexcept {
+    return *this = static_cast<const LifetimeToken&>(other);
+  }
+  ~LifetimeToken() { Lifetime::release(state_); }
+
+  /// True until the owning Lifetime is destroyed.
+  [[nodiscard]] bool alive() const { return state_->alive; }
+
+ private:
+  friend class Lifetime;
+  explicit LifetimeToken(Lifetime::State* state) : state_(state) {
+    ++state_->refs;
+  }
+  Lifetime::State* state_;
+};
+
+inline LifetimeToken Lifetime::token() const { return LifetimeToken{state_}; }
+
+}  // namespace flexsfp::sim

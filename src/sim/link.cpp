@@ -12,22 +12,30 @@ Link::Link(Simulation& sim, DataRate rate, TimePs propagation_delay,
       destination_(destination),
       name_(sim.metrics().unique_name(std::move(name))) {
   meter_.bind(sim_.metrics(), "link.traffic", {{"link", name_}});
+  wire_meter_.bind(sim_.metrics(), "link.wire", {{"link", name_}});
   busy_id_ = sim_.metrics().counter("link.busy_ps", {{"link", name_}});
   flight_stage_ = sim_.flight().register_stage(name_);
 }
 
 void Link::handle_packet(net::PacketPtr packet) {
   const TimePs start = std::max(sim_.now(), next_free_);
-  const TimePs ser = ser_(packet->wire_size());
+  // Serialization and busy time are wire-byte quantities; the goodput meter
+  // records frame bytes and the wire meter the bytes actually occupying the
+  // line, so utilization() and delivered-rate figures never mix units.
+  const std::size_t wire_bytes = packet->wire_size();
+  const TimePs ser = ser_(wire_bytes);
   next_free_ = start + ser;
   sim_.metrics().add(busy_id_, std::uint64_t(ser));
   meter_.record(packet->size());
+  wire_meter_.record(wire_bytes);
   if (sim_.flight().sampled(packet->id())) {
     sim_.flight().record(packet->id(), flight_stage_, obs::HopKind::transit,
                          start, 0, std::uint64_t(ser));
   }
   const TimePs arrival = next_free_ + propagation_delay_;
-  sim_.schedule_at(arrival, [this, packet = std::move(packet)]() mutable {
+  sim_.schedule_at(arrival, [this, token = lifetime_.token(),
+                             packet = std::move(packet)]() mutable {
+    if (!token.alive()) return;  // link torn down while the packet flew
     destination_.handle_packet(std::move(packet));
   });
 }
@@ -40,7 +48,6 @@ bool BoundedQueue::push(net::PacketPtr packet) {
   if (count_ == slots_.size()) grow();
   slots_[(head_ + count_) & (slots_.size() - 1)] = std::move(packet);
   ++count_;
-  high_watermark_ = std::max(high_watermark_, count_);
   return true;
 }
 
@@ -102,7 +109,9 @@ void QueuedServer::start_service() {
                          static_cast<std::uint32_t>(queue_.size()),
                          std::uint64_t(service));
   }
-  sim_.schedule_in(service, [this, packet = std::move(packet)]() mutable {
+  sim_.schedule_in(service, [this, token = lifetime_.token(),
+                             packet = std::move(packet)]() mutable {
+    if (!token.alive()) return;  // server torn down mid-service
     finish(std::move(packet));
     busy_ = false;
     if (!queue_.empty()) start_service();

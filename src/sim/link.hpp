@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/lifetime.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -22,7 +23,12 @@ class Link final : public PacketHandler {
   void handle_packet(net::PacketPtr packet) override;
 
   [[nodiscard]] DataRate rate() const { return rate_; }
+  /// Goodput (payload frame bytes), series `link.traffic{link=<name>}`.
   [[nodiscard]] const TrafficMeter& meter() const { return meter_; }
+  /// Wire bytes (frame + preamble/IFG overhead) — the unit busy_ps and
+  /// utilization() are computed in, series `link.wire{link=<name>}`. Kept as
+  /// a separate series so goodput and occupancy never mix units.
+  [[nodiscard]] const TrafficMeter& wire_meter() const { return wire_meter_; }
   /// Total time the transmitter was busy — utilization = busy / elapsed.
   /// Reads the registry series `link.busy_ps{link=<name>}`.
   [[nodiscard]] TimePs busy_time() const {
@@ -43,8 +49,10 @@ class Link final : public PacketHandler {
   std::string name_;
   TimePs next_free_ = 0;
   TrafficMeter meter_;
+  TrafficMeter wire_meter_;
   obs::MetricId busy_id_;
   std::uint16_t flight_stage_ = 0;
+  Lifetime lifetime_;
 };
 
 /// Drop-tail FIFO with a packet-count bound, as found in front of every
@@ -66,7 +74,9 @@ class BoundedQueue {
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
-  [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
+  // Depth high-watermark bookkeeping lives with the owner's registry gauge
+  // (`server.queue_high_watermark`), the single source of truth — a shadow
+  // counter here could silently disagree with it.
 
  private:
   void grow();
@@ -76,7 +86,6 @@ class BoundedQueue {
   std::size_t head_ = 0;
   std::size_t count_ = 0;
   std::uint64_t drops_ = 0;
-  std::size_t high_watermark_ = 0;
 };
 
 /// An M/G/1-style service element: arriving packets wait in a bounded FIFO,
@@ -117,6 +126,12 @@ class QueuedServer : public PacketHandler {
   /// Flight-recorder stage id, for subclasses recording their own hops
   /// (verdicts, egress) under the same stage name.
   [[nodiscard]] std::uint16_t flight_stage() const { return flight_stage_; }
+  /// Liveness witness for subclasses scheduling their own `this`-capturing
+  /// closures (Engine verdict drains, arbiter egress) — same guard as the
+  /// service-completion event.
+  [[nodiscard]] LifetimeToken lifetime_token() const {
+    return lifetime_.token();
+  }
   /// How long this packet occupies the server.
   [[nodiscard]] virtual TimePs service_time(const net::Packet& packet) = 0;
   /// Invoked at service completion; implementations forward, drop, etc.
@@ -134,6 +149,7 @@ class QueuedServer : public PacketHandler {
   obs::MetricId busy_id_;
   obs::MetricId watermark_id_;
   std::uint16_t flight_stage_ = 0;
+  Lifetime lifetime_;
 };
 
 }  // namespace flexsfp::sim

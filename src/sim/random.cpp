@@ -49,8 +49,7 @@ ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
   slot_lo_[kSlots] = static_cast<std::uint32_t>(n);
 }
 
-std::size_t ZipfDistribution::sample(Rng& rng) const {
-  const double u = rng.uniform_real();
+std::size_t ZipfDistribution::sample_u(double u) const {
   // u lies in slot floor(u * kSlots), so lower_bound(cdf_, u) lands in
   // [slot_lo_[slot], slot_lo_[slot + 1]] — search only that span.
   const std::size_t slot =

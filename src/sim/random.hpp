@@ -63,7 +63,13 @@ class ZipfDistribution {
   /// `s` is the skew exponent (s = 0 degenerates to uniform).
   ZipfDistribution(std::size_t n, double s);
 
-  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    return sample_u(rng.uniform_real());
+  }
+  /// Rank for one uniform draw u in [0, 1): the deterministic core of
+  /// sample(), exposed so tests can probe exact slot-boundary inputs
+  /// against a plain full-CDF binary search.
+  [[nodiscard]] std::size_t sample_u(double u) const;
   [[nodiscard]] std::size_t n() const { return cdf_.size(); }
 
  private:

@@ -131,6 +131,156 @@ TEST(StaticNat, RemoveMappingStopsTranslation) {
   EXPECT_EQ(net::parse_packet(packet).outer.ipv4->src, ip(10, 0, 0, 1));
 }
 
+// --- batched dispatch equivalence -------------------------------------------
+// process_batch takes a byte-peek fast path for plain untagged IPv4 TCP/UDP
+// and falls back to the full parser for everything else. Whatever the route,
+// the outcome must be indistinguishable from scalar process() — verdicts,
+// rewritten bytes and counters alike.
+
+std::vector<net::Packet> batch_shapes() {
+  using testing::ip;
+  std::vector<net::Packet> shapes;
+  // Fast-path candidates: plain untagged IPv4.
+  shapes.push_back(
+      testing::tcp_packet(ip(10, 0, 0, 1), ip(8, 8, 8, 8), 1111, 80));
+  shapes.push_back(udp_packet(ip(10, 0, 0, 2), ip(8, 8, 4, 4), 2222, 53));
+  shapes.push_back(udp_packet(ip(10, 9, 9, 9), ip(8, 8, 8, 8), 7, 7));  // miss
+  shapes.push_back(
+      udp_packet(ip(10, 0, 0, 3), ip(9, 9, 9, 9), 3333, 53));  // identity map
+  // Slow-path shapes the byte peek must reject:
+  shapes.push_back(net::PacketBuilder()  // 802.1Q tag shifts the IP header
+                       .ethernet(testing::mac(2), testing::mac(1))
+                       .vlan(42)
+                       .ipv4(ip(10, 0, 0, 1), ip(8, 8, 8, 8), net::IpProto::udp)
+                       .udp(4444, 53)
+                       .payload_size(16)
+                       .build_packet());
+  shapes.push_back(udp_packet(ip(10, 0, 0, 1), ip(8, 8, 8, 8), 5555,
+                              net::VxlanHeader::udp_port));  // tunnel port
+  {  // IPv4 fragment: L4 fields are payload, not a UDP header
+    auto frag = udp_packet(ip(10, 0, 0, 1), ip(8, 8, 8, 8), 6666, 53);
+    frag.data()[20] |= 0x20;  // more-fragments flag (both paths see it)
+    shapes.push_back(std::move(frag));
+  }
+  {  // non-IPv4 ethertype
+    net::Bytes frame(64, 0);
+    net::EthernetHeader eth;
+    eth.ether_type = static_cast<std::uint16_t>(net::EtherType::arp);
+    eth.serialize_to(frame, 0);
+    shapes.emplace_back(frame);
+  }
+  {  // IPv4 header with options (ihl = 6)
+    auto opts = udp_packet(ip(10, 0, 0, 1), ip(8, 8, 8, 8), 8888, 53);
+    opts.data()[14] = 0x46;
+    shapes.push_back(std::move(opts));
+  }
+  {  // truncated mid-IPv4-header
+    auto runt = udp_packet(ip(10, 0, 0, 1), ip(8, 8, 8, 8), 9999, 53);
+    runt.data().resize(20);
+    shapes.push_back(std::move(runt));
+  }
+  return shapes;
+}
+
+void install_batch_mappings(StaticNat& nat) {
+  using testing::ip;
+  ASSERT_TRUE(nat.add_mapping(ip(10, 0, 0, 1), ip(203, 0, 113, 1)));
+  ASSERT_TRUE(nat.add_mapping(ip(10, 0, 0, 2), ip(203, 0, 113, 2)));
+  ASSERT_TRUE(nat.add_mapping(ip(10, 0, 0, 3), ip(10, 0, 0, 3)));  // identity
+}
+
+void expect_batch_equals_scalar(NatMissAction miss_action) {
+  for (const std::size_t n : {std::size_t{8}, std::size_t{16}}) {
+    NatConfig config;
+    config.miss_action = miss_action;
+    StaticNat batched(config);
+    StaticNat scalar(config);
+    install_batch_mappings(batched);
+    install_batch_mappings(scalar);
+
+    const auto shapes = batch_shapes();
+    std::vector<net::Packet> batch_pkts;
+    std::vector<net::Packet> scalar_pkts;
+    for (std::size_t i = 0; i < n; ++i) {
+      batch_pkts.push_back(shapes[i % shapes.size()]);
+      scalar_pkts.push_back(shapes[i % shapes.size()]);
+    }
+
+    std::vector<ppe::PacketContext> ctxs;
+    ctxs.reserve(n);
+    std::vector<ppe::PacketContext*> ctx_ptrs;
+    for (auto& packet : batch_pkts) {
+      ctxs.emplace_back(packet);
+      ctx_ptrs.push_back(&ctxs.back());
+    }
+    std::vector<ppe::Verdict> verdicts(n, ppe::Verdict::drop);
+    batched.process_batch(ctx_ptrs.data(), verdicts.data(), n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(verdicts[i], run(scalar, scalar_pkts[i]))
+          << "packet " << i << " n " << n;
+      EXPECT_EQ(batch_pkts[i].data(), scalar_pkts[i].data())
+          << "packet " << i << " n " << n;
+    }
+    const auto a = batched.counters();
+    const auto b = scalar.counters();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].packets, b[i].packets) << "counter " << i;
+      EXPECT_EQ(a[i].bytes, b[i].bytes) << "counter " << i;
+    }
+  }
+}
+
+TEST(StaticNatBatch, MatchesScalarAcrossShapesForwardMiss) {
+  expect_batch_equals_scalar(NatMissAction::forward);
+}
+
+TEST(StaticNatBatch, MatchesScalarAcrossShapesDropMiss) {
+  expect_batch_equals_scalar(NatMissAction::drop);
+}
+
+TEST(StaticNatBatch, MatchesScalarAcrossShapesPuntMiss) {
+  expect_batch_equals_scalar(NatMissAction::punt);
+}
+
+TEST(StaticNatBatch, DestinationModeMatchesScalar) {
+  using testing::ip;
+  NatConfig config;
+  config.direction = NatDirection::destination;
+  StaticNat batched(config);
+  StaticNat scalar(config);
+  ASSERT_TRUE(batched.add_mapping(ip(203, 0, 113, 5), ip(10, 0, 0, 5)));
+  ASSERT_TRUE(scalar.add_mapping(ip(203, 0, 113, 5), ip(10, 0, 0, 5)));
+
+  std::vector<net::Packet> batch_pkts;
+  std::vector<net::Packet> scalar_pkts;
+  for (int i = 0; i < 8; ++i) {
+    auto packet = testing::tcp_packet(ip(8, 8, 8, 8),
+                                      i % 2 == 0 ? ip(203, 0, 113, 5)
+                                                 : ip(203, 0, 113, 6),
+                                      53, 1000 + i);
+    batch_pkts.push_back(packet);
+    scalar_pkts.push_back(packet);
+  }
+  std::vector<ppe::PacketContext> ctxs;
+  ctxs.reserve(batch_pkts.size());
+  std::vector<ppe::PacketContext*> ctx_ptrs;
+  for (auto& packet : batch_pkts) {
+    ctxs.emplace_back(packet);
+    ctx_ptrs.push_back(&ctxs.back());
+  }
+  std::vector<ppe::Verdict> verdicts(batch_pkts.size(), ppe::Verdict::drop);
+  batched.process_batch(ctx_ptrs.data(), verdicts.data(), batch_pkts.size());
+  for (std::size_t i = 0; i < batch_pkts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], run(scalar, scalar_pkts[i])) << "packet " << i;
+    EXPECT_EQ(batch_pkts[i].data(), scalar_pkts[i].data()) << "packet " << i;
+    // Rewritten packets still carry valid checksums.
+    const auto parsed = net::parse_packet(batch_pkts[i]);
+    EXPECT_TRUE(net::validate_packet(parsed, batch_pkts[i].data()).empty());
+  }
+}
+
 TEST(NatConfig, SerializeParseRoundTrip) {
   NatConfig config;
   config.direction = NatDirection::destination;

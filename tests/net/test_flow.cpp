@@ -43,6 +43,27 @@ TEST(Murmur3, SeedChangesHash) {
   EXPECT_NE(murmur3_64(data, 0), murmur3_64(data, 1));
 }
 
+TEST(Murmur3, U64SpecializationMatchesGenericEightByteHash) {
+  // murmur3_u64 is the table-probe hot path; it must compute exactly
+  // murmur3_64 over the key's 8 little-endian bytes for every (value, seed).
+  sim::Rng rng(2026);
+  const auto check = [](std::uint64_t value, std::uint64_t seed) {
+    Bytes bytes(8);
+    for (int j = 0; j < 8; ++j) {
+      bytes[j] = static_cast<std::uint8_t>(value >> (8 * j));
+    }
+    EXPECT_EQ(murmur3_u64(value, seed), murmur3_64(bytes, seed))
+        << "value " << value << " seed " << seed;
+  };
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, ~std::uint64_t{0},
+        std::uint64_t{0x8000000000000000ull}, std::uint64_t{0x0102030405060708ull}}) {
+    check(value, 0);
+    check(value, 0x9e3779b97f4a7c15ull);
+  }
+  for (int i = 0; i < 1000; ++i) check(rng.next_u64(), rng.next_u64());
+}
+
 TEST(Murmur3, AvalancheOnSingleBitFlip) {
   // Flipping one input bit should flip roughly half the output bits.
   sim::Rng rng(5);

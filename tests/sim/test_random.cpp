@@ -141,5 +141,84 @@ TEST(Zipf, SamplesAlwaysInRange) {
   }
 }
 
+// --- slot-index fast-path property tests ------------------------------------
+// ZipfDistribution::sample_u narrows the binary search to the span a
+// 1024-slot first-level index says the draw lands in. The oracle below is
+// the unaccelerated definition: lower_bound over the full CDF. The two must
+// return the same rank for every u, in particular at the slot boundaries
+// k/1024 where an off-by-one in slot_lo_ construction would surface.
+
+std::vector<double> zipf_cdf_oracle(std::size_t n, double s) {
+  // Recomputed exactly as the ZipfDistribution constructor does (same
+  // operation order), so the doubles are bit-identical.
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(double(rank), s);
+    cdf[rank - 1] = total;
+  }
+  for (auto& c : cdf) c /= total;
+  return cdf;
+}
+
+std::size_t zipf_rank_oracle(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::size_t>(it - cdf.begin()) + 1;
+}
+
+TEST(ZipfProperty, SlotIndexAgreesWithFullBinarySearch) {
+  constexpr std::size_t kSlots = 1024;  // mirrors ZipfDistribution::kSlots
+  for (const double s : {0.5, 1.0, 1.2}) {
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{2}, std::size_t{1024},
+          std::size_t{1000000}}) {
+      const ZipfDistribution dist(n, s);
+      const std::vector<double> cdf = zipf_cdf_oracle(n, s);
+
+      std::vector<double> draws;
+      draws.reserve(3 * kSlots + 4100);
+      // Every slot boundary and its immediate floating-point neighbors:
+      // exactly where a wrong slot_lo_ span truncates the search.
+      for (std::size_t k = 0; k < kSlots; ++k) {
+        const double boundary = double(k) / double(kSlots);
+        draws.push_back(boundary);
+        draws.push_back(std::nextafter(boundary, 0.0));
+        draws.push_back(std::nextafter(boundary, 1.0));
+      }
+      draws.push_back(0.0);
+      draws.push_back(std::nextafter(1.0, 0.0));  // largest valid draw
+      Rng rng(2026);
+      for (int i = 0; i < 4096; ++i) draws.push_back(rng.uniform_real());
+
+      for (const double u : draws) {
+        if (u < 0.0 || u >= 1.0) continue;  // uniform_real() range is [0,1)
+        const std::size_t rank = dist.sample_u(u);
+        ASSERT_EQ(rank, zipf_rank_oracle(cdf, u))
+            << "s=" << s << " n=" << n << " u=" << u;
+        ASSERT_GE(rank, 1u) << "s=" << s << " n=" << n << " u=" << u;
+        ASSERT_LE(rank, n) << "s=" << s << " n=" << n << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(ZipfProperty, SingleRankAlwaysReturnsOne) {
+  const ZipfDistribution dist(1, 1.0);
+  EXPECT_EQ(dist.sample_u(0.0), 1u);
+  EXPECT_EQ(dist.sample_u(0.5), 1u);
+  EXPECT_EQ(dist.sample_u(std::nextafter(1.0, 0.0)), 1u);
+}
+
+TEST(ZipfProperty, SampleDrawsThroughSampleU) {
+  // sample(rng) must be exactly sample_u over the engine's next
+  // uniform_real draw — no second draw, no different conversion.
+  const ZipfDistribution dist(1024, 1.0);
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dist.sample(a), dist.sample_u(b.uniform_real()));
+  }
+}
+
 }  // namespace
 }  // namespace flexsfp::sim

@@ -51,6 +51,11 @@ POLICIES = [
     ("modules", "equal", "context"),
     ("crosspoint_drops*", "higher_is_worse", "strict"),  # deterministic sim
     ("rounds_*", "equal", "context"),  # sync windows are deterministic too
+    # Batched dispatch must be observable only as throughput: the bench
+    # re-runs its workload at widths {1,8,16} and sets batch_identical to 1
+    # iff every merged snapshot is bit-identical. A 0 is a semantics bug.
+    ("batch_identical", "lower_is_worse", "strict"),
+    ("batch_width", "equal", "context"),
     ("events_per_sec*", "lower_is_worse", "lenient"),
     # Wall-clock ratio, but one the refactor is accountable for: the windowed
     # engine must not be slower than sequential beyond a collapse threshold.
