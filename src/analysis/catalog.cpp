@@ -7,6 +7,7 @@
 #include "apps/bpf_filter.hpp"
 #include "apps/chain.hpp"
 #include "apps/nat.hpp"
+#include "apps/softwire.hpp"
 #include "apps/telemetry.hpp"
 
 namespace flexsfp::analysis {
@@ -76,6 +77,27 @@ apps::BpfProgram guarded_deep_load_program() {
       {apps::BpfOp::ret_drop, 0, 0, 0},         // 4
       {apps::BpfOp::ret_accept, 0, 0, 0},       // 5
   });
+}
+
+/// The lw4o6 carrier-edge build the paper's feasibility question is asked
+/// of: 32768 (ipv4, psid) leases. The 48->128-bit binding table plus the
+/// 32->16-bit psid_map land well inside the MPF200T's 616 LSRAM blocks.
+ppe::PpeAppPtr build_softwire_edge() {
+  apps::LwAftrConfig config;
+  config.aftr_addr = *net::Ipv6Address::parse("2001:db8:ffff::1");
+  config.icmp_src = net::Ipv4Address::from_octets(192, 0, 2, 1);
+  config.binding_capacity = 32768;
+  return std::make_unique<apps::LwAftr>(config);
+}
+
+/// The same softwire asked to hold a million subscriber leases in one
+/// module: the binding table alone wants ~15x the device's LSRAM.
+ppe::PpeAppPtr build_softwire_oversized() {
+  apps::LwAftrConfig config;
+  config.aftr_addr = *net::Ipv6Address::parse("2001:db8:ffff::1");
+  config.icmp_src = net::Ipv4Address::from_octets(192, 0, 2, 1);
+  config.binding_capacity = 1048576;
+  return std::make_unique<apps::LwAftr>(config);
 }
 
 ppe::PpeAppPtr build_dead_chain() {
@@ -155,6 +177,16 @@ std::vector<DeployableDesign> make_catalog() {
          return std::make_unique<apps::BpfFilter>(
              apps::bpf_programs::drop_tcp_dport(23));
        }});
+  designs.push_back(
+      {"softwire-edge",
+       "lw4o6 AFTR with a 32768-lease (ipv4, psid) binding table: the "
+       "carrier softwire that fits the cable",
+       true, build_softwire_edge});
+  designs.push_back(
+      {"softwire-oversized",
+       "lw4o6 AFTR asked to hold 1M leases in one module: the binding "
+       "table alone exceeds the MPF200T's LSRAM — must be rejected",
+       false, build_softwire_oversized});
   return designs;
 }
 

@@ -13,6 +13,7 @@ void link_sanitizer_app();
 void link_faultmon_app();
 void link_bpf_app();
 void link_ipv6_filter_app();
+void link_softwire_apps();
 
 void register_builtin_apps() {
   link_nat_app();
@@ -26,6 +27,7 @@ void register_builtin_apps() {
   link_faultmon_app();
   link_bpf_app();
   link_ipv6_filter_app();
+  link_softwire_apps();
 }
 
 }  // namespace flexsfp::apps

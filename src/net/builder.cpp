@@ -310,6 +310,46 @@ bool encapsulate_ipip(Bytes& frame, Ipv4Address tunnel_src,
   return true;
 }
 
+bool encapsulate_ipv4_in_ipv6(Bytes& frame, const Ipv6Address& tunnel_src,
+                              const Ipv6Address& tunnel_dst,
+                              std::uint8_t hop_limit) {
+  const auto parsed = parse_packet(frame, {.parse_tunnels = false});
+  if (!parsed.ok() || !parsed.outer.ipv4) return false;
+  const std::size_t l3 = parsed.outer.l3_offset;
+
+  Ipv6Header outer;
+  outer.src = tunnel_src;
+  outer.dst = tunnel_dst;
+  outer.next_header = static_cast<std::uint8_t>(IpProto::ipv4_encap);
+  outer.hop_limit = hop_limit;
+  // Cover everything behind L2, including any Ethernet min-frame padding
+  // past the inner total_length, so decapsulation restores the original
+  // frame byte-for-byte.
+  outer.payload_length = static_cast<std::uint16_t>(frame.size() - l3);
+
+  frame.insert(frame.begin() + static_cast<std::ptrdiff_t>(l3),
+               Ipv6Header::size(), 0);
+  outer.serialize_to(frame, l3);
+  write_be16(frame, l3 - 2, static_cast<std::uint16_t>(EtherType::ipv6));
+  return true;
+}
+
+bool decapsulate_ipv4_in_ipv6(Bytes& frame) {
+  const auto parsed = parse_packet(frame, {.parse_tunnels = false});
+  if (!parsed.ok() || !parsed.outer.ipv6 ||
+      parsed.outer.ipv6->next_header !=
+          static_cast<std::uint8_t>(IpProto::ipv4_encap)) {
+    return false;
+  }
+  const std::size_t l3 = parsed.outer.l3_offset;
+  if (frame.size() < l3 + Ipv6Header::size()) return false;
+  frame.erase(frame.begin() + static_cast<std::ptrdiff_t>(l3),
+              frame.begin() + static_cast<std::ptrdiff_t>(l3 +
+                                                          Ipv6Header::size()));
+  write_be16(frame, l3 - 2, static_cast<std::uint16_t>(EtherType::ipv4));
+  return true;
+}
+
 bool encapsulate_vxlan(Bytes& frame, MacAddress outer_dst, MacAddress outer_src,
                        Ipv4Address tunnel_src, Ipv4Address tunnel_dst,
                        std::uint32_t vni, std::uint16_t src_port) {

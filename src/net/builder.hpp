@@ -82,6 +82,22 @@ bool encapsulate_vxlan(Bytes& frame, MacAddress outer_dst, MacAddress outer_src,
 bool encapsulate_ipip(Bytes& frame, Ipv4Address tunnel_src,
                       Ipv4Address tunnel_dst, std::uint8_t ttl = 64);
 
+/// Push an IPv6 delivery header (next-header 4) in front of the frame's
+/// IPv4 packet — the lw4o6 softwire encapsulation (RFC 7596). The original
+/// Ethernet header (and any VLAN tags) are kept; the EtherType flips to
+/// IPv6. In-place: the 40-byte shim is inserted into the existing buffer,
+/// so a pooled packet's capacity is reused after the first growth. Returns
+/// false when the frame carries no outer IPv4 layer.
+bool encapsulate_ipv4_in_ipv6(Bytes& frame, const Ipv6Address& tunnel_src,
+                              const Ipv6Address& tunnel_dst,
+                              std::uint8_t hop_limit = 64);
+
+/// Strip an IPv6 delivery header whose next-header is 4, restoring the
+/// inner IPv4 packet behind the original L2 — the lw4o6 decapsulation.
+/// Allocation-free (erase + 2-byte EtherType patch). Returns false when the
+/// frame is not IPv4-in-IPv6.
+bool decapsulate_ipv4_in_ipv6(Bytes& frame);
+
 /// Strip a recognized GRE/VXLAN/IP-in-IP delivery header, restoring the
 /// inner packet as a standalone frame. Returns false when `frame` carries no
 /// recognized tunnel.

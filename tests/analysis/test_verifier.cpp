@@ -270,6 +270,47 @@ TEST(VerifierFSL008, CounterIndexBeyondBankErrors) {
   EXPECT_EQ(errors[0].component, "stub/counters:stats");
 }
 
+// --- golden diagnostics for the softwire catalog entries --------------------
+
+TEST(VerifierSoftwire, EdgeDesignProvablyFitsTheDevice) {
+  const DeployableDesign* design = find_design("softwire-edge");
+  ASSERT_NE(design, nullptr);
+  const auto report = PipelineVerifier{}.verify(*design->build());
+  EXPECT_TRUE(clean(report)) << report.to_text();
+  // The paper's feasibility question answered statically: the 32768-lease
+  // AFTR fits the MPF200T, and the note quantifies the headroom.
+  const auto notes = report.by_rule("FSL001");
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].severity, Severity::note);
+  EXPECT_NE(notes[0].message.find("MPF200T"), std::string::npos);
+}
+
+TEST(VerifierSoftwire, OversizedBindingTableRejectedWithNamedTables) {
+  const DeployableDesign* design = find_design("softwire-oversized");
+  ASSERT_NE(design, nullptr);
+  ASSERT_FALSE(design->expect_feasible);
+  const auto report = PipelineVerifier{}.verify(*design->build());
+  EXPECT_TRUE(report.has_errors()) << report.to_text();
+  // FSL001: the aggregate exceeds device LSRAM.
+  bool lsram_error = false;
+  for (const auto& diagnostic : report.by_rule("FSL001")) {
+    if (diagnostic.severity == Severity::error &&
+        diagnostic.message.find("LSRAM") != std::string::npos) {
+      lsram_error = true;
+    }
+  }
+  EXPECT_TRUE(lsram_error) << report.to_text();
+  // FSL004 names the offending table: the million-lease binding store.
+  bool binding_named = false;
+  for (const auto& diagnostic : report.by_rule("FSL004")) {
+    if (diagnostic.severity == Severity::error &&
+        diagnostic.component == "lwaftr/table:binding") {
+      binding_named = true;
+    }
+  }
+  EXPECT_TRUE(binding_named) << report.to_text();
+}
+
 TEST(VerifierCatalog, EveryDesignMatchesItsExpectedVerdict) {
   const PipelineVerifier verifier;
   for (const auto& design : deployable_designs()) {

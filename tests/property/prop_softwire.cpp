@@ -1,0 +1,137 @@
+// Property sweeps over the A+P port-restricted mapping arithmetic
+// (RFC 7597 §5.1): random (psid_len, psid_offset) layouts checked against a
+// brute-force oracle that enumerates all 65536 ports. The constant-time
+// bit arithmetic the datapath runs per packet must agree with the
+// definitionally-correct enumeration on every port.
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/softwire.hpp"
+#include "sim/random.hpp"
+
+namespace flexsfp::apps {
+namespace {
+
+/// Every valid layout drawn from a seeded sweep, plus the boundary cases.
+std::vector<PsidParams> layouts_under_test(std::uint64_t seed) {
+  std::vector<PsidParams> layouts = {
+      {0, 0},  {16, 0}, {0, 16}, {6, 6},  {8, 6},
+      {10, 6}, {6, 0},  {1, 15}, {15, 1}, {4, 4},
+  };
+  sim::Rng rng(seed);
+  while (layouts.size() < 24) {
+    const auto a = std::uint8_t(rng.uniform(0, 16));
+    const auto k = std::uint8_t(rng.uniform(0, 16 - a));
+    layouts.push_back(PsidParams{k, a});
+  }
+  return layouts;
+}
+
+class PsidProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsidProperty, EveryPortBelongsToExactlyOnePsidOrTheSystemRange) {
+  for (const PsidParams p : layouts_under_test(GetParam())) {
+    ASSERT_TRUE(psid_params_valid(p));
+    const std::uint32_t psid_count = 1u << p.psid_len;
+    // Oracle pass: walk all 65536 ports, tally each into the one bucket the
+    // membership predicate admits it to.
+    std::vector<std::uint32_t> owned(psid_count, 0);
+    std::uint32_t excluded = 0;
+    for (std::uint32_t port = 0; port <= 0xffff; ++port) {
+      const auto p16 = std::uint16_t(port);
+      if (port_excluded(p, p16)) {
+        ++excluded;
+        // The exclusion predicate must match its definition exactly: top
+        // `a` bits all zero.
+        ASSERT_EQ(p.psid_offset > 0 && (port >> (16 - p.psid_offset)) == 0,
+                  true)
+            << "port " << port;
+        continue;
+      }
+      // Exactly one owner: the decoded PSID admits the port, its neighbors
+      // (and wraparound extremes) reject it. The per-PSID count below then
+      // proves the partition exact without an O(psids * ports) sweep.
+      const std::uint16_t owner = psid_of_port(p, p16);
+      ASSERT_TRUE(port_in_set(p, owner, p16)) << "port " << port;
+      for (const std::uint32_t other :
+           {owner + 1u, owner + psid_count - 1u, owner + psid_count / 2u}) {
+        const auto candidate = std::uint16_t(other % psid_count);
+        if (candidate == owner) continue;
+        ASSERT_FALSE(port_in_set(p, candidate, p16))
+            << "port " << port << " psid " << candidate;
+      }
+      ++owned[owner];
+    }
+    // Every PSID owns exactly port_set_size ports, and the partition is
+    // exhaustive: excluded + sum(owned) covers the 16-bit space.
+    std::uint64_t total = excluded;
+    for (std::uint32_t psid = 0; psid < psid_count; ++psid) {
+      ASSERT_EQ(owned[psid], port_set_size(p)) << "psid " << psid;
+      total += owned[psid];
+    }
+    ASSERT_EQ(total, 65536u);
+  }
+}
+
+TEST_P(PsidProperty, PortForIndexEnumeratesTheExactOracleSet) {
+  sim::Rng rng(GetParam() ^ 0x50f7);
+  for (const PsidParams p : layouts_under_test(GetParam())) {
+    // A few random PSIDs per layout (all of them when the space is small).
+    const std::uint32_t psid_count = 1u << p.psid_len;
+    std::vector<std::uint16_t> psids;
+    if (psid_count <= 8) {
+      for (std::uint32_t s = 0; s < psid_count; ++s) {
+        psids.push_back(std::uint16_t(s));
+      }
+    } else {
+      for (int draw = 0; draw < 8; ++draw) {
+        psids.push_back(std::uint16_t(rng.uniform(0, psid_count - 1)));
+      }
+    }
+    for (const std::uint16_t psid : psids) {
+      // Oracle: brute-force enumerate the PSID's ports in ascending order.
+      std::vector<std::uint16_t> oracle;
+      for (std::uint32_t port = 0; port <= 0xffff; ++port) {
+        if (port_in_set(p, psid, std::uint16_t(port))) {
+          oracle.push_back(std::uint16_t(port));
+        }
+      }
+      ASSERT_EQ(oracle.size(), port_set_size(p));
+      // port_for_index must reproduce it element for element, and
+      // round-trip through psid_of_port.
+      for (std::uint32_t index = 0; index < oracle.size(); ++index) {
+        const std::uint16_t port = port_for_index(p, psid, index);
+        ASSERT_EQ(port, oracle[index])
+            << "index " << index << " psid " << psid << " a "
+            << int(p.psid_offset) << " k " << int(p.psid_len);
+        ASSERT_TRUE(port_in_set(p, psid, port));
+      }
+    }
+  }
+}
+
+TEST_P(PsidProperty, DisjointPsidsNeverShareAPort) {
+  sim::Rng rng(GetParam() ^ 0xd15);
+  for (const PsidParams p : layouts_under_test(GetParam())) {
+    const std::uint32_t psid_count = 1u << p.psid_len;
+    if (psid_count < 2) continue;
+    for (int draw = 0; draw < 256; ++draw) {
+      const auto a = std::uint16_t(rng.uniform(0, psid_count - 1));
+      auto b = std::uint16_t(rng.uniform(0, psid_count - 1));
+      if (a == b) b = std::uint16_t((b + 1) % psid_count);
+      const auto index =
+          std::uint32_t(rng.uniform(0, port_set_size(p) - 1));
+      const std::uint16_t port_of_a = port_for_index(p, a, index);
+      EXPECT_FALSE(port_in_set(p, b, port_of_a))
+          << "psids " << a << "/" << b << " port " << port_of_a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsidProperty,
+                         ::testing::Values(0x1ull, 0x2a2aull, 0xfeedull));
+
+}  // namespace
+}  // namespace flexsfp::apps

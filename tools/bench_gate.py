@@ -56,6 +56,19 @@ POLICIES = [
     # iff every merged snapshot is bit-identical. A 0 is a semantics bug.
     ("batch_identical", "lower_is_worse", "strict"),
     ("batch_width", "equal", "context"),
+    # RFC 8219 softwire bench: the binary-search throughput is an offered
+    # rate in simulated time — a property of the code, not the host — and
+    # the ledger/determinism flags are invariants, so all gate strictly.
+    ("throughput_gbps_*", "lower_is_worse", "strict"),
+    ("ledger_ok", "lower_is_worse", "strict"),
+    ("verify_loss_*", "higher_is_worse", "strict"),
+    ("pool_heap_fallbacks", "higher_is_worse", "strict"),
+    ("subscribers", "equal", "context"),
+    ("search_steps", "equal", "context"),
+    ("loss_threshold", "equal", "context"),
+    ("latency_p*", None, "info"),  # bucketed percentiles: shape, not a gate
+    ("pdv_ns_*", None, "info"),
+    ("churn_unmappable_drops", None, "info"),
     ("events_per_sec*", "lower_is_worse", "lenient"),
     # Wall-clock ratio, but one the refactor is accountable for: the windowed
     # engine must not be slower than sequential beyond a collapse threshold.
